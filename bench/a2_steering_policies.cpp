@@ -1,0 +1,79 @@
+// A2 (ablation) — steering policies S_j and their macro-iteration
+// footprints.
+//
+// Definition 1 leaves the choice of S_j (which components update when)
+// completely free, subject to fairness (condition c). This ablation
+// quantifies how the policy shapes the macro-iteration sequence and the
+// convergence cost: all-blocks (synchronous sweeps), cyclic, random
+// subsets, weighted-random (heterogeneous speeds), and the adversarial
+// power-of-two starving policy — the extreme where condition c barely
+// holds and macro-iterations stretch unboundedly.
+#include <cstdio>
+
+#include "asyncit/asyncit.hpp"
+
+using namespace asyncit;
+
+int main() {
+  std::printf("== A2: steering policy ablation ==\n");
+  std::printf("coupled Jacobi n=24, const-4 delays, tol 1e-9\n\n");
+
+  Rng rng(17);
+  auto sys = problems::make_diagonally_dominant_system(24, 4, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::scalar(24));
+  const la::Vector x_star = op::picard_solve(jac, la::zeros(24), 100000,
+                                             1e-14);
+
+  struct Row {
+    const char* name;
+    std::unique_ptr<model::SteeringPolicy> policy;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"all-blocks (sync sweeps)",
+                  model::make_all_blocks_steering(24)});
+  rows.push_back({"cyclic", model::make_cyclic_steering(24)});
+  rows.push_back({"random-1", model::make_random_subset_steering(24, 1)});
+  rows.push_back({"random-6", model::make_random_subset_steering(24, 6)});
+  {
+    la::Vector w(24, 1.0);
+    for (std::size_t i = 0; i < 12; ++i) w[i] = 8.0;  // fast half
+    rows.push_back({"weighted 8:1",
+                    model::make_weighted_random_steering(
+                        std::vector<double>(w.begin(), w.end()))});
+  }
+  rows.push_back({"starving (pow-2)", model::make_starving_steering(24, 0)});
+
+  TextTable table({"policy", "converged", "steps", "block updates",
+                   "macros", "mean macro len", "worst gap"});
+  for (auto& row : rows) {
+    auto delays = model::make_constant_delay(4);
+    engine::ModelEngineOptions opt;
+    opt.max_steps = 400000;
+    opt.tol = 1e-9;
+    opt.x_star = x_star;
+    opt.record_error_every = 32;
+    opt.seed = 3;
+    auto r = engine::run_model_engine(jac, *row.policy, *delays,
+                                      la::zeros(24), opt);
+    std::uint64_t updates = 0;
+    for (auto c : r.updates_per_block) updates += c;
+    const std::size_t macros = r.macro_boundaries.size() - 1;
+    const auto c_rep = model::audit_condition_c(r.trace);
+    model::Step worst_gap = 0;
+    for (auto g : c_rep.max_gap) worst_gap = std::max(worst_gap, g);
+    table.add_row(
+        {row.name, r.converged ? "yes" : "NO", std::to_string(r.steps),
+         std::to_string(updates), std::to_string(macros),
+         macros ? TextTable::num(double(r.steps) / double(macros), 1)
+                : "-",
+         std::to_string(worst_gap)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  trace::maybe_write_csv(table, "a2_steering_policies");
+  std::printf(
+      "reading: macro-iteration LENGTH (steps/macro) tracks the policy's "
+      "worst update gap — fairness quality is exactly what the macro "
+      "sequence measures; total block-update WORK to epsilon is far more "
+      "uniform across fair policies.\n");
+  return 0;
+}

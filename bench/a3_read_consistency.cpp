@@ -1,0 +1,74 @@
+// A3 (ablation) — the price of consistent reads on real threads.
+//
+// The threaded runtime offers two shared-iterate stores:
+//   * Hogwild (raw in-place reads): block values can mix two updates —
+//     shared-memory "partial updates", which the asynchronous theory
+//     tolerates (they satisfy the flexible-communication constraint for
+//     nonexpansive coordinate maps);
+//   * seqlock (per-block consistent reads): every block read is a
+//     complete published update, at the cost of copying the iterate on
+//     every block update.
+//
+// Both converge; the question is the throughput and wall-clock cost of
+// consistency as blocks get bigger (torn-block risk only exists for
+// multi-coordinate blocks).
+#include <cstdio>
+#include <utility>
+
+#include "asyncit/asyncit.hpp"
+#include "asyncit/support/stats.hpp"
+
+using namespace asyncit;
+
+int main() {
+  std::printf("== A3: Hogwild vs seqlock-consistent reads (threads) ==\n");
+  std::printf("coupled Jacobi n=2048, 2 workers, tol 1e-9, median of 5 "
+              "runs\n\n");
+
+  const std::size_t n = 2048;
+  Rng rng(19);
+  auto sys = problems::make_diagonally_dominant_system(n, 8, 2.0, rng);
+
+  TextTable table({"blocks", "block size", "hogwild ms", "hogwild upd",
+                   "seqlock ms", "seqlock upd", "consistency cost"});
+  for (const std::size_t blocks : {256u, 64u, 16u}) {
+    op::JacobiOperator jac(sys.a, sys.b, la::Partition::balanced(n, blocks));
+    const la::Vector x_star = op::picard_solve(jac, la::zeros(n), 100000,
+                                               1e-13);
+    auto run = [&](bool consistent) {
+      std::vector<double> wall;
+      std::vector<double> upd;
+      for (int rep = 0; rep < 5; ++rep) {
+        rt::RuntimeOptions opt;
+        opt.workers = 2;
+        opt.tol = 1e-9;
+        opt.x_star = x_star;
+        opt.max_seconds = 20.0;
+        opt.consistent_reads = consistent;
+        opt.seed = static_cast<std::uint64_t>(rep + 1);
+        auto r = rt::run_async_threads(jac, la::zeros(n), opt);
+        wall.push_back(r.wall_seconds);
+        upd.push_back(static_cast<double>(r.total_updates));
+      }
+      return std::pair<double, double>{percentile(wall, 0.5),
+                                       percentile(upd, 0.5)};
+    };
+    const auto [hog_ms, hog_upd] = run(false);
+    const auto [seq_ms, seq_upd] = run(true);
+    table.add_row({std::to_string(blocks), std::to_string(n / blocks),
+                   TextTable::num(hog_ms * 1e3, 2),
+                   TextTable::num(hog_upd, 0),
+                   TextTable::num(seq_ms * 1e3, 2),
+                   TextTable::num(seq_upd, 0),
+                   TextTable::num(seq_ms / std::max(1e-9, hog_ms), 2) +
+                       "x"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  trace::maybe_write_csv(table, "a3_read_consistency");
+  std::printf(
+      "reading: both modes converge (asynchronous iterations tolerate "
+      "mixed-block reads — they are just another admissible x̃); the "
+      "seqlock pays an O(n)-copy per update, so its relative cost rises "
+      "as blocks shrink.\n");
+  return 0;
+}

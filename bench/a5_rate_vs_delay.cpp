@@ -1,0 +1,72 @@
+// A5 — empirical convergence rate as a function of the delay bound.
+//
+// The paper's §II stresses that delays "do not imply that asynchronous
+// methods are not efficient" — the rate degrades gracefully with
+// staleness. We fit the per-step geometric rate of async Jacobi and of
+// the Definition-4 composite iteration across delay bounds b, and report
+// the per-MACRO rate, which theory predicts stays roughly constant (each
+// macro-iteration contracts by at least the operator factor regardless
+// of b; b only stretches macro length).
+#include <cstdio>
+
+#include "asyncit/asyncit.hpp"
+#include "asyncit/solvers/convergence.hpp"
+
+using namespace asyncit;
+
+int main() {
+  std::printf("== A5: empirical rate vs delay bound ==\n");
+  std::printf("coupled Jacobi n=32 (alpha<=0.5) and coupled quadratic+l1 "
+              "(Definition-4), cyclic steering, fully general reads\n\n");
+
+  Rng rng(37);
+  auto sys = problems::make_diagonally_dominant_system(32, 4, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::scalar(32));
+  const la::Vector jac_star = op::picard_solve(jac, la::zeros(32), 100000,
+                                               1e-14);
+
+  auto f = problems::make_sparse_quadratic(32, 3, 2.5, rng);
+  auto g = op::make_l1_prox(0.1);
+  op::BackwardForwardOperator bf(*f, *g, f->suggested_step(),
+                                 la::Partition::scalar(32));
+  const la::Vector bf_star = op::picard_solve(bf, la::zeros(32), 200000,
+                                              1e-15);
+
+  TextTable table({"operator", "delay bound b", "rate/step",
+                   "steps per decade", "rate/macro", "macros to eps"});
+  for (const model::Step b : {0u, 2u, 8u, 32u, 128u}) {
+    for (int which = 0; which < 2; ++which) {
+      const op::BlockOperator& oper =
+          which == 0 ? static_cast<const op::BlockOperator&>(jac)
+                     : static_cast<const op::BlockOperator&>(bf);
+      const la::Vector& star = which == 0 ? jac_star : bf_star;
+      auto steering = model::make_cyclic_steering(32);
+      auto delays = b == 0 ? model::make_no_delay()
+                           : model::make_constant_delay(b);
+      engine::ModelEngineOptions opt;
+      opt.max_steps = 400000;
+      opt.tol = 1e-10;
+      opt.x_star = star;
+      opt.record_error_every = 8;
+      opt.fresh_own_component = false;
+      auto r = engine::run_model_engine(oper, *steering, *delays,
+                                        la::zeros(32), opt);
+      const auto fit = solvers::fit_rate(r.error_history,
+                                         r.macro_boundaries);
+      table.add_row(
+          {which == 0 ? "jacobi" : "backward-forward",
+           std::to_string(b), TextTable::num(fit.per_step, 5),
+           TextTable::num(fit.steps_per_decade, 0),
+           fit.per_macro > 0 ? TextTable::num(fit.per_macro, 3) : "-",
+           std::to_string(r.macro_boundaries.size() - 1)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  trace::maybe_write_csv(table, "a5_rate_vs_delay");
+  std::printf(
+      "shape check: rate/step approaches 1 as b grows (graceful "
+      "degradation, steps/decade ~ linear in b), while rate/macro stays "
+      "roughly at the operator's contraction factor — delays stretch "
+      "macro-iterations, they do not weaken them.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// C6 — distributed asynchronous relaxation for convex network flow
+// (paper §II–III, refs [6] Bertsekas & El Baz and [8] El Baz).
+//
+// Random and grid networks with strictly convex quadratic arc costs and
+// capacities. The dual relaxation operator (single-node price adjustment
+// zeroing the node's flow excess) runs: sequentially (Gauss-Seidel
+// reference), asynchronously in the simulator under heterogeneous
+// processors, and synchronously (BSP baseline).
+//
+// Shape to hold: primal feasibility (max node excess) -> 0 and the
+// duality gap closes for every execution mode; async time-to-eps <= sync
+// under heterogeneity.
+#include <cmath>
+#include <cstdio>
+
+#include "asyncit/asyncit.hpp"
+
+using namespace asyncit;
+
+int main() {
+  std::printf("== C6: convex network flow via asynchronous relaxation "
+              "(refs [6][8]) ==\n\n");
+
+  struct Instance {
+    const char* name;
+    problems::NetworkFlowProblem net;
+  };
+  Rng rng(61);
+  std::vector<Instance> instances;
+  instances.push_back({"random n=24 arcs~60",
+                       problems::make_random_network(24, 40, rng)});
+  instances.push_back({"grid 5x6", problems::make_grid_network(5, 6, rng)});
+
+  TextTable table({"instance", "mode", "vtime/steps", "max excess",
+                   "primal cost", "dual value", "gap"});
+  for (auto& inst : instances) {
+    const auto& net = inst.net;
+    problems::NetworkFlowDualOperator relax(net);
+    const la::Vector p_ref = op::picard_solve(
+        relax, la::zeros(net.num_nodes()), 20000, 1e-12);
+
+    // sequential reference
+    const auto seq = solvers::solve_network_flow_sequential(net, 1e-10);
+    table.add_row({inst.name, "sequential GS",
+                   std::to_string(seq.updates) + " upd",
+                   TextTable::sci(seq.max_excess, 1),
+                   TextTable::num(seq.primal_cost, 4),
+                   TextTable::num(seq.dual_value, 4),
+                   TextTable::sci(std::abs(seq.primal_cost - seq.dual_value),
+                                  1)});
+
+    // async + sync on heterogeneous virtual processors
+    auto fleet = [&]() {
+      std::vector<std::unique_ptr<sim::ComputeTimeModel>> v;
+      v.push_back(sim::make_fixed_compute(4.0));  // straggler
+      for (int p = 1; p < 4; ++p)
+        v.push_back(sim::make_fixed_compute(1.0));
+      return v;
+    };
+    sim::SimOptions opt;
+    opt.tol = 1e-7;
+    opt.x_star = p_ref;
+    opt.max_steps = 500000;
+    opt.record_trace = false;
+    auto lat1 = sim::make_uniform_latency(0.05, 0.2);
+    auto async_r = sim::run_async_sim(relax, la::zeros(net.num_nodes()),
+                                      fleet(), *lat1, opt);
+    auto lat2 = sim::make_uniform_latency(0.05, 0.2);
+    auto sync_r = sim::run_sync_sim(relax, la::zeros(net.num_nodes()),
+                                    fleet(), *lat2, opt);
+
+    const la::Vector fa = net.flows(async_r.x);
+    table.add_row({inst.name, "async (4 procs)",
+                   TextTable::num(async_r.virtual_time, 1) + " vt",
+                   TextTable::sci(net.max_excess(async_r.x), 1),
+                   TextTable::num(net.primal_cost(fa), 4),
+                   TextTable::num(net.dual_value(async_r.x), 4),
+                   TextTable::sci(std::abs(net.primal_cost(fa) -
+                                           net.dual_value(async_r.x)),
+                                  1)});
+    const la::Vector fs = net.flows(sync_r.x);
+    table.add_row({inst.name, "sync (4 procs)",
+                   TextTable::num(sync_r.virtual_time, 1) + " vt",
+                   TextTable::sci(net.max_excess(sync_r.x), 1),
+                   TextTable::num(net.primal_cost(fs), 4),
+                   TextTable::num(net.dual_value(sync_r.x), 4),
+                   TextTable::sci(std::abs(net.primal_cost(fs) -
+                                           net.dual_value(sync_r.x)),
+                                  1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  trace::maybe_write_csv(table, "c6_network_flow");
+  std::printf("shape check: excess -> 0 and gap -> 0 in all modes; async "
+              "virtual time < sync under the 4x straggler.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// C9 — contemporaries: ARock-style asynchronous KM coordinate updates
+// (ref [32]) and DAve-RPG-style distributed averaged proximal gradient
+// (ref [30]) against this paper's flexible-communication backward-forward
+// iteration, all solving the same lasso instance to the same accuracy.
+//
+// Metrics are algorithm-level (the three methods decompose differently:
+// coordinates for ARock and backward-forward, sample shards for DAve-RPG):
+// steps to epsilon, meta-iterations (macro / epoch) to epsilon, and the
+// per-meta-iteration empirical rate.
+//
+// Shape to hold: all three converge; the backward-forward iteration with
+// flexible communication needs no damping (eta = 1) where ARock uses
+// eta < 1; DAve-RPG's epochs and Definition-2 macro-iterations both
+// certify its progress.
+#include <cmath>
+#include <cstdio>
+
+#include "asyncit/asyncit.hpp"
+
+using namespace asyncit;
+
+int main() {
+  std::printf("== C9: baselines — ARock [32] and DAve-RPG [30] ==\n");
+  std::printf("lasso m=120 n=48 ridge=0.2 l1=0.02, tol 1e-8\n\n");
+
+  Rng rng(91);
+  problems::LassoConfig cfg;
+  cfg.samples = 120;
+  cfg.features = 48;
+  cfg.support = 10;
+  cfg.ridge = 0.2;
+  cfg.lambda1 = 0.02;
+  auto lasso = problems::make_synthetic_lasso(cfg, rng);
+  const la::Vector x_star = lasso.problem.reference_minimizer(300000, 1e-13);
+
+  TextTable table({"method", "converged", "steps", "macros", "epochs",
+                   "err to ref"});
+
+  // --- this paper: async backward-forward with flexible communication ---
+  {
+    auto f = lasso.problem.f;
+    auto g = lasso.problem.g;
+    op::BackwardForwardOperator bf(*f, *g, lasso.problem.suggested_gamma(),
+                                   la::Partition::scalar(f->dim()));
+    // iterate-space reference
+    la::Vector grad(f->dim());
+    f->gradient(x_star, grad);
+    la::Vector x_bar = x_star;
+    la::axpy(-lasso.problem.suggested_gamma(), grad, x_bar);
+
+    auto steering = model::make_random_subset_steering(f->dim(), 1);
+    auto delays = model::make_uniform_delay(8);
+    engine::ModelEngineOptions opt;
+    opt.max_steps = 500000;
+    opt.tol = 1e-8;
+    opt.x_star = x_bar;
+    opt.inner_steps = 2;
+    opt.publish_partials = true;
+    opt.record_error_every = 64;
+    auto r = engine::run_model_engine(bf, *steering, *delays,
+                                      la::zeros(f->dim()), opt);
+    const la::Vector sol = bf.solution_from_fixed_point(r.x);
+    table.add_row({"backward-forward + flexible (this paper)",
+                   r.converged ? "yes" : "NO", std::to_string(r.steps),
+                   std::to_string(r.macro_boundaries.size() - 1),
+                   std::to_string(r.epoch_boundaries.size() - 1),
+                   TextTable::sci(la::dist_inf(sol, x_star), 1)});
+  }
+
+  // --- ARock [32] ---
+  for (const double eta : {1.0, 0.7, 0.4}) {
+    solvers::ARockOptions opt;
+    opt.eta = eta;
+    opt.tol = 1e-8;
+    opt.max_steps = 500000;
+    opt.delay_bound = 8;
+    const auto s = solvers::solve_arock(lasso.problem, opt);
+    table.add_row({"ARock eta=" + TextTable::num(eta, 1),
+                   s.converged ? "yes" : "NO", std::to_string(s.steps),
+                   std::to_string(s.macro_iterations),
+                   std::to_string(s.epochs),
+                   TextTable::sci(s.error_to_reference, 1)});
+  }
+
+  // --- DAve-RPG [30] ---
+  {
+    const auto* ls = dynamic_cast<const problems::LeastSquaresFunction*>(
+        lasso.problem.f.get());
+    auto shards = solvers::split_least_squares(*ls, 4);
+    solvers::DaveRpgOptions opt;
+    opt.max_steps = 500000;
+    opt.tol = 1e-8;
+    opt.delay_bound = 8;
+    const auto s = solvers::solve_dave_rpg(shards, *lasso.problem.g, x_star,
+                                           ls->mu(), ls->lipschitz(), opt);
+    table.add_row({"DAve-RPG (4 shards)", s.converged ? "yes" : "NO",
+                   std::to_string(s.steps),
+                   std::to_string(s.macro_boundaries.size() - 1),
+                   std::to_string(s.epoch_boundaries.size() - 1),
+                   TextTable::sci(s.error_to_reference, 1)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  trace::maybe_write_csv(table, "c9_baselines");
+  std::printf("shape check: all methods converge; smaller eta slows "
+              "ARock; both meta-iteration sequences certify DAve-RPG.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// FIG2 — regenerates the paper's Figure 2: asynchronous iteration WITH
+// flexible communication. Same two-processor scenario as FIG1, but each
+// updating phase performs several inner iterations and publishes its
+// partial results mid-phase (the hatched arrows ~~>). Receivers
+// incorporate partials immediately (Definition 3).
+//
+// Shape to hold: partial-update messages leave mid-phase (send time
+// strictly inside the sender's phase), full updates still leave at phase
+// ends, and consumers read fresher data than in FIG1.
+#include <cstdio>
+
+#include "asyncit/asyncit.hpp"
+
+using namespace asyncit;
+
+int main() {
+  std::printf(
+      "== FIG2: flexible-communication trace (paper Figure 2) ==\n");
+  std::printf(
+      "2 processors as in FIG1; each phase runs 3 inner iterations and "
+      "publishes partial updates mid-phase (hatched arrows ~~>).\n\n");
+
+  Rng rng(7);
+  auto sys = problems::make_diagonally_dominant_system(2, 1, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::scalar(2));
+
+  std::vector<std::unique_ptr<sim::ComputeTimeModel>> compute;
+  compute.push_back(sim::make_uniform_compute(0.9, 1.1));
+  compute.push_back(sim::make_uniform_compute(1.6, 2.0));
+  auto latency = sim::make_fixed_latency(0.25);
+
+  sim::SimOptions opt;
+  opt.max_steps = 12;
+  opt.stop_on_oracle = false;
+  opt.inner_steps = 3;
+  opt.publish_partials = true;
+  opt.recording = model::LabelRecording::kFull;
+  opt.seed = 3;
+  auto result = sim::run_async_sim(jac, la::zeros(2), std::move(compute),
+                                   *latency, opt);
+
+  trace::GanttOptions gopt;
+  gopt.width = 100;
+  gopt.max_messages = 36;
+  std::printf("%s\n", trace::render_gantt(result.log, gopt).c_str());
+
+  std::size_t partial_mid_phase = 0;
+  for (const auto& msg : result.log.messages()) {
+    if (!msg.partial) continue;
+    for (const auto& ph : result.log.phases()) {
+      if (ph.processor == msg.src && msg.t_send > ph.t_start + 1e-12 &&
+          msg.t_send < ph.t_end - 1e-12) {
+        ++partial_mid_phase;
+        break;
+      }
+    }
+  }
+  std::printf("partial updates sent: %zu (of which strictly mid-phase: "
+              "%zu); full updates: %zu\n",
+              result.partials_sent, partial_mid_phase,
+              result.messages_sent - result.partials_sent);
+  std::printf("macro-iterations completed: %zu\n",
+              result.macro_boundaries.size() - 1);
+  return 0;
+}

@@ -1,0 +1,141 @@
+// PERF — google-benchmark microbenchmarks for the substrates: operator
+// applications, shared-memory stores (Hogwild vs seqlock), the macro-
+// iteration tracker, CSR kernels, and the prox library. These document
+// the per-update costs behind the virtual-time models used in the
+// experiment benches.
+#include <benchmark/benchmark.h>
+
+#include "asyncit/asyncit.hpp"
+#include "asyncit/runtime/shared_iterate.hpp"
+
+namespace {
+
+using namespace asyncit;
+
+void BM_CsrMatvec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  auto sys = problems::make_diagonally_dominant_system(n, 8, 2.0, rng);
+  la::Vector x(n, 1.0), y(n);
+  for (auto _ : state) {
+    sys.a.matvec(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sys.a.nnz()));
+}
+BENCHMARK(BM_CsrMatvec)->Arg(256)->Arg(4096);
+
+void BM_JacobiBlockUpdate(benchmark::State& state) {
+  Rng rng(2);
+  auto sys = problems::make_diagonally_dominant_system(1024, 8, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::balanced(1024, 64));
+  la::Vector x(1024, 0.5), out(16);
+  la::BlockId b = 0;
+  for (auto _ : state) {
+    jac.apply_block(b, x, out);
+    b = (b + 1) % 64;
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_JacobiBlockUpdate);
+
+void BM_BackwardForwardBlock(benchmark::State& state) {
+  Rng rng(3);
+  auto f = problems::make_separable_quadratic(1024, 1.0, 8.0, rng);
+  auto g = op::make_l1_prox(0.1);
+  op::BackwardForwardOperator bf(*f, *g, f->suggested_step(),
+                                 la::Partition::balanced(1024, 64));
+  la::Vector x(1024, 0.5), out(16);
+  la::BlockId b = 0;
+  for (auto _ : state) {
+    bf.apply_block(b, x, out);
+    b = (b + 1) % 64;
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BackwardForwardBlock);
+
+void BM_SharedIterateStore(benchmark::State& state) {
+  rt::SharedIterate shared(la::Vector(4096, 0.0));
+  la::Vector block(64, 1.0);
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    shared.store_block(offset, block);
+    offset = (offset + 64) % 4096;
+  }
+}
+BENCHMARK(BM_SharedIterateStore);
+
+void BM_SeqlockWrite(benchmark::State& state) {
+  la::Partition p = la::Partition::balanced(4096, 64);
+  rt::SeqlockBlockStore store(p, la::Vector(4096, 0.0));
+  la::Vector block(64, 1.0);
+  la::BlockId b = 0;
+  model::Step tag = 0;
+  for (auto _ : state) {
+    store.write_block(b, block, ++tag);
+    b = (b + 1) % 64;
+  }
+}
+BENCHMARK(BM_SeqlockWrite);
+
+void BM_SeqlockReadAll(benchmark::State& state) {
+  la::Partition p = la::Partition::balanced(4096, 64);
+  rt::SeqlockBlockStore store(p, la::Vector(4096, 0.0));
+  la::Vector out(4096);
+  std::vector<model::Step> tags(64);
+  for (auto _ : state) {
+    store.read_all(out, tags);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SeqlockReadAll);
+
+void BM_MacroTracker(benchmark::State& state) {
+  const std::size_t m = 64;
+  Rng rng(4);
+  std::vector<la::BlockId> single(1);
+  model::MacroIterationTracker tracker(m);
+  model::Step j = 0;
+  for (auto _ : state) {
+    ++j;
+    single[0] = static_cast<la::BlockId>(rng.uniform_index(m));
+    const model::Step lag = rng.uniform_index(8);
+    tracker.observe(j, single, j > lag + 1 ? j - 1 - lag : 0);
+  }
+}
+BENCHMARK(BM_MacroTracker);
+
+void BM_ProxSoftThreshold(benchmark::State& state) {
+  auto g = op::make_l1_prox(0.3);
+  la::Vector x(4096, 0.7), out(4096);
+  for (auto _ : state) {
+    g->apply(x, 0.25, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_ProxSoftThreshold);
+
+void BM_NetworkFlowRelaxNode(benchmark::State& state) {
+  Rng rng(5);
+  auto net = problems::make_random_network(64, 128, rng);
+  la::Vector prices(net.num_nodes(), 0.0);
+  std::size_t node = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.relax_node(node, prices));
+    node = 1 + (node % (net.num_nodes() - 1));
+  }
+}
+BENCHMARK(BM_NetworkFlowRelaxNode);
+
+void BM_WeightedMaxNormDistance(benchmark::State& state) {
+  la::WeightedMaxNorm norm(la::Partition::balanced(4096, 64));
+  la::Vector a(4096, 1.0), b(4096, 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(norm.distance(a, b));
+}
+BENCHMARK(BM_WeightedMaxNormDistance);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Machine learning example (paper Section V): train an L1-regularized
+// logistic-regression classifier with synchronous, asynchronous, and
+// flexible-communication asynchronous iterations, and compare.
+//
+//   build/examples/machine_learning
+#include <cstdio>
+
+#include "asyncit/asyncit.hpp"
+
+int main() {
+  using namespace asyncit;
+
+  std::printf("Training L2+L1 logistic regression, three execution "
+              "modes.\n\n");
+
+  Rng rng(7);
+  problems::LogisticConfig cfg;
+  cfg.samples = 600;
+  cfg.features = 96;
+  cfg.density = 0.3;
+  cfg.label_noise = 0.05;
+  cfg.ridge = 0.2;
+  cfg.lambda1 = 0.01;
+  auto data = problems::make_synthetic_logistic(cfg, rng);
+
+  // High-precision reference for fair oracle stopping in all modes.
+  const auto reference =
+      solvers::solve_prox_gradient_sequential(data.problem, 1e-12);
+  std::printf("reference: objective %.6f, train accuracy %.1f%%\n\n",
+              reference.objective,
+              100.0 * data.logistic->accuracy(reference.x));
+
+  TextTable table({"mode", "wall ms", "updates", "objective",
+                   "train acc %", "err vs ref"});
+  auto report = [&](const char* name, const solvers::SolveSummary& s) {
+    table.add_row({name, TextTable::num(s.wall_seconds * 1e3, 2),
+                   std::to_string(s.updates),
+                   TextTable::num(s.objective, 6),
+                   TextTable::num(100.0 * data.logistic->accuracy(s.x), 1),
+                   TextTable::sci(s.error_to_reference, 1)});
+  };
+
+  solvers::ProxGradOptions opt;
+  opt.workers = 2;
+  opt.blocks = 16;
+  opt.tol = 1e-7;
+  opt.max_seconds = 30.0;
+  opt.reference = reference.x;
+
+  report("synchronous (barrier)",
+         solvers::solve_prox_gradient_sync(data.problem, opt));
+  report("asynchronous",
+         solvers::solve_prox_gradient_async(data.problem, opt));
+  opt.inner_steps = 3;
+  opt.flexible = true;
+  report("async + flexible comm",
+         solvers::solve_prox_gradient_async(data.problem, opt));
+
+  // Heterogeneous workers: the async advantage the paper argues for.
+  opt.inner_steps = 1;
+  opt.flexible = false;
+  opt.worker_slowdown = {1.0, 6.0};
+  report("sync, worker-2 6x slower",
+         solvers::solve_prox_gradient_sync(data.problem, opt));
+  report("async, worker-2 6x slower",
+         solvers::solve_prox_gradient_async(data.problem, opt));
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("note how the barrier mode pays the 6x straggler in full "
+              "while the asynchronous mode keeps the fast worker "
+              "productive.\n");
+  return 0;
+}

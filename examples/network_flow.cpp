@@ -1,0 +1,69 @@
+// Network flow example (paper refs [6][8]): solve a convex separable
+// transportation problem by distributed asynchronous relaxation on node
+// prices, and read the economic interpretation off the dual solution.
+//
+//   build/examples/network_flow
+#include <cstdio>
+
+#include "asyncit/asyncit.hpp"
+
+int main() {
+  using namespace asyncit;
+
+  std::printf("Convex transportation network, asynchronous dual "
+              "relaxation (Bertsekas–El Baz).\n\n");
+
+  Rng rng(11);
+  auto net = problems::make_grid_network(4, 5, rng);
+  std::printf("grid 4x5: %zu nodes, %zu arcs\n", net.num_nodes(),
+              net.num_arcs());
+
+  // sequential reference first
+  const auto seq = solvers::solve_network_flow_sequential(net, 1e-10);
+  std::printf("sequential reference: primal cost %.4f, dual %.4f, "
+              "max excess %.1e\n",
+              seq.primal_cost, seq.dual_value, seq.max_excess);
+
+  // asynchronous threaded solve
+  solvers::NetworkFlowOptions opt;
+  opt.workers = 2;
+  opt.tol = 1e-6;
+  opt.max_seconds = 30.0;
+  const auto async = solvers::solve_network_flow_async(net, opt);
+  std::printf("async (2 workers):    primal cost %.4f, dual %.4f, "
+              "max excess %.1e, %.2f ms, converged: %s\n\n",
+              async.primal_cost, async.dual_value, async.max_excess,
+              async.wall_seconds * 1e3, async.converged ? "yes" : "no");
+
+  // price table (the dual variables: one per node, node 0 is reference)
+  TextTable prices({"node", "supply", "price p_i", "excess g_i"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(net.num_nodes(), 10);
+       ++i) {
+    prices.add_row({std::to_string(i),
+                    TextTable::num(net.supplies()[i], 3),
+                    TextTable::num(async.prices[i], 4),
+                    TextTable::sci(net.excess(i, async.prices), 1)});
+  }
+  std::printf("%s(first 10 nodes)\n\n", prices.render().c_str());
+
+  // busiest arcs
+  TextTable arcs({"arc", "flow", "capacity", "marginal cost a*x+c",
+                  "price drop p_t - p_h"});
+  std::size_t shown = 0;
+  for (std::size_t e = 0; e < net.num_arcs() && shown < 8; ++e) {
+    const auto& a = net.arcs()[e];
+    const double x = async.flows[e];
+    if (x < 0.5) continue;
+    ++shown;
+    arcs.add_row({std::to_string(a.tail) + "->" + std::to_string(a.head),
+                  TextTable::num(x, 3), TextTable::num(a.cap, 1),
+                  TextTable::num(a.quad * x + a.lin, 3),
+                  TextTable::num(async.prices[a.tail] -
+                                     async.prices[a.head],
+                                 3)});
+  }
+  std::printf("%s(arcs carrying flow: marginal cost = price drop on "
+              "unsaturated arcs — complementary slackness)\n",
+              arcs.render().c_str());
+  return async.converged ? 0 : 1;
+}

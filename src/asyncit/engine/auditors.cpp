@@ -1,0 +1,57 @@
+#include "asyncit/engine/auditors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::engine {
+
+Theorem1Report audit_theorem1(const ModelEngineResult& result, double rho,
+                              double tolerance) {
+  ASYNCIT_CHECK_MSG(!result.error_history.empty(),
+                    "audit requires an error history (run with x_star)");
+  ASYNCIT_CHECK(rho > 0.0 && rho < 1.0);
+
+  Theorem1Report report;
+  report.rho = rho;
+  report.initial_error_sq = result.initial_error * result.initial_error;
+
+  // macro_boundaries = {0, j_1, j_2, ...}; k(j) = #boundaries (beyond j_0)
+  // at or before j.
+  const auto& bounds = result.macro_boundaries;
+  std::size_t k = 0;
+
+  for (const auto& [j, err] : result.error_history) {
+    while (k + 1 < bounds.size() && bounds[k + 1] <= j) ++k;
+    Theorem1Row row;
+    row.j = j;
+    row.k = k;
+    row.error_sq = err * err;
+    row.bound = std::pow(1.0 - rho, static_cast<double>(k)) *
+                report.initial_error_sq;
+    row.ratio = row.bound > 1e-300 ? row.error_sq / row.bound : 0.0;
+    report.worst_ratio = std::max(report.worst_ratio, row.ratio);
+    report.rows.push_back(row);
+  }
+  report.holds = report.worst_ratio <= 1.0 + tolerance;
+  return report;
+}
+
+double measured_macro_rate(const ModelEngineResult& result) {
+  const auto& errs = result.error_at_macro;
+  double log_sum = 0.0;
+  std::size_t count = 0;
+  double prev = result.initial_error;
+  for (double e : errs) {
+    if (prev > 1e-300 && e > 1e-300) {
+      log_sum += std::log(e / prev);
+      ++count;
+    }
+    prev = e;
+  }
+  if (count == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(count));
+}
+
+}  // namespace asyncit::engine

@@ -1,0 +1,48 @@
+// Post-run auditors for the paper's quantitative statements.
+//
+// Theorem 1:  for all j >= j_k,
+//
+//   ‖x(j) − x*‖²  <=  (1 − ρ)^k · max_i ‖x_i(0) − x_i*‖² ,    ρ = γ·mu.
+//
+// audit_theorem1 replays a ModelEngineResult's error history against the
+// bound: for every recorded error sample at step j it determines the
+// number k of macro-iterations completed by j and checks the squared
+// weighted max-norm error against (1−ρ)^k · E0². The report carries the
+// worst observed ratio so tests can assert `holds` and benches can print
+// the margin.
+#pragma once
+
+#include <vector>
+
+#include "asyncit/engine/model_engine.hpp"
+
+namespace asyncit::engine {
+
+struct Theorem1Row {
+  model::Step j;       ///< step of the error sample
+  std::size_t k;       ///< macro-iterations completed by step j
+  double error_sq;     ///< ‖x(j) − x*‖²_u
+  double bound;        ///< (1−ρ)^k · E0²
+  double ratio;        ///< error_sq / bound (0 when bound underflows)
+};
+
+struct Theorem1Report {
+  double rho = 0.0;
+  double initial_error_sq = 0.0;  ///< E0²
+  double worst_ratio = 0.0;
+  bool holds = false;             ///< worst_ratio <= 1 + tolerance
+  std::vector<Theorem1Row> rows;  ///< one row per audited sample
+};
+
+/// Requires the result to have been produced with x_star set.
+/// `tolerance` absorbs floating-point slack in the ratio test.
+Theorem1Report audit_theorem1(const ModelEngineResult& result, double rho,
+                              double tolerance = 1e-9);
+
+/// Empirical per-macro-iteration contraction rate: the geometric mean of
+/// successive error ratios at macro boundaries (the measured counterpart
+/// of Theorem 1's (1−ρ)). Returns 0 if fewer than 2 boundaries have
+/// nonzero error.
+double measured_macro_rate(const ModelEngineResult& result);
+
+}  // namespace asyncit::engine

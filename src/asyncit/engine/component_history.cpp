@@ -1,0 +1,78 @@
+#include "asyncit/engine/component_history.hpp"
+
+#include <algorithm>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::engine {
+
+ComponentHistory::ComponentHistory(const la::Partition& partition,
+                                   std::span<const double> x0)
+    : partition_(partition), per_block_(partition.num_blocks()) {
+  ASYNCIT_CHECK(x0.size() == partition_.dim());
+  for (la::BlockId b = 0; b < partition_.num_blocks(); ++b) {
+    const auto span = partition_.block_span(x0, b);
+    per_block_[b].push_back(
+        Entry{0, la::Vector(span.begin(), span.end()), {}});
+  }
+}
+
+void ComponentHistory::record(la::BlockId b, model::Step j,
+                              std::span<const double> value,
+                              std::vector<la::Vector> partials) {
+  ASYNCIT_CHECK(b < per_block_.size());
+  auto& entries = per_block_[b];
+  ASYNCIT_CHECK_MSG(entries.empty() || entries.back().step < j,
+                    "updates of a block must have increasing steps");
+  ASYNCIT_CHECK(value.size() == partition_.range(b).size());
+  for (const auto& p : partials) ASYNCIT_CHECK(p.size() == value.size());
+  entries.push_back(Entry{j, la::Vector(value.begin(), value.end()),
+                          std::move(partials)});
+}
+
+std::span<const double> ComponentHistory::value_at(la::BlockId b,
+                                                   model::Step label) const {
+  ASYNCIT_CHECK(b < per_block_.size());
+  const auto& entries = per_block_[b];
+  // Last entry with step <= label.
+  auto it = std::upper_bound(entries.begin(), entries.end(), label,
+                             [](model::Step l, const Entry& e) {
+                               return l < e.step;
+                             });
+  ASYNCIT_CHECK_MSG(it != entries.begin(),
+                    "history pruned past label " << label << " of block "
+                                                 << b);
+  --it;
+  return {it->value.data(), it->value.size()};
+}
+
+const ComponentHistory::Entry* ComponentHistory::latest_update_in(
+    la::BlockId b, model::Step after, model::Step up_to) const {
+  ASYNCIT_CHECK(b < per_block_.size());
+  const auto& entries = per_block_[b];
+  auto it = std::upper_bound(entries.begin(), entries.end(), up_to,
+                             [](model::Step l, const Entry& e) {
+                               return l < e.step;
+                             });
+  if (it == entries.begin()) return nullptr;
+  --it;
+  if (it->step <= after) return nullptr;  // nothing newer than `after`
+  return &*it;
+}
+
+void ComponentHistory::prune(model::Step cutoff) {
+  for (auto& entries : per_block_) {
+    // Keep the newest entry with step <= cutoff (it defines the value for
+    // labels in [cutoff, next update)), drop everything older.
+    while (entries.size() >= 2 && entries[1].step <= cutoff)
+      entries.pop_front();
+  }
+}
+
+std::size_t ComponentHistory::total_entries() const {
+  std::size_t total = 0;
+  for (const auto& entries : per_block_) total += entries.size();
+  return total;
+}
+
+}  // namespace asyncit::engine

@@ -1,0 +1,64 @@
+// Per-component value history with label lookup.
+//
+// Definition 1 makes updates read component i "at label l_i(j)": the value
+// x_i had after step l_i(j). A component's value only changes when it is
+// updated, so the history stores, per block, the sparse list of (step,
+// value) updates (plus the step-0 initial value) and answers label queries
+// by binary search for the last update at or before the label.
+//
+// For flexible communication (Definition 3) each update entry can also
+// carry the inner-iteration trajectory ("partial updates", the hatched
+// arrows of Fig. 2), which readers may consume before the final value is
+// published.
+//
+// Histories are pruned: entries strictly older than a cutoff are dropped
+// except the newest one at or before the cutoff (it still answers queries
+// for labels >= cutoff). Engines derive the cutoff from the delay model's
+// max_lookback, so memory stays bounded even on million-step runs.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "asyncit/linalg/partition.hpp"
+#include "asyncit/linalg/vector_ops.hpp"
+#include "asyncit/model/history.hpp"
+
+namespace asyncit::engine {
+
+class ComponentHistory {
+ public:
+  struct Entry {
+    model::Step step;
+    la::Vector value;                  ///< final block value after the update
+    std::vector<la::Vector> partials;  ///< inner iterates y^1..y^{s-1}
+  };
+
+  ComponentHistory(const la::Partition& partition,
+                   std::span<const double> x0);
+
+  /// Records the final value (and optional partial trajectory) of block b
+  /// updated at step j. Steps per block must be strictly increasing.
+  void record(la::BlockId b, model::Step j, std::span<const double> value,
+              std::vector<la::Vector> partials = {});
+
+  /// Value of block b as of step `label` (last update at or before it).
+  std::span<const double> value_at(la::BlockId b, model::Step label) const;
+
+  /// Latest update of block b with step in (after, up_to], or nullptr.
+  const Entry* latest_update_in(la::BlockId b, model::Step after,
+                                model::Step up_to) const;
+
+  /// Drops entries with step < cutoff, keeping per block the newest entry
+  /// at or before the cutoff.
+  void prune(model::Step cutoff);
+
+  std::size_t total_entries() const;
+
+ private:
+  const la::Partition& partition_;
+  std::vector<std::deque<Entry>> per_block_;
+};
+
+}  // namespace asyncit::engine

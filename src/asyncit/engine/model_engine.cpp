@@ -1,0 +1,219 @@
+#include "asyncit/engine/model_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::engine {
+
+namespace {
+
+/// Removes duplicates from S_j while preserving first-occurrence order.
+void dedupe(std::vector<la::BlockId>& s) {
+  std::vector<la::BlockId> out;
+  out.reserve(s.size());
+  for (la::BlockId b : s)
+    if (std::find(out.begin(), out.end(), b) == out.end()) out.push_back(b);
+  s = std::move(out);
+}
+
+}  // namespace
+
+ModelEngineResult run_model_engine(const op::BlockOperator& op,
+                                   model::SteeringPolicy& steering,
+                                   model::DelayModel& delays,
+                                   const la::Vector& x0,
+                                   const ModelEngineOptions& options) {
+  const la::Partition& partition = op.partition();
+  const std::size_t m = partition.num_blocks();
+  const std::size_t n = partition.dim();
+  ASYNCIT_CHECK(x0.size() == n);
+  ASYNCIT_CHECK(steering.num_blocks() == m);
+  ASYNCIT_CHECK(options.inner_steps >= 1);
+  ASYNCIT_CHECK(options.max_steps >= 1);
+
+  la::WeightedMaxNorm norm =
+      options.norm_weights.empty()
+          ? la::WeightedMaxNorm(partition)
+          : la::WeightedMaxNorm(partition, options.norm_weights);
+
+  std::vector<model::MachineId> machine_of_block = options.machine_of_block;
+  if (machine_of_block.empty()) {
+    machine_of_block.resize(m);
+    for (std::size_t b = 0; b < m; ++b)
+      machine_of_block[b] = static_cast<model::MachineId>(b);
+  }
+  ASYNCIT_CHECK(machine_of_block.size() == m);
+  model::MachineId num_machines = 0;
+  for (model::MachineId mb : machine_of_block)
+    num_machines = std::max<model::MachineId>(num_machines, mb + 1);
+
+  Rng rng(options.seed);
+  ModelEngineResult result(m, options.recording);
+  result.updates_per_block.assign(m, 0);
+
+  la::Vector current = x0;
+  ComponentHistory history(partition, current);
+  model::MacroIterationTracker macro(m);
+  model::EpochTracker epoch(num_machines);
+
+  const bool track_error = options.x_star.has_value();
+  const la::Vector* x_star = track_error ? &*options.x_star : nullptr;
+  if (track_error) {
+    ASYNCIT_CHECK(x_star->size() == n);
+    double e0 = 0.0;
+    for (la::BlockId b = 0; b < m; ++b)
+      e0 = std::max(e0, norm.block_distance(current, *x_star, b));
+    result.initial_error = e0;
+  }
+
+  // Scratch buffers reused across steps.
+  la::Vector read_vec(n);       // x̃(j)
+  la::Vector label_vec;         // x(l(j)) — only materialized for audits
+  if (options.audit_flexible_constraint && track_error) label_vec.resize(n);
+  std::vector<model::Step> labels(m);
+  la::Vector new_block;         // updated block value
+  la::Vector inner_buf;
+
+  double max_change_in_macro = 0.0;
+  bool converged = false;
+
+  for (model::Step j = 1; j <= options.max_steps; ++j) {
+    std::vector<la::BlockId> s = steering.next(j, rng);
+    dedupe(s);
+    ASYNCIT_CHECK_MSG(!s.empty(), "steering produced an empty S_j");
+
+    // --- Labels (condition a enforced by the delay-model contract). ---
+    for (la::BlockId h = 0; h < m; ++h) {
+      labels[h] = delays.label(h, j, rng);
+      ASYNCIT_CHECK_MSG(labels[h] <= j - 1,
+                        "delay model violated condition a) at step " << j);
+    }
+    if (options.fresh_own_component)
+      for (la::BlockId i : s) labels[i] = j - 1;
+    model::Step l_min = labels[0];
+    for (la::BlockId h = 1; h < m; ++h) l_min = std::min(l_min, labels[h]);
+
+    // --- Build the read vector x̃(j). ---
+    const bool flexible = options.publish_partials && options.inner_steps > 1;
+    for (la::BlockId h = 0; h < m; ++h) {
+      const la::BlockRange r = partition.range(h);
+      std::span<const double> value = history.value_at(h, labels[h]);
+      if (flexible && rng.bernoulli(options.flexible_read_prob)) {
+        // A partial update of a phase newer than the label may already
+        // have been published (hatched arrow of Fig. 2): consume the most
+        // recent one.
+        const ComponentHistory::Entry* e =
+            history.latest_update_in(h, labels[h], j - 1);
+        if (e != nullptr && !e->partials.empty()) {
+          const la::Vector& p = e->partials.back();
+          value = {p.data(), p.size()};
+          ++result.flexible_reads;
+        }
+      }
+      std::copy(value.begin(), value.end(), read_vec.begin() + r.begin);
+    }
+
+    // --- Audit norm constraint (3) of Definition 3. ---
+    if (options.audit_flexible_constraint && track_error) {
+      for (la::BlockId h = 0; h < m; ++h) {
+        const la::BlockRange r = partition.range(h);
+        const auto value = history.value_at(h, labels[h]);
+        std::copy(value.begin(), value.end(), label_vec.begin() + r.begin);
+      }
+      const double rhs = norm.distance(label_vec, *x_star);
+      for (la::BlockId h = 0; h < m; ++h) {
+        const double lhs = norm.block_distance(read_vec, *x_star, h);
+        ++result.constraint_checks;
+        if (rhs > 0.0) {
+          const double ratio = lhs / rhs;
+          result.worst_constraint_ratio =
+              std::max(result.worst_constraint_ratio, ratio);
+          if (ratio > 1.0 + 1e-9) ++result.constraint_violations;
+        }
+      }
+    }
+
+    // --- Updating phases for every i in S_j. ---
+    for (la::BlockId i : s) {
+      const la::BlockRange r = partition.range(i);
+      new_block.assign(r.size(), 0.0);
+      std::vector<la::Vector> partials;
+      if (options.inner_steps == 1) {
+        op.apply_block(i, read_vec, new_block);
+      } else {
+        // Inner iterations: the phase repeatedly applies the block map to
+        // its own component while others stay frozen at x̃ — this is the
+        // iterative process generating the approximate operator G of
+        // Definition 3 / Remark 2.
+        inner_buf.assign(read_vec.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                         read_vec.begin() + static_cast<std::ptrdiff_t>(r.end));
+        for (std::size_t t = 0; t < options.inner_steps; ++t) {
+          op.apply_block(i, read_vec, new_block);
+          std::copy(new_block.begin(), new_block.end(),
+                    read_vec.begin() + static_cast<std::ptrdiff_t>(r.begin));
+          if (options.publish_partials && t + 1 < options.inner_steps)
+            partials.push_back(new_block);
+        }
+        // Restore x̃ for the other blocks updated in this same step.
+        std::copy(inner_buf.begin(), inner_buf.end(),
+                  read_vec.begin() + static_cast<std::ptrdiff_t>(r.begin));
+      }
+
+      // Track the displacement for the macro-residual stopping rule.
+      double change = 0.0;
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        const double d = new_block[c] - current[r.begin + c];
+        change += d * d;
+      }
+      change = std::sqrt(change) / norm.weights()[i];
+      max_change_in_macro = std::max(max_change_in_macro, change);
+
+      std::copy(new_block.begin(), new_block.end(),
+                current.begin() + static_cast<std::ptrdiff_t>(r.begin));
+      history.record(i, j, new_block, std::move(partials));
+      ++result.updates_per_block[i];
+    }
+
+    // --- Bookkeeping: trace, macro-iterations, epochs. ---
+    const model::MachineId machine = machine_of_block[s.front()];
+    result.trace.record(s, l_min,
+                        options.recording == model::LabelRecording::kFull
+                            ? labels
+                            : std::vector<model::Step>{},
+                        machine);
+    const bool macro_completed = macro.observe(j, s, l_min);
+    epoch.observe(j, machine);
+
+    double err = -1.0;
+    if (track_error &&
+        (j % options.record_error_every == 0 || macro_completed)) {
+      err = norm.distance(current, *x_star);
+      result.error_history.emplace_back(j, err);
+    }
+    if (macro_completed) {
+      if (track_error) result.error_at_macro.push_back(err);
+      if (!track_error && max_change_in_macro < options.tol) {
+        converged = true;  // macro-iteration stopping rule (ref [15])
+      }
+      max_change_in_macro = 0.0;
+    }
+    if (track_error && err >= 0.0 && err < options.tol) converged = true;
+
+    result.steps = j;
+    if (converged) break;
+
+    // --- Prune value history beyond the reachable lookback window. ---
+    const model::Step lookback = delays.max_lookback(j + 1);
+    if (j > lookback + 2) history.prune(j - lookback - 2);
+  }
+
+  result.converged = converged;
+  result.x = std::move(current);
+  result.macro_boundaries = macro.boundaries();
+  result.epoch_boundaries = epoch.boundaries();
+  return result;
+}
+
+}  // namespace asyncit::engine

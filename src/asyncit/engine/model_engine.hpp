@@ -1,0 +1,125 @@
+// ModelEngine — the exact, sequential executor of Definitions 1 and 3.
+//
+// Given an operator F (or its approximation G), a steering policy S, a
+// delay model L and a start vector x(0), the engine produces the iterate
+// sequence {x(j)} of the paper verbatim:
+//
+//   x_i(j) = G_i( x̃_1(j), …, x̃_m(j) )   if i ∈ S_j,
+//   x_i(j) = x_i(j−1)                    otherwise,
+//
+// where x̃_h(j) is x_h(l_h(j)) in the plain asynchronous case, or — with
+// flexible communication enabled — a *partial update* of a later updating
+// phase of h that has already been published (Definition 3, Fig. 2).
+//
+// The engine simultaneously drives the macro-iteration tracker
+// (Definition 2), the epoch tracker (Mishchenko et al.), the schedule
+// trace for admissibility audits, the weighted-max-norm error history
+// against a known solution, and the live audit of the flexible-
+// communication norm constraint (3). It is deterministic given the seed.
+//
+// This layer is the ground truth for all claims about the *mathematics*
+// of asynchronous iterations; wall-clock behaviour lives in sim/ and
+// runtime/.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "asyncit/engine/component_history.hpp"
+#include "asyncit/linalg/norms.hpp"
+#include "asyncit/model/delay_models.hpp"
+#include "asyncit/model/epoch.hpp"
+#include "asyncit/model/history.hpp"
+#include "asyncit/model/macro_iteration.hpp"
+#include "asyncit/model/steering.hpp"
+#include "asyncit/operators/operator.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::engine {
+
+struct ModelEngineOptions {
+  model::Step max_steps = 100000;
+
+  /// Convergence tolerance. With a known solution (x_star) this bounds the
+  /// weighted max-norm error; otherwise the engine applies the macro-
+  /// iteration stopping rule of ref [15]: stop at a macro boundary when no
+  /// update inside the completed macro-iteration moved its block by more
+  /// than tol (in the weighted block norm).
+  double tol = 1e-10;
+
+  /// Flexible communication (Definition 3): each updating phase performs
+  /// `inner_steps` applications of the block operator; with
+  /// `publish_partials` the intermediate iterates become visible to other
+  /// blocks before the phase completes (the hatched arrows of Fig. 2).
+  std::size_t inner_steps = 1;
+  bool publish_partials = false;
+  /// Probability that a read actually consumes an available partial.
+  double flexible_read_prob = 1.0;
+
+  /// Updating blocks read their own component fresh (label j-1), as a real
+  /// processor reading its own memory would. Set false to exercise the
+  /// fully general model.
+  bool fresh_own_component = true;
+
+  /// Label recording granularity for the returned trace.
+  model::LabelRecording recording = model::LabelRecording::kMinOnly;
+
+  /// Known solution: enables error tracking, Theorem-1 auditing and the
+  /// live audit of norm constraint (3).
+  std::optional<la::Vector> x_star;
+  /// Record ‖x(j) − x*‖_u every this many steps (1 = every step).
+  model::Step record_error_every = 1;
+  /// Audit constraint (3) on every read when x_star is known.
+  bool audit_flexible_constraint = false;
+
+  /// Block -> machine assignment for epoch tracking; empty = one machine
+  /// per block.
+  std::vector<model::MachineId> machine_of_block;
+
+  /// Weights of the max norm (empty = unit weights).
+  la::Vector norm_weights;
+
+  std::uint64_t seed = 1;
+};
+
+struct ModelEngineResult {
+  la::Vector x;                       ///< final iterate x(J)
+  model::Step steps = 0;              ///< executed steps J
+  bool converged = false;
+
+  model::ScheduleTrace trace;         ///< recorded (S, L) schedule
+  std::vector<model::Step> macro_boundaries;  ///< j_0=0, j_1, …
+  std::vector<model::Step> epoch_boundaries;  ///< k_0=0, k_1, …
+
+  /// (step, ‖x(step) − x*‖_u) samples; empty without x_star.
+  std::vector<std::pair<model::Step, double>> error_history;
+  /// ‖x(j_k) − x*‖_u at each macro boundary (aligned with
+  /// macro_boundaries[1..]).
+  std::vector<double> error_at_macro;
+  /// E0 = max_i ‖x_i(0) − x_i*‖_i / u_i (the RHS constant of Theorem 1).
+  double initial_error = 0.0;
+
+  /// Flexible-communication statistics.
+  std::size_t flexible_reads = 0;          ///< reads that consumed a partial
+  std::size_t constraint_checks = 0;       ///< audited reads
+  std::size_t constraint_violations = 0;   ///< audited reads violating (3)
+  double worst_constraint_ratio = 0.0;     ///< max LHS/RHS over audits
+
+  /// Per-block update counts.
+  std::vector<std::size_t> updates_per_block;
+
+  ModelEngineResult(std::size_t num_blocks, model::LabelRecording rec)
+      : trace(num_blocks, rec) {}
+};
+
+/// Runs the asynchronous iteration (G, x0, S, L). `steering` and `delays`
+/// are consumed statefully (pass fresh instances per run for
+/// reproducibility).
+ModelEngineResult run_model_engine(const op::BlockOperator& op,
+                                   model::SteeringPolicy& steering,
+                                   model::DelayModel& delays,
+                                   const la::Vector& x0,
+                                   const ModelEngineOptions& options);
+
+}  // namespace asyncit::engine

@@ -1,0 +1,135 @@
+#include "asyncit/linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::la {
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets) {
+  for (const auto& t : triplets) {
+    ASYNCIT_CHECK_MSG(t.row < rows && t.col < cols,
+                      "triplet (" << t.row << "," << t.col
+                                  << ") out of bounds for " << rows << "x"
+                                  << cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    m.row_ptr_[r] = m.values_.size();
+    while (i < triplets.size() && triplets[i].row == r) {
+      const std::uint32_t c = triplets[i].col;
+      double v = 0.0;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+    }
+  }
+  m.row_ptr_[rows] = m.values_.size();
+  return m;
+}
+
+void CsrMatrix::matvec(std::span<const double> x, std::span<double> y) const {
+  ASYNCIT_CHECK(x.size() == cols_ && y.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      s += values_[k] * x[col_idx_[k]];
+    y[r] = s;
+  }
+}
+
+Vector CsrMatrix::matvec(std::span<const double> x) const {
+  Vector y(rows_);
+  matvec(x, y);
+  return y;
+}
+
+void CsrMatrix::matvec_transpose(std::span<const double> x,
+                                 std::span<double> y) const {
+  ASYNCIT_CHECK(x.size() == rows_ && y.size() == cols_);
+  for (double& v : y) v = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      y[col_idx_[k]] += values_[k] * xr;
+  }
+}
+
+Vector CsrMatrix::matvec_transpose(std::span<const double> x) const {
+  Vector y(cols_);
+  matvec_transpose(x, y);
+  return y;
+}
+
+double CsrMatrix::row_dot(std::size_t r, std::span<const double> x) const {
+  ASYNCIT_CHECK(r < rows_ && x.size() == cols_);
+  double s = 0.0;
+  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+    s += values_[k] * x[col_idx_[k]];
+  return s;
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  ASYNCIT_CHECK(r < rows_ && c < cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, static_cast<std::uint32_t>(c));
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector CsrMatrix::diagonal() const {
+  ASYNCIT_CHECK(rows_ == cols_);
+  Vector d(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) d[r] = at(r, r);
+  return d;
+}
+
+std::span<const std::uint32_t> CsrMatrix::row_cols(std::size_t r) const {
+  ASYNCIT_CHECK(r < rows_);
+  return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const double> CsrMatrix::row_values(std::size_t r) const {
+  ASYNCIT_CHECK(r < rows_);
+  return {values_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+double gram_spectral_norm(const CsrMatrix& a, int iters) {
+  ASYNCIT_CHECK(a.cols() > 0);
+  Vector v(a.cols());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 1.0 + 0.1 * std::sin(static_cast<double>(i + 1));
+  Vector av(a.rows()), atav(a.cols());
+  double lambda = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    a.matvec(v, av);
+    a.matvec_transpose(av, atav);
+    const double nrm = norm2(atav);
+    if (nrm == 0.0) return 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = atav[i] / nrm;
+    lambda = nrm;
+  }
+  return lambda;
+}
+
+}  // namespace asyncit::la

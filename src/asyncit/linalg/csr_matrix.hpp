@@ -1,0 +1,63 @@
+// Compressed sparse row matrix with a triplet builder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asyncit/linalg/vector_ops.hpp"
+
+namespace asyncit::la {
+
+struct Triplet {
+  std::uint32_t row;
+  std::uint32_t col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from triplets; duplicate (row,col) entries are summed.
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// y = A x
+  void matvec(std::span<const double> x, std::span<double> y) const;
+  Vector matvec(std::span<const double> x) const;
+  /// y = A^T x
+  void matvec_transpose(std::span<const double> x, std::span<double> y) const;
+  Vector matvec_transpose(std::span<const double> x) const;
+
+  /// Dot product of row r with x.
+  double row_dot(std::size_t r, std::span<const double> x) const;
+
+  /// Entry (r, c); O(log nnz_row) lookup; 0 if absent.
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Diagonal (requires square).
+  Vector diagonal() const;
+
+  /// Row range accessors for iteration.
+  std::span<const std::uint32_t> row_cols(std::size_t r) const;
+  std::span<const double> row_values(std::size_t r) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Largest eigenvalue of A^T A (squared spectral norm of A) via power
+/// iteration on v -> A^T (A v). Deterministic start vector.
+double gram_spectral_norm(const CsrMatrix& a, int iters = 200);
+
+}  // namespace asyncit::la

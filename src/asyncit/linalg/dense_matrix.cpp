@@ -1,0 +1,82 @@
+#include "asyncit/linalg/dense_matrix.hpp"
+
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::la {
+
+void DenseMatrix::matvec(std::span<const double> x,
+                         std::span<double> y) const {
+  ASYNCIT_CHECK(x.size() == cols_ && y.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = data_.data() + r * cols_;
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += a[c] * x[c];
+    y[r] = s;
+  }
+}
+
+Vector DenseMatrix::matvec(std::span<const double> x) const {
+  Vector y(rows_);
+  matvec(x, y);
+  return y;
+}
+
+void DenseMatrix::matvec_transpose(std::span<const double> x,
+                                   std::span<double> y) const {
+  ASYNCIT_CHECK(x.size() == rows_ && y.size() == cols_);
+  for (double& v : y) v = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = data_.data() + r * cols_;
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
+  }
+}
+
+Vector DenseMatrix::matvec_transpose(std::span<const double> x) const {
+  Vector y(cols_);
+  matvec_transpose(x, y);
+  return y;
+}
+
+DenseMatrix DenseMatrix::gram() const {
+  DenseMatrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = data_.data() + r * cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double ai = a[i];
+      if (ai == 0.0) continue;
+      for (std::size_t j = 0; j < cols_; ++j) g(i, j) += ai * a[j];
+    }
+  }
+  return g;
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double power_method_lmax(const DenseMatrix& a, int iters) {
+  ASYNCIT_CHECK(a.rows() == a.cols());
+  ASYNCIT_CHECK(a.rows() > 0);
+  const std::size_t n = a.rows();
+  Vector v(n);
+  // Deterministic, not axis-aligned start.
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = 1.0 + 0.1 * std::sin(static_cast<double>(i + 1));
+  Vector w(n);
+  for (int it = 0; it < iters; ++it) {
+    a.matvec(v, w);
+    const double nrm = norm2(w);
+    if (nrm == 0.0) return 0.0;
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / nrm;
+  }
+  // One Rayleigh quotient for accuracy.
+  a.matvec(v, w);
+  return dot(v, w);
+}
+
+}  // namespace asyncit::la

@@ -1,0 +1,58 @@
+// Row-major dense matrix.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "asyncit/linalg/vector_ops.hpp"
+
+namespace asyncit::la {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// y = A x
+  void matvec(std::span<const double> x, std::span<double> y) const;
+  Vector matvec(std::span<const double> x) const;
+  /// y = A^T x
+  void matvec_transpose(std::span<const double> x, std::span<double> y) const;
+  Vector matvec_transpose(std::span<const double> x) const;
+
+  /// Gram matrix A^T A (used for Lipschitz constants of least squares).
+  DenseMatrix gram() const;
+
+  /// Identity.
+  static DenseMatrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Largest eigenvalue of a symmetric PSD matrix via power iteration.
+/// `iters` power steps from a deterministic start vector.
+double power_method_lmax(const DenseMatrix& a, int iters = 200);
+
+}  // namespace asyncit::la

@@ -1,0 +1,63 @@
+#include "asyncit/linalg/partition.hpp"
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::la {
+
+Partition Partition::scalar(std::size_t n) {
+  ASYNCIT_CHECK(n > 0);
+  return balanced(n, n);
+}
+
+Partition Partition::balanced(std::size_t n, std::size_t blocks) {
+  ASYNCIT_CHECK(blocks >= 1 && blocks <= n);
+  const std::size_t base = n / blocks;
+  const std::size_t extra = n % blocks;
+  std::vector<std::size_t> sizes(blocks, base);
+  for (std::size_t b = 0; b < extra; ++b) ++sizes[b];
+  return from_sizes(sizes);
+}
+
+Partition Partition::from_sizes(const std::vector<std::size_t>& sizes) {
+  ASYNCIT_CHECK(!sizes.empty());
+  Partition p;
+  std::size_t begin = 0;
+  p.ranges_.reserve(sizes.size());
+  for (std::size_t s : sizes) {
+    ASYNCIT_CHECK(s > 0);
+    p.ranges_.push_back({begin, begin + s});
+    begin += s;
+  }
+  p.dim_ = begin;
+  p.coord_to_block_.resize(p.dim_);
+  for (BlockId b = 0; b < p.ranges_.size(); ++b)
+    for (std::size_t c = p.ranges_[b].begin; c < p.ranges_[b].end; ++c)
+      p.coord_to_block_[c] = b;
+  return p;
+}
+
+BlockRange Partition::range(BlockId b) const {
+  ASYNCIT_CHECK(b < ranges_.size());
+  return ranges_[b];
+}
+
+BlockId Partition::block_of(std::size_t coordinate) const {
+  ASYNCIT_CHECK(coordinate < dim_);
+  return coord_to_block_[coordinate];
+}
+
+std::span<const double> Partition::block_span(std::span<const double> x,
+                                              BlockId b) const {
+  ASYNCIT_CHECK(x.size() == dim_);
+  const BlockRange r = range(b);
+  return x.subspan(r.begin, r.size());
+}
+
+std::span<double> Partition::block_span(std::span<double> x,
+                                        BlockId b) const {
+  ASYNCIT_CHECK(x.size() == dim_);
+  const BlockRange r = range(b);
+  return x.subspan(r.begin, r.size());
+}
+
+}  // namespace asyncit::la

@@ -1,0 +1,57 @@
+// Block partition of the iterate vector.
+//
+// Definition 1 of the paper updates *components* of the iterate vector; in
+// practice a "component" x_i is a block of contiguous coordinates owned by
+// one processor. Partition maps between coordinate space (size n) and block
+// space (size num_blocks). The scalar case is n blocks of size 1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace asyncit::la {
+
+using BlockId = std::uint32_t;
+
+struct BlockRange {
+  std::size_t begin;  ///< first coordinate
+  std::size_t end;    ///< one past last coordinate
+  std::size_t size() const { return end - begin; }
+};
+
+class Partition {
+ public:
+  Partition() = default;
+
+  /// n blocks of size 1 (the scalar component model).
+  static Partition scalar(std::size_t n);
+
+  /// `blocks` contiguous blocks of near-equal size covering n coordinates.
+  /// Requires 1 <= blocks <= n; earlier blocks get the remainder.
+  static Partition balanced(std::size_t n, std::size_t blocks);
+
+  /// Explicit block sizes (must sum to n > 0 with all sizes > 0).
+  static Partition from_sizes(const std::vector<std::size_t>& sizes);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t num_blocks() const { return ranges_.size(); }
+
+  BlockRange range(BlockId b) const;
+  BlockId block_of(std::size_t coordinate) const;
+
+  /// The sub-span of x corresponding to block b.
+  std::span<const double> block_span(std::span<const double> x,
+                                     BlockId b) const;
+  std::span<double> block_span(std::span<double> x, BlockId b) const;
+
+  bool operator==(const Partition& other) const = default;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<BlockRange> ranges_;
+  std::vector<BlockId> coord_to_block_;
+};
+
+}  // namespace asyncit::la

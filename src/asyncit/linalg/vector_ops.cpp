@@ -1,0 +1,82 @@
+#include "asyncit/linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::la {
+
+Vector zeros(std::size_t n) { return Vector(n, 0.0); }
+
+Vector constant(std::size_t n, double v) { return Vector(n, v); }
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  ASYNCIT_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  ASYNCIT_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+Vector sub(std::span<const double> a, std::span<const double> b) {
+  ASYNCIT_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector add(std::span<const double> a, std::span<const double> b) {
+  ASYNCIT_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+double norm2_sq(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(norm2_sq(x)); }
+
+double norm1(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += std::abs(v);
+  return s;
+}
+
+double norm_inf(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s = std::max(s, std::abs(v));
+  return s;
+}
+
+double dist2(std::span<const double> a, std::span<const double> b) {
+  ASYNCIT_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double dist_inf(std::span<const double> a, std::span<const double> b) {
+  ASYNCIT_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    s = std::max(s, std::abs(a[i] - b[i]));
+  return s;
+}
+
+}  // namespace asyncit::la

@@ -1,0 +1,38 @@
+// Dense vector kernels.
+//
+// Vectors are plain std::vector<double>; all kernels are free functions so
+// they compose with spans coming from block stores and atomic snapshots.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace asyncit::la {
+
+using Vector = std::vector<double>;
+
+Vector zeros(std::size_t n);
+Vector constant(std::size_t n, double v);
+
+double dot(std::span<const double> a, std::span<const double> b);
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+/// x *= alpha
+void scale(double alpha, std::span<double> x);
+/// out = a - b
+Vector sub(std::span<const double> a, std::span<const double> b);
+/// out = a + b
+Vector add(std::span<const double> a, std::span<const double> b);
+
+double norm2(std::span<const double> x);
+double norm2_sq(std::span<const double> x);
+double norm1(std::span<const double> x);
+double norm_inf(std::span<const double> x);
+
+/// ||a - b||_2
+double dist2(std::span<const double> a, std::span<const double> b);
+/// ||a - b||_inf
+double dist_inf(std::span<const double> a, std::span<const double> b);
+
+}  // namespace asyncit::la

@@ -1,0 +1,100 @@
+#include "asyncit/model/admissibility.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::model {
+
+ConditionAReport audit_condition_a(const ScheduleTrace& trace) {
+  ConditionAReport rep;
+  for (Step j = 1; j <= trace.steps(); ++j) {
+    const StepRecord& r = trace.step(j);
+    if (r.l_min > j - 1) rep.holds = false;
+    for (Step l : r.labels)
+      if (l > j - 1) rep.holds = false;
+  }
+  return rep;
+}
+
+ConditionBReport audit_condition_b(const ScheduleTrace& trace) {
+  ConditionBReport rep;
+  const Step n = trace.steps();
+  if (n < 4) return rep;
+  const Step quarter = n / 4;
+  for (int q = 0; q < 4; ++q) {
+    const Step begin = 1 + static_cast<Step>(q) * quarter;
+    const Step end = (q == 3) ? n : begin + quarter - 1;
+    Step lo = std::numeric_limits<Step>::max();
+    for (Step j = begin; j <= end; ++j)
+      lo = std::min(lo, trace.step(j).l_min);
+    rep.quarter_min_labels.push_back(lo);
+  }
+  rep.diverging = true;
+  for (std::size_t q = 1; q < rep.quarter_min_labels.size(); ++q)
+    if (rep.quarter_min_labels[q] <= rep.quarter_min_labels[q - 1])
+      rep.diverging = false;
+  rep.final_min_label = rep.quarter_min_labels.back();
+  return rep;
+}
+
+ConditionCReport audit_condition_c(const ScheduleTrace& trace) {
+  ConditionCReport rep;
+  const std::size_t m = trace.num_blocks();
+  rep.occurrences.assign(m, 0);
+  rep.max_gap.assign(m, 0);
+  std::vector<Step> last_seen(m, 0);
+  for (Step j = 1; j <= trace.steps(); ++j) {
+    for (la::BlockId b : trace.step(j).updated) {
+      ++rep.occurrences[b];
+      rep.max_gap[b] = std::max(rep.max_gap[b], j - last_seen[b]);
+      last_seen[b] = j;
+    }
+  }
+  // Trailing gap (block never updated again) also counts.
+  for (la::BlockId b = 0; b < m; ++b)
+    rep.max_gap[b] = std::max(rep.max_gap[b], trace.steps() - last_seen[b]);
+  rep.fair = std::all_of(rep.occurrences.begin(), rep.occurrences.end(),
+                         [](std::size_t c) { return c >= 2; });
+  return rep;
+}
+
+ConditionDReport audit_condition_d(const ScheduleTrace& trace) {
+  ConditionDReport rep;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (Step j = 1; j <= trace.steps(); ++j) {
+    const Step d = j - trace.step(j).l_min;
+    if (d > rep.b_min) {
+      rep.b_min = d;
+      rep.at_step = j;
+    }
+    sum += static_cast<double>(d);
+    ++count;
+  }
+  rep.mean = count ? sum / static_cast<double>(count) : 0.0;
+  return rep;
+}
+
+std::string audit_summary(const ScheduleTrace& trace) {
+  const auto a = audit_condition_a(trace);
+  const auto b = audit_condition_b(trace);
+  const auto c = audit_condition_c(trace);
+  const auto d = audit_condition_d(trace);
+  std::ostringstream os;
+  os << "condition a) " << (a.holds ? "holds" : "VIOLATED")
+     << "; condition b) labels " << (b.diverging ? "diverging" : "NOT diverging")
+     << " (quarter minima:";
+  for (Step q : b.quarter_min_labels) os << ' ' << q;
+  os << "); condition c) " << (c.fair ? "fair" : "UNFAIR");
+  Step worst_gap = 0;
+  for (Step g : c.max_gap) worst_gap = std::max(worst_gap, g);
+  os << " (worst update gap " << worst_gap << ")";
+  os << "; condition d) max delay " << d.b_min << " (mean "
+     << d.mean << ") over " << trace.steps() << " steps";
+  return os.str();
+}
+
+}  // namespace asyncit::model

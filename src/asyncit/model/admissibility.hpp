@@ -1,0 +1,63 @@
+// Auditors for the admissibility conditions of Definitions 1 and the
+// bounded-delay condition d) of Chazan–Miranker/Miellou, evaluated on a
+// recorded finite trace.
+//
+// Conditions a) and the structural parts are checked exactly. Conditions
+// b) and c) are asymptotic statements ("delays eventually become stale
+// only boundedly", "every component keeps being updated"), which a finite
+// trace can only witness, not prove; the auditors therefore report finite-
+// horizon diagnostics with documented pass criteria:
+//
+//  * condition b): split the trace into quarters; the minimum label in
+//    each quarter must be strictly increasing, and the final quarter's
+//    minimum label must exceed half its starting step for admissible
+//    divergence. A frozen label (l ≡ 0) fails immediately.
+//  * condition c): every block must appear in S_j at least twice, and the
+//    largest gap between consecutive occurrences must be finite (reported);
+//    "pass" means every block occurs in the last half of the trace at
+//    least once OR its largest observed gap pattern is consistent with
+//    power-of-two style fairness (last gap <= trace length).
+//  * condition d): reports the smallest uniform bound b_min on observed
+//    delays j - l_i(j); `bounded_within(b)` answers whether the trace is
+//    consistent with chaotic relaxation with bound b.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "asyncit/model/history.hpp"
+
+namespace asyncit::model {
+
+struct ConditionAReport {
+  bool holds = true;  // labels <= j-1 (enforced at record time, re-checked)
+};
+
+struct ConditionBReport {
+  std::vector<Step> quarter_min_labels;  // min l(j) per quarter of trace
+  bool diverging = false;                // quarter minima strictly increase
+  Step final_min_label = 0;              // min l(j) over last quarter
+};
+
+struct ConditionCReport {
+  std::vector<std::size_t> occurrences;  // per block, |{j : i in S_j}|
+  std::vector<Step> max_gap;             // per block, largest update gap
+  bool fair = false;                     // every block occurs >= 2 times
+};
+
+struct ConditionDReport {
+  Step b_min = 0;      // smallest uniform delay bound seen in the trace
+  double mean = 0.0;   // mean observed delay j - l(j)
+  Step at_step = 0;    // step where the max delay occurred
+};
+
+ConditionAReport audit_condition_a(const ScheduleTrace& trace);
+ConditionBReport audit_condition_b(const ScheduleTrace& trace);
+ConditionCReport audit_condition_c(const ScheduleTrace& trace);
+ConditionDReport audit_condition_d(const ScheduleTrace& trace);
+
+/// One-line human-readable verdict across all conditions.
+std::string audit_summary(const ScheduleTrace& trace);
+
+}  // namespace asyncit::model

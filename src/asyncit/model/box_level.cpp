@@ -1,0 +1,73 @@
+#include "asyncit/model/box_level.hpp"
+
+#include <algorithm>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::model {
+
+BoxLevelTracker::BoxLevelTracker(std::size_t num_blocks)
+    : m_(num_blocks), history_(num_blocks) {
+  ASYNCIT_CHECK(m_ > 0);
+  for (auto& h : history_) h.emplace_back(0, 0);
+}
+
+void BoxLevelTracker::observe(Step j, std::span<const la::BlockId> updated,
+                              std::span<const Step> labels) {
+  ASYNCIT_CHECK(labels.size() == m_);
+  // Level of the read data: the weakest box among all components at their
+  // labels.
+  std::size_t data_level = level_at(0, labels[0]);
+  for (la::BlockId h = 1; h < m_; ++h)
+    data_level = std::min(data_level, level_at(h, labels[h]));
+  const std::size_t new_level = data_level + 1;
+  for (la::BlockId i : updated) {
+    ASYNCIT_CHECK(i < m_);
+    ASYNCIT_CHECK(history_[i].back().first < j);
+    // An update REPLACES the block's value: its level can go down (stale
+    // data overwriting a deep-box value — the out-of-order hazard).
+    history_[i].emplace_back(j, new_level);
+  }
+}
+
+std::size_t BoxLevelTracker::min_level() const {
+  std::size_t lvl = history_[0].back().second;
+  for (la::BlockId h = 1; h < m_; ++h)
+    lvl = std::min(lvl, history_[h].back().second);
+  return lvl;
+}
+
+std::vector<std::size_t> BoxLevelTracker::current_levels() const {
+  std::vector<std::size_t> out(m_);
+  for (la::BlockId h = 0; h < m_; ++h) out[h] = history_[h].back().second;
+  return out;
+}
+
+std::size_t BoxLevelTracker::level_at(la::BlockId h, Step label) const {
+  ASYNCIT_CHECK(h < m_);
+  const auto& hist = history_[h];
+  auto it = std::upper_bound(
+      hist.begin(), hist.end(), label,
+      [](Step l, const std::pair<Step, std::size_t>& e) {
+        return l < e.first;
+      });
+  ASYNCIT_CHECK(it != hist.begin());
+  --it;
+  return it->second;
+}
+
+std::vector<std::size_t> box_levels(const ScheduleTrace& trace) {
+  ASYNCIT_CHECK_MSG(trace.recording() == LabelRecording::kFull,
+                    "box levels need full label tuples");
+  BoxLevelTracker tracker(trace.num_blocks());
+  std::vector<std::size_t> out;
+  out.reserve(trace.steps());
+  for (Step j = 1; j <= trace.steps(); ++j) {
+    const StepRecord& r = trace.step(j);
+    tracker.observe(j, r.updated, r.labels);
+    out.push_back(tracker.min_level());
+  }
+  return out;
+}
+
+}  // namespace asyncit::model

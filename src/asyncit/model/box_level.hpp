@@ -1,0 +1,61 @@
+// Box-level tracker — an executable form of the nested level-set ("box")
+// argument behind Bertsekas's General Convergence Theorem (paper §III).
+//
+// For a contraction F with factor α and fixed point x*, define box k as
+// { x : ‖x − x*‖_u ≤ α^k E0 }. Every update of block i whose read data
+// lies (componentwise) in boxes of level >= k lands block i in box k+1:
+//
+//   level_i(after update at j) = 1 + min_h level_h( at label l_h(j) ).
+//
+// The *certified* global level at step j is min_i level_i(j), and
+//
+//   ‖x(j) − x*‖_u  <=  α^{min_level(j)} · E0
+//
+// holds for ANY admissible schedule — including out-of-order messages,
+// where a stale update can legitimately LOWER a block's level (the
+// Definition-2 macro-iteration count, which the paper's Theorem 1 uses,
+// implicitly assumes labels do not regress below past boundaries; this
+// tracker is the sound generalization and coincides with the macro count
+// on monotone-label schedules).
+//
+// Requires full label tuples (LabelRecording::kFull-style information).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "asyncit/model/history.hpp"
+
+namespace asyncit::model {
+
+class BoxLevelTracker {
+ public:
+  explicit BoxLevelTracker(std::size_t num_blocks);
+
+  /// Observes step j (in order) updating `updated` with the full label
+  /// tuple `labels` (size = num_blocks).
+  void observe(Step j, std::span<const la::BlockId> updated,
+               std::span<const Step> labels);
+
+  /// Certified global box level after the last observed step.
+  std::size_t min_level() const;
+
+  /// Current level of each block.
+  std::vector<std::size_t> current_levels() const;
+
+  /// Level block h had as of step `label`.
+  std::size_t level_at(la::BlockId h, Step label) const;
+
+ private:
+  std::size_t m_;
+  /// Per block: (step, level) history; starts with (0, 0).
+  std::vector<std::vector<std::pair<Step, std::size_t>>> history_;
+};
+
+/// Runs the tracker over a full-label trace and returns the certified
+/// level after each step.
+std::vector<std::size_t> box_levels(const ScheduleTrace& trace);
+
+}  // namespace asyncit::model

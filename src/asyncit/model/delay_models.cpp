@@ -1,0 +1,160 @@
+#include "asyncit/model/delay_models.hpp"
+
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::model {
+
+namespace {
+
+class NoDelay final : public DelayModel {
+ public:
+  Step label(la::BlockId, Step j, Rng&) override {
+    ASYNCIT_CHECK(j >= 1);
+    return j - 1;
+  }
+  Step max_lookback(Step) const override { return 1; }
+  std::string name() const override { return "no-delay"; }
+};
+
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(Step d) : d_(d) {}
+  Step label(la::BlockId, Step j, Rng&) override {
+    ASYNCIT_CHECK(j >= 1);
+    const Step base = j - 1;
+    return base > d_ ? base - d_ : 0;
+  }
+  Step max_lookback(Step) const override { return d_ + 1; }
+  std::string name() const override {
+    return "constant-" + std::to_string(d_);
+  }
+
+ private:
+  Step d_;
+};
+
+class UniformDelay final : public DelayModel {
+ public:
+  explicit UniformDelay(Step b) : b_(b) {}
+  Step label(la::BlockId, Step j, Rng& rng) override {
+    ASYNCIT_CHECK(j >= 1);
+    const Step cap = std::min<Step>(b_, j - 1);
+    const Step d = cap == 0 ? 0 : rng.uniform_index(cap + 1);
+    return j - 1 - d;
+  }
+  Step max_lookback(Step) const override { return b_ + 1; }
+  std::string name() const override {
+    return "uniform-" + std::to_string(b_);
+  }
+
+ private:
+  Step b_;
+};
+
+class BaudetSqrtDelay final : public DelayModel {
+ public:
+  Step label(la::BlockId, Step j, Rng&) override {
+    ASYNCIT_CHECK(j >= 1);
+    const Step d = static_cast<Step>(
+        std::ceil(std::sqrt(static_cast<double>(j))));
+    return d >= j ? 0 : j - d;
+  }
+  Step max_lookback(Step j) const override {
+    return static_cast<Step>(
+               std::ceil(std::sqrt(static_cast<double>(j + 1)))) +
+           2;
+  }
+  std::string name() const override { return "baudet-sqrt"; }
+};
+
+class LogDelay final : public DelayModel {
+ public:
+  Step label(la::BlockId, Step j, Rng&) override {
+    ASYNCIT_CHECK(j >= 1);
+    const Step d = static_cast<Step>(
+        std::floor(std::log2(static_cast<double>(j) + 1.0)));
+    const Step base = j - 1;
+    return base > d ? base - d : 0;
+  }
+  Step max_lookback(Step j) const override {
+    return static_cast<Step>(
+               std::floor(std::log2(static_cast<double>(j) + 2.0))) +
+           2;
+  }
+  std::string name() const override { return "log"; }
+};
+
+class HalfDelay final : public DelayModel {
+ public:
+  Step label(la::BlockId, Step j, Rng&) override {
+    ASYNCIT_CHECK(j >= 1);
+    return j / 2;  // <= j-1 for j >= 1; delay ≈ j/2, unbounded
+  }
+  Step max_lookback(Step j) const override { return j / 2 + 2; }
+  std::string name() const override { return "half"; }
+};
+
+// Even steps read almost-fresh data; odd steps read data delayed by
+// ~[b/2, b]. Consecutive labels therefore decrease roughly every second
+// step: a deliberately strong out-of-order pattern.
+class OutOfOrderDelay final : public DelayModel {
+ public:
+  explicit OutOfOrderDelay(Step b) : b_(b) { ASYNCIT_CHECK(b_ >= 2); }
+  Step label(la::BlockId, Step j, Rng& rng) override {
+    ASYNCIT_CHECK(j >= 1);
+    Step d;
+    if (j % 2 == 0) {
+      d = rng.uniform_index(b_ / 4 + 1);  // fresh
+    } else {
+      d = b_ / 2 + rng.uniform_index(b_ - b_ / 2 + 1);  // stale
+    }
+    const Step base = j - 1;
+    return base > d ? base - d : 0;
+  }
+  Step max_lookback(Step) const override { return b_ + 1; }
+  std::string name() const override {
+    return "out-of-order-" + std::to_string(b_);
+  }
+
+ private:
+  Step b_;
+};
+
+class FrozenDelay final : public DelayModel {
+ public:
+  Step label(la::BlockId, Step, Rng&) override { return 0; }
+  Step max_lookback(Step j) const override { return j + 1; }
+  bool admissible() const override { return false; }
+  std::string name() const override { return "frozen(INADMISSIBLE)"; }
+};
+
+}  // namespace
+
+std::unique_ptr<DelayModel> make_no_delay() {
+  return std::make_unique<NoDelay>();
+}
+std::unique_ptr<DelayModel> make_constant_delay(Step d) {
+  return std::make_unique<ConstantDelay>(d);
+}
+std::unique_ptr<DelayModel> make_uniform_delay(Step bound) {
+  return std::make_unique<UniformDelay>(bound);
+}
+std::unique_ptr<DelayModel> make_baudet_sqrt_delay() {
+  return std::make_unique<BaudetSqrtDelay>();
+}
+std::unique_ptr<DelayModel> make_log_delay() {
+  return std::make_unique<LogDelay>();
+}
+std::unique_ptr<DelayModel> make_half_delay() {
+  return std::make_unique<HalfDelay>();
+}
+std::unique_ptr<DelayModel> make_out_of_order_delay(Step bound) {
+  return std::make_unique<OutOfOrderDelay>(bound);
+}
+std::unique_ptr<DelayModel> make_frozen_delay() {
+  return std::make_unique<FrozenDelay>();
+}
+
+}  // namespace asyncit::model

@@ -1,0 +1,68 @@
+// Delay / label models: generators of the sequence L = {(l_1(j),…,l_m(j))}.
+//
+// A delay model answers "when an update at step j reads component i, which
+// past step's value does it see?" — the label l_i(j) <= j-1 of Definition 1.
+// Models provided:
+//
+//   * NoDelay         — l_i(j) = j-1; a synchronous-memory execution.
+//   * ConstantDelay   — l_i(j) = max(0, j-1-d); bounded, monotone
+//                       (the Chazan–Miranker / Miellou chaotic setting,
+//                       condition d) with b = d+1).
+//   * UniformDelay    — l_i(j) = j-1-U{0..min(b,j-1)}; bounded but
+//                       non-monotone (mild out-of-order behaviour).
+//   * BaudetSqrt      — l_i(j) = j - ceil(sqrt(j)): the paper's in-text
+//                       example (P2's k-th update takes k time units ⇒
+//                       delay grows like sqrt(j)); UNBOUNDED delays, yet
+//                       condition b) holds since j - sqrt(j) → ∞.
+//   * LogDelay        — l_i(j) = max(0, j-1-floor(log2(j+1))); unbounded
+//                       but very slowly growing.
+//   * HalfDelay       — l_i(j) = floor(j/2); adversarially large unbounded
+//                       delays (d_i(j) ≈ j/2), still admissible.
+//   * OutOfOrder      — alternates small and large random delays so that
+//                       labels are strongly non-monotone: the trace-level
+//                       model of out-of-order message delivery.
+//   * Frozen          — l_i(j) = 0 forever: INADMISSIBLE (violates
+//                       condition b); used to test the auditors and to
+//                       demonstrate divergence.
+//
+// All models may be wrapped per-component via PerComponentDelay.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "asyncit/linalg/partition.hpp"
+#include "asyncit/model/history.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::model {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Label l_i(j) for component i read by an update at step j >= 1.
+  /// Must return a value in [0, j-1].
+  virtual Step label(la::BlockId i, Step j, Rng& rng) = 0;
+
+  /// An upper bound on j - l_i(j) at step j, used by engines to size value
+  /// history windows. Must be >= the largest delay the model can emit at
+  /// step j.
+  virtual Step max_lookback(Step j) const = 0;
+
+  /// True if the model satisfies condition b) (lim_j l_i(j) = ∞).
+  virtual bool admissible() const { return true; }
+
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<DelayModel> make_no_delay();
+std::unique_ptr<DelayModel> make_constant_delay(Step d);
+std::unique_ptr<DelayModel> make_uniform_delay(Step bound);
+std::unique_ptr<DelayModel> make_baudet_sqrt_delay();
+std::unique_ptr<DelayModel> make_log_delay();
+std::unique_ptr<DelayModel> make_half_delay();
+std::unique_ptr<DelayModel> make_out_of_order_delay(Step bound);
+std::unique_ptr<DelayModel> make_frozen_delay();  // inadmissible!
+
+}  // namespace asyncit::model

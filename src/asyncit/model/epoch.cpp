@@ -1,0 +1,35 @@
+#include "asyncit/model/epoch.hpp"
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::model {
+
+EpochTracker::EpochTracker(std::size_t num_machines)
+    : machines_(num_machines), boundaries_{0}, updates_(num_machines, 0) {
+  ASYNCIT_CHECK(machines_ > 0);
+}
+
+bool EpochTracker::observe(Step j, MachineId machine) {
+  ASYNCIT_CHECK(j == last_step_ + 1);
+  ASYNCIT_CHECK(machine < machines_);
+  last_step_ = j;
+
+  if (++updates_[machine] == 2) ++satisfied_;
+  if (satisfied_ == machines_) {
+    boundaries_.push_back(j);
+    updates_.assign(machines_, 0);
+    satisfied_ = 0;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Step> epoch_boundaries(const ScheduleTrace& trace,
+                                   std::size_t num_machines) {
+  EpochTracker tracker(num_machines);
+  for (Step j = 1; j <= trace.steps(); ++j)
+    tracker.observe(j, trace.step(j).machine);
+  return tracker.boundaries();
+}
+
+}  // namespace asyncit::model

@@ -1,0 +1,44 @@
+// Epoch sequence tracker — the meta-iteration of Mishchenko, Iutzeler &
+// Malick (SIAM J. Optim. 30(1), 2020), quoted in Section III of the paper:
+//
+//   k_0 = 0,
+//   k_{m+1} = min_k { each machine made at least two updates on {k_m,…,k} }.
+//
+// The paper argues epochs are LESS general than macro-iterations: the
+// epoch analysis assumes per-machine monotone labels (each machine's reads
+// get fresher over time), which out-of-order message delivery violates,
+// while Definition 2 only needs l(r) >= j_k. This tracker exists so the
+// two sequences can be measured side by side (bench/c3_macro_vs_epoch).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "asyncit/model/history.hpp"
+
+namespace asyncit::model {
+
+class EpochTracker {
+ public:
+  explicit EpochTracker(std::size_t num_machines);
+
+  /// Observes that update step j was performed by `machine`.
+  /// Returns true iff an epoch boundary k_{m+1} = j was created.
+  bool observe(Step j, MachineId machine);
+
+  std::size_t count() const { return boundaries_.size() - 1; }
+  const std::vector<Step>& boundaries() const { return boundaries_; }
+
+ private:
+  std::size_t machines_;
+  std::vector<Step> boundaries_;       // starts as {0}
+  std::vector<std::size_t> updates_;   // per machine, in current epoch
+  std::size_t satisfied_ = 0;          // machines with >= 2 updates
+  Step last_step_ = 0;
+};
+
+/// Boundaries for a recorded trace (machine ids from StepRecord::machine).
+std::vector<Step> epoch_boundaries(const ScheduleTrace& trace,
+                                   std::size_t num_machines);
+
+}  // namespace asyncit::model

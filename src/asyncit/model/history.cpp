@@ -1,0 +1,75 @@
+#include "asyncit/model/history.hpp"
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::model {
+
+void ScheduleTrace::record(std::vector<la::BlockId> updated, Step l_min,
+                           std::vector<Step> labels, MachineId machine) {
+  const Step j = steps() + 1;
+  ASYNCIT_CHECK_MSG(!updated.empty(), "S_j must be nonempty (Definition 1)");
+  for (la::BlockId b : updated) ASYNCIT_CHECK(b < num_blocks_);
+  ASYNCIT_CHECK_MSG(l_min <= j - 1, "condition a): l(j) <= j-1 violated");
+  if (recording_ == LabelRecording::kFull) {
+    ASYNCIT_CHECK(labels.size() == num_blocks_);
+    Step computed_min = labels[0];
+    for (Step l : labels) {
+      ASYNCIT_CHECK_MSG(l <= j - 1, "condition a): l_i(j) <= j-1 violated");
+      if (l < computed_min) computed_min = l;
+    }
+    ASYNCIT_CHECK(computed_min == l_min);
+  } else {
+    labels.clear();
+  }
+  records_.push_back(
+      StepRecord{std::move(updated), l_min, std::move(labels), machine});
+}
+
+const StepRecord& ScheduleTrace::step(Step j) const {
+  ASYNCIT_CHECK(j >= 1 && j <= steps());
+  return records_[static_cast<std::size_t>(j - 1)];
+}
+
+Step ScheduleTrace::delay(la::BlockId i, Step j) const {
+  ASYNCIT_CHECK(recording_ == LabelRecording::kFull);
+  const StepRecord& r = step(j);
+  ASYNCIT_CHECK(i < num_blocks_);
+  return j - r.labels[i];
+}
+
+std::size_t ScheduleTrace::label_inversions(la::BlockId i) const {
+  ASYNCIT_CHECK(recording_ == LabelRecording::kFull);
+  ASYNCIT_CHECK(i < num_blocks_);
+  std::size_t inversions = 0;
+  for (std::size_t k = 1; k < records_.size(); ++k)
+    if (records_[k].labels[i] < records_[k - 1].labels[i]) ++inversions;
+  return inversions;
+}
+
+std::size_t ScheduleTrace::total_label_inversions() const {
+  std::size_t total = 0;
+  for (la::BlockId i = 0; i < num_blocks_; ++i)
+    total += label_inversions(i);
+  return total;
+}
+
+std::size_t ScheduleTrace::per_machine_label_inversions() const {
+  ASYNCIT_CHECK(recording_ == LabelRecording::kFull);
+  // last seen label tuple per machine
+  std::vector<std::vector<Step>> last;
+  std::size_t inversions = 0;
+  for (const StepRecord& rec : records_) {
+    if (rec.machine >= last.size()) last.resize(rec.machine + 1);
+    auto& prev = last[rec.machine];
+    if (prev.empty()) {
+      prev = rec.labels;
+      continue;
+    }
+    for (std::size_t h = 0; h < num_blocks_; ++h)
+      if (rec.labels[h] < prev[h]) ++inversions;
+    prev = rec.labels;
+  }
+  return inversions;
+}
+
+}  // namespace asyncit::model

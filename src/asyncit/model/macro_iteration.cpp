@@ -1,0 +1,55 @@
+#include "asyncit/model/macro_iteration.hpp"
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::model {
+
+MacroIterationTracker::MacroIterationTracker(std::size_t num_blocks)
+    : m_(num_blocks), boundaries_{0}, covered_(num_blocks, false) {
+  ASYNCIT_CHECK(m_ > 0);
+}
+
+bool MacroIterationTracker::observe(Step j,
+                                    std::span<const la::BlockId> updated,
+                                    Step l_min) {
+  ASYNCIT_CHECK_MSG(j == last_step_ + 1,
+                    "steps must be observed in order; expected "
+                        << (last_step_ + 1) << " got " << j);
+  ASYNCIT_CHECK(l_min <= j - 1);
+  last_step_ = j;
+
+  const Step j_k = boundaries_.back();
+  // Definition 2 counts updates r with l(r) >= j_k: the update used no
+  // value older than the previous boundary.
+  if (l_min >= j_k) {
+    for (la::BlockId b : updated) {
+      ASYNCIT_CHECK(b < m_);
+      if (!covered_[b]) {
+        covered_[b] = true;
+        ++covered_count_;
+      }
+    }
+  }
+  if (covered_count_ == m_) {
+    boundaries_.push_back(j);
+    covered_.assign(m_, false);
+    covered_count_ = 0;
+    return true;
+  }
+  return false;
+}
+
+std::size_t MacroIterationTracker::index_of_last_step() const {
+  return count();
+}
+
+std::vector<Step> macro_boundaries(const ScheduleTrace& trace) {
+  MacroIterationTracker tracker(trace.num_blocks());
+  for (Step j = 1; j <= trace.steps(); ++j) {
+    const StepRecord& r = trace.step(j);
+    tracker.observe(j, r.updated, r.l_min);
+  }
+  return tracker.boundaries();
+}
+
+}  // namespace asyncit::model

@@ -1,0 +1,56 @@
+// Macro-iteration sequence tracker — Definition 2 of the paper.
+//
+//   j_0 = 0,
+//   j_{k+1} = min_j { ∪_{r : j_k ≤ l(r) ≤ r ≤ j} S_r = {1,…,m} },
+//
+// with l(r) = min_h l_h(r). In words: macro-iteration k+1 completes at the
+// first step j by which every component has been updated at least once
+// using only values labelled at or after the previous boundary j_k. Every
+// update at step j ≥ j_{k+1} is then guaranteed to use values with labels
+// ≥ j_k: the sequence of iterates contracts box-by-box (Bertsekas's General
+// Convergence Theorem), which is what Theorem 1's (1-ρ)^k rate counts.
+//
+// The tracker is online: feed it each step's (S_j, l(j)) in order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "asyncit/model/history.hpp"
+
+namespace asyncit::model {
+
+class MacroIterationTracker {
+ public:
+  explicit MacroIterationTracker(std::size_t num_blocks);
+
+  /// Observes step j (must be called with j = 1, 2, … in order).
+  /// Returns true iff a macro-iteration boundary j_{k+1} = j was created.
+  bool observe(Step j, std::span<const la::BlockId> updated, Step l_min);
+
+  /// Completed macro-iterations k (= boundaries().size() - 1).
+  std::size_t count() const { return boundaries_.size() - 1; }
+
+  /// j_0 = 0, j_1, j_2, … (j_0 always present).
+  const std::vector<Step>& boundaries() const { return boundaries_; }
+
+  /// Macro-iteration index k(j) such that j_k <= j < j_{k+1} for the last
+  /// observed step; equals count() for steps past the last boundary.
+  std::size_t index_of_last_step() const;
+
+  /// Blocks not yet covered in the current (incomplete) macro-iteration.
+  std::size_t uncovered() const { return m_ - covered_count_; }
+
+ private:
+  std::size_t m_;
+  std::vector<Step> boundaries_;  // starts as {0}
+  std::vector<bool> covered_;
+  std::size_t covered_count_ = 0;
+  Step last_step_ = 0;
+};
+
+/// Convenience: computes all boundaries of a recorded trace.
+std::vector<Step> macro_boundaries(const ScheduleTrace& trace);
+
+}  // namespace asyncit::model

@@ -1,0 +1,146 @@
+#include "asyncit/model/steering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::model {
+
+namespace {
+
+class AllBlocksSteering final : public SteeringPolicy {
+ public:
+  explicit AllBlocksSteering(std::size_t m) : m_(m) {
+    ASYNCIT_CHECK(m_ > 0);
+    all_.resize(m_);
+    std::iota(all_.begin(), all_.end(), la::BlockId{0});
+  }
+  std::vector<la::BlockId> next(Step, Rng&) override { return all_; }
+  std::string name() const override { return "all-blocks"; }
+  std::size_t num_blocks() const override { return m_; }
+
+ private:
+  std::size_t m_;
+  std::vector<la::BlockId> all_;
+};
+
+class CyclicSteering final : public SteeringPolicy {
+ public:
+  explicit CyclicSteering(std::size_t m) : m_(m) { ASYNCIT_CHECK(m_ > 0); }
+  std::vector<la::BlockId> next(Step j, Rng&) override {
+    return {static_cast<la::BlockId>((j - 1) % m_)};
+  }
+  std::string name() const override { return "cyclic"; }
+  std::size_t num_blocks() const override { return m_; }
+
+ private:
+  std::size_t m_;
+};
+
+class RandomSubsetSteering final : public SteeringPolicy {
+ public:
+  RandomSubsetSteering(std::size_t m, std::size_t k) : m_(m), k_(k) {
+    ASYNCIT_CHECK(m_ > 0 && k_ >= 1 && k_ <= m_);
+  }
+  std::vector<la::BlockId> next(Step, Rng& rng) override {
+    // Partial Fisher–Yates over a scratch identity permutation.
+    std::vector<la::BlockId> scratch(m_);
+    std::iota(scratch.begin(), scratch.end(), la::BlockId{0});
+    std::vector<la::BlockId> out;
+    out.reserve(k_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      const std::size_t r =
+          i + static_cast<std::size_t>(rng.uniform_index(m_ - i));
+      std::swap(scratch[i], scratch[r]);
+      out.push_back(scratch[i]);
+    }
+    return out;
+  }
+  std::string name() const override {
+    return "random-subset-" + std::to_string(k_);
+  }
+  std::size_t num_blocks() const override { return m_; }
+
+ private:
+  std::size_t m_;
+  std::size_t k_;
+};
+
+class WeightedRandomSteering final : public SteeringPolicy {
+ public:
+  explicit WeightedRandomSteering(std::vector<double> weights)
+      : weights_(std::move(weights)) {
+    ASYNCIT_CHECK(!weights_.empty());
+    cumulative_.resize(weights_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      ASYNCIT_CHECK_MSG(weights_[i] > 0.0,
+                        "all steering weights must be positive, otherwise "
+                        "condition c) fails");
+      acc += weights_[i];
+      cumulative_[i] = acc;
+    }
+  }
+  std::vector<la::BlockId> next(Step, Rng& rng) override {
+    const double u = rng.uniform(0.0, cumulative_.back());
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    const std::size_t idx = std::min<std::size_t>(
+        static_cast<std::size_t>(it - cumulative_.begin()),
+        cumulative_.size() - 1);
+    return {static_cast<la::BlockId>(idx)};
+  }
+  std::string name() const override { return "weighted-random"; }
+  std::size_t num_blocks() const override { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> cumulative_;
+};
+
+class StarvingSteering final : public SteeringPolicy {
+ public:
+  StarvingSteering(std::size_t m, la::BlockId victim)
+      : m_(m), victim_(victim) {
+    ASYNCIT_CHECK(m_ >= 2);
+    ASYNCIT_CHECK(victim_ < m_);
+  }
+  std::vector<la::BlockId> next(Step j, Rng&) override {
+    if ((j & (j - 1)) == 0) return {victim_};  // j is a power of two
+    // Round-robin over the other m-1 blocks.
+    la::BlockId b = static_cast<la::BlockId>(others_counter_++ % (m_ - 1));
+    if (b >= victim_) ++b;
+    return {b};
+  }
+  std::string name() const override { return "starving"; }
+  std::size_t num_blocks() const override { return m_; }
+
+ private:
+  std::size_t m_;
+  la::BlockId victim_;
+  std::size_t others_counter_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SteeringPolicy> make_all_blocks_steering(std::size_t m) {
+  return std::make_unique<AllBlocksSteering>(m);
+}
+std::unique_ptr<SteeringPolicy> make_cyclic_steering(std::size_t m) {
+  return std::make_unique<CyclicSteering>(m);
+}
+std::unique_ptr<SteeringPolicy> make_random_subset_steering(std::size_t m,
+                                                            std::size_t k) {
+  return std::make_unique<RandomSubsetSteering>(m, k);
+}
+std::unique_ptr<SteeringPolicy> make_weighted_random_steering(
+    std::vector<double> weights) {
+  return std::make_unique<WeightedRandomSteering>(std::move(weights));
+}
+std::unique_ptr<SteeringPolicy> make_starving_steering(std::size_t m,
+                                                       la::BlockId victim) {
+  return std::make_unique<StarvingSteering>(m, victim);
+}
+
+}  // namespace asyncit::model

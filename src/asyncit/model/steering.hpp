@@ -1,0 +1,48 @@
+// Steering policies: generators of the sequence S = {S_j} of Definition 1.
+//
+// S_j is the set of components updated at step j. Different policies model
+// different parallel/distributed execution styles:
+//   * AllBlocks          — synchronous Jacobi-style sweeps;
+//   * Cyclic             — one component per step, round robin
+//                          (Gauss–Seidel-like serialization);
+//   * RandomSubset       — k distinct random components per step;
+//   * WeightedRandom     — one component, sampled with weights (models
+//                          heterogeneous processor speeds);
+//   * Starving           — one designated component updated only at steps
+//                          that are powers of two: still infinitely often
+//                          (condition c holds) but with unbounded gaps —
+//                          the stress case for macro-iteration analysis.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asyncit/linalg/partition.hpp"
+#include "asyncit/model/history.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::model {
+
+class SteeringPolicy {
+ public:
+  virtual ~SteeringPolicy() = default;
+  /// Produces S_j (nonempty, deduplicated, within [0, num_blocks)).
+  virtual std::vector<la::BlockId> next(Step j, Rng& rng) = 0;
+  virtual std::string name() const = 0;
+  virtual std::size_t num_blocks() const = 0;
+};
+
+std::unique_ptr<SteeringPolicy> make_all_blocks_steering(
+    std::size_t num_blocks);
+std::unique_ptr<SteeringPolicy> make_cyclic_steering(std::size_t num_blocks);
+std::unique_ptr<SteeringPolicy> make_random_subset_steering(
+    std::size_t num_blocks, std::size_t subset_size);
+std::unique_ptr<SteeringPolicy> make_weighted_random_steering(
+    std::vector<double> weights);
+/// `victim` is updated exactly at steps 1, 2, 4, 8, ... (powers of two);
+/// all other steps round-robin over the remaining blocks.
+std::unique_ptr<SteeringPolicy> make_starving_steering(
+    std::size_t num_blocks, la::BlockId victim);
+
+}  // namespace asyncit::model

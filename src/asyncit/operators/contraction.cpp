@@ -1,0 +1,41 @@
+#include "asyncit/operators/contraction.hpp"
+
+#include <algorithm>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::op {
+
+ContractionEstimate estimate_contraction(const BlockOperator& op,
+                                         std::span<const double> x_star,
+                                         const la::WeightedMaxNorm& norm,
+                                         Rng& rng, int trials,
+                                         double radius) {
+  ASYNCIT_CHECK(x_star.size() == op.dim());
+  ASYNCIT_CHECK(trials > 0 && radius > 0.0);
+
+  la::Vector fstar(op.dim());
+  op.apply(x_star, fstar);
+
+  ContractionEstimate est;
+  double sum = 0.0;
+  la::Vector x(op.dim());
+  la::Vector fx(op.dim());
+  for (int t = 0; t < trials; ++t) {
+    const double scale = radius * (static_cast<double>(t + 1) /
+                                   static_cast<double>(trials));
+    for (std::size_t c = 0; c < x.size(); ++c)
+      x[c] = x_star[c] + scale * rng.normal();
+    const double dx = norm.distance(x, x_star);
+    if (dx == 0.0) continue;
+    op.apply(x, fx);
+    const double dfx = norm.distance(fx, fstar);
+    const double factor = dfx / dx;
+    est.max_factor = std::max(est.max_factor, factor);
+    sum += factor;
+  }
+  est.mean_factor = sum / static_cast<double>(trials);
+  return est;
+}
+
+}  // namespace asyncit::op

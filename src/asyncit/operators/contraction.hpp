@@ -1,0 +1,30 @@
+// Empirical contraction analysis.
+//
+// The convergence of asynchronous iterations rests on F being a contraction
+// in a weighted maximum norm (Section III of the paper: "monotonicity and
+// continuity, or contraction"). These helpers measure the contraction
+// factor of an operator around its fixed point, so tests can compare the
+// measured factor against theory (e.g. Jacobi's diagonal-dominance bound,
+// or 1 − γμ for gradient-type operators on separable problems).
+#pragma once
+
+#include "asyncit/linalg/norms.hpp"
+#include "asyncit/operators/operator.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::op {
+
+struct ContractionEstimate {
+  double max_factor = 0.0;   ///< worst observed ‖F(x)−x*‖ / ‖x−x*‖
+  double mean_factor = 0.0;  ///< mean over trials
+};
+
+/// Samples `trials` random points x = x* + r·direction with radius scales
+/// in (0, radius], measures ‖F(x) − F(x*)‖_u / ‖x − x*‖_u.
+ContractionEstimate estimate_contraction(const BlockOperator& op,
+                                         std::span<const double> x_star,
+                                         const la::WeightedMaxNorm& norm,
+                                         Rng& rng, int trials = 64,
+                                         double radius = 1.0);
+
+}  // namespace asyncit::op

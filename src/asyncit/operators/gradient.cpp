@@ -1,0 +1,32 @@
+#include "asyncit/operators/gradient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::op {
+
+GradientOperator::GradientOperator(const SmoothFunction& f, double gamma,
+                                   la::Partition partition)
+    : f_(f), gamma_(gamma), partition_(std::move(partition)) {
+  ASYNCIT_CHECK(partition_.dim() == f_.dim());
+  ASYNCIT_CHECK_MSG(gamma_ > 0.0, "step-size must be positive");
+}
+
+void GradientOperator::apply_block(la::BlockId blk, std::span<const double> x,
+                                   std::span<double> out) const {
+  ASYNCIT_CHECK(x.size() == dim());
+  const la::BlockRange r = partition_.range(blk);
+  ASYNCIT_CHECK(out.size() == r.size());
+  f_.partial_block(r.begin, r.end, x, out);
+  for (std::size_t c = r.begin; c < r.end; ++c)
+    out[c - r.begin] = x[c] - gamma_ * out[c - r.begin];
+}
+
+double GradientOperator::contraction_factor() const {
+  return std::max(std::abs(1.0 - gamma_ * f_.mu()),
+                  std::abs(1.0 - gamma_ * f_.lipschitz()));
+}
+
+}  // namespace asyncit::op

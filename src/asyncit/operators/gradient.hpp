@@ -1,0 +1,36 @@
+// Fixed-step gradient operator T(x) = x − γ ∇f(x).
+//
+// For mu-strongly convex, L-smooth f and γ ∈ (0, 2/(mu+L)] this is a
+// contraction in the Euclidean norm with factor max(|1−γmu|, |1−γL|); when
+// f is additionally *separable* (the paper's Section V hypothesis) the
+// operator decouples coordinatewise and the same factor bounds it in the
+// maximum norm — which is what totally asynchronous convergence needs.
+#pragma once
+
+#include "asyncit/linalg/partition.hpp"
+#include "asyncit/operators/operator.hpp"
+#include "asyncit/operators/smooth.hpp"
+
+namespace asyncit::op {
+
+class GradientOperator final : public BlockOperator {
+ public:
+  GradientOperator(const SmoothFunction& f, double gamma,
+                   la::Partition partition);
+
+  const la::Partition& partition() const override { return partition_; }
+  void apply_block(la::BlockId blk, std::span<const double> x,
+                   std::span<double> out) const override;
+  std::string name() const override { return "gradient"; }
+
+  double gamma() const { return gamma_; }
+  /// Euclidean contraction factor max(|1−γmu|, |1−γL|).
+  double contraction_factor() const;
+
+ private:
+  const SmoothFunction& f_;
+  double gamma_;
+  la::Partition partition_;
+};
+
+}  // namespace asyncit::op

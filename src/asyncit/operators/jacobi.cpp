@@ -1,0 +1,51 @@
+#include "asyncit/operators/jacobi.hpp"
+
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::op {
+
+JacobiOperator::JacobiOperator(const la::CsrMatrix& a, la::Vector b,
+                               la::Partition partition)
+    : a_(a), b_(std::move(b)), partition_(std::move(partition)) {
+  ASYNCIT_CHECK(a_.rows() == a_.cols());
+  ASYNCIT_CHECK(b_.size() == a_.rows());
+  ASYNCIT_CHECK(partition_.dim() == a_.rows());
+  diag_ = a_.diagonal();
+  for (double d : diag_)
+    ASYNCIT_CHECK_MSG(d != 0.0, "Jacobi needs a nonzero diagonal");
+}
+
+void JacobiOperator::apply_block(la::BlockId blk, std::span<const double> x,
+                                 std::span<double> out) const {
+  ASYNCIT_CHECK(x.size() == dim());
+  const la::BlockRange r = partition_.range(blk);
+  ASYNCIT_CHECK(out.size() == r.size());
+  for (std::size_t row = r.begin; row < r.end; ++row) {
+    // b_row - sum_{k != row} a_rk x_k  =  b_row - (A x)_row + a_rr x_row
+    const auto cols = a_.row_cols(row);
+    const auto vals = a_.row_values(row);
+    double s = b_[row];
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == row) continue;
+      s -= vals[k] * x[cols[k]];
+    }
+    out[row - r.begin] = s / diag_[row];
+  }
+}
+
+double JacobiOperator::contraction_bound() const {
+  double worst = 0.0;
+  for (std::size_t row = 0; row < a_.rows(); ++row) {
+    const auto cols = a_.row_cols(row);
+    const auto vals = a_.row_values(row);
+    double off = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      if (cols[k] != row) off += std::abs(vals[k]);
+    worst = std::max(worst, off / std::abs(diag_[row]));
+  }
+  return worst;
+}
+
+}  // namespace asyncit::op

@@ -1,0 +1,28 @@
+#include "asyncit/operators/krasnoselskii.hpp"
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::op {
+
+KrasnoselskiiMannOperator::KrasnoselskiiMannOperator(
+    const BlockOperator& inner, double eta)
+    : inner_(inner), eta_(eta) {
+  ASYNCIT_CHECK_MSG(eta_ > 0.0 && eta_ <= 1.0, "KM damping must be in (0,1]");
+}
+
+void KrasnoselskiiMannOperator::apply_block(la::BlockId blk,
+                                            std::span<const double> x,
+                                            std::span<double> out) const {
+  inner_.apply_block(blk, x, out);
+  const la::BlockRange r = partition().range(blk);
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    const double xi = x[r.begin + c];
+    out[c] = xi + eta_ * (out[c] - xi);
+  }
+}
+
+std::string KrasnoselskiiMannOperator::name() const {
+  return "km(" + inner_.name() + ")";
+}
+
+}  // namespace asyncit::op

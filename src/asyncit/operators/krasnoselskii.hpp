@@ -1,0 +1,34 @@
+// Krasnoselskii–Mann averaging wrapper:
+//
+//   F_i(x) = x_i + η ( T_i(x) − x_i ),   η ∈ (0, 1].
+//
+// This is the update map of ARock (Peng, Xu, Yan, Yin — the paper's
+// reference [32]): asynchronous coordinate updates of a nonexpansive
+// operator need damping η to tolerate staleness. Wrapping any
+// BlockOperator lets the ARock baseline reuse the whole engine stack.
+#pragma once
+
+#include "asyncit/operators/operator.hpp"
+
+namespace asyncit::op {
+
+class KrasnoselskiiMannOperator final : public BlockOperator {
+ public:
+  /// Holds a reference to `inner`; caller keeps it alive.
+  KrasnoselskiiMannOperator(const BlockOperator& inner, double eta);
+
+  const la::Partition& partition() const override {
+    return inner_.partition();
+  }
+  void apply_block(la::BlockId blk, std::span<const double> x,
+                   std::span<double> out) const override;
+  std::string name() const override;
+
+  double eta() const { return eta_; }
+
+ private:
+  const BlockOperator& inner_;
+  double eta_;
+};
+
+}  // namespace asyncit::op

@@ -1,0 +1,39 @@
+#include "asyncit/operators/operator.hpp"
+
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::op {
+
+void BlockOperator::apply(std::span<const double> x,
+                          std::span<double> y) const {
+  ASYNCIT_CHECK(x.size() == dim() && y.size() == dim());
+  for (la::BlockId b = 0; b < num_blocks(); ++b) {
+    const la::BlockRange r = partition().range(b);
+    apply_block(b, x, y.subspan(r.begin, r.size()));
+  }
+}
+
+double fixed_point_residual(const BlockOperator& op,
+                            std::span<const double> x) {
+  la::Vector fx(op.dim());
+  op.apply(x, fx);
+  return la::dist_inf(fx, x);
+}
+
+la::Vector picard_solve(const BlockOperator& op, la::Vector x0,
+                        std::size_t max_iters, double tol) {
+  ASYNCIT_CHECK(x0.size() == op.dim());
+  la::Vector x = std::move(x0);
+  la::Vector y(x.size());
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    op.apply(x, y);
+    const double r = la::dist_inf(x, y);
+    x.swap(y);
+    if (r < tol) break;
+  }
+  return x;
+}
+
+}  // namespace asyncit::op

@@ -1,0 +1,48 @@
+// Fixed-point operator interface.
+//
+// Everything asyncit iterates is an operator F : R^n -> R^n whose
+// components are grouped into blocks by a Partition (Definition 1 updates
+// "components"; a component here is a block). Implementations compute one
+// block of F(x) at a time — exactly the unit of work an asynchronous
+// processor performs during an updating phase.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "asyncit/linalg/partition.hpp"
+#include "asyncit/linalg/vector_ops.hpp"
+
+namespace asyncit::op {
+
+class BlockOperator {
+ public:
+  virtual ~BlockOperator() = default;
+
+  virtual const la::Partition& partition() const = 0;
+  std::size_t dim() const { return partition().dim(); }
+  std::size_t num_blocks() const { return partition().num_blocks(); }
+
+  /// Computes block b of F(x) into `out` (out.size() == block size).
+  /// `x` is the full-dimension read view (possibly stale / mixed-label —
+  /// the operator itself is oblivious to delays).
+  virtual void apply_block(la::BlockId b, std::span<const double> x,
+                           std::span<double> out) const = 0;
+
+  /// Full application y = F(x). Default: loop over blocks.
+  virtual void apply(std::span<const double> x, std::span<double> y) const;
+
+  virtual std::string name() const = 0;
+};
+
+/// ‖F(x) − x‖_inf — the fixed-point residual.
+double fixed_point_residual(const BlockOperator& op,
+                            std::span<const double> x);
+
+/// Synchronous Picard iteration x <- F(x) until the fixed-point residual
+/// drops below tol or max_iters is reached. Returns the final iterate.
+/// Used to produce high-precision reference solutions for tests/benches.
+la::Vector picard_solve(const BlockOperator& op, la::Vector x0,
+                        std::size_t max_iters, double tol);
+
+}  // namespace asyncit::op

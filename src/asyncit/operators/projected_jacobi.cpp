@@ -1,0 +1,27 @@
+#include "asyncit/operators/projected_jacobi.hpp"
+
+#include <algorithm>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::op {
+
+ProjectedJacobiOperator::ProjectedJacobiOperator(const la::CsrMatrix& a,
+                                                 la::Vector b,
+                                                 la::Vector lower,
+                                                 la::Partition partition)
+    : jacobi_(a, std::move(b), std::move(partition)),
+      lower_(std::move(lower)) {
+  ASYNCIT_CHECK(lower_.size() == jacobi_.dim());
+}
+
+void ProjectedJacobiOperator::apply_block(la::BlockId blk,
+                                          std::span<const double> x,
+                                          std::span<double> out) const {
+  jacobi_.apply_block(blk, x, out);
+  const la::BlockRange r = partition().range(blk);
+  for (std::size_t c = 0; c < out.size(); ++c)
+    out[c] = std::max(out[c], lower_[r.begin + c]);
+}
+
+}  // namespace asyncit::op

@@ -1,0 +1,134 @@
+#include "asyncit/operators/prox.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::op {
+
+void ProxOperator::apply(std::span<const double> x, double gamma,
+                         std::span<double> out) const {
+  ASYNCIT_CHECK(x.size() == out.size());
+  for (std::size_t c = 0; c < x.size(); ++c) out[c] = prox(c, x[c], gamma);
+}
+
+double soft_threshold(double v, double t) {
+  if (v > t) return v - t;
+  if (v < -t) return v + t;
+  return 0.0;
+}
+
+namespace {
+
+class ZeroProx final : public ProxOperator {
+ public:
+  double prox(std::size_t, double v, double) const override { return v; }
+  double value(std::span<const double>) const override { return 0.0; }
+  std::string name() const override { return "zero"; }
+};
+
+class L1Prox final : public ProxOperator {
+ public:
+  explicit L1Prox(double lambda) : lambda_(lambda) {
+    ASYNCIT_CHECK(lambda_ >= 0.0);
+  }
+  double prox(std::size_t, double v, double gamma) const override {
+    return soft_threshold(v, gamma * lambda_);
+  }
+  double value(std::span<const double> x) const override {
+    return lambda_ * la::norm1(x);
+  }
+  std::string name() const override { return "l1"; }
+
+ private:
+  double lambda_;
+};
+
+class SquaredL2Prox final : public ProxOperator {
+ public:
+  explicit SquaredL2Prox(double lambda) : lambda_(lambda) {
+    ASYNCIT_CHECK(lambda_ >= 0.0);
+  }
+  double prox(std::size_t, double v, double gamma) const override {
+    return v / (1.0 + gamma * lambda_);
+  }
+  double value(std::span<const double> x) const override {
+    return 0.5 * lambda_ * la::norm2_sq(x);
+  }
+  std::string name() const override { return "squared-l2"; }
+
+ private:
+  double lambda_;
+};
+
+class ElasticNetProx final : public ProxOperator {
+ public:
+  ElasticNetProx(double l1, double l2) : l1_(l1), l2_(l2) {
+    ASYNCIT_CHECK(l1_ >= 0.0 && l2_ >= 0.0);
+  }
+  double prox(std::size_t, double v, double gamma) const override {
+    return soft_threshold(v, gamma * l1_) / (1.0 + gamma * l2_);
+  }
+  double value(std::span<const double> x) const override {
+    return l1_ * la::norm1(x) + 0.5 * l2_ * la::norm2_sq(x);
+  }
+  std::string name() const override { return "elastic-net"; }
+
+ private:
+  double l1_;
+  double l2_;
+};
+
+class BoxProx final : public ProxOperator {
+ public:
+  BoxProx(double lo, double hi) : lo_(lo), hi_(hi) {
+    ASYNCIT_CHECK(lo_ <= hi_);
+  }
+  double prox(std::size_t, double v, double) const override {
+    return std::clamp(v, lo_, hi_);
+  }
+  double value(std::span<const double>) const override { return 0.0; }
+  std::string name() const override { return "box"; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class LowerBoundProx final : public ProxOperator {
+ public:
+  explicit LowerBoundProx(la::Vector lower) : lower_(std::move(lower)) {}
+  double prox(std::size_t coord, double v, double) const override {
+    ASYNCIT_CHECK(coord < lower_.size());
+    return std::max(v, lower_[coord]);
+  }
+  double value(std::span<const double>) const override { return 0.0; }
+  std::string name() const override { return "lower-bound"; }
+
+ private:
+  la::Vector lower_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProxOperator> make_zero_prox() {
+  return std::make_unique<ZeroProx>();
+}
+std::unique_ptr<ProxOperator> make_l1_prox(double lambda) {
+  return std::make_unique<L1Prox>(lambda);
+}
+std::unique_ptr<ProxOperator> make_squared_l2_prox(double lambda) {
+  return std::make_unique<SquaredL2Prox>(lambda);
+}
+std::unique_ptr<ProxOperator> make_elastic_net_prox(double l1, double l2) {
+  return std::make_unique<ElasticNetProx>(l1, l2);
+}
+std::unique_ptr<ProxOperator> make_box_prox(double lo, double hi) {
+  return std::make_unique<BoxProx>(lo, hi);
+}
+std::unique_ptr<ProxOperator> make_lower_bound_prox(la::Vector lower) {
+  return std::make_unique<LowerBoundProx>(std::move(lower));
+}
+
+}  // namespace asyncit::op

@@ -1,0 +1,52 @@
+// Separable proximal operators for the non-smooth part g of problem (4).
+//
+//   prox_{γ,g}(x) = argmin_v { g(v) + (1/2γ)‖v − x‖² }
+//
+// For separable g the prox acts coordinate-wise, which is what makes it
+// usable inside asynchronous block updates. Provided:
+//   * Zero        — g = 0 (plain gradient iterations);
+//   * L1          — g = λ‖x‖₁ (soft thresholding; lasso / sparse ML);
+//   * SquaredL2   — g = (λ/2)‖x‖² (ridge / Tikhonov);
+//   * ElasticNet  — g = λ₁‖x‖₁ + (λ₂/2)‖x‖²;
+//   * Box         — g = indicator of [lo, hi]^n (projection; constrained
+//                   problems such as the obstacle problem's u ≥ ψ).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "asyncit/linalg/vector_ops.hpp"
+
+namespace asyncit::op {
+
+class ProxOperator {
+ public:
+  virtual ~ProxOperator() = default;
+
+  /// Coordinate-wise prox: returns prox_{γ,g_c}(v) for coordinate c.
+  virtual double prox(std::size_t coord, double v, double gamma) const = 0;
+
+  /// g(x), for objective reporting (+inf never occurs: box prox reports 0
+  /// inside and projects outside).
+  virtual double value(std::span<const double> x) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Applies the prox to every coordinate of x into out.
+  void apply(std::span<const double> x, double gamma,
+             std::span<double> out) const;
+};
+
+std::unique_ptr<ProxOperator> make_zero_prox();
+std::unique_ptr<ProxOperator> make_l1_prox(double lambda);
+std::unique_ptr<ProxOperator> make_squared_l2_prox(double lambda);
+std::unique_ptr<ProxOperator> make_elastic_net_prox(double l1, double l2);
+std::unique_ptr<ProxOperator> make_box_prox(double lo, double hi);
+/// Per-coordinate lower bounds (the obstacle constraint u >= psi).
+std::unique_ptr<ProxOperator> make_lower_bound_prox(la::Vector lower);
+
+/// Scalar soft-threshold helper: sign(v) * max(|v| - t, 0).
+double soft_threshold(double v, double t);
+
+}  // namespace asyncit::op

@@ -1,0 +1,66 @@
+#include "asyncit/operators/relaxation.hpp"
+
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::op {
+
+SorJacobiOperator::SorJacobiOperator(const la::CsrMatrix& a, la::Vector b,
+                                     double omega, la::Partition partition)
+    : jacobi_(a, std::move(b), std::move(partition)), omega_(omega) {
+  ASYNCIT_CHECK_MSG(omega_ > 0.0, "relaxation factor must be positive");
+}
+
+void SorJacobiOperator::apply_block(la::BlockId blk,
+                                    std::span<const double> x,
+                                    std::span<double> out) const {
+  jacobi_.apply_block(blk, x, out);
+  const la::BlockRange r = partition().range(blk);
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    const double xi = x[r.begin + c];
+    out[c] = (1.0 - omega_) * xi + omega_ * out[c];
+  }
+}
+
+std::string SorJacobiOperator::name() const {
+  return "sor-jacobi(omega=" + std::to_string(omega_) + ")";
+}
+
+double SorJacobiOperator::contraction_bound() const {
+  return std::abs(1.0 - omega_) + omega_ * jacobi_.contraction_bound();
+}
+
+double SorJacobiOperator::max_stable_omega() const {
+  return 2.0 / (1.0 + jacobi_.contraction_bound());
+}
+
+ScaledGradientOperator::ScaledGradientOperator(const SmoothFunction& f,
+                                               la::Vector curvatures,
+                                               double damping,
+                                               la::Partition partition)
+    : f_(f), partition_(std::move(partition)) {
+  ASYNCIT_CHECK(curvatures.size() == f_.dim());
+  ASYNCIT_CHECK(partition_.dim() == f_.dim());
+  ASYNCIT_CHECK_MSG(damping > 0.0 && damping <= 1.0,
+                    "damping must be in (0, 1]");
+  steps_.resize(curvatures.size());
+  for (std::size_t i = 0; i < curvatures.size(); ++i) {
+    ASYNCIT_CHECK_MSG(curvatures[i] > 0.0,
+                      "curvature estimates must be positive");
+    steps_[i] = damping / curvatures[i];
+  }
+}
+
+void ScaledGradientOperator::apply_block(la::BlockId blk,
+                                         std::span<const double> x,
+                                         std::span<double> out) const {
+  ASYNCIT_CHECK(x.size() == partition_.dim());
+  const la::BlockRange r = partition_.range(blk);
+  ASYNCIT_CHECK(out.size() == r.size());
+  f_.partial_block(r.begin, r.end, x, out);
+  for (std::size_t c = r.begin; c < r.end; ++c)
+    out[c - r.begin] = x[c] - steps_[c] * out[c - r.begin];
+}
+
+}  // namespace asyncit::op

@@ -1,0 +1,75 @@
+// Relaxation-factor and scaled-gradient operators — the knobs the
+// asynchronous relaxation literature turns around the basic iterations.
+//
+// SorJacobiOperator — weighted (damped / over-relaxed) Jacobi for A x = b:
+//
+//   F_i(x) = (1 − ω) x_i + ω ( b_i − Σ_{k≠i} a_ik x_k ) / a_ii .
+//
+// ω ∈ (0, 1) damps (more staleness tolerance), ω = 1 is plain Jacobi,
+// ω > 1 over-relaxes (faster synchronous convergence but a smaller
+// asynchronous safety margin — El Tarazi's classic trade-off; the
+// ablation bench a1_relaxation_factor measures exactly this).
+//
+// ScaledGradientOperator — diagonally-preconditioned ("modified Newton",
+// the single-step diagonal case of the paper's reference [25]) gradient
+// iteration for smooth strongly convex f:
+//
+//   T_i(x) = x_i − γ_i ∂f/∂x_i(x) ,   γ_i = damping / h_i ,
+//
+// with h_i a positive per-coordinate curvature estimate (for quadratics,
+// the Hessian diagonal). Per-coordinate steps equalize the contraction
+// across coordinates, which is what makes badly-conditioned problems
+// tractable asynchronously.
+#pragma once
+
+#include "asyncit/linalg/csr_matrix.hpp"
+#include "asyncit/operators/jacobi.hpp"
+#include "asyncit/operators/smooth.hpp"
+
+namespace asyncit::op {
+
+class SorJacobiOperator final : public BlockOperator {
+ public:
+  SorJacobiOperator(const la::CsrMatrix& a, la::Vector b, double omega,
+                    la::Partition partition);
+
+  const la::Partition& partition() const override {
+    return jacobi_.partition();
+  }
+  void apply_block(la::BlockId blk, std::span<const double> x,
+                   std::span<double> out) const override;
+  std::string name() const override;
+
+  double omega() const { return omega_; }
+  /// Max-norm contraction bound |1-ω| + ω·alpha_J with alpha_J the plain
+  /// Jacobi bound; < 1 iff ω < 2 / (1 + alpha_J).
+  double contraction_bound() const;
+  /// Largest ω keeping the asynchronous contraction bound below one.
+  double max_stable_omega() const;
+
+ private:
+  JacobiOperator jacobi_;
+  double omega_;
+};
+
+class ScaledGradientOperator final : public BlockOperator {
+ public:
+  /// curvatures: positive per-coordinate h_i; damping in (0, 1] scales
+  /// every step (damping = 1 takes the full diagonal-Newton step).
+  ScaledGradientOperator(const SmoothFunction& f, la::Vector curvatures,
+                         double damping, la::Partition partition);
+
+  const la::Partition& partition() const override { return partition_; }
+  void apply_block(la::BlockId blk, std::span<const double> x,
+                   std::span<double> out) const override;
+  std::string name() const override { return "scaled-gradient"; }
+
+  const la::Vector& steps() const { return steps_; }
+
+ private:
+  const SmoothFunction& f_;
+  la::Vector steps_;  // gamma_i = damping / h_i
+  la::Partition partition_;
+};
+
+}  // namespace asyncit::op

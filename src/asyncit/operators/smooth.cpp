@@ -1,0 +1,15 @@
+#include "asyncit/operators/smooth.hpp"
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::op {
+
+void SmoothFunction::partial_block(std::size_t begin, std::size_t end,
+                                   std::span<const double> x,
+                                   std::span<double> out) const {
+  ASYNCIT_CHECK(begin <= end && end <= dim());
+  ASYNCIT_CHECK(out.size() == end - begin);
+  for (std::size_t c = begin; c < end; ++c) out[c - begin] = partial(c, x);
+}
+
+}  // namespace asyncit::op

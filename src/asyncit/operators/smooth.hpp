@@ -1,0 +1,56 @@
+// Interface for the smooth part f of the composite problem (4):
+//     min_x f(x) + g(x),
+// with f L-smooth and mu-strongly convex (Section V of the paper).
+//
+// Implementations must provide per-coordinate partial derivatives: the
+// asynchronous operators update one block at a time and would waste O(n)
+// work per coordinate with a full-gradient-only interface.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "asyncit/linalg/vector_ops.hpp"
+
+namespace asyncit::op {
+
+class SmoothFunction {
+ public:
+  virtual ~SmoothFunction() = default;
+
+  virtual std::size_t dim() const = 0;
+
+  /// f(x)
+  virtual double value(std::span<const double> x) const = 0;
+
+  /// g = ∇f(x)
+  virtual void gradient(std::span<const double> x,
+                        std::span<double> g) const = 0;
+
+  /// ∂f/∂x_c (x)
+  virtual double partial(std::size_t coord,
+                         std::span<const double> x) const = 0;
+
+  /// Partials for the coordinate range [begin, end) into out (size
+  /// end-begin). Default loops `partial`; data-coupled functions (least
+  /// squares, logistic) override it to compute the shared residual once
+  /// per block instead of once per coordinate.
+  virtual void partial_block(std::size_t begin, std::size_t end,
+                             std::span<const double> x,
+                             std::span<double> out) const;
+
+  /// Strong convexity modulus mu (> 0 for the problems of Section V).
+  virtual double mu() const = 0;
+
+  /// Smoothness constant L (>= mu).
+  virtual double lipschitz() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// The paper's admissible fixed step-size range is (0, 2/(mu+L)]; this
+  /// returns its right end-point, the classic optimal fixed step.
+  double suggested_step() const { return 2.0 / (mu() + lipschitz()); }
+};
+
+}  // namespace asyncit::op

@@ -1,0 +1,17 @@
+#include "asyncit/problems/composite.hpp"
+
+#include "asyncit/linalg/partition.hpp"
+#include "asyncit/operators/prox_gradient.hpp"
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::problems {
+
+la::Vector CompositeProblem::reference_minimizer(std::size_t max_iters,
+                                                 double tol) const {
+  ASYNCIT_CHECK(f && g);
+  const op::ForwardBackwardOperator fb(*f, *g, suggested_gamma(),
+                                       la::Partition::balanced(dim(), 1));
+  return op::picard_solve(fb, la::zeros(dim()), max_iters, tol);
+}
+
+}  // namespace asyncit::problems

@@ -1,0 +1,39 @@
+// The composite optimization problem of Section V:
+//
+//     min_{x ∈ R^n}  f(x) + g(x)                              (4)
+//
+// bundled with everything the solvers and auditors need: shared ownership
+// of f and g, the admissible step range, objective evaluation, and a
+// high-precision reference minimizer for error measurements.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "asyncit/operators/prox.hpp"
+#include "asyncit/operators/smooth.hpp"
+
+namespace asyncit::problems {
+
+struct CompositeProblem {
+  std::shared_ptr<const op::SmoothFunction> f;
+  std::shared_ptr<const op::ProxOperator> g;
+  std::string name;
+
+  std::size_t dim() const { return f->dim(); }
+
+  /// Right end of the paper's admissible step range (0, 2/(mu+L)].
+  double suggested_gamma() const { return f->suggested_step(); }
+
+  /// f(x) + g(x).
+  double objective(std::span<const double> x) const {
+    return f->value(x) + g->value(x);
+  }
+
+  /// High-precision minimizer via sequential forward-backward iterations
+  /// (Picard on the classic prox-gradient map). Deterministic.
+  la::Vector reference_minimizer(std::size_t max_iters = 200000,
+                                 double tol = 1e-13) const;
+};
+
+}  // namespace asyncit::problems

@@ -1,0 +1,79 @@
+#include "asyncit/problems/lasso.hpp"
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::problems {
+
+la::CsrMatrix transpose(const la::CsrMatrix& a) {
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(a.nnz());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      triplets.push_back({cols[k], static_cast<std::uint32_t>(r), vals[k]});
+  }
+  return la::CsrMatrix::from_triplets(a.cols(), a.rows(),
+                                      std::move(triplets));
+}
+
+LeastSquaresFunction::LeastSquaresFunction(la::CsrMatrix a, la::Vector y,
+                                           double ridge)
+    : a_(std::move(a)), y_(std::move(y)), ridge_(ridge) {
+  ASYNCIT_CHECK(a_.rows() == y_.size());
+  ASYNCIT_CHECK_MSG(ridge_ > 0.0,
+                    "ridge must be positive: Section V assumes mu > 0");
+  at_ = transpose(a_);
+  l_ = la::gram_spectral_norm(a_) + ridge_;
+}
+
+double LeastSquaresFunction::value(std::span<const double> x) const {
+  ASYNCIT_CHECK(x.size() == dim());
+  la::Vector r(a_.rows());
+  a_.matvec(x, r);
+  double s = 0.0;
+  for (std::size_t h = 0; h < r.size(); ++h) {
+    const double d = r[h] - y_[h];
+    s += d * d;
+  }
+  return 0.5 * s + 0.5 * ridge_ * la::norm2_sq(x);
+}
+
+void LeastSquaresFunction::gradient(std::span<const double> x,
+                                    std::span<double> g) const {
+  ASYNCIT_CHECK(x.size() == dim() && g.size() == dim());
+  la::Vector r(a_.rows());
+  a_.matvec(x, r);
+  for (std::size_t h = 0; h < r.size(); ++h) r[h] -= y_[h];
+  a_.matvec_transpose(r, g);
+  for (std::size_t c = 0; c < g.size(); ++c) g[c] += ridge_ * x[c];
+}
+
+double LeastSquaresFunction::partial(std::size_t coord,
+                                     std::span<const double> x) const {
+  ASYNCIT_CHECK(coord < dim());
+  // residual restricted to the samples that touch this coordinate
+  const auto rows = at_.row_cols(coord);   // sample indices
+  const auto vals = at_.row_values(coord);  // A[h, coord]
+  double s = 0.0;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const std::size_t h = rows[k];
+    s += vals[k] * (a_.row_dot(h, x) - y_[h]);
+  }
+  return s + ridge_ * x[coord];
+}
+
+void LeastSquaresFunction::partial_block(std::size_t begin, std::size_t end,
+                                         std::span<const double> x,
+                                         std::span<double> out) const {
+  ASYNCIT_CHECK(begin <= end && end <= dim());
+  ASYNCIT_CHECK(out.size() == end - begin);
+  // One residual pass for the whole block, then column dots.
+  la::Vector r(a_.rows());
+  a_.matvec(x, r);
+  for (std::size_t h = 0; h < r.size(); ++h) r[h] -= y_[h];
+  for (std::size_t c = begin; c < end; ++c)
+    out[c - begin] = at_.row_dot(c, r) + ridge_ * x[c];
+}
+
+}  // namespace asyncit::problems

@@ -1,0 +1,51 @@
+// Regularized least squares (the workhorse ML instance of problem (4)):
+//
+//   f(x) = 1/2 ‖A x − y‖²  +  (ridge/2) ‖x‖² ,    g(x) = λ ‖x‖₁ .
+//
+// ridge > 0 makes f strongly convex with mu >= ridge (exactly ridge when
+// A has a nontrivial null space), matching the paper's mu-strong-convexity
+// hypothesis; λ = 0 + ridge > 0 gives ridge regression, λ > 0 the elastic-
+// net-style sparse learner used throughout the benches.
+#pragma once
+
+#include <memory>
+
+#include "asyncit/linalg/csr_matrix.hpp"
+#include "asyncit/operators/smooth.hpp"
+
+namespace asyncit::problems {
+
+class LeastSquaresFunction final : public op::SmoothFunction {
+ public:
+  /// a: m×n design matrix; y: m targets; ridge >= 0.
+  /// L is computed as λmax(A'A) + ridge by power iteration.
+  LeastSquaresFunction(la::CsrMatrix a, la::Vector y, double ridge);
+
+  std::size_t dim() const override { return at_.rows(); }
+  double value(std::span<const double> x) const override;
+  void gradient(std::span<const double> x,
+                std::span<double> g) const override;
+  double partial(std::size_t coord, std::span<const double> x) const override;
+  void partial_block(std::size_t begin, std::size_t end,
+                     std::span<const double> x,
+                     std::span<double> out) const override;
+  double mu() const override { return ridge_; }
+  double lipschitz() const override { return l_; }
+  std::string name() const override { return "least-squares"; }
+
+  const la::CsrMatrix& design() const { return a_; }
+  const la::Vector& targets() const { return y_; }
+  std::size_t samples() const { return a_.rows(); }
+
+ private:
+  la::CsrMatrix a_;   // m×n
+  la::CsrMatrix at_;  // n×m (explicit transpose for column dots)
+  la::Vector y_;
+  double ridge_;
+  double l_;
+};
+
+/// Explicit transpose of a CSR matrix (shared by lasso and logistic).
+la::CsrMatrix transpose(const la::CsrMatrix& a);
+
+}  // namespace asyncit::problems

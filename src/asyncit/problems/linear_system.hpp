@@ -1,0 +1,41 @@
+// Linear fixed-point substrates: A x = b with Jacobi-contractive A.
+//
+// These are the problems of the chaotic-relaxation lineage (Chazan &
+// Miranker, Rosenfeld, Miellou — refs [12][13][14] of the paper): strictly
+// diagonally dominant systems, for which the point-Jacobi operator is a
+// max-norm contraction and totally asynchronous iterations provably
+// converge.
+#pragma once
+
+#include <cstddef>
+
+#include "asyncit/linalg/csr_matrix.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::problems {
+
+struct LinearSystem {
+  la::CsrMatrix a;
+  la::Vector b;
+
+  std::size_t dim() const { return a.rows(); }
+};
+
+/// Random sparse strictly diagonally dominant system.
+/// `dominance` > 1 is the ratio |a_ii| / Σ_{k≠i}|a_ik| (Jacobi contraction
+/// factor is then <= 1/dominance). `off_diagonals_per_row` are placed at
+/// random columns.
+LinearSystem make_diagonally_dominant_system(std::size_t n,
+                                             std::size_t off_diagonals_per_row,
+                                             double dominance, Rng& rng);
+
+/// 1-D Poisson (tridiagonal [-1, 2+shift, -1]) with random rhs; shift > 0
+/// makes Jacobi strictly contracting in max norm.
+LinearSystem make_tridiagonal_system(std::size_t n, double shift, Rng& rng);
+
+/// 2-D 5-point Laplacian on an interior grid of nx*ny points with mesh
+/// width h = 1/(nx+1): A = (4+shift) I - adjacency; rhs from f ≡ const.
+LinearSystem make_laplacian_2d_system(std::size_t nx, std::size_t ny,
+                                      double shift, double f_value);
+
+}  // namespace asyncit::problems

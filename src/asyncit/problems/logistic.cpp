@@ -1,0 +1,101 @@
+#include "asyncit/problems/logistic.hpp"
+
+#include <cmath>
+
+#include "asyncit/problems/lasso.hpp"  // transpose()
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::problems {
+
+namespace {
+/// Numerically stable log(1 + exp(t)).
+double log1pexp(double t) {
+  if (t > 35.0) return t;
+  if (t < -35.0) return 0.0;
+  return std::log1p(std::exp(t));
+}
+
+/// Logistic sigmoid 1 / (1 + exp(-t)).
+double sigmoid(double t) {
+  if (t >= 0.0) {
+    const double e = std::exp(-t);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(t);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+LogisticFunction::LogisticFunction(la::CsrMatrix a, std::vector<int> labels,
+                                   double ridge)
+    : a_(std::move(a)), labels_(std::move(labels)), ridge_(ridge) {
+  ASYNCIT_CHECK(a_.rows() == labels_.size());
+  ASYNCIT_CHECK_MSG(ridge_ > 0.0,
+                    "ridge must be positive: Section V assumes mu > 0");
+  for (int z : labels_) ASYNCIT_CHECK(z == -1 || z == 1);
+  at_ = transpose(a_);
+  // Hessian is A' D A + ridge I with D = diag(sigma(1-sigma)) <= 1/4.
+  l_ = 0.25 * la::gram_spectral_norm(a_) + ridge_;
+}
+
+double LogisticFunction::value(std::span<const double> x) const {
+  ASYNCIT_CHECK(x.size() == dim());
+  double s = 0.0;
+  for (std::size_t h = 0; h < a_.rows(); ++h)
+    s += log1pexp(-static_cast<double>(labels_[h]) * a_.row_dot(h, x));
+  return s + 0.5 * ridge_ * la::norm2_sq(x);
+}
+
+void LogisticFunction::gradient(std::span<const double> x,
+                                std::span<double> g) const {
+  ASYNCIT_CHECK(x.size() == dim() && g.size() == dim());
+  // s_h = -z_h * sigmoid(-z_h m_h)
+  la::Vector s(a_.rows());
+  for (std::size_t h = 0; h < a_.rows(); ++h) {
+    const double z = static_cast<double>(labels_[h]);
+    s[h] = -z * sigmoid(-z * a_.row_dot(h, x));
+  }
+  a_.matvec_transpose(s, g);
+  for (std::size_t c = 0; c < g.size(); ++c) g[c] += ridge_ * x[c];
+}
+
+double LogisticFunction::partial(std::size_t coord,
+                                 std::span<const double> x) const {
+  ASYNCIT_CHECK(coord < dim());
+  const auto rows = at_.row_cols(coord);
+  const auto vals = at_.row_values(coord);
+  double s = 0.0;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const std::size_t h = rows[k];
+    const double z = static_cast<double>(labels_[h]);
+    s += vals[k] * (-z * sigmoid(-z * a_.row_dot(h, x)));
+  }
+  return s + ridge_ * x[coord];
+}
+
+void LogisticFunction::partial_block(std::size_t begin, std::size_t end,
+                                     std::span<const double> x,
+                                     std::span<double> out) const {
+  ASYNCIT_CHECK(begin <= end && end <= dim());
+  ASYNCIT_CHECK(out.size() == end - begin);
+  la::Vector s(a_.rows());
+  for (std::size_t h = 0; h < a_.rows(); ++h) {
+    const double z = static_cast<double>(labels_[h]);
+    s[h] = -z * sigmoid(-z * a_.row_dot(h, x));
+  }
+  for (std::size_t c = begin; c < end; ++c)
+    out[c - begin] = at_.row_dot(c, s) + ridge_ * x[c];
+}
+
+double LogisticFunction::accuracy(std::span<const double> x) const {
+  ASYNCIT_CHECK(x.size() == dim());
+  std::size_t correct = 0;
+  for (std::size_t h = 0; h < a_.rows(); ++h) {
+    const double margin = a_.row_dot(h, x);
+    const int predicted = margin >= 0.0 ? 1 : -1;
+    if (predicted == labels_[h]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(a_.rows());
+}
+
+}  // namespace asyncit::problems

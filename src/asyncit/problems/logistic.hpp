@@ -1,0 +1,50 @@
+// L2-regularized logistic regression (binary classification):
+//
+//   f(x) = Σ_h log(1 + exp(−z_h ⟨a_h, x⟩))  +  (ridge/2) ‖x‖² ,
+//
+// labels z_h ∈ {−1, +1}; optional g(x) = λ‖x‖₁ turns it into sparse
+// logistic regression. This is the paper's Section V "learn parameters x
+// of the model p(y, x) so that p(y_h, x) matches the target z_h" with the
+// logistic loss as h.
+#pragma once
+
+#include <memory>
+
+#include "asyncit/linalg/csr_matrix.hpp"
+#include "asyncit/operators/smooth.hpp"
+
+namespace asyncit::problems {
+
+class LogisticFunction final : public op::SmoothFunction {
+ public:
+  /// a: m×n design; labels: m entries in {−1, +1}; ridge > 0.
+  LogisticFunction(la::CsrMatrix a, std::vector<int> labels, double ridge);
+
+  std::size_t dim() const override { return at_.rows(); }
+  double value(std::span<const double> x) const override;
+  void gradient(std::span<const double> x,
+                std::span<double> g) const override;
+  double partial(std::size_t coord, std::span<const double> x) const override;
+  void partial_block(std::size_t begin, std::size_t end,
+                     std::span<const double> x,
+                     std::span<double> out) const override;
+  double mu() const override { return ridge_; }
+  double lipschitz() const override { return l_; }
+  std::string name() const override { return "logistic"; }
+
+  const la::CsrMatrix& design() const { return a_; }
+  const std::vector<int>& labels() const { return labels_; }
+  std::size_t samples() const { return a_.rows(); }
+
+  /// Fraction of samples classified correctly by sign(⟨a_h, x⟩).
+  double accuracy(std::span<const double> x) const;
+
+ private:
+  la::CsrMatrix a_;
+  la::CsrMatrix at_;
+  std::vector<int> labels_;
+  double ridge_;
+  double l_;
+};
+
+}  // namespace asyncit::problems

@@ -1,0 +1,84 @@
+#include "asyncit/problems/markov.hpp"
+
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::problems {
+
+PageRankProblem::PageRankProblem(la::CsrMatrix pt, double damping)
+    : pt_(std::move(pt)), damping_(damping) {
+  ASYNCIT_CHECK(pt_.rows() == pt_.cols());
+  ASYNCIT_CHECK(damping_ > 0.0 && damping_ < 1.0);
+  teleport_.assign(dim(), 1.0 / static_cast<double>(dim()));
+}
+
+double PageRankProblem::residual(std::span<const double> x) const {
+  ASYNCIT_CHECK(x.size() == dim());
+  la::Vector tx(dim());
+  pt_.matvec(x, tx);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const double fx = damping_ * tx[i] + (1.0 - damping_) * teleport_[i];
+    worst = std::max(worst, std::abs(fx - x[i]));
+  }
+  return worst;
+}
+
+la::Vector PageRankProblem::reference_solution(std::size_t max_iters,
+                                               double tol) const {
+  la::Vector x(teleport_);
+  la::Vector tx(dim());
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    pt_.matvec(x, tx);
+    double change = 0.0;
+    for (std::size_t i = 0; i < dim(); ++i) {
+      const double next = damping_ * tx[i] + (1.0 - damping_) * teleport_[i];
+      change = std::max(change, std::abs(next - x[i]));
+      x[i] = next;
+    }
+    if (change < tol) break;
+  }
+  return x;
+}
+
+PageRankOperator::PageRankOperator(const PageRankProblem& problem)
+    : problem_(problem), partition_(la::Partition::scalar(problem.dim())) {}
+
+void PageRankOperator::apply_block(la::BlockId blk, std::span<const double> x,
+                                   std::span<double> out) const {
+  ASYNCIT_CHECK(out.size() == 1);
+  out[0] = problem_.damping() * problem_.pt().row_dot(blk, x) +
+           (1.0 - problem_.damping()) * problem_.teleport()[blk];
+}
+
+PageRankProblem make_random_web(std::size_t n, double avg_out_degree,
+                                double damping, Rng& rng) {
+  ASYNCIT_CHECK(n >= 2);
+  ASYNCIT_CHECK(avg_out_degree >= 1.0);
+  // out_links[i] = targets of node i
+  std::vector<std::vector<std::uint32_t>> out_links(n);
+  const double p_link = avg_out_degree / static_cast<double>(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (k != i && rng.bernoulli(p_link)) out_links[i].push_back(k);
+    }
+    if (out_links[i].empty()) {
+      std::uint32_t k = i;
+      while (k == i) k = static_cast<std::uint32_t>(rng.uniform_index(n));
+      out_links[i].push_back(k);
+    }
+  }
+  // Pᵀ[target][source] = 1 / outdeg(source)
+  std::vector<la::Triplet> triplets;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double w = 1.0 / static_cast<double>(out_links[i].size());
+    for (std::uint32_t target : out_links[i])
+      triplets.push_back({target, i, w});
+  }
+  return PageRankProblem(la::CsrMatrix::from_triplets(n, n,
+                                                      std::move(triplets)),
+                         damping);
+}
+
+}  // namespace asyncit::problems

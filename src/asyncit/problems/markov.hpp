@@ -1,0 +1,70 @@
+// Markov systems / PageRank — the "Markov systems" application family the
+// paper's Section III cites for macro-iteration based convergence proofs.
+//
+// Stationary-distribution fixed point with damping (PageRank form):
+//
+//   x = α Pᵀ x + (1 − α) v ,       α ∈ (0, 1),
+//
+// with P row-stochastic and v a probability vector. The affine operator
+// T(x) = α Pᵀ x + (1−α) v contracts with factor α in the weighted maximum
+// norm ‖·‖_u whose weights u are the stationary solution itself
+// (Pᵀ u = u at α→1), the classic asynchronous-iterations norm for Markov
+// chains. Totally asynchronous iterations therefore converge; tests verify
+// the measured contraction factor against α.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "asyncit/linalg/csr_matrix.hpp"
+#include "asyncit/operators/operator.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::problems {
+
+class PageRankProblem {
+ public:
+  /// pt: Pᵀ (columns of P as CSR rows: row i lists in-links of i);
+  /// damping α in (0,1); uniform teleport vector.
+  PageRankProblem(la::CsrMatrix pt, double damping);
+
+  std::size_t dim() const { return pt_.rows(); }
+  double damping() const { return damping_; }
+  const la::CsrMatrix& pt() const { return pt_; }
+  const la::Vector& teleport() const { return teleport_; }
+
+  /// ‖x − (αPᵀx + (1−α)v)‖_inf.
+  double residual(std::span<const double> x) const;
+
+  /// High-precision stationary vector by (synchronous) power iteration.
+  la::Vector reference_solution(std::size_t max_iters = 100000,
+                                double tol = 1e-14) const;
+
+ private:
+  la::CsrMatrix pt_;
+  double damping_;
+  la::Vector teleport_;
+};
+
+/// The PageRank fixed-point map as a BlockOperator (scalar blocks):
+/// F_i(x) = α (Pᵀ x)_i + (1 − α) v_i.
+class PageRankOperator final : public op::BlockOperator {
+ public:
+  explicit PageRankOperator(const PageRankProblem& problem);
+
+  const la::Partition& partition() const override { return partition_; }
+  void apply_block(la::BlockId blk, std::span<const double> x,
+                   std::span<double> out) const override;
+  std::string name() const override { return "pagerank"; }
+
+ private:
+  const PageRankProblem& problem_;
+  la::Partition partition_;
+};
+
+/// Random web-like graph: each node links to ~avg_out_degree random
+/// targets (at least one); returns Pᵀ with uniform out-link weights.
+PageRankProblem make_random_web(std::size_t n, double avg_out_degree,
+                                double damping, Rng& rng);
+
+}  // namespace asyncit::problems

@@ -1,0 +1,230 @@
+#include "asyncit/problems/network_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::problems {
+
+NetworkFlowProblem::NetworkFlowProblem(std::size_t num_nodes,
+                                       std::vector<Arc> arcs,
+                                       la::Vector supplies)
+    : arcs_(std::move(arcs)), supplies_(std::move(supplies)) {
+  ASYNCIT_CHECK(supplies_.size() == num_nodes);
+  ASYNCIT_CHECK(num_nodes >= 2);
+  double total = 0.0;
+  for (double s : supplies_) total += s;
+  ASYNCIT_CHECK_MSG(std::abs(total) < 1e-9 * static_cast<double>(num_nodes),
+                    "supplies must balance; total = " << total);
+  incidence_.resize(num_nodes);
+  for (std::uint32_t e = 0; e < arcs_.size(); ++e) {
+    const Arc& a = arcs_[e];
+    ASYNCIT_CHECK(a.tail < num_nodes && a.head < num_nodes);
+    ASYNCIT_CHECK(a.tail != a.head);
+    ASYNCIT_CHECK_MSG(a.quad > 0.0, "arc costs must be strictly convex");
+    ASYNCIT_CHECK(a.cap > 0.0);
+    incidence_[a.tail].push_back({e, +1});
+    incidence_[a.head].push_back({e, -1});
+  }
+}
+
+double NetworkFlowProblem::arc_flow(std::size_t e,
+                                    std::span<const double> prices) const {
+  ASYNCIT_CHECK(e < arcs_.size());
+  ASYNCIT_CHECK(prices.size() == num_nodes());
+  const Arc& a = arcs_[e];
+  const double tension = prices[a.tail] - prices[a.head] - a.lin;
+  return std::clamp(tension / a.quad, 0.0, a.cap);
+}
+
+la::Vector NetworkFlowProblem::flows(std::span<const double> prices) const {
+  la::Vector x(num_arcs());
+  for (std::size_t e = 0; e < num_arcs(); ++e) x[e] = arc_flow(e, prices);
+  return x;
+}
+
+double NetworkFlowProblem::excess(std::size_t node,
+                                  std::span<const double> prices) const {
+  ASYNCIT_CHECK(node < num_nodes());
+  double g = supplies_[node];
+  for (const Incidence& inc : incidence_[node]) {
+    const double x = arc_flow(inc.arc, prices);
+    g -= static_cast<double>(inc.direction) * x;  // out reduces, in adds
+  }
+  return g;
+}
+
+double NetworkFlowProblem::max_excess(std::span<const double> prices) const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < num_nodes(); ++i)
+    worst = std::max(worst, std::abs(excess(i, prices)));
+  return worst;
+}
+
+double NetworkFlowProblem::primal_cost(std::span<const double> flows) const {
+  ASYNCIT_CHECK(flows.size() == num_arcs());
+  double cost = 0.0;
+  for (std::size_t e = 0; e < num_arcs(); ++e) {
+    const Arc& a = arcs_[e];
+    cost += 0.5 * a.quad * flows[e] * flows[e] + a.lin * flows[e];
+  }
+  return cost;
+}
+
+double NetworkFlowProblem::dual_value(std::span<const double> prices) const {
+  ASYNCIT_CHECK(prices.size() == num_nodes());
+  // q(p) = Σ_e min_{0<=x<=cap} [ f_e(x) − t_e x ] + Σ_i p_i s_i,
+  // with tension t_e = p_tail − p_head − c_e folded into the minimand as
+  // f_e(x) − (p_tail − p_head) x = (a/2)x² − t_e x.
+  double q = 0.0;
+  for (std::size_t e = 0; e < num_arcs(); ++e) {
+    const Arc& a = arcs_[e];
+    const double t = prices[a.tail] - prices[a.head] - a.lin;
+    const double x = std::clamp(t / a.quad, 0.0, a.cap);
+    q += 0.5 * a.quad * x * x - t * x;
+  }
+  for (std::size_t i = 0; i < num_nodes(); ++i)
+    q += prices[i] * supplies_[i];
+  return q;
+}
+
+double NetworkFlowProblem::relax_node(std::size_t node,
+                                      std::span<const double> prices,
+                                      double tol) const {
+  ASYNCIT_CHECK(node < num_nodes());
+  // g_i as a function of the candidate price; other prices fixed.
+  la::Vector scratch(prices.begin(), prices.end());
+  auto g = [&](double p) {
+    scratch[node] = p;
+    return excess(node, scratch);
+  };
+
+  double lo = prices[node];
+  double hi = prices[node];
+  double width = 1.0;
+  // g is non-increasing in p_i. Find lo with g(lo) >= 0 and hi with
+  // g(hi) <= 0. Feasible instances guarantee both exist.
+  int guard = 0;
+  while (g(lo) < 0.0) {
+    lo -= width;
+    width *= 2.0;
+    ASYNCIT_CHECK_MSG(++guard < 200, "bracketing failed (infeasible node?)");
+  }
+  width = 1.0;
+  guard = 0;
+  while (g(hi) > 0.0) {
+    hi += width;
+    width *= 2.0;
+    ASYNCIT_CHECK_MSG(++guard < 200, "bracketing failed (infeasible node?)");
+  }
+  // Bisection.
+  for (int it = 0; it < 200 && hi - lo > tol; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (g(mid) >= 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+const std::vector<NetworkFlowProblem::Incidence>&
+NetworkFlowProblem::incidence(std::size_t node) const {
+  ASYNCIT_CHECK(node < num_nodes());
+  return incidence_[node];
+}
+
+NetworkFlowDualOperator::NetworkFlowDualOperator(
+    const NetworkFlowProblem& problem)
+    : problem_(problem),
+      partition_(la::Partition::scalar(problem.num_nodes())) {}
+
+void NetworkFlowDualOperator::apply_block(la::BlockId blk,
+                                          std::span<const double> x,
+                                          std::span<double> out) const {
+  ASYNCIT_CHECK(out.size() == 1);
+  if (blk == 0) {
+    out[0] = 0.0;  // reference node pins the dual's shift invariance
+    return;
+  }
+  out[0] = problem_.relax_node(blk, x);
+}
+
+namespace {
+la::Vector supplies_from_random_flow(std::size_t num_nodes,
+                                     const std::vector<Arc>& arcs, Rng& rng) {
+  la::Vector supplies(num_nodes, 0.0);
+  for (const Arc& a : arcs) {
+    // keep flows strictly inside capacity so single-node subproblems have
+    // interior solutions
+    const double x = rng.uniform(0.05, 0.95) * a.cap;
+    supplies[a.tail] += x;   // tail must ship x out
+    supplies[a.head] -= x;   // head absorbs x
+  }
+  return supplies;
+}
+}  // namespace
+
+NetworkFlowProblem make_random_network(std::size_t num_nodes,
+                                       std::size_t extra_arcs, Rng& rng) {
+  ASYNCIT_CHECK(num_nodes >= 2);
+  std::vector<Arc> arcs;
+  arcs.reserve(num_nodes - 1 + extra_arcs);
+  // Random spanning tree: connect node i to a random previous node.
+  for (std::uint32_t i = 1; i < num_nodes; ++i) {
+    const auto j = static_cast<std::uint32_t>(rng.uniform_index(i));
+    Arc a;
+    if (rng.bernoulli(0.5)) {
+      a.tail = j;
+      a.head = i;
+    } else {
+      a.tail = i;
+      a.head = j;
+    }
+    a.quad = rng.uniform(0.5, 2.0);
+    a.lin = rng.uniform(0.0, 1.0);
+    a.cap = rng.uniform(2.0, 10.0);
+    arcs.push_back(a);
+  }
+  for (std::size_t k = 0; k < extra_arcs; ++k) {
+    Arc a;
+    a.tail = static_cast<std::uint32_t>(rng.uniform_index(num_nodes));
+    a.head = static_cast<std::uint32_t>(rng.uniform_index(num_nodes));
+    if (a.tail == a.head) continue;
+    a.quad = rng.uniform(0.5, 2.0);
+    a.lin = rng.uniform(0.0, 1.0);
+    a.cap = rng.uniform(2.0, 10.0);
+    arcs.push_back(a);
+  }
+  la::Vector supplies = supplies_from_random_flow(num_nodes, arcs, rng);
+  return NetworkFlowProblem(num_nodes, std::move(arcs), std::move(supplies));
+}
+
+NetworkFlowProblem make_grid_network(std::size_t rows, std::size_t cols,
+                                     Rng& rng) {
+  ASYNCIT_CHECK(rows >= 2 && cols >= 2);
+  const std::size_t n = rows * cols;
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<std::uint32_t>(r * cols + c);
+  };
+  std::vector<Arc> arcs;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols)
+        arcs.push_back({id(r, c), id(r, c + 1), rng.uniform(0.5, 2.0),
+                        rng.uniform(0.0, 1.0), rng.uniform(2.0, 10.0)});
+      if (r + 1 < rows)
+        arcs.push_back({id(r, c), id(r + 1, c), rng.uniform(0.5, 2.0),
+                        rng.uniform(0.0, 1.0), rng.uniform(2.0, 10.0)});
+    }
+  }
+  // Return path from the sink corner back to the source corner so flow can
+  // circulate.
+  arcs.push_back({id(rows - 1, cols - 1), id(0, 0), 1.0, 0.0, 50.0});
+  la::Vector supplies = supplies_from_random_flow(n, arcs, rng);
+  return NetworkFlowProblem(n, std::move(arcs), std::move(supplies));
+}
+
+}  // namespace asyncit::problems

@@ -1,0 +1,116 @@
+// Convex separable network flow — the application domain of the paper's
+// references [6] (Bertsekas & El Baz, distributed asynchronous relaxation)
+// and [8] (asynchronous gradient methods for convex separable network
+// flow).
+//
+// Primal problem on a directed graph G = (N, A):
+//
+//   min  Σ_{e∈A} ( (a_e/2) x_e² + c_e x_e )     a_e > 0
+//   s.t. Σ_{e out of i} x_e − Σ_{e into i} x_e = s_i   (flow balance)
+//        0 ≤ x_e ≤ cap_e ,
+//
+// with balanced supplies Σ_i s_i = 0. Strict convexity makes the dual
+// differentiable; relaxation (coordinate ascent) on node prices p solves
+// it: node i's update sets p_i so that its flow excess
+//
+//   g_i(p) = s_i + inflow_i(x(p)) − outflow_i(x(p))
+//
+// vanishes, where x_e(p) = clamp( (p_tail − p_head − c_e)/a_e , 0, cap_e )
+// is the price-optimal arc flow. g_i is continuous, piecewise linear and
+// non-increasing in p_i, so the single-node problem is a 1-D monotone
+// root-find (closed-form per linear piece; we bisect). Node 0 is the
+// reference node: its price is pinned to 0 to make the fixed point unique.
+//
+// This is exactly the operator the paper's asynchronous theory was built
+// for: updates in arbitrary order with stale prices still converge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asyncit/linalg/partition.hpp"
+#include "asyncit/operators/operator.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::problems {
+
+struct Arc {
+  std::uint32_t tail;
+  std::uint32_t head;
+  double quad;  ///< a_e > 0
+  double lin;   ///< c_e
+  double cap;   ///< capacity > 0
+};
+
+class NetworkFlowProblem {
+ public:
+  NetworkFlowProblem(std::size_t num_nodes, std::vector<Arc> arcs,
+                     la::Vector supplies);
+
+  std::size_t num_nodes() const { return supplies_.size(); }
+  std::size_t num_arcs() const { return arcs_.size(); }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+  const la::Vector& supplies() const { return supplies_; }
+
+  /// Price-optimal flow on arc e.
+  double arc_flow(std::size_t e, std::span<const double> prices) const;
+  /// All arc flows.
+  la::Vector flows(std::span<const double> prices) const;
+
+  /// g_i(p): supply + inflow − outflow at node i under price-optimal flows.
+  double excess(std::size_t node, std::span<const double> prices) const;
+  /// max_i |g_i(p)| — the primal feasibility residual.
+  double max_excess(std::span<const double> prices) const;
+
+  /// Σ_e (a_e/2) x_e² + c_e x_e.
+  double primal_cost(std::span<const double> flows) const;
+  /// Dual functional q(p) (concave; equals primal cost at optimality).
+  double dual_value(std::span<const double> prices) const;
+
+  /// Solves g_i(p_i) = 0 for node i holding other prices fixed (the
+  /// Bertsekas–El Baz relaxation step). Returns the new price.
+  double relax_node(std::size_t node, std::span<const double> prices,
+                    double tol = 1e-12) const;
+
+  /// Arcs incident to a node: (arc index, +1 if outgoing, -1 if incoming).
+  struct Incidence {
+    std::uint32_t arc;
+    int direction;
+  };
+  const std::vector<Incidence>& incidence(std::size_t node) const;
+
+ private:
+  std::vector<Arc> arcs_;
+  la::Vector supplies_;
+  std::vector<std::vector<Incidence>> incidence_;
+};
+
+/// Dual relaxation as a BlockOperator: one scalar block per node;
+/// F_i(p) = relax_node(i, p) for i >= 1, F_0(p) = 0 (reference node).
+class NetworkFlowDualOperator final : public op::BlockOperator {
+ public:
+  explicit NetworkFlowDualOperator(const NetworkFlowProblem& problem);
+
+  const la::Partition& partition() const override { return partition_; }
+  void apply_block(la::BlockId blk, std::span<const double> x,
+                   std::span<double> out) const override;
+  std::string name() const override { return "network-flow-relaxation"; }
+
+ private:
+  const NetworkFlowProblem& problem_;
+  la::Partition partition_;
+};
+
+/// Connected random network: spanning tree + `extra_arcs` random arcs;
+/// supplies are the divergence of a random within-capacity flow, so the
+/// instance is always feasible.
+NetworkFlowProblem make_random_network(std::size_t num_nodes,
+                                       std::size_t extra_arcs, Rng& rng);
+
+/// Grid transportation network: rows×cols nodes, arcs right and down (and
+/// a closing return path), random feasible supplies.
+NetworkFlowProblem make_grid_network(std::size_t rows, std::size_t cols,
+                                     Rng& rng);
+
+}  // namespace asyncit::problems

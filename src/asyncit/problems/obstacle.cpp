@@ -1,0 +1,95 @@
+#include "asyncit/problems/obstacle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asyncit/problems/linear_system.hpp"
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::problems {
+
+ObstacleProblem::ObstacleProblem(std::size_t n, double load,
+                                 double obstacle_height,
+                                 double obstacle_sharpness)
+    : n_(n) {
+  ASYNCIT_CHECK(n_ >= 4);
+  LinearSystem sys = make_laplacian_2d_system(n_, n_, 0.0, load);
+  a_ = std::move(sys.a);
+  b_ = std::move(sys.b);
+  psi_.resize(dim());
+  const double h = 1.0 / static_cast<double>(n_ + 1);
+  for (std::size_t iy = 0; iy < n_; ++iy) {
+    for (std::size_t ix = 0; ix < n_; ++ix) {
+      const double x = static_cast<double>(ix + 1) * h;
+      const double y = static_cast<double>(iy + 1) * h;
+      const double r2 = (x - 0.5) * (x - 0.5) + (y - 0.5) * (y - 0.5);
+      psi_[iy * n_ + ix] = obstacle_height - obstacle_sharpness * r2;
+    }
+  }
+}
+
+std::unique_ptr<op::ProjectedJacobiOperator> ObstacleProblem::make_operator(
+    la::Partition partition) const {
+  return std::make_unique<op::ProjectedJacobiOperator>(a_, b_, psi_,
+                                                       std::move(partition));
+}
+
+la::Vector ObstacleProblem::reference_solution(std::size_t max_sweeps,
+                                               double tol) const {
+  // Projected Gauss–Seidel: in-place sweeps, each point uses the freshest
+  // neighbour values — converges ~2x faster than Jacobi and is exactly
+  // sequential, which is what a reference needs.
+  la::Vector u(dim(), 0.0);
+  const la::Vector diag = a_.diagonal();
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < dim(); ++i) {
+      const auto cols = a_.row_cols(i);
+      const auto vals = a_.row_values(i);
+      double s = b_[i];
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] == i) continue;
+        s -= vals[k] * u[cols[k]];
+      }
+      const double candidate = std::max(psi_[i], s / diag[i]);
+      max_change = std::max(max_change, std::abs(candidate - u[i]));
+      u[i] = candidate;
+    }
+    if (max_change < tol) break;
+  }
+  return u;
+}
+
+double ObstacleProblem::feasibility_violation(
+    std::span<const double> u) const {
+  ASYNCIT_CHECK(u.size() == dim());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i)
+    worst = std::max(worst, psi_[i] - u[i]);
+  return std::max(worst, 0.0);
+}
+
+double ObstacleProblem::complementarity_residual(
+    std::span<const double> u) const {
+  ASYNCIT_CHECK(u.size() == dim());
+  la::Vector au(dim());
+  a_.matvec(u, au);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const double residual = au[i] - b_[i];     // >= 0 at solution
+    const double slack = u[i] - psi_[i];       // >= 0 at solution
+    worst = std::max(worst, std::abs(std::min(residual, slack)));
+  }
+  return worst;
+}
+
+std::size_t ObstacleProblem::contact_count(std::span<const double> u,
+                                           double tol) const {
+  ASYNCIT_CHECK(u.size() == dim());
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < dim(); ++i)
+    if (u[i] - psi_[i] < tol) ++count;
+  return count;
+}
+
+}  // namespace asyncit::problems

@@ -1,0 +1,62 @@
+// The discrete obstacle problem — the numerical-simulation workload of the
+// paper's reference [26] (asynchronous relaxation on the IBM SP4 with
+// several data-exchange frequencies).
+//
+// Membrane u on the unit square, zero boundary, load f, obstacle psi:
+//
+//   u >= psi,   A u >= b,   (A u − b)ᵀ (u − psi) = 0   (complementarity)
+//
+// with A the 5-point Laplacian and b = h² f. The projected Jacobi operator
+//   F_i(u) = max( psi_i, (Σ_neighbors u + b_i) / 4 )
+// is a max-norm contraction-like monotone map; asynchronous projected
+// relaxation converges from any start (El Tarazi / Bertsekas theory).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "asyncit/linalg/csr_matrix.hpp"
+#include "asyncit/operators/projected_jacobi.hpp"
+
+namespace asyncit::problems {
+
+class ObstacleProblem {
+ public:
+  /// Interior grid n×n on the unit square; load f(x,y) (constant
+  /// `load` < 0 pulls the membrane down); obstacle
+  /// psi(x,y) = height − sharpness·((x−½)² + (y−½)²) (a dome centred in
+  /// the square; choose height < 0 so the contact set is a disc).
+  ObstacleProblem(std::size_t n, double load, double obstacle_height,
+                  double obstacle_sharpness);
+
+  std::size_t grid() const { return n_; }
+  std::size_t dim() const { return n_ * n_; }
+  const la::CsrMatrix& laplacian() const { return a_; }
+  const la::Vector& rhs() const { return b_; }
+  const la::Vector& obstacle() const { return psi_; }
+
+  /// Projected Jacobi operator over the given partition.
+  std::unique_ptr<op::ProjectedJacobiOperator> make_operator(
+      la::Partition partition) const;
+
+  /// High-precision reference via sequential projected Gauss–Seidel.
+  la::Vector reference_solution(std::size_t max_sweeps = 200000,
+                                double tol = 1e-12) const;
+
+  /// max_i max( psi_i − u_i, 0 ): feasibility violation.
+  double feasibility_violation(std::span<const double> u) const;
+  /// max_i | min( (A u − b)_i, u_i − psi_i ) |: complementarity residual.
+  double complementarity_residual(std::span<const double> u) const;
+  /// Number of contact points (u_i within tol of psi_i).
+  std::size_t contact_count(std::span<const double> u,
+                            double tol = 1e-6) const;
+
+ private:
+  std::size_t n_;
+  la::CsrMatrix a_;
+  la::Vector b_;
+  la::Vector psi_;
+};
+
+}  // namespace asyncit::problems

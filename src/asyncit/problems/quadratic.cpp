@@ -1,0 +1,149 @@
+#include "asyncit/problems/quadratic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::problems {
+
+SeparableQuadratic::SeparableQuadratic(la::Vector curvatures,
+                                       la::Vector centers)
+    : a_(std::move(curvatures)), c_(std::move(centers)) {
+  ASYNCIT_CHECK(!a_.empty());
+  ASYNCIT_CHECK(a_.size() == c_.size());
+  mu_ = a_[0];
+  l_ = a_[0];
+  for (double a : a_) {
+    ASYNCIT_CHECK_MSG(a > 0.0, "curvatures must be positive");
+    mu_ = std::min(mu_, a);
+    l_ = std::max(l_, a);
+  }
+}
+
+double SeparableQuadratic::value(std::span<const double> x) const {
+  ASYNCIT_CHECK(x.size() == dim());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - c_[i];
+    s += 0.5 * a_[i] * d * d;
+  }
+  return s;
+}
+
+void SeparableQuadratic::gradient(std::span<const double> x,
+                                  std::span<double> g) const {
+  ASYNCIT_CHECK(x.size() == dim() && g.size() == dim());
+  for (std::size_t i = 0; i < x.size(); ++i) g[i] = a_[i] * (x[i] - c_[i]);
+}
+
+double SeparableQuadratic::partial(std::size_t coord,
+                                   std::span<const double> x) const {
+  ASYNCIT_CHECK(coord < dim());
+  return a_[coord] * (x[coord] - c_[coord]);
+}
+
+std::unique_ptr<SeparableQuadratic> make_separable_quadratic(
+    std::size_t n, double mu, double lipschitz, Rng& rng) {
+  ASYNCIT_CHECK(n >= 1);
+  ASYNCIT_CHECK(0.0 < mu && mu <= lipschitz);
+  la::Vector a(n), c(n);
+  const double log_mu = std::log(mu);
+  const double log_l = std::log(lipschitz);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = std::exp(rng.uniform(log_mu, log_l));
+    c[i] = rng.normal();
+  }
+  // Pin the extremes so mu and L are exact, not just bounds.
+  if (n >= 2) {
+    a[0] = mu;
+    a[n - 1] = lipschitz;
+  }
+  return std::make_unique<SeparableQuadratic>(std::move(a), std::move(c));
+}
+
+SparseQuadratic::SparseQuadratic(la::CsrMatrix q, la::Vector b, double mu,
+                                 double lipschitz)
+    : q_(std::move(q)), b_(std::move(b)), mu_(mu), l_(lipschitz) {
+  ASYNCIT_CHECK(q_.rows() == q_.cols());
+  ASYNCIT_CHECK(q_.rows() == b_.size());
+  ASYNCIT_CHECK(0.0 < mu_ && mu_ <= l_);
+}
+
+double SparseQuadratic::value(std::span<const double> x) const {
+  ASYNCIT_CHECK(x.size() == dim());
+  la::Vector qx(dim());
+  q_.matvec(x, qx);
+  return 0.5 * la::dot(x, qx) - la::dot(b_, x);
+}
+
+void SparseQuadratic::gradient(std::span<const double> x,
+                               std::span<double> g) const {
+  ASYNCIT_CHECK(x.size() == dim() && g.size() == dim());
+  q_.matvec(x, g);
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] -= b_[i];
+}
+
+double SparseQuadratic::partial(std::size_t coord,
+                                std::span<const double> x) const {
+  return q_.row_dot(coord, x) - b_[coord];
+}
+
+void SparseQuadratic::partial_block(std::size_t begin, std::size_t end,
+                                    std::span<const double> x,
+                                    std::span<double> out) const {
+  ASYNCIT_CHECK(begin <= end && end <= dim());
+  ASYNCIT_CHECK(out.size() == end - begin);
+  for (std::size_t c = begin; c < end; ++c)
+    out[c - begin] = q_.row_dot(c, x) - b_[c];
+}
+
+std::unique_ptr<SparseQuadratic> make_sparse_quadratic(
+    std::size_t n, std::size_t off_diagonals_per_row, double dominance,
+    Rng& rng) {
+  ASYNCIT_CHECK(n >= 2);
+  ASYNCIT_CHECK(dominance > 1.0);
+  // Build symmetric strict diagonal dominance: place off-diagonal entries
+  // (i, j) and (j, i) with the same value, then set the diagonal to
+  // dominance * (row off-diagonal magnitude sum) + 1.
+  std::vector<la::Triplet> triplets;
+  la::Vector off_sums(n, 0.0);
+  for (std::uint32_t row = 0; row < n; ++row) {
+    for (std::size_t k = 0; k < off_diagonals_per_row; ++k) {
+      std::uint32_t col = row;
+      while (col == row)
+        col = static_cast<std::uint32_t>(rng.uniform_index(n));
+      const double v = rng.uniform(-0.5, 0.5);
+      triplets.push_back({row, col, v});
+      triplets.push_back({col, row, v});
+      off_sums[row] += std::abs(v);
+      off_sums[col] += std::abs(v);
+    }
+  }
+  double diag_min = std::numeric_limits<double>::infinity();
+  double diag_max = 0.0;
+  double off_max = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double d = dominance * off_sums[i] + 1.0;
+    triplets.push_back({i, i, d});
+    diag_min = std::min(diag_min, d);
+    diag_max = std::max(diag_max, d);
+    off_max = std::max(off_max, off_sums[i]);
+  }
+  la::Vector b(n);
+  for (auto& v : b) v = rng.normal();
+  // Gershgorin: eigenvalues lie in [min(d_i - off_i), max(d_i + off_i)].
+  double mu_lb = std::numeric_limits<double>::infinity();
+  double l_ub = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double d = dominance * off_sums[i] + 1.0;
+    mu_lb = std::min(mu_lb, d - off_sums[i]);
+    l_ub = std::max(l_ub, d + off_sums[i]);
+  }
+  return std::make_unique<SparseQuadratic>(
+      la::CsrMatrix::from_triplets(n, n, std::move(triplets)), std::move(b),
+      mu_lb, l_ub);
+}
+
+}  // namespace asyncit::problems

@@ -1,0 +1,84 @@
+// Smooth quadratic test functions with exact (mu, L).
+//
+// SeparableQuadratic is the cleanest instantiation of the paper's
+// Section V hypotheses (f separable, L-smooth, mu-strongly convex): the
+// gradient-type operator decouples coordinate-wise, is a max-norm
+// contraction with factor exactly max(|1-γ a_i|), and its minimizer is
+// known in closed form — so Theorem 1's bound can be audited exactly.
+//
+// SparseQuadratic f(x) = 1/2 x'Qx - b'x (Q sparse SPD) provides the
+// coupled case: asynchronous convergence still holds when I - γQ is a
+// max-norm contraction (generalized diagonal dominance).
+#pragma once
+
+#include <memory>
+
+#include "asyncit/linalg/csr_matrix.hpp"
+#include "asyncit/operators/smooth.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::problems {
+
+/// f(x) = Σ_i (a_i/2)(x_i − c_i)², a_i ∈ [mu, L].
+class SeparableQuadratic final : public op::SmoothFunction {
+ public:
+  SeparableQuadratic(la::Vector curvatures, la::Vector centers);
+
+  std::size_t dim() const override { return a_.size(); }
+  double value(std::span<const double> x) const override;
+  void gradient(std::span<const double> x,
+                std::span<double> g) const override;
+  double partial(std::size_t coord, std::span<const double> x) const override;
+  double mu() const override { return mu_; }
+  double lipschitz() const override { return l_; }
+  std::string name() const override { return "separable-quadratic"; }
+
+  /// The exact minimizer (= centers).
+  const la::Vector& minimizer() const { return c_; }
+  const la::Vector& curvatures() const { return a_; }
+
+ private:
+  la::Vector a_;
+  la::Vector c_;
+  double mu_;
+  double l_;
+};
+
+/// Curvatures log-uniform in [mu, L]; centers standard normal.
+std::unique_ptr<SeparableQuadratic> make_separable_quadratic(
+    std::size_t n, double mu, double lipschitz, Rng& rng);
+
+/// f(x) = 1/2 x'Qx − b'x with Q sparse symmetric positive definite and
+/// strictly diagonally dominant (so I − γQ is a max-norm contraction for
+/// small γ). mu/L are the Gershgorin bounds (valid, not tight).
+class SparseQuadratic final : public op::SmoothFunction {
+ public:
+  SparseQuadratic(la::CsrMatrix q, la::Vector b, double mu, double lipschitz);
+
+  std::size_t dim() const override { return b_.size(); }
+  double value(std::span<const double> x) const override;
+  void gradient(std::span<const double> x,
+                std::span<double> g) const override;
+  double partial(std::size_t coord, std::span<const double> x) const override;
+  void partial_block(std::size_t begin, std::size_t end,
+                     std::span<const double> x,
+                     std::span<double> out) const override;
+  double mu() const override { return mu_; }
+  double lipschitz() const override { return l_; }
+  std::string name() const override { return "sparse-quadratic"; }
+
+  const la::CsrMatrix& q() const { return q_; }
+  const la::Vector& b() const { return b_; }
+
+ private:
+  la::CsrMatrix q_;
+  la::Vector b_;
+  double mu_;
+  double l_;
+};
+
+std::unique_ptr<SparseQuadratic> make_sparse_quadratic(
+    std::size_t n, std::size_t off_diagonals_per_row, double dominance,
+    Rng& rng);
+
+}  // namespace asyncit::problems

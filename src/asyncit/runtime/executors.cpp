@@ -1,0 +1,324 @@
+#include "asyncit/runtime/executors.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <cmath>
+#include <thread>
+
+#include "asyncit/runtime/shared_iterate.hpp"
+#include "asyncit/support/check.hpp"
+#include "asyncit/support/timer.hpp"
+
+namespace asyncit::rt {
+
+namespace {
+
+/// Contiguous near-even assignment of blocks to workers.
+std::vector<std::vector<la::BlockId>> assign_blocks(std::size_t m,
+                                                    std::size_t workers) {
+  std::vector<std::vector<la::BlockId>> owned(workers);
+  const std::size_t base = m / workers, extra = m % workers;
+  la::BlockId b = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t count = base + (w < extra ? 1 : 0);
+    for (std::size_t k = 0; k < count; ++k) owned[w].push_back(b++);
+  }
+  return owned;
+}
+
+std::size_t repetitions(const RuntimeOptions& options, std::size_t worker) {
+  if (options.worker_slowdown.empty()) return 1;
+  ASYNCIT_CHECK(worker < options.worker_slowdown.size());
+  const double f = options.worker_slowdown[worker];
+  ASYNCIT_CHECK(f >= 1.0);
+  return static_cast<std::size_t>(std::ceil(f));
+}
+
+}  // namespace
+
+namespace {
+
+/// Seqlock-consistent async executor: every update copies the iterate via
+/// per-block consistent reads, applies the operator to the copy, and
+/// publishes the block atomically. Slower than Hogwild, but every block a
+/// reader sees is a complete published update (no shared-memory partial
+/// mixes) — the consistency ablation of bench/a3_read_consistency.
+RuntimeResult run_async_threads_seqlock(const op::BlockOperator& op,
+                                        const la::Vector& x0,
+                                        const RuntimeOptions& options) {
+  const la::Partition& partition = op.partition();
+  const std::size_t m = partition.num_blocks();
+  SeqlockBlockStore store(partition, x0);
+  la::WeightedMaxNorm norm{partition};
+  const bool oracle = options.x_star.has_value();
+
+  const auto owned = assign_blocks(m, options.workers);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_updates{0};
+  std::vector<std::uint64_t> per_worker(options.workers, 0);
+
+  WallTimer timer;
+  auto worker_fn = [&](std::size_t w) {
+    la::Vector local(partition.dim());
+    std::vector<model::Step> tags(m);
+    la::Vector out;
+    std::size_t cursor = 0;
+    std::uint64_t own_updates = 0;
+    model::Step my_step = 0;
+    const std::size_t reps = repetitions(options, w);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const la::BlockId b = owned[w][cursor];
+      cursor = (cursor + 1) % owned[w].size();
+      const la::BlockRange r = partition.range(b);
+      out.resize(r.size());
+      store.read_all(local, tags);  // consistent per-block snapshot
+      for (std::size_t t = 0; t < options.inner_steps; ++t) {
+        for (std::size_t rep = 0; rep < reps; ++rep)
+          op.apply_block(b, local, out);
+        std::copy(out.begin(), out.end(),
+                  local.begin() + static_cast<std::ptrdiff_t>(r.begin));
+        if (options.publish_partials && t + 1 < options.inner_steps)
+          store.write_block(b, out, ++my_step);
+      }
+      store.write_block(b, out, ++my_step);
+      ++own_updates;
+      total_updates.fetch_add(1, std::memory_order_relaxed);
+
+      if (own_updates % options.check_every == 0) {
+        if (timer.seconds() > options.max_seconds ||
+            total_updates.load(std::memory_order_relaxed) >=
+                options.max_updates) {
+          stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+        if (oracle && w == 0) {
+          store.read_all(local, tags);
+          if (norm.distance(local, *options.x_star) < options.tol)
+            stop.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    per_worker[w] = own_updates;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options.workers);
+  for (std::size_t w = 0; w < options.workers; ++w)
+    threads.emplace_back(worker_fn, w);
+  for (auto& t : threads) t.join();
+
+  RuntimeResult result;
+  result.wall_seconds = timer.seconds();
+  result.x.resize(partition.dim());
+  std::vector<model::Step> tags(m);
+  store.read_all(result.x, tags);
+  result.total_updates = total_updates.load();
+  result.updates_per_worker = per_worker;
+  if (oracle) {
+    result.final_error = norm.distance(result.x, *options.x_star);
+    result.converged = result.final_error < options.tol;
+  }
+  return result;
+}
+
+}  // namespace
+
+RuntimeResult run_async_threads(const op::BlockOperator& op,
+                                const la::Vector& x0,
+                                const RuntimeOptions& options) {
+  const la::Partition& partition = op.partition();
+  const std::size_t m = partition.num_blocks();
+  ASYNCIT_CHECK(options.workers >= 1 && options.workers <= m);
+  ASYNCIT_CHECK(x0.size() == partition.dim());
+  ASYNCIT_CHECK(options.inner_steps >= 1);
+
+  if (options.consistent_reads)
+    return run_async_threads_seqlock(op, x0, options);
+
+  SharedIterate shared(x0);
+  la::WeightedMaxNorm norm{partition};
+  const bool oracle = options.x_star.has_value();
+  const bool displacement_stop = options.displacement_tol > 0.0;
+
+  const auto owned = assign_blocks(m, options.workers);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_updates{0};
+  std::vector<std::uint64_t> per_worker(options.workers, 0);
+  // Per-block displacement of the most recent update (+inf until a block
+  // has been updated once), for the [15]-style displacement stopping rule.
+  std::vector<double> last_displacement(m, 1e300);
+
+  WallTimer timer;
+  auto worker_fn = [&](std::size_t w) {
+    la::Vector out;
+    la::Vector local;  // private snapshot for non-flexible inner phases
+    std::size_t cursor = 0;
+    std::uint64_t own_updates = 0;
+    const std::size_t reps = repetitions(options, w);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const la::BlockId b = owned[w][cursor];
+      cursor = (cursor + 1) % owned[w].size();
+      const la::BlockRange r = partition.range(b);
+      out.resize(r.size());
+      // Hogwild read: the raw view; element loads are never torn on the
+      // supported targets (see shared_iterate.hpp).
+      const std::span<const double> view = shared.raw_view();
+      la::Vector prev_block;
+      if (displacement_stop)
+        prev_block.assign(view.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                          view.begin() + static_cast<std::ptrdiff_t>(r.end));
+      if (options.inner_steps == 1) {
+        for (std::size_t rep = 0; rep < reps; ++rep)
+          op.apply_block(b, view, out);  // slow worker: redo the work
+        shared.store_block(r.begin, out);
+      } else if (options.publish_partials) {
+        // Flexible communication: each inner step reads the LIVE shared
+        // state (mid-phase arrivals included) and publishes its partial
+        // immediately — other workers can consume it at once.
+        for (std::size_t t = 0; t < options.inner_steps; ++t) {
+          for (std::size_t rep = 0; rep < reps; ++rep)
+            op.apply_block(b, view, out);
+          shared.store_block(r.begin, out);
+        }
+      } else {
+        // Plain asynchronous phase: inner iterates stay private; only the
+        // final value is published at phase end.
+        local.assign(view.begin(), view.end());
+        for (std::size_t t = 0; t < options.inner_steps; ++t) {
+          for (std::size_t rep = 0; rep < reps; ++rep)
+            op.apply_block(b, local, out);
+          std::copy(out.begin(), out.end(),
+                    local.begin() + static_cast<std::ptrdiff_t>(r.begin));
+        }
+        shared.store_block(r.begin, out);
+      }
+      if (displacement_stop) {
+        double d2 = 0.0;
+        for (std::size_t k = 0; k < out.size(); ++k) {
+          const double d = out[k] - prev_block[k];
+          d2 += d * d;
+        }
+        std::atomic_ref<double>(last_displacement[b])
+            .store(std::sqrt(d2), std::memory_order_relaxed);
+      }
+      ++own_updates;
+      total_updates.fetch_add(1, std::memory_order_relaxed);
+
+      if (own_updates % options.check_every == 0) {
+        if (timer.seconds() > options.max_seconds ||
+            total_updates.load(std::memory_order_relaxed) >=
+                options.max_updates) {
+          stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+        if (w == 0) {
+          // worker 0 doubles as the convergence monitor
+          if (oracle) {
+            const la::Vector snap = shared.snapshot();
+            if (norm.distance(snap, *options.x_star) < options.tol)
+              stop.store(true, std::memory_order_relaxed);
+          }
+          if (displacement_stop) {
+            double worst = 0.0;
+            for (la::BlockId blk = 0; blk < m; ++blk)
+              worst = std::max(
+                  worst, std::atomic_ref<double>(last_displacement[blk])
+                             .load(std::memory_order_relaxed));
+            if (worst < options.displacement_tol)
+              stop.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+    per_worker[w] = own_updates;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options.workers);
+  for (std::size_t w = 0; w < options.workers; ++w)
+    threads.emplace_back(worker_fn, w);
+  for (auto& t : threads) t.join();
+
+  RuntimeResult result;
+  result.wall_seconds = timer.seconds();
+  result.x = shared.snapshot();
+  result.total_updates = total_updates.load();
+  result.updates_per_worker = per_worker;
+  if (oracle) {
+    result.final_error = norm.distance(result.x, *options.x_star);
+    result.converged = result.final_error < options.tol;
+  }
+  return result;
+}
+
+RuntimeResult run_sync_threads(const op::BlockOperator& op,
+                               const la::Vector& x0,
+                               const RuntimeOptions& options) {
+  const la::Partition& partition = op.partition();
+  const std::size_t m = partition.num_blocks();
+  ASYNCIT_CHECK(options.workers >= 1 && options.workers <= m);
+  ASYNCIT_CHECK(x0.size() == partition.dim());
+
+  la::WeightedMaxNorm norm{partition};
+  const bool oracle = options.x_star.has_value();
+  const auto owned = assign_blocks(m, options.workers);
+
+  la::Vector x = x0;          // published state (read phase)
+  la::Vector x_next = x0;     // staging (write phase)
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> rounds{0};
+  WallTimer timer;
+
+  std::barrier barrier(static_cast<std::ptrdiff_t>(options.workers),
+                       [&]() noexcept {
+                         // round completion (single thread): publish and
+                         // evaluate stopping
+                         x.swap(x_next);
+                         const std::uint64_t r =
+                             rounds.fetch_add(1, std::memory_order_relaxed) +
+                             1;
+                         if (timer.seconds() > options.max_seconds ||
+                             r * m >= options.max_updates)
+                           stop.store(true, std::memory_order_relaxed);
+                         if (oracle &&
+                             norm.distance(x, *options.x_star) < options.tol)
+                           stop.store(true, std::memory_order_relaxed);
+                       });
+
+  auto worker_fn = [&](std::size_t w) {
+    la::Vector out;
+    const std::size_t reps = repetitions(options, w);
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (la::BlockId b : owned[w]) {
+        const la::BlockRange r = partition.range(b);
+        out.resize(r.size());
+        for (std::size_t rep = 0; rep < reps; ++rep)
+          op.apply_block(b, x, out);
+        std::copy(out.begin(), out.end(),
+                  x_next.begin() + static_cast<std::ptrdiff_t>(r.begin));
+      }
+      barrier.arrive_and_wait();  // everyone published; completion swaps
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options.workers);
+  for (std::size_t w = 0; w < options.workers; ++w)
+    threads.emplace_back(worker_fn, w);
+  for (auto& t : threads) t.join();
+
+  RuntimeResult result;
+  result.wall_seconds = timer.seconds();
+  result.x = x;
+  result.rounds = rounds.load();
+  result.total_updates = result.rounds * m;
+  result.updates_per_worker.assign(options.workers,
+                                   result.rounds * (m / options.workers));
+  if (oracle) {
+    result.final_error = norm.distance(result.x, *options.x_star);
+    result.converged = result.final_error < options.tol;
+  }
+  return result;
+}
+
+}  // namespace asyncit::rt

@@ -1,0 +1,70 @@
+#include "asyncit/runtime/shared_iterate.hpp"
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::rt {
+
+la::Vector SharedIterate::snapshot() const {
+  la::Vector out(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) out[i] = load(i);
+  return out;
+}
+
+SeqlockBlockStore::SeqlockBlockStore(const la::Partition& partition,
+                                     const la::Vector& init)
+    : partition_(&partition), blocks_(partition.num_blocks()) {
+  ASYNCIT_CHECK(init.size() == partition.dim());
+  for (la::BlockId b = 0; b < blocks_.size(); ++b) {
+    const la::BlockRange r = partition.range(b);
+    blocks_[b].data = std::vector<std::atomic<double>>(r.size());
+    for (std::size_t k = 0; k < r.size(); ++k)
+      blocks_[b].data[k].store(init[r.begin + k],
+                               std::memory_order_relaxed);
+  }
+}
+
+void SeqlockBlockStore::write_block(la::BlockId b,
+                                    std::span<const double> value,
+                                    model::Step tag) {
+  ASYNCIT_CHECK(b < blocks_.size());
+  Block& blk = blocks_[b];
+  ASYNCIT_CHECK(value.size() == blk.data.size());
+  const std::uint64_t v = blk.version.load(std::memory_order_relaxed);
+  blk.version.store(v + 1, std::memory_order_relaxed);  // odd: writing
+  // Release fence: a reader that observes any of the data stores below
+  // (through its acquire fence) must also observe the odd marker.
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t k = 0; k < value.size(); ++k)
+    blk.data[k].store(value[k], std::memory_order_relaxed);
+  blk.tag.store(tag, std::memory_order_relaxed);
+  blk.version.store(v + 2, std::memory_order_release);  // even: stable
+}
+
+model::Step SeqlockBlockStore::read_block(la::BlockId b,
+                                          std::span<double> out) const {
+  ASYNCIT_CHECK(b < blocks_.size());
+  const Block& blk = blocks_[b];
+  ASYNCIT_CHECK(out.size() == blk.data.size());
+  for (;;) {
+    const std::uint64_t v1 = blk.version.load(std::memory_order_acquire);
+    if (v1 & 1) continue;  // writer in progress
+    for (std::size_t k = 0; k < out.size(); ++k)
+      out[k] = blk.data[k].load(std::memory_order_relaxed);
+    const model::Step tag = blk.tag.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t v2 = blk.version.load(std::memory_order_relaxed);
+    if (v1 == v2) return tag;
+  }
+}
+
+void SeqlockBlockStore::read_all(std::span<double> out,
+                                 std::span<model::Step> tags) const {
+  ASYNCIT_CHECK(out.size() == partition_->dim());
+  ASYNCIT_CHECK(tags.size() == blocks_.size());
+  for (la::BlockId b = 0; b < blocks_.size(); ++b) {
+    const la::BlockRange r = partition_->range(b);
+    tags[b] = read_block(b, out.subspan(r.begin, r.size()));
+  }
+}
+
+}  // namespace asyncit::rt

@@ -1,0 +1,95 @@
+// Shared-memory iterate stores for the threaded runtime.
+//
+// Two stores with different consistency/throughput trade-offs (the benches
+// compare them — an ablation the paper's shared-memory discussion implies):
+//
+// SharedIterate — Hogwild-style: one double per coordinate, writers use
+//   std::atomic_ref with relaxed ordering, readers take the raw span.
+//   Concurrent plain reads race with atomic writes; on the supported
+//   targets (x86-64 / AArch64, naturally aligned 8-byte accesses) a read
+//   observes either the old or the new value, never a torn one — this is
+//   the standard asynchronous-iterations memory model (component values
+//   may be stale, which Definition 1 models through the labels, but are
+//   never invalid). Writes of a block are NOT atomic as a group: readers
+//   may see a mix of two updates of the same block, i.e. a "partial
+//   update" in the paper's flexible-communication sense.
+//
+// SeqlockBlockStore — per-block sequence locks: block writes are atomic as
+//   a group, block reads retry until consistent, and every block carries
+//   the global step tag of its producing update. Use it when an
+//   experiment's bookkeeping needs exact per-block labels (delay
+//   measurement in the threaded runtime) or when block-consistent reads
+//   are required.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asyncit/linalg/partition.hpp"
+#include "asyncit/linalg/vector_ops.hpp"
+#include "asyncit/model/history.hpp"
+
+namespace asyncit::rt {
+
+class SharedIterate {
+ public:
+  explicit SharedIterate(la::Vector init) : data_(std::move(init)) {}
+
+  std::size_t size() const { return data_.size(); }
+
+  /// Raw read view (Hogwild semantics; see file comment).
+  std::span<const double> raw_view() const { return data_; }
+
+  double load(std::size_t i) const {
+    return std::atomic_ref<const double>(data_[i]).load(
+        std::memory_order_relaxed);
+  }
+
+  void store(std::size_t i, double v) {
+    std::atomic_ref<double>(data_[i]).store(v, std::memory_order_relaxed);
+  }
+
+  void store_block(std::size_t begin, std::span<const double> values) {
+    for (std::size_t k = 0; k < values.size(); ++k)
+      store(begin + k, values[k]);
+  }
+
+  /// Element-wise atomic snapshot (each element consistent, the vector as
+  /// a whole possibly mixed-label — exactly an asynchronous read).
+  la::Vector snapshot() const;
+
+ private:
+  mutable la::Vector data_;
+};
+
+class SeqlockBlockStore {
+ public:
+  SeqlockBlockStore(const la::Partition& partition, const la::Vector& init);
+
+  std::size_t dim() const { return partition_->dim(); }
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+  /// Atomically replaces block b (tag = producing global step).
+  void write_block(la::BlockId b, std::span<const double> value,
+                   model::Step tag);
+
+  /// Consistent read of block b into out; returns the block's tag.
+  model::Step read_block(la::BlockId b, std::span<double> out) const;
+
+  /// Consistent per-block read of the whole vector; tags[b] receives each
+  /// block's producing step (the measured labels of the reading update).
+  void read_all(std::span<double> out, std::span<model::Step> tags) const;
+
+ private:
+  struct alignas(64) Block {
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<model::Step> tag{0};
+    std::vector<std::atomic<double>> data;
+  };
+  const la::Partition* partition_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace asyncit::rt

@@ -1,0 +1,29 @@
+#include "asyncit/sim/termination.hpp"
+
+namespace asyncit::sim {
+
+bool DoubleScanDetector::scan(const std::vector<Reply>& replies) {
+  ++scans_;
+  if (certified_) return true;
+
+  bool all_converged = !replies.empty();
+  std::uint64_t sent = 0, received = 0;
+  for (const Reply& r : replies) {
+    all_converged = all_converged && r.locally_converged;
+    sent += r.sent;
+    received += r.received;
+  }
+  const bool clean = all_converged && sent == received;
+
+  if (clean && had_clean_scan_ && sent == last_sent_ &&
+      received == last_received_) {
+    certified_ = true;
+    return true;
+  }
+  had_clean_scan_ = clean;
+  last_sent_ = sent;
+  last_received_ = received;
+  return false;
+}
+
+}  // namespace asyncit::sim

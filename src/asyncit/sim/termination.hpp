@@ -1,0 +1,54 @@
+// Distributed termination detection for asynchronous iterations — the
+// problem of the paper's reference [22] (El Baz, "A method of terminating
+// asynchronous iterative algorithms on message passing systems").
+//
+// Local convergence of every processor is NOT enough to stop: a message
+// still in flight can reactivate a processor (and asynchronous iterations
+// have no global clock to ask). The detector below runs the classic
+// double-scan / message-counting scheme that [22]-style protocols reduce
+// to on our simulator:
+//
+//   * the coordinator periodically scans all processors; each reply
+//     carries (locally_converged, #data messages sent, #received);
+//   * a scan is CLEAN when every processor reports converged AND the
+//     global sent count equals the global received count (no message in
+//     flight at scan time);
+//   * termination is certified after TWO consecutive clean scans with
+//     unchanged message counters — the second scan proves the system was
+//     already quiescent during the first (no activity slipped between
+//     scans), which is exactly the "no update during one whole
+//     macro-iteration" stability that [22]'s stopping criterion demands.
+//
+// The scan logic is a pure state machine so it can be unit-tested without
+// the event loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace asyncit::sim {
+
+class DoubleScanDetector {
+ public:
+  struct Reply {
+    bool locally_converged = false;
+    std::uint64_t sent = 0;      ///< data messages sent so far
+    std::uint64_t received = 0;  ///< data messages received so far
+  };
+
+  /// Feeds one complete scan (one reply per processor). Returns true when
+  /// termination is certified.
+  bool scan(const std::vector<Reply>& replies);
+
+  bool certified() const { return certified_; }
+  std::size_t scans_performed() const { return scans_; }
+
+ private:
+  bool had_clean_scan_ = false;
+  bool certified_ = false;
+  std::uint64_t last_sent_ = 0;
+  std::uint64_t last_received_ = 0;
+  std::size_t scans_ = 0;
+};
+
+}  // namespace asyncit::sim

@@ -1,0 +1,147 @@
+#include "asyncit/sim/time_models.hpp"
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::sim {
+
+namespace {
+
+class FixedCompute final : public ComputeTimeModel {
+ public:
+  explicit FixedCompute(double t) : t_(t) { ASYNCIT_CHECK(t_ > 0.0); }
+  double phase_duration(std::size_t, Rng&) override { return t_; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double t_;
+};
+
+class UniformCompute final : public ComputeTimeModel {
+ public:
+  UniformCompute(double lo, double hi) : lo_(lo), hi_(hi) {
+    ASYNCIT_CHECK(0.0 < lo_ && lo_ <= hi_);
+  }
+  double phase_duration(std::size_t, Rng& rng) override {
+    return rng.uniform(lo_, hi_);
+  }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class ParetoCompute final : public ComputeTimeModel {
+ public:
+  ParetoCompute(double scale, double shape) : scale_(scale), shape_(shape) {
+    ASYNCIT_CHECK(scale_ > 0.0 && shape_ > 0.0);
+  }
+  double phase_duration(std::size_t, Rng& rng) override {
+    return rng.pareto(scale_, shape_);
+  }
+  std::string name() const override { return "pareto"; }
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+class LinearCompute final : public ComputeTimeModel {
+ public:
+  explicit LinearCompute(double scale) : scale_(scale) {
+    ASYNCIT_CHECK(scale_ > 0.0);
+  }
+  double phase_duration(std::size_t k, Rng&) override {
+    return scale_ * static_cast<double>(k);
+  }
+  std::string name() const override { return "linear(Baudet)"; }
+
+ private:
+  double scale_;
+};
+
+class SlowThenFastCompute final : public ComputeTimeModel {
+ public:
+  SlowThenFastCompute(double slow, double fast, std::size_t switch_at)
+      : slow_(slow), fast_(fast), switch_at_(switch_at) {
+    ASYNCIT_CHECK(slow_ > 0.0 && fast_ > 0.0);
+  }
+  double phase_duration(std::size_t k, Rng&) override {
+    return k < switch_at_ ? slow_ : fast_;
+  }
+  std::string name() const override { return "slow-then-fast"; }
+
+ private:
+  double slow_;
+  double fast_;
+  std::size_t switch_at_;
+};
+
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(double t) : t_(t) { ASYNCIT_CHECK(t_ >= 0.0); }
+  double latency(Rng&) override { return t_; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double t_;
+};
+
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(double lo, double hi) : lo_(lo), hi_(hi) {
+    ASYNCIT_CHECK(0.0 <= lo_ && lo_ <= hi_);
+  }
+  double latency(Rng& rng) override { return rng.uniform(lo_, hi_); }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class ParetoLatency final : public LatencyModel {
+ public:
+  ParetoLatency(double scale, double shape) : scale_(scale), shape_(shape) {
+    ASYNCIT_CHECK(scale_ > 0.0 && shape_ > 0.0);
+  }
+  double latency(Rng& rng) override { return rng.pareto(scale_, shape_); }
+  std::string name() const override { return "pareto"; }
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+}  // namespace
+
+std::unique_ptr<ComputeTimeModel> make_fixed_compute(double t) {
+  return std::make_unique<FixedCompute>(t);
+}
+std::unique_ptr<ComputeTimeModel> make_uniform_compute(double lo, double hi) {
+  return std::make_unique<UniformCompute>(lo, hi);
+}
+std::unique_ptr<ComputeTimeModel> make_pareto_compute(double scale,
+                                                      double shape) {
+  return std::make_unique<ParetoCompute>(scale, shape);
+}
+std::unique_ptr<ComputeTimeModel> make_linear_compute(double scale) {
+  return std::make_unique<LinearCompute>(scale);
+}
+std::unique_ptr<ComputeTimeModel> make_slow_then_fast_compute(
+    double slow, double fast, std::size_t switch_at_phase) {
+  return std::make_unique<SlowThenFastCompute>(slow, fast, switch_at_phase);
+}
+
+std::unique_ptr<LatencyModel> make_fixed_latency(double t) {
+  return std::make_unique<FixedLatency>(t);
+}
+std::unique_ptr<LatencyModel> make_uniform_latency(double lo, double hi) {
+  return std::make_unique<UniformLatency>(lo, hi);
+}
+std::unique_ptr<LatencyModel> make_pareto_latency(double scale,
+                                                  double shape) {
+  return std::make_unique<ParetoLatency>(scale, shape);
+}
+
+}  // namespace asyncit::sim

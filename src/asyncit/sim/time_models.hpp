@@ -1,0 +1,51 @@
+// Virtual-time models for the distributed simulator.
+//
+// ComputeTimeModel: duration of a processor's k-th updating phase.
+//   * fixed       — homogeneous processors;
+//   * uniform     — mild jitter;
+//   * pareto      — heavy-tailed stragglers;
+//   * linear      — the paper's Baudet example: the k-th phase takes k
+//                   units, so the induced delay grows like sqrt(j);
+//   * slow-then-fast — Mishchenko et al.'s motivating machine ("one worker
+//                   being slow at first that gets faster with time").
+//
+// LatencyModel: transit time of a message on a channel.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::sim {
+
+class ComputeTimeModel {
+ public:
+  virtual ~ComputeTimeModel() = default;
+  /// Duration of this processor's k-th phase (k starts at 1).
+  virtual double phase_duration(std::size_t k, Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<ComputeTimeModel> make_fixed_compute(double t);
+std::unique_ptr<ComputeTimeModel> make_uniform_compute(double lo, double hi);
+std::unique_ptr<ComputeTimeModel> make_pareto_compute(double scale,
+                                                      double shape);
+/// k-th phase takes scale * k time units (Baudet's unbounded-delay
+/// example from Section II of the paper).
+std::unique_ptr<ComputeTimeModel> make_linear_compute(double scale);
+std::unique_ptr<ComputeTimeModel> make_slow_then_fast_compute(
+    double slow, double fast, std::size_t switch_at_phase);
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual double latency(Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+std::unique_ptr<LatencyModel> make_fixed_latency(double t);
+std::unique_ptr<LatencyModel> make_uniform_latency(double lo, double hi);
+std::unique_ptr<LatencyModel> make_pareto_latency(double scale, double shape);
+
+}  // namespace asyncit::sim

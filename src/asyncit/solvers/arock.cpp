@@ -1,0 +1,47 @@
+#include "asyncit/solvers/arock.hpp"
+
+#include "asyncit/model/delay_models.hpp"
+#include "asyncit/model/steering.hpp"
+#include "asyncit/operators/krasnoselskii.hpp"
+#include "asyncit/operators/prox_gradient.hpp"
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::solvers {
+
+ARockSummary solve_arock(const problems::CompositeProblem& p,
+                         const ARockOptions& options) {
+  ASYNCIT_CHECK(p.f && p.g);
+  const double gamma =
+      options.gamma > 0.0 ? options.gamma : p.suggested_gamma();
+  const la::Partition partition = la::Partition::scalar(p.dim());
+  const op::ForwardBackwardOperator fb(*p.f, *p.g, gamma, partition);
+  const op::KrasnoselskiiMannOperator km(fb, options.eta);
+
+  // Reference: the FB fixed point is the minimizer; KM shares it.
+  const la::Vector x_star =
+      op::picard_solve(fb, la::zeros(p.dim()), 200000, 1e-13);
+
+  auto steering = model::make_random_subset_steering(p.dim(), 1);
+  auto delays = options.delay_bound == 0
+                    ? model::make_no_delay()
+                    : model::make_uniform_delay(options.delay_bound);
+  engine::ModelEngineOptions opt;
+  opt.max_steps = options.max_steps;
+  opt.tol = options.tol;
+  opt.x_star = x_star;
+  opt.record_error_every = 64;
+  opt.seed = options.seed;
+  auto run = engine::run_model_engine(km, *steering, *delays,
+                                      la::zeros(p.dim()), opt);
+
+  ARockSummary s;
+  s.x = std::move(run.x);
+  s.converged = run.converged;
+  s.steps = run.steps;
+  s.macro_iterations = run.macro_boundaries.size() - 1;
+  s.epochs = run.epoch_boundaries.size() - 1;
+  s.error_to_reference = la::dist_inf(s.x, x_star);
+  return s;
+}
+
+}  // namespace asyncit::solvers

@@ -1,0 +1,39 @@
+// ARock-style asynchronous coordinate updates (Peng, Xu, Yan, Yin — the
+// paper's reference [32]): Krasnoselskii–Mann damped coordinate updates of
+// the forward-backward operator with uniformly random steering, executed
+// on the exact model engine with a configurable delay model.
+//
+//   x_i <- x_i + eta * ( T_i(x̂) − x̂_i ),   i uniform at random,
+//
+// with x̂ a delayed (inconsistent-read) iterate. This is the modern
+// async-coordinate-update baseline the paper situates itself against.
+#pragma once
+
+#include "asyncit/engine/model_engine.hpp"
+#include "asyncit/problems/composite.hpp"
+
+namespace asyncit::solvers {
+
+struct ARockOptions {
+  double eta = 0.5;           ///< KM damping in (0, 1]
+  double gamma = 0.0;         ///< step; 0 = problem default
+  model::Step max_steps = 200000;
+  double tol = 1e-9;
+  /// Delay bound of the simulated inconsistent reads.
+  model::Step delay_bound = 8;
+  std::uint64_t seed = 1;
+};
+
+struct ARockSummary {
+  la::Vector x;
+  bool converged = false;
+  model::Step steps = 0;
+  std::size_t macro_iterations = 0;
+  std::size_t epochs = 0;
+  double error_to_reference = -1.0;
+};
+
+ARockSummary solve_arock(const problems::CompositeProblem& p,
+                         const ARockOptions& options);
+
+}  // namespace asyncit::solvers

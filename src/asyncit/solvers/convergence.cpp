@@ -1,0 +1,35 @@
+#include "asyncit/solvers/convergence.hpp"
+
+#include <cmath>
+
+#include "asyncit/support/stats.hpp"
+
+namespace asyncit::solvers {
+
+RateFit fit_rate(
+    const std::vector<std::pair<model::Step, double>>& error_history,
+    const std::vector<model::Step>& macro_boundaries, double floor) {
+  RateFit fit;
+  std::vector<double> steps, logs, macros;
+  std::size_t k = 0;
+  for (const auto& [j, err] : error_history) {
+    if (err <= floor) continue;
+    while (k + 1 < macro_boundaries.size() && macro_boundaries[k + 1] <= j)
+      ++k;
+    steps.push_back(static_cast<double>(j));
+    macros.push_back(static_cast<double>(k));
+    logs.push_back(std::log(err));
+  }
+  fit.samples = steps.size();
+  if (fit.samples < 2) return fit;
+  fit.per_step = std::exp(ls_slope(steps, logs));
+  // macro counts can be constant over the sampled window (e.g. one huge
+  // macro-iteration): guard the degenerate fit.
+  const bool macro_varies = macros.front() != macros.back();
+  fit.per_macro = macro_varies ? std::exp(ls_slope(macros, logs)) : 0.0;
+  if (fit.per_step > 0.0 && fit.per_step < 1.0)
+    fit.steps_per_decade = std::log(0.1) / std::log(fit.per_step);
+  return fit;
+}
+
+}  // namespace asyncit::solvers

@@ -1,0 +1,32 @@
+// Convergence-rate analysis of recorded error histories.
+//
+// Fits the empirical geometric rate of an error sequence (least squares
+// on the log-error curve) and compares per-step and per-macro-iteration
+// views — the quantitative backbone of the rate-vs-delay bench (a5) and
+// of EXPERIMENTS.md's "measured rate" columns.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "asyncit/model/history.hpp"
+
+namespace asyncit::solvers {
+
+struct RateFit {
+  double per_step = 0.0;   ///< fitted geometric factor per step (0 if n<2)
+  double per_macro = 0.0;  ///< fitted factor per macro-iteration
+  std::size_t samples = 0;
+  /// Steps needed to reduce the error by 10x at the fitted per-step rate
+  /// (infinite -> 0 samples or rate >= 1).
+  double steps_per_decade = 0.0;
+};
+
+/// Fits err(j) ~ C * rate^j on the samples with err > floor; macro rate
+/// uses the macro boundaries to convert steps to macro counts.
+RateFit fit_rate(
+    const std::vector<std::pair<model::Step, double>>& error_history,
+    const std::vector<model::Step>& macro_boundaries,
+    double floor = 1e-14);
+
+}  // namespace asyncit::solvers

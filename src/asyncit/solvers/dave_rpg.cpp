@@ -1,0 +1,123 @@
+#include "asyncit/solvers/dave_rpg.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::solvers {
+
+DaveRpgSummary solve_dave_rpg(
+    const std::vector<std::shared_ptr<op::SmoothFunction>>& shards,
+    const op::ProxOperator& g, const la::Vector& x_star, double sum_mu,
+    double sum_lipschitz, const DaveRpgOptions& options) {
+  ASYNCIT_CHECK(!shards.empty());
+  const std::size_t p = shards.size();
+  const std::size_t n = shards[0]->dim();
+  for (const auto& s : shards) ASYNCIT_CHECK(s && s->dim() == n);
+  ASYNCIT_CHECK(x_star.size() == n);
+  ASYNCIT_CHECK(0.0 < sum_mu && sum_mu <= sum_lipschitz);
+
+  const double gamma = options.gamma > 0.0
+                           ? options.gamma
+                           : 2.0 / (sum_mu + sum_lipschitz);
+  Rng rng(options.seed);
+
+  // master average u and per-machine contributions z_w
+  la::Vector u(n, 0.0);
+  std::vector<la::Vector> z(p, la::Vector(n, 0.0));
+  // ring of past master iterates for stale reads
+  std::deque<la::Vector> u_history{u};
+
+  model::EpochTracker epochs(p);
+  model::MacroIterationTracker macro(p);
+
+  DaveRpgSummary out;
+  la::Vector x_w(n), grad(n);
+  const double weight = 1.0 / static_cast<double>(p);
+
+  for (model::Step j = 1; j <= options.max_steps; ++j) {
+    const auto w = static_cast<std::size_t>(rng.uniform_index(p));
+    // staleness: read u from up to delay_bound activations ago
+    const model::Step d = options.delay_bound == 0
+                              ? 0
+                              : rng.uniform_index(
+                                    std::min<model::Step>(options.delay_bound,
+                                                          j - 1) +
+                                    1);
+    const la::Vector& u_stale =
+        u_history[u_history.size() - 1 - static_cast<std::size_t>(d)];
+    const model::Step label = j - 1 - d;
+
+    // x_w = prox(u_stale); z_w+ = x_w - gamma*p*grad f_w(x_w)
+    g.apply(u_stale, gamma, x_w);
+    shards[w]->gradient(x_w, grad);
+    for (std::size_t c = 0; c < n; ++c) {
+      const double z_new =
+          x_w[c] - gamma * static_cast<double>(p) * grad[c];
+      u[c] += weight * (z_new - z[w][c]);
+      z[w][c] = z_new;
+    }
+
+    u_history.push_back(u);
+    if (u_history.size() > options.delay_bound + 2)
+      u_history.pop_front();
+
+    epochs.observe(j, static_cast<model::MachineId>(w));
+    macro.observe(j,
+                  std::vector<la::BlockId>{static_cast<la::BlockId>(w)},
+                  label);
+
+    if (j % 25 == 0 || j == options.max_steps) {
+      g.apply(u, gamma, x_w);
+      const double err = la::dist_inf(x_w, x_star);
+      out.error_history.emplace_back(j, err);
+      out.steps = j;
+      if (err < options.tol) {
+        out.converged = true;
+        break;
+      }
+    }
+    out.steps = j;
+  }
+
+  g.apply(u, gamma, x_w);
+  out.x = x_w;
+  out.error_to_reference = la::dist_inf(out.x, x_star);
+  out.epoch_boundaries = epochs.boundaries();
+  out.macro_boundaries = macro.boundaries();
+  return out;
+}
+
+std::vector<std::shared_ptr<op::SmoothFunction>> split_least_squares(
+    const problems::LeastSquaresFunction& f, std::size_t shards) {
+  ASYNCIT_CHECK(shards >= 1);
+  const la::CsrMatrix& a = f.design();
+  const la::Vector& y = f.targets();
+  const std::size_t m = a.rows();
+  ASYNCIT_CHECK(shards <= m);
+  std::vector<std::shared_ptr<op::SmoothFunction>> out;
+  const std::size_t base = m / shards, extra = m % shards;
+  std::size_t row = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t count = base + (s < extra ? 1 : 0);
+    std::vector<la::Triplet> triplets;
+    la::Vector ys(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t r = row + k;
+      const auto cols = a.row_cols(r);
+      const auto vals = a.row_values(r);
+      for (std::size_t t = 0; t < cols.size(); ++t)
+        triplets.push_back({static_cast<std::uint32_t>(k), cols[t],
+                            vals[t]});
+      ys[k] = y[r];
+    }
+    row += count;
+    out.push_back(std::make_shared<problems::LeastSquaresFunction>(
+        la::CsrMatrix::from_triplets(count, a.cols(), std::move(triplets)),
+        std::move(ys), f.mu() / static_cast<double>(shards)));
+  }
+  return out;
+}
+
+}  // namespace asyncit::solvers

@@ -1,0 +1,63 @@
+// DAve-PG-style distributed averaged proximal gradient — a compact
+// implementation of the delay-tolerant algorithm of Mishchenko, Iutzeler &
+// Malick (SIAM J. Optim. 2020 — the paper's reference [30]), used as the
+// epoch-sequence baseline for bench/c9_baselines and c3_macro_vs_epoch.
+//
+// Data-parallel decomposition: f = Σ_w f_w (sample shards on p machines),
+// g separable. The master holds u = (1/p) Σ_w z_w; machine w, activated
+// asynchronously with a stale copy u_stale = u(j − d_w):
+//
+//   x_w   = prox_{γ,g}(u_stale)
+//   z_w⁺  = x_w − γ·p·∇f_w(x_w)
+//   u    += (z_w⁺ − z_w)/p ,   z_w <- z_w⁺ .
+//
+// At the fixed point u* = x* − γ∇f(x*) with x* = prox_{γ,g}(u*): the
+// minimizer of Σf_w + g. Machine activations and staleness follow a
+// steering/delay model, and the run reports both the epoch sequence
+// (Mishchenko et al.) and the macro-iteration sequence (Definition 2) so
+// the two meta-iteration notions can be compared on identical executions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "asyncit/model/epoch.hpp"
+#include "asyncit/model/macro_iteration.hpp"
+#include "asyncit/operators/prox.hpp"
+#include "asyncit/operators/smooth.hpp"
+#include "asyncit/problems/lasso.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::solvers {
+
+struct DaveRpgOptions {
+  double gamma = 0.0;          ///< 0 = 2/(mu+L) of the SUM function
+  model::Step max_steps = 100000;
+  double tol = 1e-9;
+  model::Step delay_bound = 4;  ///< staleness of the u copy machines read
+  std::uint64_t seed = 1;
+};
+
+struct DaveRpgSummary {
+  la::Vector x;  ///< minimizer estimate prox(u)
+  bool converged = false;
+  model::Step steps = 0;  ///< machine activations
+  std::vector<model::Step> epoch_boundaries;
+  std::vector<model::Step> macro_boundaries;
+  double error_to_reference = -1.0;
+  std::vector<std::pair<model::Step, double>> error_history;
+};
+
+/// Shards: f_w with Σ_w f_w = f (see split_least_squares). The reference
+/// minimizer (for stopping) must be supplied by the caller.
+DaveRpgSummary solve_dave_rpg(
+    const std::vector<std::shared_ptr<op::SmoothFunction>>& shards,
+    const op::ProxOperator& g, const la::Vector& x_star, double sum_mu,
+    double sum_lipschitz, const DaveRpgOptions& options);
+
+/// Splits a least-squares problem into `shards` row-shards whose sum is
+/// the original function (ridge split evenly).
+std::vector<std::shared_ptr<op::SmoothFunction>> split_least_squares(
+    const problems::LeastSquaresFunction& f, std::size_t shards);
+
+}  // namespace asyncit::solvers

@@ -1,0 +1,88 @@
+#include "asyncit/solvers/linear.hpp"
+
+#include "asyncit/operators/jacobi.hpp"
+#include "asyncit/operators/projected_jacobi.hpp"
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::solvers {
+
+namespace {
+rt::RuntimeOptions to_runtime(const LinearSolveOptions& o,
+                              la::Vector reference) {
+  rt::RuntimeOptions r;
+  r.workers = o.workers;
+  r.worker_slowdown = o.worker_slowdown;
+  r.tol = o.tol;
+  r.max_updates = o.max_updates;
+  r.max_seconds = o.max_seconds;
+  r.seed = o.seed;
+  r.x_star = std::move(reference);
+  return r;
+}
+}  // namespace
+
+LinearSolveSummary solve_jacobi_async(const problems::LinearSystem& sys,
+                                      const LinearSolveOptions& options) {
+  const std::size_t blocks = options.blocks == 0 ? sys.dim() : options.blocks;
+  op::JacobiOperator jac(sys.a, sys.b,
+                         la::Partition::balanced(sys.dim(), blocks));
+  la::Vector ref = options.reference.has_value()
+                       ? *options.reference
+                       : op::picard_solve(jac, la::zeros(sys.dim()), 200000,
+                                          1e-13);
+  auto run = rt::run_async_threads(jac, la::zeros(sys.dim()),
+                                   to_runtime(options, std::move(ref)));
+  LinearSolveSummary s;
+  s.x = std::move(run.x);
+  s.converged = run.converged;
+  s.wall_seconds = run.wall_seconds;
+  s.updates = run.total_updates;
+  la::Vector ax(sys.dim());
+  sys.a.matvec(s.x, ax);
+  s.residual_inf = la::dist_inf(ax, sys.b);
+  return s;
+}
+
+LinearSolveSummary solve_jacobi_sync(const problems::LinearSystem& sys,
+                                     const LinearSolveOptions& options) {
+  const std::size_t blocks = options.blocks == 0 ? sys.dim() : options.blocks;
+  op::JacobiOperator jac(sys.a, sys.b,
+                         la::Partition::balanced(sys.dim(), blocks));
+  la::Vector ref = options.reference.has_value()
+                       ? *options.reference
+                       : op::picard_solve(jac, la::zeros(sys.dim()), 200000,
+                                          1e-13);
+  auto run = rt::run_sync_threads(jac, la::zeros(sys.dim()),
+                                  to_runtime(options, std::move(ref)));
+  LinearSolveSummary s;
+  s.x = std::move(run.x);
+  s.converged = run.converged;
+  s.wall_seconds = run.wall_seconds;
+  s.updates = run.total_updates;
+  la::Vector ax(sys.dim());
+  sys.a.matvec(s.x, ax);
+  s.residual_inf = la::dist_inf(ax, sys.b);
+  return s;
+}
+
+ObstacleSolveSummary solve_obstacle_async(const problems::ObstacleProblem& p,
+                                          const LinearSolveOptions& options) {
+  const std::size_t blocks = options.blocks == 0 ? p.dim() : options.blocks;
+  auto proj = p.make_operator(la::Partition::balanced(p.dim(), blocks));
+  la::Vector ref = options.reference.has_value()
+                       ? *options.reference
+                       : p.reference_solution(200000, 1e-12);
+  auto run = rt::run_async_threads(*proj, la::zeros(p.dim()),
+                                   to_runtime(options, std::move(ref)));
+  ObstacleSolveSummary s;
+  s.u = std::move(run.x);
+  s.converged = run.converged;
+  s.wall_seconds = run.wall_seconds;
+  s.updates = run.total_updates;
+  s.feasibility_violation = p.feasibility_violation(s.u);
+  s.complementarity = p.complementarity_residual(s.u);
+  s.contact_points = p.contact_count(s.u);
+  return s;
+}
+
+}  // namespace asyncit::solvers

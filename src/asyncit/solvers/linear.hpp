@@ -1,0 +1,51 @@
+// Solvers for linear fixed-point problems (asynchronous Jacobi / chaotic
+// relaxation) and the obstacle problem (asynchronous projected relaxation),
+// on the threaded runtime.
+#pragma once
+
+#include <optional>
+
+#include "asyncit/problems/linear_system.hpp"
+#include "asyncit/problems/obstacle.hpp"
+#include "asyncit/runtime/executors.hpp"
+
+namespace asyncit::solvers {
+
+struct LinearSolveOptions {
+  std::size_t workers = 2;
+  std::size_t blocks = 0;  ///< 0 = one per row
+  double tol = 1e-9;
+  std::uint64_t max_updates = 5000000;
+  double max_seconds = 20.0;
+  std::vector<double> worker_slowdown;
+  std::optional<la::Vector> reference;
+  std::uint64_t seed = 1;
+};
+
+struct LinearSolveSummary {
+  la::Vector x;
+  bool converged = false;
+  double wall_seconds = 0.0;
+  std::uint64_t updates = 0;
+  double residual_inf = 0.0;  ///< ‖A x − b‖_inf
+};
+
+LinearSolveSummary solve_jacobi_async(const problems::LinearSystem& sys,
+                                      const LinearSolveOptions& options);
+LinearSolveSummary solve_jacobi_sync(const problems::LinearSystem& sys,
+                                     const LinearSolveOptions& options);
+
+struct ObstacleSolveSummary {
+  la::Vector u;
+  bool converged = false;
+  double wall_seconds = 0.0;
+  std::uint64_t updates = 0;
+  double feasibility_violation = 0.0;
+  double complementarity = 0.0;
+  std::size_t contact_points = 0;
+};
+
+ObstacleSolveSummary solve_obstacle_async(const problems::ObstacleProblem& p,
+                                          const LinearSolveOptions& options);
+
+}  // namespace asyncit::solvers

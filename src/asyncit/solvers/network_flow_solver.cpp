@@ -1,0 +1,66 @@
+#include "asyncit/solvers/network_flow_solver.hpp"
+
+#include "asyncit/operators/operator.hpp"
+#include "asyncit/support/timer.hpp"
+
+namespace asyncit::solvers {
+
+namespace {
+NetworkFlowSummary summarize(const problems::NetworkFlowProblem& net,
+                             la::Vector prices, bool converged,
+                             double seconds, std::uint64_t updates) {
+  NetworkFlowSummary s;
+  s.flows = net.flows(prices);
+  s.max_excess = net.max_excess(prices);
+  s.primal_cost = net.primal_cost(s.flows);
+  s.dual_value = net.dual_value(prices);
+  s.prices = std::move(prices);
+  s.converged = converged;
+  s.wall_seconds = seconds;
+  s.updates = updates;
+  return s;
+}
+}  // namespace
+
+NetworkFlowSummary solve_network_flow_async(
+    const problems::NetworkFlowProblem& net,
+    const NetworkFlowOptions& options) {
+  problems::NetworkFlowDualOperator relax(net);
+  // reference prices for oracle stopping
+  la::Vector ref = op::picard_solve(relax, la::zeros(net.num_nodes()),
+                                    20000, 1e-11);
+  rt::RuntimeOptions ropt;
+  ropt.workers = options.workers;
+  ropt.worker_slowdown = options.worker_slowdown;
+  ropt.tol = options.tol;
+  ropt.max_updates = options.max_updates;
+  ropt.max_seconds = options.max_seconds;
+  ropt.seed = options.seed;
+  ropt.x_star = std::move(ref);
+  auto run = rt::run_async_threads(relax, la::zeros(net.num_nodes()), ropt);
+  return summarize(net, std::move(run.x), run.converged, run.wall_seconds,
+                   run.total_updates);
+}
+
+NetworkFlowSummary solve_network_flow_sequential(
+    const problems::NetworkFlowProblem& net, double tol,
+    std::size_t max_sweeps) {
+  WallTimer timer;
+  la::Vector p(net.num_nodes(), 0.0);
+  std::uint64_t updates = 0;
+  bool converged = false;
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Gauss-Seidel relaxation sweep (node 0 pinned as reference).
+    for (std::size_t i = 1; i < net.num_nodes(); ++i) {
+      p[i] = net.relax_node(i, p);
+      ++updates;
+    }
+    if (net.max_excess(p) < tol) {
+      converged = true;
+      break;
+    }
+  }
+  return summarize(net, std::move(p), converged, timer.seconds(), updates);
+}
+
+}  // namespace asyncit::solvers

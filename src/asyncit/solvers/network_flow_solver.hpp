@@ -1,0 +1,41 @@
+// Asynchronous relaxation solver for convex separable network flow — the
+// distributed asynchronous relaxation method of Bertsekas & El Baz (the
+// paper's reference [6]) on the threaded runtime, plus a sequential
+// Gauss-Seidel reference.
+#pragma once
+
+#include "asyncit/problems/network_flow.hpp"
+#include "asyncit/runtime/executors.hpp"
+
+namespace asyncit::solvers {
+
+struct NetworkFlowOptions {
+  std::size_t workers = 2;
+  double tol = 1e-7;       ///< target max |node excess|
+  std::uint64_t max_updates = 2000000;
+  double max_seconds = 20.0;
+  std::vector<double> worker_slowdown;
+  std::uint64_t seed = 1;
+};
+
+struct NetworkFlowSummary {
+  la::Vector prices;
+  la::Vector flows;
+  bool converged = false;
+  double wall_seconds = 0.0;
+  std::uint64_t updates = 0;
+  double max_excess = 0.0;    ///< primal feasibility residual
+  double primal_cost = 0.0;
+  double dual_value = 0.0;
+};
+
+NetworkFlowSummary solve_network_flow_async(
+    const problems::NetworkFlowProblem& net,
+    const NetworkFlowOptions& options);
+
+/// Sequential single-node relaxation sweeps (the reference).
+NetworkFlowSummary solve_network_flow_sequential(
+    const problems::NetworkFlowProblem& net, double tol = 1e-9,
+    std::size_t max_sweeps = 20000);
+
+}  // namespace asyncit::solvers

@@ -1,0 +1,143 @@
+#include "asyncit/solvers/prox_gradient.hpp"
+
+#include "asyncit/operators/prox_gradient.hpp"
+#include "asyncit/support/check.hpp"
+#include "asyncit/support/timer.hpp"
+
+namespace asyncit::solvers {
+
+namespace {
+
+struct Prepared {
+  la::Partition partition;
+  double gamma;
+  la::Vector reference_iterate;  // fixed point of the chosen operator
+  la::Vector reference_solution;  // minimizer
+};
+
+/// Builds the partition/step and (if needed) the reference fixed point for
+/// oracle stopping. The reference solve is sequential and excluded from
+/// reported wall time.
+Prepared prepare(const problems::CompositeProblem& p,
+                 const ProxGradOptions& options,
+                 const op::BlockOperator& iteration_op,
+                 const op::BackwardForwardOperator* bf) {
+  Prepared prep{la::Partition::scalar(1), 0.0, {}, {}};
+  prep.gamma = options.gamma > 0.0 ? options.gamma : p.suggested_gamma();
+  prep.partition = iteration_op.partition();
+  if (options.reference.has_value()) {
+    prep.reference_solution = *options.reference;
+    // the iterate-space reference: for BF, x̄ with prox(x̄) = solution is
+    // x̄ = solution - gamma * grad f(solution)
+    if (bf != nullptr) {
+      la::Vector grad(p.dim());
+      p.f->gradient(prep.reference_solution, grad);
+      prep.reference_iterate = prep.reference_solution;
+      la::axpy(-prep.gamma, grad, prep.reference_iterate);
+    } else {
+      prep.reference_iterate = prep.reference_solution;
+    }
+  } else {
+    prep.reference_iterate =
+        op::picard_solve(iteration_op, la::zeros(p.dim()), 200000, 1e-13);
+    prep.reference_solution =
+        bf != nullptr ? bf->solution_from_fixed_point(prep.reference_iterate)
+                      : prep.reference_iterate;
+  }
+  return prep;
+}
+
+SolveSummary summarize(const problems::CompositeProblem& p,
+                       const op::BackwardForwardOperator* bf,
+                       const Prepared& prep, rt::RuntimeResult run) {
+  SolveSummary s;
+  s.x = bf != nullptr ? bf->solution_from_fixed_point(run.x)
+                      : std::move(run.x);
+  s.objective = p.objective(s.x);
+  s.converged = run.converged;
+  s.wall_seconds = run.wall_seconds;
+  s.updates = run.total_updates;
+  s.error_to_reference = la::dist_inf(s.x, prep.reference_solution);
+  return s;
+}
+
+}  // namespace
+
+SolveSummary solve_prox_gradient_async(const problems::CompositeProblem& p,
+                                       const ProxGradOptions& options) {
+  ASYNCIT_CHECK(p.f && p.g);
+  const std::size_t blocks = options.blocks == 0 ? p.dim() : options.blocks;
+  const la::Partition partition = la::Partition::balanced(p.dim(), blocks);
+  const double gamma =
+      options.gamma > 0.0 ? options.gamma : p.suggested_gamma();
+
+  rt::RuntimeOptions ropt;
+  ropt.workers = options.workers;
+  ropt.worker_slowdown = options.worker_slowdown;
+  ropt.inner_steps = options.inner_steps;
+  ropt.publish_partials = options.flexible;
+  ropt.tol = options.tol;
+  ropt.max_updates = options.max_updates;
+  ropt.max_seconds = options.max_seconds;
+  ropt.seed = options.seed;
+
+  if (options.use_backward_forward) {
+    op::BackwardForwardOperator bf(*p.f, *p.g, gamma, partition);
+    const Prepared prep = prepare(p, options, bf, &bf);
+    ropt.x_star = prep.reference_iterate;
+    return summarize(p, &bf, prep,
+                     rt::run_async_threads(bf, la::zeros(p.dim()), ropt));
+  }
+  op::ForwardBackwardOperator fb(*p.f, *p.g, gamma, partition);
+  const Prepared prep = prepare(p, options, fb, nullptr);
+  ropt.x_star = prep.reference_iterate;
+  return summarize(p, nullptr, prep,
+                   rt::run_async_threads(fb, la::zeros(p.dim()), ropt));
+}
+
+SolveSummary solve_prox_gradient_sync(const problems::CompositeProblem& p,
+                                      const ProxGradOptions& options) {
+  ASYNCIT_CHECK(p.f && p.g);
+  const std::size_t blocks = options.blocks == 0 ? p.dim() : options.blocks;
+  const la::Partition partition = la::Partition::balanced(p.dim(), blocks);
+  const double gamma =
+      options.gamma > 0.0 ? options.gamma : p.suggested_gamma();
+
+  rt::RuntimeOptions ropt;
+  ropt.workers = options.workers;
+  ropt.worker_slowdown = options.worker_slowdown;
+  ropt.tol = options.tol;
+  ropt.max_updates = options.max_updates;
+  ropt.max_seconds = options.max_seconds;
+  ropt.seed = options.seed;
+
+  if (options.use_backward_forward) {
+    op::BackwardForwardOperator bf(*p.f, *p.g, gamma, partition);
+    const Prepared prep = prepare(p, options, bf, &bf);
+    ropt.x_star = prep.reference_iterate;
+    return summarize(p, &bf, prep,
+                     rt::run_sync_threads(bf, la::zeros(p.dim()), ropt));
+  }
+  op::ForwardBackwardOperator fb(*p.f, *p.g, gamma, partition);
+  const Prepared prep = prepare(p, options, fb, nullptr);
+  ropt.x_star = prep.reference_iterate;
+  return summarize(p, nullptr, prep,
+                   rt::run_sync_threads(fb, la::zeros(p.dim()), ropt));
+}
+
+SolveSummary solve_prox_gradient_sequential(
+    const problems::CompositeProblem& p, double tol, std::size_t max_iters) {
+  ASYNCIT_CHECK(p.f && p.g);
+  WallTimer timer;
+  const op::ForwardBackwardOperator fb(
+      *p.f, *p.g, p.suggested_gamma(), la::Partition::balanced(p.dim(), 1));
+  SolveSummary s;
+  s.x = op::picard_solve(fb, la::zeros(p.dim()), max_iters, tol);
+  s.wall_seconds = timer.seconds();
+  s.objective = p.objective(s.x);
+  s.converged = op::fixed_point_residual(fb, s.x) < tol * 10.0;
+  s.error_to_reference = 0.0;
+  return s;
+}
+
+}  // namespace asyncit::solvers

@@ -1,0 +1,58 @@
+// High-level solvers for the composite problem (4) — the public API most
+// users want. Wraps the threaded runtime (wall-clock asynchronous vs
+// synchronous execution) around the Definition-4 backward-forward operator
+// (or the classic forward-backward baseline).
+#pragma once
+
+#include <optional>
+
+#include "asyncit/problems/composite.hpp"
+#include "asyncit/runtime/executors.hpp"
+
+namespace asyncit::solvers {
+
+struct ProxGradOptions {
+  /// Step size; 0 selects the problem's 2/(mu+L).
+  double gamma = 0.0;
+  std::size_t workers = 2;
+  /// Number of blocks the iterate is partitioned into; 0 = one block per
+  /// coordinate.
+  std::size_t blocks = 0;
+  /// Definition 4 operator (prox first, then gradient at the prox point);
+  /// false = classic forward-backward.
+  bool use_backward_forward = true;
+  std::size_t inner_steps = 1;
+  bool flexible = false;  ///< publish partial updates (flexible comm)
+  double tol = 1e-8;
+  std::uint64_t max_updates = 2000000;
+  double max_seconds = 20.0;
+  std::vector<double> worker_slowdown;  ///< heterogeneity injection
+  /// Known minimizer for oracle stopping; if absent it is computed by a
+  /// high-precision sequential solve first (excluded from timing).
+  std::optional<la::Vector> reference;
+  std::uint64_t seed = 1;
+};
+
+struct SolveSummary {
+  la::Vector x;                ///< the minimizer estimate
+  double objective = 0.0;      ///< f(x) + g(x)
+  bool converged = false;
+  double wall_seconds = 0.0;
+  std::uint64_t updates = 0;   ///< block updates executed
+  double error_to_reference = -1.0;  ///< max-norm distance to reference
+};
+
+/// Totally asynchronous (Hogwild-over-blocks) solve.
+SolveSummary solve_prox_gradient_async(const problems::CompositeProblem& p,
+                                       const ProxGradOptions& options);
+
+/// Barrier-synchronized baseline on the same operator.
+SolveSummary solve_prox_gradient_sync(const problems::CompositeProblem& p,
+                                      const ProxGradOptions& options);
+
+/// Sequential high-precision solve (the reference).
+SolveSummary solve_prox_gradient_sequential(
+    const problems::CompositeProblem& p, double tol = 1e-12,
+    std::size_t max_iters = 200000);
+
+}  // namespace asyncit::solvers

@@ -1,0 +1,46 @@
+// Lightweight precondition / invariant checking.
+//
+// ASYNCIT_CHECK is always on (the library is a research instrument; silent
+// contract violations cost far more than a branch). Failures throw
+// asyncit::CheckError so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace asyncit {
+
+/// Thrown when a runtime contract (precondition, invariant) is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ASYNCIT_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace asyncit
+
+#define ASYNCIT_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::asyncit::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define ASYNCIT_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream os_;                                            \
+      os_ << msg;                                                        \
+      ::asyncit::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                      os_.str());                        \
+    }                                                                    \
+  } while (false)

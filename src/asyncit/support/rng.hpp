@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in asyncit that needs randomness takes an explicit Rng&; there
+// is no hidden global state, so every experiment is reproducible from its
+// seed. The generator is xoshiro256** (Blackman & Vigna), seeded through
+// splitmix64 so that nearby seeds give independent streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace asyncit {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box–Muller (no cached spare: stateless per call
+  /// pair, slightly wasteful, entirely deterministic).
+  double normal();
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+  /// Exponential with given rate (> 0).
+  double exponential(double rate);
+  /// Pareto (heavy tail) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// An independent child stream (for per-worker RNGs).
+  Rng split();
+
+  /// Fisher–Yates shuffle of a vector of indices.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace asyncit

@@ -1,0 +1,53 @@
+#include "asyncit/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> sample, double q) {
+  ASYNCIT_CHECK(!sample.empty());
+  ASYNCIT_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double ls_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  ASYNCIT_CHECK(x.size() == y.size());
+  ASYNCIT_CHECK(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  ASYNCIT_CHECK(denom != 0.0);
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace asyncit

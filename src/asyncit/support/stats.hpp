@@ -1,0 +1,40 @@
+// Small statistics helpers used by benchmarks and auditors.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace asyncit {
+
+/// Streaming mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile over a stored sample (linear interpolation between
+/// order statistics). q in [0, 1].
+double percentile(std::vector<double> sample, double q);
+
+/// Least-squares slope of y against x (used to fit convergence rates on
+/// log-scale residual histories).
+double ls_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace asyncit

@@ -1,0 +1,38 @@
+// Aligned plain-text tables for benchmark output.
+//
+// Every bench binary prints its results as one of these (the paper-style
+// "rows/series"), and can optionally mirror them to CSV via trace/csv.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace asyncit {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+  static std::string sci(double v, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
+
+  /// Renders with column alignment and a separator under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace asyncit

@@ -1,0 +1,46 @@
+#include "asyncit/trace/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace asyncit::trace {
+
+namespace {
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string to_csv(const TextTable& table) {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(table.header());
+  for (const auto& row : table.row_data()) emit(row);
+  return os.str();
+}
+
+std::string maybe_write_csv(const TextTable& table, const std::string& name) {
+  const char* flag = std::getenv("ASYNCIT_BENCH_CSV");
+  if (flag == nullptr || *flag == '\0') return {};
+  const std::string path = name + ".csv";
+  std::ofstream out(path);
+  if (!out) return {};
+  out << to_csv(table);
+  return path;
+}
+
+}  // namespace asyncit::trace

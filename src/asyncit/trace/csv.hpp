@@ -1,0 +1,19 @@
+// CSV mirroring of benchmark tables (written when ASYNCIT_BENCH_CSV is set
+// in the environment; see DESIGN.md §4).
+#pragma once
+
+#include <string>
+
+#include "asyncit/support/table.hpp"
+
+namespace asyncit::trace {
+
+/// Serializes a TextTable as CSV.
+std::string to_csv(const TextTable& table);
+
+/// Writes `table` to `<name>.csv` in the current directory iff the
+/// ASYNCIT_BENCH_CSV environment variable is nonempty. Returns the path
+/// written, or an empty string when disabled.
+std::string maybe_write_csv(const TextTable& table, const std::string& name);
+
+}  // namespace asyncit::trace

@@ -1,0 +1,23 @@
+#include "asyncit/trace/event_log.hpp"
+
+#include <algorithm>
+
+namespace asyncit::trace {
+
+double EventLog::end_time() const {
+  double t = 0.0;
+  for (const auto& p : phases_) t = std::max(t, p.t_end);
+  for (const auto& m : messages_)
+    if (!m.dropped) t = std::max(t, m.t_arrive);
+  return t;
+}
+
+std::uint32_t EventLog::num_processors() const {
+  std::uint32_t n = 0;
+  for (const auto& p : phases_) n = std::max(n, p.processor + 1);
+  for (const auto& m : messages_)
+    n = std::max({n, m.src + 1, m.dst + 1});
+  return n;
+}
+
+}  // namespace asyncit::trace

@@ -1,0 +1,51 @@
+// Execution trace of a simulated distributed run: updating phases and
+// messages in virtual time. This is the data behind the paper's Figure 1
+// (asynchronous iterations: rectangles = updating phases labelled by
+// iteration number, arrows = communications) and Figure 2 (flexible
+// communication: hatched arrows = partial updates sent mid-phase).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asyncit/linalg/partition.hpp"
+#include "asyncit/model/history.hpp"
+
+namespace asyncit::trace {
+
+struct PhaseEvent {
+  std::uint32_t processor = 0;
+  la::BlockId block = 0;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  model::Step step = 0;  ///< global iteration number assigned at completion
+};
+
+struct MessageEvent {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  la::BlockId block = 0;
+  bool partial = false;   ///< mid-phase partial update (hatched arrow)
+  bool dropped = false;   ///< transient fault: message lost in transit
+  double t_send = 0.0;
+  double t_arrive = 0.0;  ///< meaningless when dropped
+  model::Step tag = 0;    ///< production step of the payload
+};
+
+class EventLog {
+ public:
+  void add_phase(PhaseEvent e) { phases_.push_back(e); }
+  void add_message(MessageEvent e) { messages_.push_back(e); }
+
+  const std::vector<PhaseEvent>& phases() const { return phases_; }
+  const std::vector<MessageEvent>& messages() const { return messages_; }
+
+  double end_time() const;
+  std::uint32_t num_processors() const;
+
+ private:
+  std::vector<PhaseEvent> phases_;
+  std::vector<MessageEvent> messages_;
+};
+
+}  // namespace asyncit::trace

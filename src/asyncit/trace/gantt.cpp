@@ -1,0 +1,79 @@
+#include "asyncit/trace/gantt.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::trace {
+
+std::string render_gantt(const EventLog& log, const GanttOptions& options) {
+  ASYNCIT_CHECK(options.width >= 20);
+  const double t_end = log.end_time();
+  const std::uint32_t procs = log.num_processors();
+  std::ostringstream os;
+  if (t_end <= 0.0 || procs == 0) return "(empty trace)\n";
+
+  const double scale = static_cast<double>(options.width) / t_end;
+  auto col = [&](double t) {
+    return std::min(options.width - 1,
+                    static_cast<std::size_t>(t * scale));
+  };
+
+  os << "time 0";
+  os << std::string(options.width > 12 ? options.width - 12 : 1, ' ');
+  os << std::fixed << std::setprecision(1) << t_end << "\n";
+
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    std::string lane(options.width, ' ');
+    for (const auto& phase : log.phases()) {
+      if (phase.processor != p) continue;
+      const std::size_t c0 = col(phase.t_start);
+      const std::size_t c1 = std::max(col(phase.t_end), c0 + 1);
+      for (std::size_t c = c0; c <= c1 && c < options.width; ++c)
+        lane[c] = '=';
+      if (c0 < options.width) lane[c0] = '[';
+      if (c1 < options.width) lane[c1] = ']';
+      // stamp the iteration number inside the rectangle if it fits
+      const std::string label = std::to_string(phase.step);
+      if (c1 > c0 + label.size()) {
+        const std::size_t mid = c0 + 1 + (c1 - c0 - 1 - label.size()) / 2;
+        for (std::size_t k = 0; k < label.size(); ++k)
+          if (mid + k < options.width) lane[mid + k] = label[k];
+      }
+    }
+    os << "P" << p << " |" << lane << "\n";
+  }
+
+  if (options.show_messages && !log.messages().empty()) {
+    os << "\nmessages (-- full update, ~~ partial update/hatched, "
+          "x dropped):\n";
+    std::size_t shown = 0;
+    for (const auto& m : log.messages()) {
+      if (options.max_messages && shown >= options.max_messages) {
+        os << "  ... (" << log.messages().size() - shown
+           << " more messages)\n";
+        break;
+      }
+      ++shown;
+      os << "  t=" << std::fixed << std::setprecision(2) << std::setw(8)
+         << m.t_send;
+      if (m.dropped)
+        os << "  x DROPPED x  ";
+      else
+        os << " -> t=" << std::setw(8) << m.t_arrive << "  ";
+      os << "P" << m.src << ' ' << (m.partial ? "~~" : "--") << 'x'
+         << m.block << '(';
+      if (m.partial)
+        os << '.';
+      else
+        os << m.tag;
+      os << ')' << (m.partial ? "~~" : "--") << "> P" << m.dst << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace asyncit::trace

@@ -1,0 +1,29 @@
+// ASCII Gantt rendering of an EventLog — regenerates the paper's Figure 1
+// and Figure 2 from measured traces.
+//
+// Output shape (one lane per processor, time left to right):
+//
+//   P0 |[=1==][==3===][=5=]...
+//   P1 |[===2====][====4====]...
+//        ^ updating phases labelled with their iteration number
+//
+//   messages:
+//     t=1.00 -> t=1.40   P0 --x0(1)--> P1      (full update, plain arrow)
+//     t=2.10 -> t=2.60   P1 ~~x1(.)~~> P0      (partial update, "hatched")
+#pragma once
+
+#include <string>
+
+#include "asyncit/trace/event_log.hpp"
+
+namespace asyncit::trace {
+
+struct GanttOptions {
+  std::size_t width = 100;        ///< character columns for the time axis
+  std::size_t max_messages = 40;  ///< message table rows (0 = all)
+  bool show_messages = true;
+};
+
+std::string render_gantt(const EventLog& log, const GanttOptions& options);
+
+}  // namespace asyncit::trace

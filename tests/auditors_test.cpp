@@ -1,0 +1,166 @@
+// Tests for the post-run auditors: the Theorem-1 report structure,
+// measured macro rates, the rate-fitting helper, and the per-machine
+// label-inversion metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asyncit/engine/auditors.hpp"
+#include "asyncit/engine/model_engine.hpp"
+#include "asyncit/model/box_level.hpp"
+#include "asyncit/model/delay_models.hpp"
+#include "asyncit/model/steering.hpp"
+#include "asyncit/operators/gradient.hpp"
+#include "asyncit/operators/prox_gradient.hpp"
+#include "asyncit/problems/quadratic.hpp"
+#include "asyncit/solvers/convergence.hpp"
+#include "asyncit/support/check.hpp"
+
+namespace asyncit {
+namespace {
+
+engine::ModelEngineResult run_reference_case(double& rho_out) {
+  Rng rng(3);
+  auto f = problems::make_separable_quadratic(8, 1.0, 4.0, rng);
+  static auto g = op::make_l1_prox(0.1);
+  static std::unique_ptr<problems::SeparableQuadratic> f_keep;
+  f_keep = std::move(f);
+  static std::unique_ptr<op::BackwardForwardOperator> bf;
+  bf = std::make_unique<op::BackwardForwardOperator>(
+      *f_keep, *g, f_keep->suggested_step(), la::Partition::scalar(8));
+  rho_out = bf->rho();
+  const la::Vector x_bar = op::picard_solve(*bf, la::zeros(8), 100000,
+                                            1e-15);
+  auto steering = model::make_cyclic_steering(8);
+  auto delays = model::make_constant_delay(2);
+  engine::ModelEngineOptions opt;
+  opt.max_steps = 20000;
+  opt.tol = 1e-10;
+  opt.x_star = x_bar;
+  return engine::run_model_engine(*bf, *steering, *delays, la::zeros(8),
+                                  opt);
+}
+
+TEST(Theorem1Report, RowsAreInternallyConsistent) {
+  double rho = 0.0;
+  const auto result = run_reference_case(rho);
+  const auto report = engine::audit_theorem1(result, rho);
+  ASSERT_FALSE(report.rows.empty());
+  EXPECT_TRUE(report.holds);
+  EXPECT_DOUBLE_EQ(report.initial_error_sq,
+                   result.initial_error * result.initial_error);
+  std::size_t prev_k = 0;
+  for (const auto& row : report.rows) {
+    EXPECT_GE(row.k, prev_k) << "macro counts must be non-decreasing";
+    prev_k = row.k;
+    EXPECT_NEAR(row.bound,
+                std::pow(1.0 - rho, double(row.k)) *
+                    report.initial_error_sq,
+                1e-12 * std::max(1.0, report.initial_error_sq));
+    if (row.bound > 1e-300)
+      EXPECT_NEAR(row.ratio, row.error_sq / row.bound, 1e-9);
+  }
+}
+
+TEST(Theorem1Report, RejectsRunsWithoutErrorHistory) {
+  Rng rng(5);
+  auto sys = problems::make_separable_quadratic(4, 1.0, 2.0, rng);
+  op::GradientOperator grad(*sys, sys->suggested_step(),
+                            la::Partition::scalar(4));
+  auto steering = model::make_cyclic_steering(4);
+  auto delays = model::make_no_delay();
+  engine::ModelEngineOptions opt;
+  opt.max_steps = 10;
+  opt.tol = 0.0;  // no x_star: no error history
+  auto r = engine::run_model_engine(grad, *steering, *delays, la::zeros(4),
+                                    opt);
+  EXPECT_THROW(engine::audit_theorem1(r, 0.5), CheckError);
+}
+
+TEST(Theorem1Report, RejectsInvalidRho) {
+  double rho = 0.0;
+  const auto result = run_reference_case(rho);
+  EXPECT_THROW(engine::audit_theorem1(result, 0.0), CheckError);
+  EXPECT_THROW(engine::audit_theorem1(result, 1.0), CheckError);
+}
+
+TEST(MeasuredMacroRate, GeometricSequenceRecovered) {
+  double rho = 0.0;
+  const auto result = run_reference_case(rho);
+  const double rate = engine::measured_macro_rate(result);
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LT(rate, 1.0);
+  // must beat the theorem's guaranteed per-macro factor sqrt(1-rho)
+  EXPECT_LE(rate, std::sqrt(1.0 - rho) + 0.05);
+}
+
+TEST(FitRate, RecoversSyntheticGeometricDecay) {
+  std::vector<std::pair<model::Step, double>> history;
+  std::vector<model::Step> boundaries{0};
+  const double rate = 0.9;
+  double err = 1.0;
+  for (model::Step j = 1; j <= 200; ++j) {
+    err *= rate;
+    history.emplace_back(j, err);
+    if (j % 10 == 0) boundaries.push_back(j);  // macro every 10 steps
+  }
+  const auto fit = solvers::fit_rate(history, boundaries);
+  EXPECT_NEAR(fit.per_step, rate, 1e-6);
+  // the macro index is a step function of j, so the per-macro fit carries
+  // a small quantization offset
+  EXPECT_NEAR(fit.per_macro, std::pow(rate, 10.0), 2e-3);
+  EXPECT_NEAR(fit.steps_per_decade, std::log(0.1) / std::log(rate), 1e-6);
+  EXPECT_EQ(fit.samples, 200u);
+}
+
+TEST(FitRate, HandlesDegenerateInputs) {
+  const auto empty = solvers::fit_rate({}, {0});
+  EXPECT_EQ(empty.samples, 0u);
+  EXPECT_EQ(empty.per_step, 0.0);
+
+  // all samples below floor
+  std::vector<std::pair<model::Step, double>> tiny{{1, 1e-20}, {2, 1e-20}};
+  const auto floored = solvers::fit_rate(tiny, {0});
+  EXPECT_EQ(floored.samples, 0u);
+
+  // constant macro index: per_macro must be reported as 0, not inf
+  std::vector<std::pair<model::Step, double>> hist{{1, 0.9}, {2, 0.8},
+                                                   {3, 0.7}};
+  const auto flat = solvers::fit_rate(hist, {0});
+  EXPECT_EQ(flat.per_macro, 0.0);
+  EXPECT_GT(flat.per_step, 0.0);
+}
+
+TEST(PerMachineInversions, CountsOnlyWithinMachines) {
+  model::ScheduleTrace t(2, model::LabelRecording::kFull);
+  // Interleaved machines: the GLOBAL label sequence regresses at step 3
+  // ((1,1) -> (0,0)), but per machine both subsequences are monotone:
+  // machine 0 sees (0,0) then (0,0); machine 1 sees (1,1) then (3,2).
+  t.record({0}, 0, {0, 0}, 0);
+  t.record({1}, 1, {1, 1}, 1);
+  t.record({0}, 0, {0, 0}, 0);
+  t.record({1}, 2, {3, 2}, 1);
+  EXPECT_GT(t.total_label_inversions(), 0u);
+  EXPECT_EQ(t.per_machine_label_inversions(), 0u);
+
+  model::ScheduleTrace t2(1, model::LabelRecording::kFull);
+  t2.record({0}, 0, {0}, 0);
+  t2.record({0}, 1, {1}, 0);
+  t2.record({0}, 0, {0}, 0);  // same machine, label went 1 -> 0
+  EXPECT_EQ(t2.per_machine_label_inversions(), 1u);
+}
+
+TEST(BoxLevelVector, TraceHelperMatchesManualTracker) {
+  model::ScheduleTrace t(2, model::LabelRecording::kFull);
+  t.record({0}, 0, {0, 0}, 0);
+  t.record({1}, 1, {1, 1}, 0);
+  t.record({0}, 2, {2, 2}, 0);
+  const auto levels = model::box_levels(t);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], 0u);  // block 1 still initial
+  EXPECT_EQ(levels[1], 1u);  // both updated once on fresh data
+  EXPECT_EQ(levels[2], 1u);  // block 0 now level 2, block 1 still 1
+}
+
+}  // namespace
+}  // namespace asyncit

@@ -1,0 +1,144 @@
+// Focused tests for the model engine's flexible-communication knobs:
+// partial-read probability, weighted norms, error-recording cadence,
+// machine maps, and option validation.
+#include <gtest/gtest.h>
+
+#include "asyncit/engine/model_engine.hpp"
+#include "asyncit/model/delay_models.hpp"
+#include "asyncit/model/steering.hpp"
+#include "asyncit/operators/jacobi.hpp"
+#include "asyncit/operators/prox_gradient.hpp"
+#include "asyncit/problems/linear_system.hpp"
+#include "asyncit/problems/quadratic.hpp"
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::engine {
+namespace {
+
+class FlexFixture : public ::testing::Test {
+ protected:
+  FlexFixture() : rng_(7) {
+    f_ = problems::make_sparse_quadratic(12, 3, 2.5, rng_);
+    g_ = op::make_l1_prox(0.1);
+    bf_ = std::make_unique<op::BackwardForwardOperator>(
+        *f_, *g_, f_->suggested_step(), la::Partition::scalar(12));
+    x_bar_ = op::picard_solve(*bf_, la::zeros(12), 200000, 1e-15);
+  }
+
+  ModelEngineResult run(ModelEngineOptions opt) {
+    auto steering = model::make_cyclic_steering(12);
+    auto delays = model::make_constant_delay(6);
+    opt.x_star = x_bar_;
+    return run_model_engine(*bf_, *steering, *delays, la::zeros(12), opt);
+  }
+
+  Rng rng_;
+  std::unique_ptr<problems::SparseQuadratic> f_;
+  std::unique_ptr<op::ProxOperator> g_;
+  std::unique_ptr<op::BackwardForwardOperator> bf_;
+  la::Vector x_bar_;
+};
+
+TEST_F(FlexFixture, ReadProbabilityZeroDisablesFlexibleReads) {
+  ModelEngineOptions opt;
+  opt.max_steps = 5000;
+  opt.tol = 1e-9;
+  opt.inner_steps = 3;
+  opt.publish_partials = true;
+  opt.flexible_read_prob = 0.0;
+  auto r = run(opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.flexible_reads, 0u);
+}
+
+TEST_F(FlexFixture, ReadProbabilityScalesFlexibleReadCount) {
+  auto count_reads = [&](double prob) {
+    ModelEngineOptions opt;
+    opt.max_steps = 3000;
+    opt.tol = 0.0;  // fixed horizon
+    opt.inner_steps = 3;
+    opt.publish_partials = true;
+    opt.flexible_read_prob = prob;
+    opt.seed = 11;
+    return run(opt).flexible_reads;
+  };
+  const auto none = count_reads(0.0);
+  const auto half = count_reads(0.5);
+  const auto full = count_reads(1.0);
+  EXPECT_EQ(none, 0u);
+  EXPECT_GT(half, 0u);
+  EXPECT_GT(full, half);
+}
+
+TEST_F(FlexFixture, WeightedNormChangesErrorMetricConsistently) {
+  ModelEngineOptions opt;
+  opt.max_steps = 20000;
+  opt.tol = 1e-9;
+  opt.norm_weights = la::Vector(12, 10.0);  // scales all errors by 1/10
+  auto weighted = run(opt);
+  ModelEngineOptions opt2;
+  opt2.max_steps = 20000;
+  opt2.tol = 1e-9;
+  auto unit = run(opt2);
+  ASSERT_TRUE(weighted.converged);
+  ASSERT_TRUE(unit.converged);
+  EXPECT_NEAR(weighted.initial_error * 10.0, unit.initial_error, 1e-12);
+}
+
+TEST_F(FlexFixture, ErrorRecordingCadenceRespected) {
+  ModelEngineOptions opt;
+  opt.max_steps = 1000;
+  opt.tol = 0.0;
+  opt.record_error_every = 100;
+  auto r = run(opt);
+  // samples only at multiples of 100 or macro boundaries
+  for (const auto& [j, err] : r.error_history) {
+    const bool at_cadence = (j % 100 == 0);
+    const bool at_boundary =
+        std::find(r.macro_boundaries.begin(), r.macro_boundaries.end(),
+                  j) != r.macro_boundaries.end();
+    EXPECT_TRUE(at_cadence || at_boundary) << "sample at step " << j;
+  }
+}
+
+TEST_F(FlexFixture, MachineMapDrivesEpochGranularity) {
+  ModelEngineOptions opt;
+  opt.max_steps = 4000;
+  opt.tol = 0.0;
+  opt.machine_of_block = {0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1};
+  auto two_machines = run(opt);
+  ModelEngineOptions opt2;
+  opt2.max_steps = 4000;
+  opt2.tol = 0.0;
+  auto per_block = run(opt2);  // default: one machine per block
+  // two machines reach "two updates each" much sooner than twelve do
+  EXPECT_GT(two_machines.epoch_boundaries.size(),
+            per_block.epoch_boundaries.size());
+}
+
+TEST_F(FlexFixture, RejectsInvalidOptions) {
+  ModelEngineOptions opt;
+  opt.max_steps = 0;
+  EXPECT_THROW(run(opt), CheckError);
+  ModelEngineOptions opt2;
+  opt2.inner_steps = 0;
+  EXPECT_THROW(run(opt2), CheckError);
+  ModelEngineOptions opt3;
+  opt3.machine_of_block = {0, 1};  // wrong arity
+  EXPECT_THROW(run(opt3), CheckError);
+}
+
+TEST(EngineSteeringMismatch, DimensionChecked) {
+  Rng rng(9);
+  auto sys = problems::make_diagonally_dominant_system(8, 2, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::scalar(8));
+  auto steering = model::make_cyclic_steering(4);  // wrong m
+  auto delays = model::make_no_delay();
+  ModelEngineOptions opt;
+  EXPECT_THROW(
+      run_model_engine(jac, *steering, *delays, la::zeros(8), opt),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace asyncit::engine

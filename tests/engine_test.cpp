@@ -1,0 +1,529 @@
+// Tests for the model engine: exact equivalence with synchronous Picard /
+// Gauss-Seidel in degenerate configurations, convergence under every
+// admissible delay model (and divergence-from-solution under the
+// inadmissible frozen model), Theorem-1 bound audits, flexible
+// communication with the norm-constraint (3) audit, the macro-residual
+// stopping rule, and the component value history.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asyncit/engine/auditors.hpp"
+#include "asyncit/engine/component_history.hpp"
+#include "asyncit/engine/model_engine.hpp"
+#include "asyncit/model/box_level.hpp"
+#include "asyncit/operators/jacobi.hpp"
+#include "asyncit/operators/prox_gradient.hpp"
+#include "asyncit/problems/linear_system.hpp"
+#include "asyncit/problems/quadratic.hpp"
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::engine {
+namespace {
+
+using model::LabelRecording;
+using model::Step;
+
+// -------------------------------------------------------- value history
+
+TEST(ComponentHistory, InitialValueAnswersAllEarlyLabels) {
+  la::Partition p = la::Partition::scalar(2);
+  la::Vector x0{1.0, 2.0};
+  ComponentHistory h(p, x0);
+  EXPECT_DOUBLE_EQ(h.value_at(0, 0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.value_at(1, 5)[0], 2.0);
+}
+
+TEST(ComponentHistory, LabelLookupFindsLastUpdate) {
+  la::Partition p = la::Partition::scalar(1);
+  ComponentHistory h(p, la::Vector{0.0});
+  h.record(0, 3, la::Vector{3.0});
+  h.record(0, 7, la::Vector{7.0});
+  EXPECT_DOUBLE_EQ(h.value_at(0, 2)[0], 0.0);
+  EXPECT_DOUBLE_EQ(h.value_at(0, 3)[0], 3.0);
+  EXPECT_DOUBLE_EQ(h.value_at(0, 6)[0], 3.0);
+  EXPECT_DOUBLE_EQ(h.value_at(0, 7)[0], 7.0);
+  EXPECT_DOUBLE_EQ(h.value_at(0, 100)[0], 7.0);
+}
+
+TEST(ComponentHistory, LatestUpdateInWindow) {
+  la::Partition p = la::Partition::scalar(1);
+  ComponentHistory h(p, la::Vector{0.0});
+  h.record(0, 3, la::Vector{3.0}, {la::Vector{2.5}});
+  h.record(0, 7, la::Vector{7.0});
+  const auto* e = h.latest_update_in(0, 0, 6);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->step, 3u);
+  ASSERT_EQ(e->partials.size(), 1u);
+  EXPECT_DOUBLE_EQ(e->partials[0][0], 2.5);
+  EXPECT_EQ(h.latest_update_in(0, 3, 6), nullptr);  // nothing in (3, 6]
+  EXPECT_EQ(h.latest_update_in(0, 7, 100), nullptr);
+}
+
+TEST(ComponentHistory, PruneKeepsLookupCorrectness) {
+  la::Partition p = la::Partition::scalar(1);
+  ComponentHistory h(p, la::Vector{0.0});
+  for (Step j = 1; j <= 100; ++j) h.record(0, j, la::Vector{double(j)});
+  h.prune(50);
+  // labels >= 50 still answer exactly
+  for (Step l = 50; l <= 100; ++l)
+    EXPECT_DOUBLE_EQ(h.value_at(0, l)[0], double(l));
+  EXPECT_LE(h.total_entries(), 52u);
+  // labels below the cutoff are gone
+  EXPECT_THROW(h.value_at(0, 10), CheckError);
+}
+
+TEST(ComponentHistory, RejectsNonIncreasingSteps) {
+  la::Partition p = la::Partition::scalar(1);
+  ComponentHistory h(p, la::Vector{0.0});
+  h.record(0, 5, la::Vector{1.0});
+  EXPECT_THROW(h.record(0, 5, la::Vector{2.0}), CheckError);
+  EXPECT_THROW(h.record(0, 4, la::Vector{2.0}), CheckError);
+}
+
+// ------------------------------------------------- degenerate equivalences
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  EngineFixture() : rng_(101) {
+    sys_ = problems::make_diagonally_dominant_system(24, 4, 2.0, rng_);
+    jacobi_ = std::make_unique<op::JacobiOperator>(
+        sys_.a, sys_.b, la::Partition::scalar(sys_.dim()));
+    x_star_ = op::picard_solve(*jacobi_, la::zeros(sys_.dim()), 20000,
+                               1e-15);
+    x0_ = la::Vector(sys_.dim(), 0.0);
+  }
+  Rng rng_;
+  problems::LinearSystem sys_;
+  std::unique_ptr<op::JacobiOperator> jacobi_;
+  la::Vector x_star_;
+  la::Vector x0_;
+};
+
+TEST_F(EngineFixture, AllBlocksNoDelayIsSynchronousPicard) {
+  const Step J = 25;
+  auto steering = model::make_all_blocks_steering(sys_.dim());
+  auto delays = model::make_no_delay();
+  ModelEngineOptions opt;
+  opt.max_steps = J;
+  opt.tol = 0.0;  // run all steps
+  auto result = run_model_engine(*jacobi_, *steering, *delays, x0_, opt);
+
+  // manual synchronous iteration
+  la::Vector x = x0_, y(sys_.dim());
+  for (Step j = 0; j < J; ++j) {
+    jacobi_->apply(x, y);
+    x.swap(y);
+  }
+  EXPECT_LT(la::dist_inf(result.x, x), 1e-14);
+  // every step is a macro-iteration under the synchronous schedule
+  EXPECT_EQ(result.macro_boundaries.size(), J + 1);
+}
+
+TEST_F(EngineFixture, CyclicNoDelayIsGaussSeidel) {
+  const std::size_t n = sys_.dim();
+  const Step J = static_cast<Step>(3 * n);
+  auto steering = model::make_cyclic_steering(n);
+  auto delays = model::make_no_delay();
+  ModelEngineOptions opt;
+  opt.max_steps = J;
+  opt.tol = 0.0;
+  auto result = run_model_engine(*jacobi_, *steering, *delays, x0_, opt);
+
+  // manual Gauss-Seidel (in-place single-coordinate sweeps)
+  la::Vector x = x0_;
+  la::Vector out(1);
+  for (Step j = 1; j <= J; ++j) {
+    const la::BlockId i = static_cast<la::BlockId>((j - 1) % n);
+    jacobi_->apply_block(i, x, out);
+    x[i] = out[0];
+  }
+  EXPECT_LT(la::dist_inf(result.x, x), 1e-14);
+}
+
+TEST_F(EngineFixture, DeterministicAcrossRuns) {
+  auto mk = [&]() {
+    auto steering = model::make_random_subset_steering(sys_.dim(), 3);
+    auto delays = model::make_uniform_delay(6);
+    ModelEngineOptions opt;
+    opt.max_steps = 500;
+    opt.tol = 0.0;
+    opt.seed = 77;
+    return run_model_engine(*jacobi_, *steering, *delays, x0_, opt);
+  };
+  auto r1 = mk();
+  auto r2 = mk();
+  EXPECT_EQ(la::dist_inf(r1.x, r2.x), 0.0);
+  EXPECT_EQ(r1.macro_boundaries, r2.macro_boundaries);
+}
+
+TEST_F(EngineFixture, UpdateCountsMatchSteering) {
+  auto steering = model::make_cyclic_steering(sys_.dim());
+  auto delays = model::make_no_delay();
+  ModelEngineOptions opt;
+  opt.max_steps = static_cast<Step>(2 * sys_.dim());
+  opt.tol = 0.0;
+  auto result = run_model_engine(*jacobi_, *steering, *delays, x0_, opt);
+  for (std::size_t b = 0; b < sys_.dim(); ++b)
+    EXPECT_EQ(result.updates_per_block[b], 2u);
+}
+
+// ------------------------------------------- convergence under delays
+
+class DelayConvergence : public ::testing::TestWithParam<const char*> {};
+
+std::unique_ptr<model::DelayModel> delay_by_name(const std::string& which) {
+  if (which == "none") return model::make_no_delay();
+  if (which == "const4") return model::make_constant_delay(4);
+  if (which == "const32") return model::make_constant_delay(32);
+  if (which == "uniform16") return model::make_uniform_delay(16);
+  if (which == "sqrt") return model::make_baudet_sqrt_delay();
+  if (which == "log") return model::make_log_delay();
+  if (which == "half") return model::make_half_delay();
+  if (which == "ooo") return model::make_out_of_order_delay(16);
+  return nullptr;
+}
+
+TEST_P(DelayConvergence, AsyncJacobiConvergesUnderAdmissibleDelays) {
+  Rng rng(55);
+  auto sys = problems::make_diagonally_dominant_system(16, 3, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::scalar(16));
+  const la::Vector x_star = op::picard_solve(jac, la::zeros(16), 20000,
+                                             1e-15);
+  auto steering = model::make_cyclic_steering(16);
+  auto delays = delay_by_name(GetParam());
+  ASSERT_NE(delays, nullptr);
+  // The adversarial half-delay model (l(j) = j/2) doubles the horizon per
+  // macro-iteration, so error decays only polylogarithmically in steps:
+  // use a correspondingly looser target. All other models reach 1e-10.
+  const bool is_half = std::string(GetParam()) == "half";
+  ModelEngineOptions opt;
+  opt.max_steps = 60000;
+  opt.tol = is_half ? 1e-4 : 1e-10;
+  opt.x_star = x_star;
+  opt.record_error_every = 16;
+  auto result = run_model_engine(jac, *steering, *delays, la::zeros(16),
+                                 opt);
+  EXPECT_TRUE(result.converged) << GetParam();
+  EXPECT_LT(la::dist_inf(result.x, x_star), is_half ? 1e-3 : 1e-9)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAdmissible, DelayConvergence,
+                         ::testing::Values("none", "const4", "const32",
+                                           "uniform16", "sqrt", "log",
+                                           "half", "ooo"));
+
+TEST(DelayDivergence, FrozenLabelsStallAwayFromSolution) {
+  // With labels frozen at 0 every update uses x(0): the iteration maps
+  // x(0) to F(x(0)) forever and never approaches the fixed point.
+  Rng rng(56);
+  auto sys = problems::make_diagonally_dominant_system(12, 3, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::scalar(12));
+  const la::Vector x_star = op::picard_solve(jac, la::zeros(12), 20000,
+                                             1e-15);
+  auto steering = model::make_cyclic_steering(12);
+  auto delays = model::make_frozen_delay();
+  ModelEngineOptions opt;
+  opt.max_steps = 5000;
+  opt.tol = 1e-12;
+  opt.x_star = x_star;
+  opt.fresh_own_component = false;  // fully frozen
+  opt.record_error_every = 100;
+  auto result = run_model_engine(jac, *steering, *delays, la::zeros(12),
+                                 opt);
+  EXPECT_FALSE(result.converged);
+  // stuck at F(x0), one contraction away from x0 at best
+  EXPECT_GT(la::dist_inf(result.x, x_star), 1e-4);
+}
+
+// ---------------------------------------------------------- Theorem 1
+
+struct Thm1Case {
+  const char* delay;
+  std::size_t inner_steps;
+  bool flexible;
+};
+
+class Theorem1Audit : public ::testing::TestWithParam<Thm1Case> {};
+
+TEST_P(Theorem1Audit, BoundHoldsOnSeparableComposite) {
+  const auto param = GetParam();
+  Rng rng(77);
+  // Separable f with exact mu and L + l1 regularizer: the exact setting of
+  // Section V. gamma = 2/(mu+L) gives rho = gamma*mu.
+  auto f = problems::make_separable_quadratic(12, 1.0, 8.0, rng);
+  auto g = op::make_l1_prox(0.25);
+  const double gamma = f->suggested_step();
+  op::BackwardForwardOperator bf(*f, *g, gamma,
+                                 la::Partition::scalar(f->dim()));
+  const la::Vector x_bar = op::picard_solve(bf, la::zeros(f->dim()), 50000,
+                                            1e-15);
+
+  auto steering = model::make_cyclic_steering(f->dim());
+  auto delays = delay_by_name(param.delay);
+  ASSERT_NE(delays, nullptr);
+  ModelEngineOptions opt;
+  opt.max_steps = 30000;
+  opt.tol = 1e-11;
+  opt.x_star = x_bar;
+  opt.inner_steps = param.inner_steps;
+  opt.publish_partials = param.flexible;
+  opt.audit_flexible_constraint = true;
+  auto result = run_model_engine(bf, *steering, *delays,
+                                 la::zeros(f->dim()), opt);
+  ASSERT_TRUE(result.converged);
+
+  const auto report = audit_theorem1(result, bf.rho());
+  EXPECT_TRUE(report.holds)
+      << param.delay << " inner=" << param.inner_steps
+      << " worst ratio " << report.worst_ratio;
+  // flexible constraint (3) must hold on every audited read
+  EXPECT_EQ(result.constraint_violations, 0u)
+      << "worst ratio " << result.worst_constraint_ratio;
+  // Flexible reads require labels that lag behind published partials;
+  // with zero delay the reader already sees every final value.
+  if (param.flexible && std::string(param.delay) != "none")
+    EXPECT_GT(result.flexible_reads, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MonotoneDelays, Theorem1Audit,
+    ::testing::Values(Thm1Case{"none", 1, false},
+                      Thm1Case{"const4", 1, false},
+                      Thm1Case{"sqrt", 1, false},
+                      Thm1Case{"log", 1, false},
+                      Thm1Case{"half", 1, false},
+                      Thm1Case{"none", 4, true},
+                      Thm1Case{"const4", 2, true},
+                      Thm1Case{"sqrt", 3, true},
+                      Thm1Case{"const4", 4, false}));
+
+class Theorem1CoupledAudit : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(Theorem1CoupledAudit, BoundHoldsOnCoupledQuadratic) {
+  // Coupled f: block updates read OTHER components, so delays genuinely
+  // bite (unlike the separable case, where G_i depends only on x_i). For a
+  // strictly diagonally dominant Q, I - gamma*Q is a max-norm contraction
+  // with factor <= 1 - gamma*mu_Gershgorin for every gamma in the
+  // admissible range, so Theorem 1 applies with rho = gamma*mu.
+  Rng rng(91);
+  auto f = problems::make_sparse_quadratic(14, 3, 2.5, rng);
+  auto g = op::make_l1_prox(0.05);
+  const double gamma = f->suggested_step();
+  op::BackwardForwardOperator bf(*f, *g, gamma,
+                                 la::Partition::scalar(f->dim()));
+  const la::Vector x_bar = op::picard_solve(bf, la::zeros(f->dim()), 100000,
+                                            1e-15);
+
+  auto steering = model::make_cyclic_steering(f->dim());
+  auto delays = delay_by_name(GetParam());
+  ASSERT_NE(delays, nullptr);
+  ModelEngineOptions opt;
+  opt.max_steps = 20000;
+  opt.tol = 1e-12;
+  opt.x_star = x_bar;
+  opt.record_error_every = 7;
+  auto result = run_model_engine(bf, *steering, *delays,
+                                 la::zeros(f->dim()), opt);
+  const auto report = audit_theorem1(result, bf.rho());
+  EXPECT_TRUE(report.holds)
+      << GetParam() << " worst ratio " << report.worst_ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(MonotoneDelays, Theorem1CoupledAudit,
+                         ::testing::Values("none", "const4", "const32",
+                                           "sqrt", "log", "half"));
+
+TEST(Theorem1Audit, MeasuredRateBeatsTheoreticalRate) {
+  Rng rng(78);
+  auto f = problems::make_separable_quadratic(10, 1.0, 4.0, rng);
+  auto g = op::make_l1_prox(0.1);
+  op::BackwardForwardOperator bf(*f, *g, f->suggested_step(),
+                                 la::Partition::scalar(10));
+  const la::Vector x_bar = op::picard_solve(bf, la::zeros(10), 50000,
+                                            1e-15);
+  auto steering = model::make_cyclic_steering(10);
+  auto delays = model::make_constant_delay(3);
+  ModelEngineOptions opt;
+  opt.max_steps = 20000;
+  opt.tol = 1e-11;
+  opt.x_star = x_bar;
+  auto result = run_model_engine(bf, *steering, *delays, la::zeros(10),
+                                 opt);
+  ASSERT_TRUE(result.converged);
+  const double measured = measured_macro_rate(result);
+  // Per macro-iteration the error shrinks at least as fast as sqrt of the
+  // theorem's squared-error factor (1-rho).
+  EXPECT_GT(measured, 0.0);
+  EXPECT_LE(measured, std::sqrt(1.0 - bf.rho()) + 0.05);
+}
+
+TEST(BoxLevelAudit, CertifiesErrorUnderOutOfOrderLabels) {
+  // Under OOO labels the Definition-2 macro count can over-promise; the
+  // box-level certificate must still hold: err(j) <= alpha^level * E0.
+  Rng rng(79);
+  auto f = problems::make_separable_quadratic(8, 1.0, 5.0, rng);
+  auto g = op::make_l1_prox(0.2);
+  op::BackwardForwardOperator bf(*f, *g, f->suggested_step(),
+                                 la::Partition::scalar(8));
+  const la::Vector x_bar = op::picard_solve(bf, la::zeros(8), 50000, 1e-15);
+  const double alpha = 1.0 - bf.rho();
+
+  auto steering = model::make_cyclic_steering(8);
+  auto delays = model::make_out_of_order_delay(12);
+  ModelEngineOptions opt;
+  opt.max_steps = 6000;
+  opt.tol = 1e-11;
+  opt.x_star = x_bar;
+  opt.recording = LabelRecording::kFull;
+  opt.fresh_own_component = true;
+  auto result = run_model_engine(bf, *steering, *delays, la::zeros(8), opt);
+
+  const auto levels = model::box_levels(result.trace);
+  // error_history records every step (record_error_every default 1)
+  for (const auto& [j, err] : result.error_history) {
+    const std::size_t level = levels[static_cast<std::size_t>(j - 1)];
+    const double bound =
+        std::pow(alpha, static_cast<double>(level)) * result.initial_error;
+    EXPECT_LE(err, bound * (1.0 + 1e-9))
+        << "step " << j << " level " << level;
+  }
+  // and OOO really produced label inversions
+  EXPECT_GT(result.trace.total_label_inversions(), 0u);
+}
+
+// -------------------------------------------------- flexible communication
+
+TEST(FlexibleCommunication, PartialReadsAccelerateConvergence) {
+  Rng rng(80);
+  auto f = problems::make_separable_quadratic(16, 1.0, 10.0, rng);
+  auto g = op::make_l1_prox(0.1);
+  op::BackwardForwardOperator bf(*f, *g, f->suggested_step(),
+                                 la::Partition::scalar(16));
+  const la::Vector x_bar = op::picard_solve(bf, la::zeros(16), 50000,
+                                            1e-15);
+  auto run = [&](bool flexible) {
+    auto steering = model::make_cyclic_steering(16);
+    auto delays = model::make_constant_delay(8);
+    ModelEngineOptions opt;
+    opt.max_steps = 100000;
+    opt.tol = 1e-10;
+    opt.x_star = x_bar;
+    opt.inner_steps = 4;
+    opt.publish_partials = flexible;
+    opt.record_error_every = 16;
+    opt.seed = 5;
+    return run_model_engine(bf, *steering, *delays, la::zeros(16), opt);
+  };
+  const auto plain = run(false);
+  const auto flex = run(true);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(flex.converged);
+  // Flexible communication consumes fresher data: no slower than plain.
+  EXPECT_LE(flex.steps, plain.steps);
+  EXPECT_GT(flex.flexible_reads, 0u);
+}
+
+TEST(FlexibleCommunication, InnerStepsActAsApproximateOperator) {
+  // More inner steps = better approximate operator G = fewer outer steps.
+  Rng rng(81);
+  auto f = problems::make_separable_quadratic(12, 1.0, 6.0, rng);
+  auto g = op::make_l1_prox(0.1);
+  op::BackwardForwardOperator bf(*f, *g, f->suggested_step(),
+                                 la::Partition::scalar(12));
+  const la::Vector x_bar = op::picard_solve(bf, la::zeros(12), 50000,
+                                            1e-15);
+  auto steps_for = [&](std::size_t inner) {
+    auto steering = model::make_cyclic_steering(12);
+    auto delays = model::make_no_delay();
+    ModelEngineOptions opt;
+    opt.max_steps = 100000;
+    opt.tol = 1e-10;
+    opt.x_star = x_bar;
+    opt.inner_steps = inner;
+    opt.seed = 7;
+    auto r = run_model_engine(bf, *steering, *delays, la::zeros(12), opt);
+    EXPECT_TRUE(r.converged);
+    return r.steps;
+  };
+  const Step s1 = steps_for(1);
+  const Step s4 = steps_for(4);
+  EXPECT_LT(s4, s1);
+}
+
+// -------------------------------------------------- stopping & trackers
+
+TEST(Stopping, MacroResidualRuleStopsNearFixedPoint) {
+  Rng rng(82);
+  auto sys = problems::make_diagonally_dominant_system(16, 3, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::scalar(16));
+  const la::Vector x_star = op::picard_solve(jac, la::zeros(16), 20000,
+                                             1e-15);
+  auto steering = model::make_cyclic_steering(16);
+  auto delays = model::make_uniform_delay(4);
+  ModelEngineOptions opt;
+  opt.max_steps = 200000;
+  opt.tol = 1e-9;  // macro-residual threshold (no x_star)
+  auto result = run_model_engine(jac, *steering, *delays, la::zeros(16),
+                                 opt);
+  EXPECT_TRUE(result.converged);
+  // contraction factor alpha < 1: residual-based stop guarantees
+  // closeness within tol/(1-alpha) roughly; just require closeness
+  EXPECT_LT(la::dist_inf(result.x, x_star), 1e-6);
+}
+
+TEST(Trackers, EpochAndMacroBothAdvanceUnderFairSchedules) {
+  Rng rng(83);
+  auto sys = problems::make_diagonally_dominant_system(8, 2, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::scalar(8));
+  auto steering = model::make_cyclic_steering(8);
+  auto delays = model::make_constant_delay(2);
+  ModelEngineOptions opt;
+  opt.max_steps = 2000;
+  opt.tol = 0.0;
+  // 2 machines: blocks 0-3 on machine 0, 4-7 on machine 1
+  opt.machine_of_block = {0, 0, 0, 0, 1, 1, 1, 1};
+  auto result = run_model_engine(jac, *steering, *delays, la::zeros(8), opt);
+  EXPECT_GT(result.macro_boundaries.size(), 10u);
+  EXPECT_GT(result.epoch_boundaries.size(), 10u);
+}
+
+TEST(Engine, StarvedBlockStillConvergesButSlowly) {
+  // Condition c) boundary case: one block updated only at powers of two.
+  Rng rng(84);
+  auto sys = problems::make_diagonally_dominant_system(6, 2, 3.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::scalar(6));
+  const la::Vector x_star = op::picard_solve(jac, la::zeros(6), 20000,
+                                             1e-15);
+  auto steering = model::make_starving_steering(6, 0);
+  auto delays = model::make_no_delay();
+  ModelEngineOptions opt;
+  opt.max_steps = 1 << 15;
+  opt.tol = 1e-9;
+  opt.x_star = x_star;
+  opt.record_error_every = 64;
+  auto result = run_model_engine(jac, *steering, *delays, la::zeros(6), opt);
+  EXPECT_TRUE(result.converged);
+  // macro-iterations are few relative to steps (gaps double)
+  EXPECT_LT(result.macro_boundaries.size(), 40u);
+}
+
+TEST(Engine, HistoryStaysBoundedUnderBoundedDelays) {
+  Rng rng(85);
+  auto sys = problems::make_diagonally_dominant_system(8, 2, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::scalar(8));
+  auto steering = model::make_cyclic_steering(8);
+  auto delays = model::make_constant_delay(5);
+  ModelEngineOptions opt;
+  opt.max_steps = 50000;
+  opt.tol = 0.0;
+  // no error tracking: run the full horizon; engine must not blow memory.
+  auto result = run_model_engine(jac, *steering, *delays, la::zeros(8), opt);
+  EXPECT_EQ(result.steps, 50000u);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace asyncit::engine

@@ -1,0 +1,484 @@
+// Tests for the iteration model layer: steering policies (S), delay models
+// (L), schedule traces, the macro-iteration tracker (Definition 2), the
+// epoch tracker (Mishchenko et al.), the box-level tracker, and the
+// admissibility auditors for conditions a)–d).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "asyncit/model/admissibility.hpp"
+#include "asyncit/model/box_level.hpp"
+#include "asyncit/model/delay_models.hpp"
+#include "asyncit/model/epoch.hpp"
+#include "asyncit/model/history.hpp"
+#include "asyncit/model/macro_iteration.hpp"
+#include "asyncit/model/steering.hpp"
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::model {
+namespace {
+
+// ---------------------------------------------------------------- steering
+
+TEST(Steering, AllBlocksReturnsEverything) {
+  auto s = make_all_blocks_steering(4);
+  Rng rng(1);
+  const auto set = s->next(1, rng);
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_EQ(s->name(), "all-blocks");
+}
+
+TEST(Steering, CyclicRoundRobin) {
+  auto s = make_cyclic_steering(3);
+  Rng rng(1);
+  EXPECT_EQ(s->next(1, rng), (std::vector<la::BlockId>{0}));
+  EXPECT_EQ(s->next(2, rng), (std::vector<la::BlockId>{1}));
+  EXPECT_EQ(s->next(3, rng), (std::vector<la::BlockId>{2}));
+  EXPECT_EQ(s->next(4, rng), (std::vector<la::BlockId>{0}));
+}
+
+TEST(Steering, RandomSubsetHasDistinctEntries) {
+  auto s = make_random_subset_steering(10, 4);
+  Rng rng(5);
+  for (Step j = 1; j <= 200; ++j) {
+    auto set = s->next(j, rng);
+    EXPECT_EQ(set.size(), 4u);
+    std::set<la::BlockId> uniq(set.begin(), set.end());
+    EXPECT_EQ(uniq.size(), 4u);
+    for (auto b : set) EXPECT_LT(b, 10u);
+  }
+}
+
+TEST(Steering, WeightedRandomRespectsWeights) {
+  auto s = make_weighted_random_steering({1.0, 9.0});
+  Rng rng(7);
+  int count1 = 0;
+  const int trials = 20000;
+  for (int j = 1; j <= trials; ++j)
+    if (s->next(static_cast<Step>(j), rng)[0] == 1) ++count1;
+  EXPECT_NEAR(static_cast<double>(count1) / trials, 0.9, 0.02);
+}
+
+TEST(Steering, WeightedRandomRejectsZeroWeight) {
+  EXPECT_THROW(make_weighted_random_steering({1.0, 0.0}), CheckError);
+}
+
+TEST(Steering, StarvingUpdatesVictimOnlyAtPowersOfTwo) {
+  auto s = make_starving_steering(4, 2);
+  Rng rng(1);
+  for (Step j = 1; j <= 64; ++j) {
+    const auto set = s->next(j, rng);
+    const bool is_pow2 = (j & (j - 1)) == 0;
+    if (is_pow2) {
+      EXPECT_EQ(set, (std::vector<la::BlockId>{2})) << "step " << j;
+    } else {
+      EXPECT_NE(set[0], 2u) << "step " << j;
+    }
+  }
+}
+
+// Condition c) property: every policy updates every block infinitely often
+// (within a long finite horizon, every block appears many times).
+class SteeringFairness
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SteeringFairness, EveryBlockAppears) {
+  const std::string which = GetParam();
+  const std::size_t m = 6;
+  std::unique_ptr<SteeringPolicy> s;
+  if (which == "all") s = make_all_blocks_steering(m);
+  if (which == "cyclic") s = make_cyclic_steering(m);
+  if (which == "subset") s = make_random_subset_steering(m, 2);
+  if (which == "weighted")
+    s = make_weighted_random_steering({1, 2, 3, 4, 5, 6});
+  if (which == "starving") s = make_starving_steering(m, 0);
+  ASSERT_NE(s, nullptr);
+  Rng rng(3);
+  std::vector<int> counts(m, 0);
+  for (Step j = 1; j <= 5000; ++j)
+    for (auto b : s->next(j, rng)) ++counts[b];
+  for (std::size_t b = 0; b < m; ++b)
+    EXPECT_GE(counts[b], 2) << which << " starves block " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SteeringFairness,
+                         ::testing::Values("all", "cyclic", "subset",
+                                           "weighted", "starving"));
+
+// ------------------------------------------------------------ delay models
+
+// Condition a) property: every model returns labels <= j-1.
+class DelayConditionA : public ::testing::TestWithParam<const char*> {};
+
+std::unique_ptr<DelayModel> make_model(const std::string& which) {
+  if (which == "none") return make_no_delay();
+  if (which == "const") return make_constant_delay(5);
+  if (which == "uniform") return make_uniform_delay(8);
+  if (which == "sqrt") return make_baudet_sqrt_delay();
+  if (which == "log") return make_log_delay();
+  if (which == "half") return make_half_delay();
+  if (which == "ooo") return make_out_of_order_delay(12);
+  if (which == "frozen") return make_frozen_delay();
+  return nullptr;
+}
+
+TEST_P(DelayConditionA, LabelsRespectConditionA) {
+  auto d = make_model(GetParam());
+  ASSERT_NE(d, nullptr);
+  Rng rng(5);
+  for (Step j = 1; j <= 3000; ++j) {
+    const Step l = d->label(0, j, rng);
+    EXPECT_LE(l, j - 1) << d->name() << " at step " << j;
+    EXPECT_LE(j - l, d->max_lookback(j))
+        << d->name() << " exceeds its declared lookback at " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, DelayConditionA,
+                         ::testing::Values("none", "const", "uniform",
+                                           "sqrt", "log", "half", "ooo",
+                                           "frozen"));
+
+TEST(DelayModels, NoDelayIsFresh) {
+  auto d = make_no_delay();
+  Rng rng(1);
+  EXPECT_EQ(d->label(0, 1, rng), 0u);
+  EXPECT_EQ(d->label(0, 100, rng), 99u);
+}
+
+TEST(DelayModels, ConstantDelayClampsAtZero) {
+  auto d = make_constant_delay(10);
+  Rng rng(1);
+  EXPECT_EQ(d->label(0, 3, rng), 0u);    // 3-1-10 clamps
+  EXPECT_EQ(d->label(0, 100, rng), 89u);  // 100-1-10
+}
+
+TEST(DelayModels, BaudetSqrtMatchesPaperExample) {
+  // The paper's in-text example: delay grows like sqrt(j) and
+  // l(j) = j - sqrt(j) -> infinity (condition b holds despite
+  // unbounded delays).
+  auto d = make_baudet_sqrt_delay();
+  Rng rng(1);
+  for (Step j : {100u, 400u, 2500u, 10000u}) {
+    const Step l = d->label(0, j, rng);
+    const double sqrt_j = std::sqrt(static_cast<double>(j));
+    EXPECT_NEAR(static_cast<double>(j - l), sqrt_j, 1.0) << "at " << j;
+  }
+  // divergence: labels at j and 100j
+  EXPECT_GT(d->label(0, 10000, rng), d->label(0, 100, rng));
+  EXPECT_TRUE(d->admissible());
+}
+
+TEST(DelayModels, HalfDelayIsUnboundedButDiverging) {
+  auto d = make_half_delay();
+  Rng rng(1);
+  EXPECT_EQ(d->label(0, 1000, rng), 500u);
+  // delay is unbounded
+  EXPECT_EQ(1000u - d->label(0, 1000, rng), 500u);
+  // but the label still diverges
+  EXPECT_GT(d->label(0, 100000, rng), d->label(0, 1000, rng));
+}
+
+TEST(DelayModels, FrozenIsInadmissible) {
+  auto d = make_frozen_delay();
+  EXPECT_FALSE(d->admissible());
+  Rng rng(1);
+  EXPECT_EQ(d->label(0, 12345, rng), 0u);
+}
+
+TEST(DelayModels, OutOfOrderProducesLabelInversions) {
+  auto d = make_out_of_order_delay(16);
+  Rng rng(9);
+  std::size_t inversions = 0;
+  Step prev = 0;
+  for (Step j = 1; j <= 2000; ++j) {
+    const Step l = d->label(0, j, rng);
+    if (l < prev) ++inversions;
+    prev = l;
+  }
+  EXPECT_GT(inversions, 100u) << "OOO model should invert labels often";
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(ScheduleTrace, RecordsAndValidates) {
+  ScheduleTrace t(3, LabelRecording::kFull);
+  t.record({0}, 0, {0, 0, 0}, 0);
+  t.record({1, 2}, 1, {1, 1, 1}, 1);
+  EXPECT_EQ(t.steps(), 2u);
+  EXPECT_EQ(t.step(2).updated.size(), 2u);
+  EXPECT_EQ(t.delay(0, 2), 1u);
+}
+
+TEST(ScheduleTrace, RejectsConditionAViolation) {
+  ScheduleTrace t(2, LabelRecording::kMinOnly);
+  EXPECT_THROW(t.record({0}, 1, {}, 0), CheckError);  // l(1)=1 > 0
+}
+
+TEST(ScheduleTrace, RejectsEmptyUpdateSet) {
+  ScheduleTrace t(2, LabelRecording::kMinOnly);
+  EXPECT_THROW(t.record({}, 0, {}, 0), CheckError);
+}
+
+TEST(ScheduleTrace, CountsLabelInversions) {
+  ScheduleTrace t(1, LabelRecording::kFull);
+  t.record({0}, 0, {0}, 0);
+  t.record({0}, 1, {1}, 0);
+  t.record({0}, 0, {0}, 0);  // label went back: one inversion
+  t.record({0}, 2, {2}, 0);
+  EXPECT_EQ(t.label_inversions(0), 1u);
+  EXPECT_EQ(t.total_label_inversions(), 1u);
+}
+
+// --------------------------------------------------------- macro-iteration
+
+TEST(MacroIteration, HandComputedExample) {
+  // m = 2. Steps: (S, l_min):
+  //  j=1: ({0}, 0) covered {0}
+  //  j=2: ({1}, 0) covered {0,1} -> j_1 = 2
+  //  j=3: ({0}, 1) l=1 < j_1=2: does not count
+  //  j=4: ({0}, 2) covered {0}
+  //  j=5: ({1}, 3) covered {0,1} -> j_2 = 5
+  MacroIterationTracker t(2);
+  EXPECT_FALSE(t.observe(1, std::vector<la::BlockId>{0}, 0));
+  EXPECT_TRUE(t.observe(2, std::vector<la::BlockId>{1}, 0));
+  EXPECT_FALSE(t.observe(3, std::vector<la::BlockId>{0}, 1));
+  EXPECT_FALSE(t.observe(4, std::vector<la::BlockId>{0}, 2));
+  EXPECT_TRUE(t.observe(5, std::vector<la::BlockId>{1}, 3));
+  EXPECT_EQ(t.boundaries(), (std::vector<Step>{0, 2, 5}));
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(MacroIteration, SynchronousScheduleBoundsEveryStep) {
+  // All blocks updated each step with fresh labels l(j) = j-1: every step
+  // completes a macro-iteration.
+  const std::size_t m = 5;
+  MacroIterationTracker t(m);
+  std::vector<la::BlockId> all(m);
+  for (std::size_t b = 0; b < m; ++b) all[b] = static_cast<la::BlockId>(b);
+  for (Step j = 1; j <= 20; ++j)
+    EXPECT_TRUE(t.observe(j, all, j - 1)) << "step " << j;
+  EXPECT_EQ(t.count(), 20u);
+  for (std::size_t k = 0; k < t.boundaries().size(); ++k)
+    EXPECT_EQ(t.boundaries()[k], k);
+}
+
+TEST(MacroIteration, CyclicFreshScheduleHasPeriodRelatedBoundaries) {
+  // One block per step, fresh labels. After j_k, covering all m blocks
+  // takes exactly m steps.
+  const std::size_t m = 4;
+  MacroIterationTracker t(m);
+  for (Step j = 1; j <= 40; ++j) {
+    t.observe(j, std::vector<la::BlockId>{
+                     static_cast<la::BlockId>((j - 1) % m)},
+              j - 1);
+  }
+  const auto& b = t.boundaries();
+  ASSERT_GE(b.size(), 3u);
+  for (std::size_t k = 1; k < b.size(); ++k)
+    EXPECT_EQ(b[k] - b[k - 1], m) << "boundary " << k;
+}
+
+TEST(MacroIteration, BoundariesStrictlyIncrease) {
+  MacroIterationTracker t(3);
+  Rng rng(11);
+  for (Step j = 1; j <= 5000; ++j) {
+    const la::BlockId b = static_cast<la::BlockId>(rng.uniform_index(3));
+    const Step lag = std::min<Step>(j - 1, rng.uniform_index(10));
+    t.observe(j, std::vector<la::BlockId>{b}, j - 1 - lag);
+  }
+  const auto& bounds = t.boundaries();
+  EXPECT_GT(bounds.size(), 10u);
+  for (std::size_t k = 1; k < bounds.size(); ++k)
+    EXPECT_GT(bounds[k], bounds[k - 1]);
+}
+
+TEST(MacroIteration, StarvedComponentStretchesMacroIterations) {
+  // Block 0 updated only at powers of two: macro-iterations must wait for
+  // it, so boundary gaps grow roughly like the power-of-two gaps.
+  MacroIterationTracker t(3);
+  std::size_t other = 0;
+  for (Step j = 1; j <= (1u << 12); ++j) {
+    la::BlockId b;
+    if ((j & (j - 1)) == 0) {
+      b = 0;
+    } else {
+      b = static_cast<la::BlockId>(1 + (other++ % 2));
+    }
+    t.observe(j, std::vector<la::BlockId>{b}, j - 1);
+  }
+  const auto& bounds = t.boundaries();
+  ASSERT_GE(bounds.size(), 4u);
+  // Gaps grow: last gap larger than first gap.
+  const Step first_gap = bounds[1] - bounds[0];
+  const Step last_gap = bounds.back() - bounds[bounds.size() - 2];
+  EXPECT_GT(last_gap, first_gap);
+}
+
+TEST(MacroIteration, OutOfOrderStepsObserved) {
+  // Steps must arrive in order.
+  MacroIterationTracker t(2);
+  t.observe(1, std::vector<la::BlockId>{0}, 0);
+  EXPECT_THROW(t.observe(3, std::vector<la::BlockId>{1}, 0), CheckError);
+}
+
+TEST(MacroIteration, TraceHelperMatchesOnlineTracker) {
+  ScheduleTrace trace(2, LabelRecording::kMinOnly);
+  MacroIterationTracker online(2);
+  Rng rng(13);
+  for (Step j = 1; j <= 500; ++j) {
+    const la::BlockId b = static_cast<la::BlockId>(rng.uniform_index(2));
+    const Step lag = std::min<Step>(j - 1, rng.uniform_index(4));
+    trace.record({b}, j - 1 - lag, {}, 0);
+    online.observe(j, std::vector<la::BlockId>{b}, j - 1 - lag);
+  }
+  EXPECT_EQ(macro_boundaries(trace), online.boundaries());
+}
+
+// ------------------------------------------------------------------ epochs
+
+TEST(Epoch, RequiresTwoUpdatesPerMachine) {
+  EpochTracker t(2);
+  EXPECT_FALSE(t.observe(1, 0));
+  EXPECT_FALSE(t.observe(2, 1));
+  EXPECT_FALSE(t.observe(3, 0));
+  EXPECT_TRUE(t.observe(4, 1));  // both machines now have 2 updates
+  EXPECT_EQ(t.boundaries(), (std::vector<Step>{0, 4}));
+}
+
+TEST(Epoch, RoundRobinEpochLengthIsTwoRounds) {
+  const std::size_t machines = 3;
+  EpochTracker t(machines);
+  for (Step j = 1; j <= 30; ++j)
+    t.observe(j, static_cast<MachineId>((j - 1) % machines));
+  const auto& b = t.boundaries();
+  for (std::size_t k = 1; k < b.size(); ++k)
+    EXPECT_EQ(b[k] - b[k - 1], 2 * machines);
+}
+
+TEST(Epoch, SlowMachineStretchesEpochs) {
+  // Machine 1 updates only every 10 steps: epochs stretch accordingly.
+  EpochTracker t(2);
+  for (Step j = 1; j <= 100; ++j)
+    t.observe(j, (j % 10 == 0) ? 1 : 0);
+  const auto& b = t.boundaries();
+  ASSERT_GE(b.size(), 2u);
+  EXPECT_GE(b[1], 20u);  // needs two updates of machine 1
+}
+
+// -------------------------------------------------------------- box levels
+
+TEST(BoxLevel, FreshScheduleGainsOneLevelPerRound) {
+  // m=2, alternate updates with fresh labels: after both updated, level 1;
+  // after both updated again (reading level-1 data), level 2...
+  BoxLevelTracker t(2);
+  std::vector<Step> labels{0, 0};
+  // j=1: update 0 with labels (0,0): level(0) = 1.
+  t.observe(1, std::vector<la::BlockId>{0}, std::vector<Step>{0, 0});
+  EXPECT_EQ(t.min_level(), 0u);  // block 1 still at level 0
+  t.observe(2, std::vector<la::BlockId>{1}, std::vector<Step>{1, 1});
+  EXPECT_EQ(t.min_level(), 1u);
+  t.observe(3, std::vector<la::BlockId>{0}, std::vector<Step>{2, 2});
+  t.observe(4, std::vector<la::BlockId>{1}, std::vector<Step>{3, 3});
+  EXPECT_EQ(t.min_level(), 2u);
+}
+
+TEST(BoxLevel, StaleUpdateLowersLevel) {
+  BoxLevelTracker t(2);
+  t.observe(1, std::vector<la::BlockId>{0}, std::vector<Step>{0, 0});
+  t.observe(2, std::vector<la::BlockId>{1}, std::vector<Step>{1, 1});
+  t.observe(3, std::vector<la::BlockId>{0}, std::vector<Step>{2, 2});
+  t.observe(4, std::vector<la::BlockId>{1}, std::vector<Step>{3, 3});
+  EXPECT_EQ(t.min_level(), 2u);
+  // Out-of-order: block 0 updated with ancient labels (0,0): back to 1.
+  t.observe(5, std::vector<la::BlockId>{0}, std::vector<Step>{0, 0});
+  EXPECT_EQ(t.min_level(), 1u);
+}
+
+TEST(BoxLevel, MatchesMacroCountOnMonotoneSchedules) {
+  // With monotone labels the certified level at a macro boundary is at
+  // least the macro count.
+  const std::size_t m = 3;
+  MacroIterationTracker macro(m);
+  BoxLevelTracker box(m);
+  for (Step j = 1; j <= 300; ++j) {
+    const la::BlockId b = static_cast<la::BlockId>((j - 1) % m);
+    const Step lag = 2;
+    const Step l = j - 1 > lag ? j - 1 - lag : 0;
+    std::vector<Step> labels(m, l);
+    macro.observe(j, std::vector<la::BlockId>{b}, l);
+    box.observe(j, std::vector<la::BlockId>{b}, labels);
+  }
+  EXPECT_GE(box.min_level(), macro.count());
+}
+
+// ----------------------------------------------------------- admissibility
+
+TEST(Admissibility, ConditionAHoldsOnValidTrace) {
+  ScheduleTrace t(2, LabelRecording::kMinOnly);
+  for (Step j = 1; j <= 100; ++j)
+    t.record({static_cast<la::BlockId>(j % 2)}, j - 1, {}, 0);
+  EXPECT_TRUE(audit_condition_a(t).holds);
+}
+
+TEST(Admissibility, ConditionBDetectsDivergingLabels) {
+  ScheduleTrace good(1, LabelRecording::kMinOnly);
+  ScheduleTrace frozen(1, LabelRecording::kMinOnly);
+  for (Step j = 1; j <= 1000; ++j) {
+    good.record({0}, j - 1, {}, 0);
+    frozen.record({0}, 0, {}, 0);  // label stuck at 0: condition b fails
+  }
+  EXPECT_TRUE(audit_condition_b(good).diverging);
+  EXPECT_FALSE(audit_condition_b(frozen).diverging);
+}
+
+TEST(Admissibility, ConditionBAcceptsBaudetSqrt) {
+  ScheduleTrace t(1, LabelRecording::kMinOnly);
+  Rng rng(1);
+  auto d = make_baudet_sqrt_delay();
+  for (Step j = 1; j <= 4000; ++j) t.record({0}, d->label(0, j, rng), {}, 0);
+  EXPECT_TRUE(audit_condition_b(t).diverging);
+}
+
+TEST(Admissibility, ConditionCReportsGapsAndFairness) {
+  ScheduleTrace t(2, LabelRecording::kMinOnly);
+  // block 1 appears only twice
+  for (Step j = 1; j <= 100; ++j)
+    t.record({j == 50 || j == 100 ? la::BlockId{1} : la::BlockId{0}},
+             j - 1, {}, 0);
+  const auto rep = audit_condition_c(t);
+  EXPECT_TRUE(rep.fair);
+  EXPECT_EQ(rep.occurrences[1], 2u);
+  EXPECT_EQ(rep.max_gap[1], 50u);
+}
+
+TEST(Admissibility, ConditionCFlagsAbandonedComponent) {
+  ScheduleTrace t(2, LabelRecording::kMinOnly);
+  for (Step j = 1; j <= 100; ++j) t.record({0}, j - 1, {}, 0);
+  EXPECT_FALSE(audit_condition_c(t).fair);
+}
+
+TEST(Admissibility, ConditionDMeasuresDelayBound) {
+  ScheduleTrace t(1, LabelRecording::kMinOnly);
+  Rng rng(2);
+  auto d = make_constant_delay(7);
+  for (Step j = 1; j <= 500; ++j) t.record({0}, d->label(0, j, rng), {}, 0);
+  const auto rep = audit_condition_d(t);
+  EXPECT_EQ(rep.b_min, 8u);  // delay d_i(j) = j - (j-1-7) = 8
+}
+
+TEST(Admissibility, SummaryMentionsAllConditions) {
+  ScheduleTrace t(2, LabelRecording::kMinOnly);
+  for (Step j = 1; j <= 100; ++j)
+    t.record({static_cast<la::BlockId>(j % 2)}, j - 1, {}, 0);
+  const std::string s = audit_summary(t);
+  EXPECT_NE(s.find("condition a)"), std::string::npos);
+  EXPECT_NE(s.find("condition b)"), std::string::npos);
+  EXPECT_NE(s.find("condition c)"), std::string::npos);
+  EXPECT_NE(s.find("condition d)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asyncit::model

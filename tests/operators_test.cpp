@@ -1,0 +1,353 @@
+// Tests for the operator layer: prox library (with nonexpansiveness
+// property sweeps), Jacobi / projected Jacobi, gradient, the paper's
+// Definition-4 backward-forward operator, the classic forward-backward,
+// Krasnoselskii-Mann averaging, and the contraction estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "asyncit/linalg/norms.hpp"
+#include "asyncit/operators/contraction.hpp"
+#include "asyncit/operators/gradient.hpp"
+#include "asyncit/operators/jacobi.hpp"
+#include "asyncit/operators/krasnoselskii.hpp"
+#include "asyncit/operators/projected_jacobi.hpp"
+#include "asyncit/operators/prox.hpp"
+#include "asyncit/operators/prox_gradient.hpp"
+#include "asyncit/problems/linear_system.hpp"
+#include "asyncit/problems/quadratic.hpp"
+#include "asyncit/support/check.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::op {
+namespace {
+
+using problems::LinearSystem;
+using problems::make_diagonally_dominant_system;
+using problems::make_separable_quadratic;
+
+// ------------------------------------------------------------------- prox
+
+TEST(Prox, SoftThreshold) {
+  EXPECT_DOUBLE_EQ(soft_threshold(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-3.0, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(soft_threshold(-0.5, 1.0), 0.0);
+}
+
+TEST(Prox, L1MatchesSoftThreshold) {
+  auto g = make_l1_prox(2.0);
+  EXPECT_DOUBLE_EQ(g->prox(0, 5.0, 0.5), 4.0);  // threshold = 0.5*2 = 1
+  EXPECT_DOUBLE_EQ(g->value(la::Vector{1.0, -2.0}), 6.0);
+}
+
+TEST(Prox, SquaredL2Shrinks) {
+  auto g = make_squared_l2_prox(3.0);
+  EXPECT_DOUBLE_EQ(g->prox(0, 4.0, 1.0), 1.0);  // 4 / (1+3)
+  EXPECT_DOUBLE_EQ(g->value(la::Vector{2.0}), 6.0);
+}
+
+TEST(Prox, BoxProjects) {
+  auto g = make_box_prox(-1.0, 2.0);
+  EXPECT_DOUBLE_EQ(g->prox(0, 5.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(g->prox(0, -5.0, 1.0), -1.0);
+  EXPECT_DOUBLE_EQ(g->prox(0, 0.5, 1.0), 0.5);
+}
+
+TEST(Prox, LowerBoundPerCoordinate) {
+  auto g = make_lower_bound_prox({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(g->prox(0, -2.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(g->prox(1, 0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(g->prox(1, 3.0, 1.0), 3.0);
+}
+
+TEST(Prox, ElasticNetComposesThresholdAndShrink) {
+  auto g = make_elastic_net_prox(1.0, 1.0);
+  // gamma=1: soft(4,1)/(1+1) = 3/2
+  EXPECT_DOUBLE_EQ(g->prox(0, 4.0, 1.0), 1.5);
+}
+
+TEST(Prox, ZeroIsIdentity) {
+  auto g = make_zero_prox();
+  EXPECT_DOUBLE_EQ(g->prox(0, 1.25, 0.7), 1.25);
+  EXPECT_DOUBLE_EQ(g->value(la::Vector{9.0}), 0.0);
+}
+
+// Property: prox operators of convex functions are nonexpansive per
+// coordinate: |prox(u) - prox(v)| <= |u - v|.
+class ProxNonexpansive : public ::testing::TestWithParam<const char*> {};
+
+std::unique_ptr<ProxOperator> make_prox(const std::string& which) {
+  if (which == "zero") return make_zero_prox();
+  if (which == "l1") return make_l1_prox(0.7);
+  if (which == "l2") return make_squared_l2_prox(1.3);
+  if (which == "elastic") return make_elastic_net_prox(0.5, 0.8);
+  if (which == "box") return make_box_prox(-2.0, 1.5);
+  if (which == "lower") return make_lower_bound_prox(la::Vector(1, 0.25));
+  return nullptr;
+}
+
+TEST_P(ProxNonexpansive, CoordinatewiseNonexpansive) {
+  auto g = make_prox(GetParam());
+  ASSERT_NE(g, nullptr);
+  Rng rng(21);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double u = rng.uniform(-10.0, 10.0);
+    const double v = rng.uniform(-10.0, 10.0);
+    const double gamma = rng.uniform(0.01, 3.0);
+    const double pu = g->prox(0, u, gamma);
+    const double pv = g->prox(0, v, gamma);
+    EXPECT_LE(std::abs(pu - pv), std::abs(u - v) + 1e-12)
+        << g->name() << " at u=" << u << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProx, ProxNonexpansive,
+                         ::testing::Values("zero", "l1", "l2", "elastic",
+                                           "box", "lower"));
+
+// Property: prox minimizes g(v) + (1/2γ)|v-x|²; perturbing the output
+// must not reduce the objective (first-order optimality spot check).
+class ProxOptimality : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProxOptimality, OutputIsMinimizer) {
+  const std::string which = GetParam();
+  auto g = make_prox(which);
+  ASSERT_NE(g, nullptr);
+  Rng rng(22);
+  auto objective = [&](double v, double x, double gamma) {
+    // g restricted to one coordinate
+    double gval = 0.0;
+    if (which == "l1") gval = 0.7 * std::abs(v);
+    if (which == "l2") gval = 0.5 * 1.3 * v * v;
+    if (which == "elastic") gval = 0.5 * std::abs(v) + 0.5 * 0.8 * v * v;
+    if (which == "box") {
+      if (v < -2.0 || v > 1.5) return 1e100;
+    }
+    if (which == "lower") {
+      if (v < 0.25) return 1e100;
+    }
+    return gval + (v - x) * (v - x) / (2.0 * gamma);
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const double x = rng.uniform(-5.0, 5.0);
+    const double gamma = rng.uniform(0.1, 2.0);
+    const double p = g->prox(0, x, gamma);
+    const double fp = objective(p, x, gamma);
+    for (double eps : {-1e-3, 1e-3, -0.1, 0.1}) {
+      EXPECT_LE(fp, objective(p + eps, x, gamma) + 1e-9)
+          << which << " x=" << x << " gamma=" << gamma;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProx, ProxOptimality,
+                         ::testing::Values("zero", "l1", "l2", "elastic",
+                                           "box", "lower"));
+
+// ----------------------------------------------------------------- Jacobi
+
+class JacobiFixture : public ::testing::Test {
+ protected:
+  JacobiFixture() : rng_(42) {
+    sys_ = make_diagonally_dominant_system(30, 4, 2.0, rng_);
+  }
+  Rng rng_;
+  LinearSystem sys_;
+};
+
+TEST_F(JacobiFixture, FixedPointSolvesSystem) {
+  JacobiOperator jac(sys_.a, sys_.b, la::Partition::scalar(sys_.dim()));
+  const la::Vector x = picard_solve(jac, la::zeros(sys_.dim()), 5000, 1e-14);
+  // residual A x - b
+  la::Vector ax(sys_.dim());
+  sys_.a.matvec(x, ax);
+  for (std::size_t i = 0; i < sys_.dim(); ++i)
+    EXPECT_NEAR(ax[i], sys_.b[i], 1e-9);
+  EXPECT_LT(fixed_point_residual(jac, x), 1e-10);
+}
+
+TEST_F(JacobiFixture, ContractionBoundBelowOneAndObserved) {
+  JacobiOperator jac(sys_.a, sys_.b, la::Partition::scalar(sys_.dim()));
+  const double bound = jac.contraction_bound();
+  EXPECT_LT(bound, 1.0);
+  EXPECT_GT(bound, 0.0);
+  const la::Vector x_star =
+      picard_solve(jac, la::zeros(sys_.dim()), 5000, 1e-14);
+  la::WeightedMaxNorm norm(jac.partition());
+  const auto est = estimate_contraction(jac, x_star, norm, rng_, 64, 2.0);
+  EXPECT_LE(est.max_factor, bound + 1e-9);
+}
+
+TEST_F(JacobiFixture, BlockPartitionGivesSameFixedPoint) {
+  JacobiOperator scalar(sys_.a, sys_.b, la::Partition::scalar(sys_.dim()));
+  JacobiOperator blocked(sys_.a, sys_.b,
+                         la::Partition::balanced(sys_.dim(), 5));
+  const la::Vector xs = picard_solve(scalar, la::zeros(sys_.dim()), 5000,
+                                     1e-14);
+  const la::Vector xb = picard_solve(blocked, la::zeros(sys_.dim()), 5000,
+                                     1e-14);
+  EXPECT_LT(la::dist_inf(xs, xb), 1e-10);
+}
+
+TEST(Jacobi, RejectsZeroDiagonal) {
+  auto a = la::CsrMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {0, 1, 1.0},
+                                               {1, 0, 1.0}});
+  EXPECT_THROW(JacobiOperator(a, la::Vector{1.0, 1.0},
+                              la::Partition::scalar(2)),
+               CheckError);
+}
+
+TEST(ProjectedJacobi, RespectsLowerBoundEverywhere) {
+  Rng rng(7);
+  LinearSystem sys = make_diagonally_dominant_system(20, 3, 2.0, rng);
+  la::Vector lower(20, 0.5);
+  ProjectedJacobiOperator proj(sys.a, sys.b, lower,
+                               la::Partition::scalar(20));
+  const la::Vector x = picard_solve(proj, la::zeros(20), 5000, 1e-13);
+  for (double v : x) EXPECT_GE(v, 0.5 - 1e-12);
+  EXPECT_LT(fixed_point_residual(proj, x), 1e-10);
+}
+
+// --------------------------------------------------------------- gradient
+
+TEST(GradientOperator, FixedPointIsMinimizer) {
+  Rng rng(3);
+  auto f = make_separable_quadratic(16, 0.5, 4.0, rng);
+  GradientOperator grad(*f, f->suggested_step(),
+                        la::Partition::scalar(f->dim()));
+  const la::Vector x = picard_solve(grad, la::zeros(f->dim()), 10000, 1e-14);
+  EXPECT_LT(la::dist_inf(x, f->minimizer()), 1e-10);
+}
+
+TEST(GradientOperator, ContractionFactorMatchesTheoryOnSeparable) {
+  Rng rng(5);
+  auto f = make_separable_quadratic(24, 1.0, 9.0, rng);
+  const double gamma = f->suggested_step();  // 2/(mu+L) = 0.2
+  GradientOperator grad(*f, gamma, la::Partition::scalar(f->dim()));
+  // theory: factor = (L-mu)/(L+mu) = 0.8 = 1 - gamma*mu
+  const double expected = (f->lipschitz() - f->mu()) /
+                          (f->lipschitz() + f->mu());
+  EXPECT_NEAR(grad.contraction_factor(), expected, 1e-12);
+  la::WeightedMaxNorm norm(grad.partition());
+  const auto est = estimate_contraction(grad, f->minimizer(), norm, rng,
+                                        128, 3.0);
+  EXPECT_LE(est.max_factor, expected + 1e-9);
+  // the bound is tight on separable problems (the extreme curvature
+  // coordinate attains it)
+  EXPECT_GT(est.max_factor, expected - 0.05);
+}
+
+TEST(GradientOperator, RejectsNonpositiveStep) {
+  Rng rng(5);
+  auto f = make_separable_quadratic(4, 1.0, 2.0, rng);
+  EXPECT_THROW(GradientOperator(*f, 0.0, la::Partition::scalar(4)),
+               CheckError);
+}
+
+// --------------------------------------------- backward-forward (Def. 4)
+
+class ProxGradFixture : public ::testing::Test {
+ protected:
+  ProxGradFixture() : rng_(11) {
+    f_ = make_separable_quadratic(20, 0.8, 5.0, rng_);
+    g_ = make_l1_prox(0.3);
+    gamma_ = f_->suggested_step();
+  }
+  Rng rng_;
+  std::unique_ptr<problems::SeparableQuadratic> f_;
+  std::unique_ptr<ProxOperator> g_;
+  double gamma_ = 0.0;
+};
+
+TEST_F(ProxGradFixture, BackwardForwardFixedPointRecoversMinimizer) {
+  BackwardForwardOperator bf(*f_, *g_, gamma_,
+                             la::Partition::scalar(f_->dim()));
+  ForwardBackwardOperator fb(*f_, *g_, gamma_,
+                             la::Partition::scalar(f_->dim()));
+  const la::Vector x_bar = picard_solve(bf, la::zeros(f_->dim()), 20000,
+                                        1e-14);
+  const la::Vector z = bf.solution_from_fixed_point(x_bar);
+  const la::Vector x_fb = picard_solve(fb, la::zeros(f_->dim()), 20000,
+                                       1e-14);
+  // prox of the BF fixed point is the FB fixed point = the minimizer
+  EXPECT_LT(la::dist_inf(z, x_fb), 1e-9);
+}
+
+TEST_F(ProxGradFixture, SeparableMinimizerSatisfiesSubgradientCondition) {
+  // For separable quadratic + l1 the minimizer is the soft-thresholded
+  // center: x_i = soft(c_i, lambda/a_i).
+  ForwardBackwardOperator fb(*f_, *g_, gamma_,
+                             la::Partition::scalar(f_->dim()));
+  const la::Vector x = picard_solve(fb, la::zeros(f_->dim()), 20000, 1e-14);
+  for (std::size_t i = 0; i < f_->dim(); ++i) {
+    const double expected = soft_threshold(
+        f_->minimizer()[i], 0.3 / f_->curvatures()[i]);
+    EXPECT_NEAR(x[i], expected, 1e-9) << "coordinate " << i;
+  }
+}
+
+TEST_F(ProxGradFixture, BackwardForwardContractsWithRho) {
+  BackwardForwardOperator bf(*f_, *g_, gamma_,
+                             la::Partition::scalar(f_->dim()));
+  EXPECT_NEAR(bf.rho(), gamma_ * f_->mu(), 1e-15);
+  const la::Vector x_bar = picard_solve(bf, la::zeros(f_->dim()), 20000,
+                                        1e-14);
+  la::WeightedMaxNorm norm(bf.partition());
+  const auto est = estimate_contraction(bf, x_bar, norm, rng_, 128, 2.0);
+  EXPECT_LE(est.max_factor, 1.0 - bf.rho() + 1e-9);
+}
+
+TEST_F(ProxGradFixture, RejectsStepOutsideAdmissibleRange) {
+  EXPECT_THROW(BackwardForwardOperator(*f_, *g_, 2.0 * gamma_,
+                                       la::Partition::scalar(f_->dim())),
+               CheckError);
+}
+
+TEST_F(ProxGradFixture, ZeroProxReducesToGradientDescent) {
+  auto zero = make_zero_prox();
+  BackwardForwardOperator bf(*f_, *zero, gamma_,
+                             la::Partition::scalar(f_->dim()));
+  GradientOperator grad(*f_, gamma_, la::Partition::scalar(f_->dim()));
+  Rng rng(2);
+  la::Vector x(f_->dim());
+  for (auto& v : x) v = rng.normal();
+  la::Vector y1(f_->dim()), y2(f_->dim());
+  bf.apply(x, y1);
+  grad.apply(x, y2);
+  EXPECT_LT(la::dist_inf(y1, y2), 1e-14);
+}
+
+// ------------------------------------------------------------------- KM
+
+TEST(KrasnoselskiiMann, EtaOneIsInnerOperator) {
+  Rng rng(13);
+  auto f = make_separable_quadratic(8, 1.0, 3.0, rng);
+  GradientOperator grad(*f, f->suggested_step(), la::Partition::scalar(8));
+  KrasnoselskiiMannOperator km(grad, 1.0);
+  la::Vector x(8, 1.0), y1(8), y2(8);
+  km.apply(x, y1);
+  grad.apply(x, y2);
+  EXPECT_LT(la::dist_inf(y1, y2), 1e-15);
+}
+
+TEST(KrasnoselskiiMann, DampingPreservesFixedPoint) {
+  Rng rng(17);
+  auto f = make_separable_quadratic(12, 1.0, 6.0, rng);
+  GradientOperator grad(*f, f->suggested_step(), la::Partition::scalar(12));
+  KrasnoselskiiMannOperator km(grad, 0.4);
+  const la::Vector x = picard_solve(km, la::zeros(12), 40000, 1e-14);
+  EXPECT_LT(la::dist_inf(x, f->minimizer()), 1e-9);
+}
+
+TEST(KrasnoselskiiMann, RejectsBadEta) {
+  Rng rng(17);
+  auto f = make_separable_quadratic(4, 1.0, 2.0, rng);
+  GradientOperator grad(*f, 0.1, la::Partition::scalar(4));
+  EXPECT_THROW(KrasnoselskiiMannOperator(grad, 0.0), CheckError);
+  EXPECT_THROW(KrasnoselskiiMannOperator(grad, 1.5), CheckError);
+}
+
+}  // namespace
+}  // namespace asyncit::op

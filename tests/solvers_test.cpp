@@ -1,0 +1,194 @@
+// Tests for the solver facade: the async/sync/sequential prox-gradient
+// solvers agree on the minimizer, the linear/obstacle/network-flow solvers
+// meet their problem-specific optimality criteria, and the ARock and
+// DAve-RPG baselines converge to the same solutions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asyncit/problems/synthetic.hpp"
+#include "asyncit/solvers/arock.hpp"
+#include "asyncit/solvers/dave_rpg.hpp"
+#include "asyncit/solvers/linear.hpp"
+#include "asyncit/solvers/network_flow_solver.hpp"
+#include "asyncit/solvers/prox_gradient.hpp"
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::solvers {
+namespace {
+
+problems::SyntheticLasso small_lasso(std::uint64_t seed) {
+  Rng rng(seed);
+  problems::LassoConfig cfg;
+  cfg.samples = 80;
+  cfg.features = 40;
+  cfg.support = 8;
+  cfg.ridge = 0.2;
+  cfg.lambda1 = 0.02;
+  return problems::make_synthetic_lasso(cfg, rng);
+}
+
+TEST(ProxGradientSolvers, SequentialAsyncSyncAgree) {
+  auto lasso = small_lasso(1);
+  const auto seq = solve_prox_gradient_sequential(lasso.problem, 1e-12);
+
+  ProxGradOptions opt;
+  opt.workers = 2;
+  opt.blocks = 8;
+  opt.tol = 1e-9;
+  opt.max_seconds = 30.0;
+  opt.reference = seq.x;
+  const auto async = solve_prox_gradient_async(lasso.problem, opt);
+  const auto sync = solve_prox_gradient_sync(lasso.problem, opt);
+
+  EXPECT_TRUE(async.converged) << async.error_to_reference;
+  EXPECT_TRUE(sync.converged) << sync.error_to_reference;
+  EXPECT_LT(async.error_to_reference, 1e-6);
+  EXPECT_LT(sync.error_to_reference, 1e-6);
+  EXPECT_NEAR(async.objective, seq.objective,
+              1e-6 * std::max(1.0, std::abs(seq.objective)));
+}
+
+TEST(ProxGradientSolvers, BackwardForwardAndForwardBackwardAgree) {
+  auto lasso = small_lasso(2);
+  const auto seq = solve_prox_gradient_sequential(lasso.problem, 1e-12);
+
+  ProxGradOptions opt;
+  opt.workers = 2;
+  opt.blocks = 8;
+  opt.tol = 1e-9;
+  opt.max_seconds = 30.0;
+  opt.reference = seq.x;
+
+  opt.use_backward_forward = true;
+  const auto bf = solve_prox_gradient_async(lasso.problem, opt);
+  opt.use_backward_forward = false;
+  const auto fb = solve_prox_gradient_async(lasso.problem, opt);
+  EXPECT_TRUE(bf.converged);
+  EXPECT_TRUE(fb.converged);
+  EXPECT_LT(la::dist_inf(bf.x, fb.x), 1e-5);
+}
+
+TEST(ProxGradientSolvers, FlexibleModeConverges) {
+  auto lasso = small_lasso(3);
+  const auto seq = solve_prox_gradient_sequential(lasso.problem, 1e-12);
+  ProxGradOptions opt;
+  opt.workers = 2;
+  opt.blocks = 8;
+  opt.inner_steps = 3;
+  opt.flexible = true;
+  opt.tol = 1e-8;
+  opt.max_seconds = 30.0;
+  opt.reference = seq.x;
+  const auto flex = solve_prox_gradient_async(lasso.problem, opt);
+  EXPECT_TRUE(flex.converged);
+  EXPECT_LT(flex.error_to_reference, 1e-5);
+}
+
+TEST(LinearSolvers, AsyncAndSyncJacobiSolveTheSystem) {
+  Rng rng(4);
+  auto sys = problems::make_diagonally_dominant_system(100, 4, 2.0, rng);
+  LinearSolveOptions opt;
+  opt.workers = 2;
+  opt.blocks = 10;
+  opt.tol = 1e-9;
+  opt.max_seconds = 30.0;
+  const auto async = solve_jacobi_async(sys, opt);
+  const auto sync = solve_jacobi_sync(sys, opt);
+  EXPECT_TRUE(async.converged);
+  EXPECT_TRUE(sync.converged);
+  EXPECT_LT(async.residual_inf, 1e-7);
+  EXPECT_LT(sync.residual_inf, 1e-7);
+}
+
+TEST(ObstacleSolver, MeetsComplementarityAndFeasibility) {
+  problems::ObstacleProblem prob(16, -30.0, -0.05, 1.0);
+  LinearSolveOptions opt;
+  opt.workers = 2;
+  opt.blocks = 16;
+  opt.tol = 1e-8;
+  opt.max_seconds = 30.0;
+  const auto s = solve_obstacle_async(prob, opt);
+  EXPECT_TRUE(s.converged);
+  EXPECT_LT(s.feasibility_violation, 1e-9);
+  EXPECT_LT(s.complementarity, 1e-5);
+  EXPECT_GT(s.contact_points, 0u);
+}
+
+TEST(NetworkFlowSolver, SequentialAndAsyncReachFeasibility) {
+  Rng rng(5);
+  auto net = problems::make_random_network(16, 14, rng);
+  const auto seq = solve_network_flow_sequential(net, 1e-9);
+  EXPECT_TRUE(seq.converged);
+  EXPECT_LT(seq.max_excess, 1e-8);
+  // weak duality at optimum: primal cost == dual value
+  EXPECT_NEAR(seq.primal_cost, seq.dual_value,
+              1e-4 * std::max(1.0, std::abs(seq.primal_cost)));
+
+  NetworkFlowOptions opt;
+  opt.workers = 2;
+  opt.tol = 1e-6;
+  opt.max_seconds = 30.0;
+  const auto async = solve_network_flow_async(net, opt);
+  EXPECT_TRUE(async.converged);
+  EXPECT_LT(async.max_excess, 1e-4);
+  EXPECT_NEAR(async.primal_cost, seq.primal_cost,
+              1e-3 * std::max(1.0, std::abs(seq.primal_cost)));
+}
+
+TEST(ARockSolver, ConvergesWithDamping) {
+  auto lasso = small_lasso(6);
+  ARockOptions opt;
+  opt.eta = 0.6;
+  opt.tol = 1e-8;
+  opt.max_steps = 500000;
+  opt.delay_bound = 8;
+  const auto s = solve_arock(lasso.problem, opt);
+  EXPECT_TRUE(s.converged);
+  EXPECT_LT(s.error_to_reference, 1e-7);
+  EXPECT_GT(s.macro_iterations, 0u);
+  EXPECT_GT(s.epochs, 0u);
+}
+
+TEST(DaveRpg, ShardsSumToFullFunction) {
+  auto lasso = small_lasso(7);
+  const auto* ls = dynamic_cast<const problems::LeastSquaresFunction*>(
+      lasso.problem.f.get());
+  ASSERT_NE(ls, nullptr);
+  auto shards = split_least_squares(*ls, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  Rng rng(8);
+  la::Vector x(ls->dim());
+  for (auto& v : x) v = rng.normal();
+  la::Vector g_full(ls->dim()), g_sum(ls->dim(), 0.0), g_shard(ls->dim());
+  ls->gradient(x, g_full);
+  double value_sum = 0.0;
+  for (const auto& shard : shards) {
+    shard->gradient(x, g_shard);
+    la::axpy(1.0, g_shard, g_sum);
+    value_sum += shard->value(x);
+  }
+  EXPECT_LT(la::dist_inf(g_full, g_sum), 1e-10);
+  EXPECT_NEAR(value_sum, ls->value(x), 1e-8 * std::max(1.0, ls->value(x)));
+}
+
+TEST(DaveRpg, ConvergesToReferenceUnderStaleness) {
+  auto lasso = small_lasso(9);
+  const auto* ls = dynamic_cast<const problems::LeastSquaresFunction*>(
+      lasso.problem.f.get());
+  ASSERT_NE(ls, nullptr);
+  const la::Vector x_star = lasso.problem.reference_minimizer(200000, 1e-13);
+  auto shards = split_least_squares(*ls, 4);
+  DaveRpgOptions opt;
+  opt.max_steps = 400000;
+  opt.tol = 1e-8;
+  opt.delay_bound = 4;
+  const auto s = solve_dave_rpg(shards, *lasso.problem.g, x_star, ls->mu(),
+                                ls->lipschitz(), opt);
+  EXPECT_TRUE(s.converged) << "error " << s.error_to_reference;
+  EXPECT_GT(s.epoch_boundaries.size(), 1u);
+  EXPECT_GT(s.macro_boundaries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace asyncit::solvers

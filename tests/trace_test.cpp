@@ -1,0 +1,93 @@
+// Tests for the trace layer: event logs, the ASCII Gantt renderer that
+// regenerates Figures 1 and 2, and CSV mirroring.
+#include <gtest/gtest.h>
+
+#include "asyncit/trace/csv.hpp"
+#include "asyncit/trace/event_log.hpp"
+#include "asyncit/trace/gantt.hpp"
+
+namespace asyncit::trace {
+namespace {
+
+EventLog two_processor_log() {
+  EventLog log;
+  // P0: phases [0,1](step1), [1,2.5](step3); P1: phase [0,2](step2)
+  log.add_phase({0, 0, 0.0, 1.0, 1});
+  log.add_phase({1, 1, 0.0, 2.0, 2});
+  log.add_phase({0, 0, 1.0, 2.5, 3});
+  log.add_message({0, 1, 0, false, false, 1.0, 1.4, 1});
+  log.add_message({1, 0, 1, true, false, 1.5, 1.9, 0});   // partial
+  log.add_message({1, 0, 1, false, true, 2.0, -1.0, 2});  // dropped
+  return log;
+}
+
+TEST(EventLog, EndTimeAndProcessorCount) {
+  const EventLog log = two_processor_log();
+  EXPECT_DOUBLE_EQ(log.end_time(), 2.5);
+  EXPECT_EQ(log.num_processors(), 2u);
+  EXPECT_EQ(log.phases().size(), 3u);
+  EXPECT_EQ(log.messages().size(), 3u);
+}
+
+TEST(EventLog, EmptyLogIsWellDefined) {
+  EventLog log;
+  EXPECT_DOUBLE_EQ(log.end_time(), 0.0);
+  EXPECT_EQ(log.num_processors(), 0u);
+}
+
+TEST(Gantt, RendersLanesAndLabels) {
+  const EventLog log = two_processor_log();
+  GanttOptions opt;
+  opt.width = 60;
+  const std::string g = render_gantt(log, opt);
+  EXPECT_NE(g.find("P0 |"), std::string::npos);
+  EXPECT_NE(g.find("P1 |"), std::string::npos);
+  EXPECT_NE(g.find('['), std::string::npos);
+  EXPECT_NE(g.find(']'), std::string::npos);
+  // iteration numbers stamped into the rectangles
+  EXPECT_NE(g.find('1'), std::string::npos);
+  EXPECT_NE(g.find('2'), std::string::npos);
+}
+
+TEST(Gantt, MarksPartialAndDroppedMessages) {
+  const EventLog log = two_processor_log();
+  const std::string g = render_gantt(log, {});
+  EXPECT_NE(g.find("~~"), std::string::npos) << "partial arrow missing";
+  EXPECT_NE(g.find("--"), std::string::npos) << "full arrow missing";
+  EXPECT_NE(g.find("DROPPED"), std::string::npos);
+}
+
+TEST(Gantt, MessageTableCanBeCapped) {
+  EventLog log = two_processor_log();
+  for (int i = 0; i < 100; ++i)
+    log.add_message({0, 1, 0, false, false, 0.1, 0.2, 1});
+  GanttOptions opt;
+  opt.max_messages = 5;
+  const std::string g = render_gantt(log, opt);
+  EXPECT_NE(g.find("more messages"), std::string::npos);
+}
+
+TEST(Gantt, EmptyTraceHandled) {
+  EventLog log;
+  EXPECT_EQ(render_gantt(log, {}), "(empty trace)\n");
+}
+
+TEST(Csv, SerializesAndEscapes) {
+  TextTable t({"name", "value"});
+  t.add_row({"plain", "1.5"});
+  t.add_row({"with,comma", "say \"hi\""});
+  const std::string csv = to_csv(t);
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, DisabledWithoutEnvVar) {
+  ::unsetenv("ASYNCIT_BENCH_CSV");
+  TextTable t({"a"});
+  t.add_row({"1"});
+  EXPECT_EQ(maybe_write_csv(t, "should_not_exist"), "");
+}
+
+}  // namespace
+}  // namespace asyncit::trace
