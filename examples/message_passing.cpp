@@ -1,0 +1,93 @@
+// Message passing: run the same problem through all three coordination
+// modes of the net/ runtime — totally asynchronous, stale-synchronous
+// (SSP), and barrier-synchronized (BSP) — on real threads exchanging
+// tagged block values over latency/reordering channels, then render the
+// asynchronous run's measured schedule as a Gantt chart (the wall-clock
+// analogue of the paper's Figure 1).
+//
+//   build/examples/message_passing
+#include <cstdio>
+
+#include "asyncit/asyncit.hpp"
+
+int main() {
+  using namespace asyncit;
+
+  // 1. A strictly diagonally dominant system: the Jacobi operator is a
+  //    max-norm contraction, so every coordination mode must converge.
+  Rng rng(42);
+  auto sys = problems::make_diagonally_dominant_system(128, 4, 2.0, rng);
+  la::Partition partition = la::Partition::balanced(128, 8);
+  op::JacobiOperator jacobi(sys.a, sys.b, partition);
+  const la::Vector x_star = op::picard_solve(jacobi, la::zeros(128), 50000,
+                                             1e-14);
+
+  // 2. Four peers, one of them 4x slower; 0.5..3 ms link latency with
+  //    non-FIFO delivery, so later messages genuinely overtake earlier
+  //    ones between the threads.
+  auto options_for = [&](net::Mode mode) {
+    net::MpOptions opt;
+    opt.workers = 4;
+    opt.worker_slowdown = {4.0, 1.0, 1.0, 1.0};
+    opt.mode = mode;
+    opt.staleness = 2;
+    opt.delivery.min_latency = 5e-4;
+    opt.delivery.max_latency = 3e-3;
+    opt.tol = 1e-8;
+    opt.x_star = x_star;
+    opt.max_seconds = 20.0;
+    opt.max_updates = 10000000;
+    return opt;
+  };
+
+  std::printf("Jacobi n=128, 4 peers (one 4x slower), non-FIFO links "
+              "0.5..3 ms\n\n");
+  std::printf("%-6s  %-5s  %-9s  %-8s  %-10s  %-12s\n", "mode", "conv",
+              "wall(ms)", "updates", "inversions", "delay p50/p99 (ms)");
+  for (const net::Mode mode :
+       {net::Mode::kBsp, net::Mode::kSsp, net::Mode::kAsync}) {
+    net::MpOptions opt = options_for(mode);
+    const char* name = mode == net::Mode::kBsp
+                           ? "bsp"
+                           : (mode == net::Mode::kSsp ? "ssp" : "async");
+    auto result = net::run_message_passing(jacobi, la::zeros(128), opt);
+    std::printf("%-6s  %-5s  %-9.2f  %-8llu  %-10llu  %.2f / %.2f\n", name,
+                result.converged ? "yes" : "NO",
+                result.wall_seconds * 1e3,
+                static_cast<unsigned long long>(result.total_updates),
+                static_cast<unsigned long long>(result.inversions_observed),
+                result.delays.quantile(0.5) * 1e3,
+                result.delays.quantile(0.99) * 1e3);
+  }
+
+  // 3. Record a short asynchronous run and draw its measured schedule.
+  //    Updating phases are inflated (large repetition factors, same 4x
+  //    ratio) so each phase spans a visible fraction of the chart, and
+  //    the wall-clock times are rescaled to milliseconds for rendering.
+  net::MpOptions opt = options_for(net::Mode::kAsync);
+  opt.record_trace = true;
+  opt.worker_slowdown = {8000.0, 2000.0, 2000.0, 2000.0};
+  opt.max_seconds = 0.05;  // a 50 ms observation window
+  opt.x_star.reset();
+  auto traced = net::run_message_passing(jacobi, la::zeros(128), opt);
+
+  trace::EventLog ms_log;  // same schedule, times in milliseconds
+  for (trace::PhaseEvent e : traced.log.phases()) {
+    e.t_start *= 1e3;
+    e.t_end *= 1e3;
+    ms_log.add_phase(e);
+  }
+  for (trace::MessageEvent e : traced.log.messages()) {
+    e.t_send *= 1e3;
+    e.t_arrive *= 1e3;
+    ms_log.add_message(e);
+  }
+
+  trace::GanttOptions gopt;
+  gopt.width = 90;
+  gopt.max_messages = 12;
+  std::printf("\nmeasured schedule of the asynchronous run, time in ms "
+              "(rectangles: updating phases; arrows: messages):\n\n%s\n",
+              trace::render_gantt(ms_log, gopt).c_str());
+  return 0;
+}

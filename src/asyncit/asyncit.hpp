@@ -19,6 +19,9 @@
 //   sim/       discrete-event distributed simulator (+ termination
 //              detection) and the synchronous BSP baseline
 //   runtime/   real threaded shared-memory executors
+//   net/       in-process message-passing runtime: real threads exchanging
+//              step-tagged block values over mailbox channels with
+//              injected latency / reordering / loss (BSP, SSP, async)
 //   solvers/   the public solve_* facade + ARock / DAve-RPG baselines
 //   trace/     event logs, ASCII Gantt (Fig. 1 / Fig. 2), CSV
 #pragma once
@@ -32,6 +35,9 @@
 #include "asyncit/model/epoch.hpp"
 #include "asyncit/model/macro_iteration.hpp"
 #include "asyncit/model/steering.hpp"
+#include "asyncit/net/channel.hpp"
+#include "asyncit/net/mp_runtime.hpp"
+#include "asyncit/net/peer.hpp"
 #include "asyncit/operators/contraction.hpp"
 #include "asyncit/operators/gradient.hpp"
 #include "asyncit/operators/jacobi.hpp"
@@ -55,5 +61,6 @@
 #include "asyncit/solvers/linear.hpp"
 #include "asyncit/solvers/network_flow_solver.hpp"
 #include "asyncit/solvers/prox_gradient.hpp"
+#include "asyncit/support/check.hpp"
 #include "asyncit/trace/csv.hpp"
 #include "asyncit/trace/gantt.hpp"

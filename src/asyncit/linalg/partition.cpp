@@ -60,4 +60,18 @@ std::span<double> Partition::block_span(std::span<double> x,
   return x.subspan(r.begin, r.size());
 }
 
+std::vector<std::vector<BlockId>> assign_blocks_contiguous(
+    std::size_t num_blocks, std::size_t workers) {
+  ASYNCIT_CHECK(workers >= 1 && workers <= num_blocks);
+  std::vector<std::vector<BlockId>> owned(workers);
+  const std::size_t base = num_blocks / workers;
+  const std::size_t extra = num_blocks % workers;
+  BlockId b = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t count = base + (w < extra ? 1 : 0);
+    for (std::size_t k = 0; k < count; ++k) owned[w].push_back(b++);
+  }
+  return owned;
+}
+
 }  // namespace asyncit::la

@@ -54,4 +54,11 @@ class Partition {
   std::vector<BlockId> coord_to_block_;
 };
 
+/// Contiguous near-even assignment of `num_blocks` blocks to `workers`
+/// owners (earlier workers get the remainder). The ownership scheme shared
+/// by the threaded executors (rt::) and the message-passing runtime (net::).
+/// Requires 1 <= workers <= num_blocks.
+std::vector<std::vector<BlockId>> assign_blocks_contiguous(
+    std::size_t num_blocks, std::size_t workers);
+
 }  // namespace asyncit::la

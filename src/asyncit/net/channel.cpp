@@ -1,0 +1,141 @@
+#include "asyncit/net/channel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::net {
+
+// ------------------------------------------------------- DelayHistogram
+
+namespace {
+// 1 microsecond .. 10 seconds, 36 log-spaced buckets plus an overflow
+// bucket; covers everything from same-quantum delivery to stragglers.
+constexpr double kEdgeLo = 1e-6;
+constexpr double kEdgeHi = 10.0;
+constexpr std::size_t kBuckets = 36;
+}  // namespace
+
+DelayHistogram::DelayHistogram() {
+  edges_.reserve(kBuckets + 1);
+  const double ratio = std::pow(kEdgeHi / kEdgeLo, 1.0 / double(kBuckets - 1));
+  double e = kEdgeLo;
+  for (std::size_t i = 0; i < kBuckets; ++i, e *= ratio) edges_.push_back(e);
+  edges_.push_back(std::numeric_limits<double>::infinity());
+  counts_.assign(edges_.size(), 0);
+}
+
+void DelayHistogram::add(double delay_seconds) {
+  const double d = std::max(0.0, delay_seconds);
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), d);
+  ++counts_[static_cast<std::size_t>(it - edges_.begin())];
+  ++count_;
+  sum_ += d;
+  min_ = (count_ == 1) ? d : std::min(min_, d);
+  max_ = std::max(max_, d);
+}
+
+void DelayHistogram::merge(const DelayHistogram& other) {
+  ASYNCIT_CHECK(counts_.size() == other.counts_.size());
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  min_ = (count_ == 0) ? other.min_ : std::min(min_, other.min_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+double DelayHistogram::quantile(double p) const {
+  ASYNCIT_CHECK(p >= 0.0 && p <= 1.0);
+  if (count_ == 0) return 0.0;
+  const double rank = p * double(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (double(seen) >= rank)
+      return std::isinf(edges_[i]) ? max_ : edges_[i];
+  }
+  return max_;
+}
+
+// ----------------------------------------------------------- LinkStamper
+
+bool LinkStamper::stamp(Message& m, double now, bool allow_drop) {
+  ++stamped_;
+  // Always consume the same number of draws per message so the sequence
+  // stays aligned across replays regardless of mode flags.
+  const double latency =
+      rng_.uniform(policy_.min_latency, policy_.max_latency);
+  const bool drop = policy_.drop_prob > 0.0 && rng_.bernoulli(policy_.drop_prob);
+  m.t_send = now;
+  m.deliver_at = now + latency;
+  if (policy_.fifo) {
+    m.deliver_at = std::max(m.deliver_at, last_deliver_at_);
+    last_deliver_at_ = m.deliver_at;
+  }
+  if (drop && allow_drop) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- Mailbox
+
+void Mailbox::post(Message m) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Insert keeping pending_ sorted by deliver_at (ties: arrival order).
+    auto it = std::upper_bound(
+        pending_.begin(), pending_.end(), m,
+        [](const Message& a, const Message& b) {
+          return a.deliver_at < b.deliver_at;
+        });
+    pending_.insert(it, std::move(m));
+    ++posted_;
+  }
+  cv_.notify_one();
+}
+
+std::size_t Mailbox::drain(double now, std::vector<Message>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  while (n < pending_.size() && pending_[n].deliver_at <= now) ++n;
+  for (std::size_t i = 0; i < n; ++i) {
+    delays_.add(now - pending_[i].t_send);
+    out.push_back(std::move(pending_[i]));
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(n));
+  delivered_ += n;
+  return n;
+}
+
+void Mailbox::wait_for_post(std::uint64_t seen_posted,
+                            double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+               [&] { return posted_ > seen_posted; });
+}
+
+double Mailbox::next_delivery() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.empty() ? std::numeric_limits<double>::infinity()
+                          : pending_.front().deliver_at;
+}
+
+std::uint64_t Mailbox::posted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return posted_;
+}
+
+std::uint64_t Mailbox::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+}  // namespace asyncit::net

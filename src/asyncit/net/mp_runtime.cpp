@@ -1,0 +1,166 @@
+#include "asyncit/net/mp_runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "asyncit/net/peer.hpp"
+#include "asyncit/runtime/pacing.hpp"
+#include "asyncit/runtime/shared_iterate.hpp"
+#include "asyncit/support/check.hpp"
+#include "asyncit/support/timer.hpp"
+
+namespace asyncit::net {
+
+namespace {
+
+/// Orchestrator poll period. Coarse enough not to steal meaningful CPU
+/// from the peers on an oversubscribed machine, fine enough that stopping
+/// decisions lag by well under a millisecond.
+constexpr double kMonitorPeriod = 2e-4;
+
+}  // namespace
+
+MpResult run_message_passing(const op::BlockOperator& op,
+                             const la::Vector& x0,
+                             const MpOptions& options) {
+  const la::Partition& partition = op.partition();
+  const std::size_t m = partition.num_blocks();
+  const std::size_t peers_n = options.workers;
+  ASYNCIT_CHECK(peers_n >= 1 && peers_n <= m);
+  ASYNCIT_CHECK(x0.size() == partition.dim());
+  ASYNCIT_CHECK(options.inner_steps >= 1);
+  ASYNCIT_CHECK(options.check_every >= 1);
+  ASYNCIT_CHECK(options.delivery.min_latency >= 0.0 &&
+                options.delivery.max_latency >= options.delivery.min_latency);
+  ASYNCIT_CHECK(options.delivery.drop_prob >= 0.0 &&
+                options.delivery.drop_prob < 1.0);
+
+  const auto owned = la::assign_blocks_contiguous(m, peers_n);
+  std::vector<Mailbox> mailboxes(peers_n);
+  rt::SharedIterate monitor(x0);
+  std::vector<double> last_displacement(m, 1e300);
+  std::vector<std::atomic<std::uint64_t>> updates(peers_n);
+  std::atomic<bool> stop{false};
+  la::WeightedMaxNorm norm{partition};
+  const bool oracle = options.x_star.has_value();
+  const bool displacement_stop = options.displacement_tol > 0.0;
+
+  // One independent RNG stream per directed link, derived from the master
+  // seed in a fixed order: the latency/drop draw sequence of every link
+  // is a pure function of (seed, link, message index) — replays are
+  // deterministic however the OS schedules the threads.
+  Rng seeder(options.seed);
+  std::vector<std::vector<std::uint64_t>> link_seeds(
+      peers_n, std::vector<std::uint64_t>(peers_n, 0));
+  for (std::size_t src = 0; src < peers_n; ++src)
+    for (std::size_t dst = 0; dst < peers_n; ++dst)
+      link_seeds[src][dst] = seeder.next();
+
+  WallTimer timer;
+  PeerContext ctx;
+  ctx.op = &op;
+  ctx.options = &options;
+  ctx.clock = &timer;
+  ctx.owned = &owned;
+  ctx.mailboxes = &mailboxes;
+  ctx.monitor = &monitor;
+  ctx.last_displacement = &last_displacement;
+  ctx.updates = &updates;
+  ctx.stop = &stop;
+
+  std::vector<std::unique_ptr<Peer>> peers;
+  peers.reserve(peers_n);
+  for (std::size_t p = 0; p < peers_n; ++p)
+    peers.push_back(std::make_unique<Peer>(
+        ctx, static_cast<std::uint32_t>(p), x0, link_seeds[p]));
+
+  std::vector<std::thread> threads;
+  threads.reserve(peers_n);
+  for (std::size_t p = 0; p < peers_n; ++p)
+    threads.emplace_back([&peers, p] { peers[p]->run(); });
+
+  // ---- monitor loop (this thread): stopping rules over the published
+  // plane; peers handle the time/update budgets themselves as well.
+  la::Vector snap;
+  rt::DisplacementStop stop_rule;
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kMonitorPeriod));
+    const double t = timer.seconds();
+    std::uint64_t total = 0;
+    for (const auto& u : updates) total += u.load(std::memory_order_relaxed);
+    if (t > options.max_seconds || total >= options.max_updates) {
+      stop.store(true, std::memory_order_relaxed);
+      break;
+    }
+    if (oracle) {
+      snap = monitor.snapshot();
+      if (norm.distance(snap, *options.x_star) < options.tol) {
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (displacement_stop &&
+        stop_rule.should_stop(last_displacement, op, options.displacement_tol,
+                              [&] { return monitor.snapshot(); })) {
+      stop.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : threads) th.join();
+
+  // ---- assemble the result ----
+  MpResult result;
+  result.wall_seconds = timer.seconds();
+  result.x = monitor.snapshot();
+  result.updates_per_worker.reserve(peers_n);
+  for (const auto& u : updates) {
+    result.updates_per_worker.push_back(u.load());
+    result.total_updates += result.updates_per_worker.back();
+  }
+  result.rounds = peers.front()->rounds();
+  for (const auto& p : peers)
+    result.rounds = std::min(result.rounds, p->rounds());
+  for (const auto& p : peers) {
+    result.messages_sent += p->messages_sent();
+    result.messages_dropped += p->messages_dropped();
+    result.partials_sent += p->partials_sent();
+    result.inversions_observed += p->view().inversions;
+    result.stale_filtered += p->view().stale_filtered;
+  }
+  for (const Mailbox& mb : mailboxes) {
+    result.messages_delivered += mb.delivered();
+    result.delays.merge(mb.delays());
+  }
+  if (options.record_trace) {
+    std::vector<trace::PhaseEvent> phases;
+    std::vector<trace::MessageEvent> messages;
+    for (const auto& p : peers) {
+      const trace::EventLog& log = p->log();
+      phases.insert(phases.end(), log.phases().begin(), log.phases().end());
+      messages.insert(messages.end(), log.messages().begin(),
+                      log.messages().end());
+    }
+    std::sort(phases.begin(), phases.end(),
+              [](const trace::PhaseEvent& a, const trace::PhaseEvent& b) {
+                return a.t_start < b.t_start;
+              });
+    std::sort(messages.begin(), messages.end(),
+              [](const trace::MessageEvent& a, const trace::MessageEvent& b) {
+                return a.t_send < b.t_send;
+              });
+    for (auto& e : phases) result.log.add_phase(e);
+    for (auto& e : messages) result.log.add_message(e);
+  }
+  if (oracle) {
+    result.final_error = norm.distance(result.x, *options.x_star);
+    result.converged = result.final_error < options.tol;
+  }
+  return result;
+}
+
+}  // namespace asyncit::net

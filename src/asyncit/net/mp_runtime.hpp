@@ -1,0 +1,108 @@
+// Orchestration of the in-process message-passing runtime.
+//
+// run_message_passing executes asynchronous iterations the way the paper's
+// testbeds did: P worker threads own disjoint block ranges and exchange
+// step-tagged block values through mailbox channels with injectable
+// latency, reordering (non-FIFO delivery), and loss — values actually
+// TRAVEL between workers instead of living in shared memory (rt::) or in
+// a virtual-time simulation (sim::). Out-of-order messages, label
+// inversions, and unbounded heterogeneity delays therefore occur on real
+// hardware, and every per-message delay is measured into a histogram
+// rather than assumed from a model.
+//
+// Three coordination modes are selectable per run (see net/peer.hpp):
+// totally asynchronous (kAsync), staleness-bounded (kSsp), and the
+// barrier-synchronized BSP baseline (kBsp). Flexible communication
+// (Definition 3 partial publishing) and the displacement-based stopping
+// rule of rt::RuntimeOptions carry over unchanged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "asyncit/linalg/norms.hpp"
+#include "asyncit/net/channel.hpp"
+#include "asyncit/operators/operator.hpp"
+#include "asyncit/trace/event_log.hpp"
+
+namespace asyncit::net {
+
+/// Per-sweep coordination discipline.
+enum class Mode {
+  kAsync,  ///< never wait (totally asynchronous, paper Section II)
+  kSsp,    ///< stale synchronous: clock gap capped by `staleness`
+  kBsp,    ///< bulk synchronous baseline (barrier every round)
+};
+
+struct MpOptions {
+  std::size_t workers = 2;
+  /// Per-worker compute repetition factors (heterogeneity injection), as
+  /// in rt::RuntimeOptions: empty = all 1.0.
+  std::vector<double> worker_slowdown;
+
+  Mode mode = Mode::kAsync;
+  /// SSP clock-gap cap in rounds (ignored by kAsync; kBsp behaves as 0).
+  std::uint64_t staleness = 1;
+
+  std::size_t inner_steps = 1;
+  /// Flexible communication (Definition 3): send partial iterates
+  /// mid-phase and incorporate mid-phase arrivals between inner steps.
+  /// Honoured by kAsync and kSsp; kBsp keeps its frozen-snapshot rounds.
+  bool publish_partials = false;
+
+  /// Channel behaviour for every directed link. drop_prob is honoured
+  /// only in kAsync (see DeliveryPolicy).
+  DeliveryPolicy delivery;
+  OverwritePolicy overwrite = OverwritePolicy::kLastArrivalWins;
+
+  double tol = 1e-9;
+  std::optional<la::Vector> x_star;  ///< oracle stopping + error metric
+
+  /// Displacement stopping rule without a known solution, identical in
+  /// meaning to rt::RuntimeOptions::displacement_tol (0 disables); the
+  /// orchestrator confirms a candidate stop with a true residual check.
+  double displacement_tol = 0.0;
+
+  std::uint64_t max_updates = 1000000;  ///< total block-update budget
+  double max_seconds = 30.0;
+  std::uint64_t check_every = 16;  ///< per-peer budget check cadence
+
+  bool record_trace = false;          ///< fill the EventLog (Gantt)
+  std::size_t max_trace_events = 20000;
+
+  std::uint64_t seed = 1;
+};
+
+struct MpResult {
+  la::Vector x;
+  double wall_seconds = 0.0;
+  bool converged = false;
+  double final_error = -1.0;  ///< oracle error (when x_star given)
+
+  std::uint64_t total_updates = 0;           ///< block updates
+  std::vector<std::uint64_t> updates_per_worker;
+  std::uint64_t rounds = 0;                  ///< min complete sweeps
+
+  // ---- channel statistics: observed, not assumed ----
+  std::uint64_t messages_sent = 0;      ///< stamped (incl. dropped)
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t partials_sent = 0;
+  /// Arrivals carrying a tag older than the newest already seen for the
+  /// block — genuine out-of-order deliveries (label inversions).
+  std::uint64_t inversions_observed = 0;
+  /// Inversions that kNewestTagWins refused to incorporate.
+  std::uint64_t stale_filtered = 0;
+  /// Measured post-to-drain delay of every delivered message.
+  DelayHistogram delays;
+
+  trace::EventLog log;
+};
+
+/// Runs P = options.workers peer threads until convergence or budget
+/// exhaustion. Requires workers <= num_blocks and x0.size() == dim.
+MpResult run_message_passing(const op::BlockOperator& op,
+                             const la::Vector& x0, const MpOptions& options);
+
+}  // namespace asyncit::net

@@ -1,0 +1,266 @@
+#include "asyncit/net/peer.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "asyncit/linalg/vector_ops.hpp"
+#include "asyncit/runtime/pacing.hpp"
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::net {
+
+namespace {
+
+/// Poll granularity while blocked in a coordination gate; bounds how long
+/// a waiting peer can miss the stop flag.
+constexpr double kMaxGateWait = 1e-3;
+
+}  // namespace
+
+void incorporate(const la::Partition& partition, OverwritePolicy policy,
+                 const Message& m, LocalView& view) {
+  auto dst = partition.block_span(std::span<double>(view.x), m.block);
+  ASYNCIT_CHECK(m.value.size() == dst.size());
+  if (m.tag < view.max_tag[m.block]) ++view.inversions;
+  view.max_tag[m.block] = std::max(view.max_tag[m.block], m.tag);
+  if (policy == OverwritePolicy::kNewestTagWins &&
+      m.tag <= view.tags[m.block]) {
+    ++view.stale_filtered;
+    return;
+  }
+  std::copy(m.value.begin(), m.value.end(), dst.begin());
+  view.tags[m.block] = m.tag;
+}
+
+Peer::Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
+           std::vector<std::uint64_t> link_seeds)
+    : ctx_(ctx),
+      id_(id),
+      view_(x0, ctx.op->partition().num_blocks()),
+      round_(0),
+      production_((*ctx.owned)[id].size(), 0),
+      complete_rounds_(ctx.options->workers, 0),
+      arrivals_(ctx.options->workers) {
+  ASYNCIT_CHECK(link_seeds.size() == ctx_.options->workers);
+  links_.reserve(link_seeds.size());
+  for (std::uint64_t seed : link_seeds)
+    links_.emplace_back(ctx_.options->delivery, seed);
+  if (ctx_.options->record_trace)
+    trace_budget_ =
+        ctx_.options->max_trace_events / std::max<std::size_t>(1, ctx_.options->workers);
+}
+
+std::uint64_t Peer::messages_sent() const {
+  std::uint64_t n = 0;
+  for (const LinkStamper& l : links_) n += l.stamped();
+  return n;
+}
+
+std::uint64_t Peer::messages_dropped() const {
+  std::uint64_t n = 0;
+  for (const LinkStamper& l : links_) n += l.dropped();
+  return n;
+}
+
+void Peer::receive() {
+  inbox_.clear();
+  (*ctx_.mailboxes)[id_].drain(now(), inbox_);
+  // BSP keeps exact Jacobi rounds: a message from a round this peer has
+  // not yet finished must not leak into the current snapshot, so it is
+  // held back until round_ advances past it. (Fast peers can legally be
+  // one round ahead: they got our round-r values and completed round r+1
+  // while we are still sweeping round r.) Held-back messages rejoin
+  // through holdback_ at the next receive() after round_ advances.
+  const bool bsp = ctx_.options->mode == Mode::kBsp;
+  const OverwritePolicy policy =
+      bsp ? OverwritePolicy::kNewestTagWins : ctx_.options->overwrite;
+  const la::Partition& partition = ctx_.op->partition();
+
+  if (bsp && !holdback_.empty()) {
+    std::vector<Message> still_held;
+    for (Message& m : holdback_) {
+      if (m.round < round_)
+        incorporate(partition, policy, m, view_);
+      else
+        still_held.push_back(std::move(m));
+    }
+    holdback_.swap(still_held);
+  }
+
+  for (Message& m : inbox_) {
+    // Round-completion tracking (counts at drain time, independent of any
+    // BSP holdback). Only SSP/BSP gates consult it — and with message
+    // loss (kAsync) an incomplete round would leave its map entry behind
+    // forever — so skip the bookkeeping entirely in async mode.
+    if (!m.partial && ctx_.options->mode != Mode::kAsync) {
+      const std::size_t need = (*ctx_.owned)[m.src].size();
+      auto& per_round = arrivals_[m.src];
+      ++per_round[m.round];
+      auto it = per_round.find(complete_rounds_[m.src]);
+      while (it != per_round.end() && it->second >= need) {
+        per_round.erase(it);
+        ++complete_rounds_[m.src];
+        it = per_round.find(complete_rounds_[m.src]);
+      }
+    }
+    if (bsp && m.round >= round_) {
+      holdback_.push_back(std::move(m));
+      continue;
+    }
+    incorporate(partition, policy, m, view_);
+  }
+}
+
+void Peer::send_block(la::BlockId b, bool partial) {
+  const la::Partition& partition = ctx_.op->partition();
+  const la::BlockId own_first = (*ctx_.owned)[id_].front();
+  const model::Step tag = ++production_[b - own_first];
+  view_.tags[b] = tag;
+  view_.max_tag[b] = tag;
+  const auto value =
+      partition.block_span(std::span<const double>(view_.x), b);
+  const double t = now();
+  const bool allow_drop = ctx_.options->mode == Mode::kAsync;
+  const std::uint32_t peers =
+      static_cast<std::uint32_t>(ctx_.options->workers);
+  for (std::uint32_t dst = 0; dst < peers; ++dst) {
+    if (dst == id_) continue;
+    Message m;
+    m.src = id_;
+    m.block = b;
+    m.tag = tag;
+    m.round = round_;
+    m.partial = partial;
+    m.value.assign(value.begin(), value.end());
+    const bool sent = links_[dst].stamp(m, t, allow_drop);
+    if (trace_budget_ > 0) {
+      --trace_budget_;
+      log_.add_message({id_, dst, b, partial, !sent, m.t_send, m.deliver_at,
+                        tag});
+    }
+    if (sent) (*ctx_.mailboxes)[dst].post(std::move(m));
+  }
+  if (partial) ++partials_sent_;
+}
+
+void Peer::update_block(la::BlockId b, std::size_t reps,
+                        std::span<const double> compute_view) {
+  const MpOptions& opt = *ctx_.options;
+  const la::Partition& partition = ctx_.op->partition();
+  const la::BlockRange r = partition.range(b);
+  phase_out_.resize(r.size());
+  const double t_start = now();
+
+  const bool flexible =
+      opt.publish_partials && opt.mode != Mode::kBsp && opt.inner_steps > 1;
+  const std::size_t inner = opt.mode == Mode::kBsp ? 1 : opt.inner_steps;
+
+  // Displacement of this phase = movement of the block across the phase.
+  la::Vector prev(view_.x.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                  view_.x.begin() + static_cast<std::ptrdiff_t>(r.end));
+
+  for (std::size_t t = 0; t < inner; ++t) {
+    for (std::size_t rep = 0; rep < reps; ++rep)
+      ctx_.op->apply_block(b, compute_view, phase_out_);
+    std::copy(phase_out_.begin(), phase_out_.end(),
+              view_.x.begin() + static_cast<std::ptrdiff_t>(r.begin));
+    if (flexible && t + 1 < inner) {
+      send_block(b, /*partial=*/true);
+      receive();  // incorporate mid-phase arrivals (Definition 3)
+    }
+  }
+  send_block(b, /*partial=*/false);
+
+  // Publish to the monitoring plane (never read by compute).
+  ctx_.monitor->store_block(r.begin, phase_out_);
+  std::atomic_ref<double>((*ctx_.last_displacement)[b])
+      .store(la::dist2(phase_out_, prev), std::memory_order_relaxed);
+
+  ++local_step_;
+  if (trace_budget_ > 0) {
+    --trace_budget_;
+    log_.add_phase({id_, b, t_start, now(), local_step_});
+  }
+}
+
+bool Peer::wait_for_rounds(std::uint64_t needed) {
+  const std::uint32_t peers =
+      static_cast<std::uint32_t>(ctx_.options->workers);
+  while (!stopped()) {
+    const std::uint64_t seen = (*ctx_.mailboxes)[id_].posted();
+    receive();
+    bool satisfied = true;
+    for (std::uint32_t src = 0; src < peers; ++src) {
+      if (src == id_) continue;
+      if (complete_rounds_[src] < needed) {
+        satisfied = false;
+        break;
+      }
+    }
+    if (satisfied) return true;
+    // Sleep until the next pending delivery matures, a new post arrives,
+    // or the poll bound expires (keeps the stop flag responsive).
+    const double t = now();
+    const double next = (*ctx_.mailboxes)[id_].next_delivery();
+    double timeout = kMaxGateWait;
+    if (next > t) timeout = std::min(timeout, next - t);
+    (*ctx_.mailboxes)[id_].wait_for_post(seen, std::max(timeout, 1e-5));
+  }
+  return false;
+}
+
+void Peer::maybe_check(std::uint64_t own_updates) {
+  const MpOptions& opt = *ctx_.options;
+  if (own_updates % opt.check_every != 0) return;
+  if (now() > opt.max_seconds) {
+    ctx_.stop->store(true, std::memory_order_relaxed);
+    return;
+  }
+  std::uint64_t total = 0;
+  for (const auto& u : *ctx_.updates)
+    total += u.load(std::memory_order_relaxed);
+  if (total >= opt.max_updates) {
+    ctx_.stop->store(true, std::memory_order_relaxed);
+    return;
+  }
+  if (cpu_timer_.seconds() > rt::kYieldPeriod) {
+    cpu_timer_.reset();
+    std::this_thread::yield();
+  }
+}
+
+void Peer::run() {
+  // The constructor ran on the orchestrator thread; rebase the per-thread
+  // CPU clock here so yield pacing measures THIS thread's consumption.
+  cpu_timer_.reset();
+  const MpOptions& opt = *ctx_.options;
+  const std::vector<la::BlockId>& owned = (*ctx_.owned)[id_];
+  const std::size_t reps = rt::slowdown_repetitions(opt.worker_slowdown, id_);
+  const std::uint64_t slack =
+      opt.mode == Mode::kBsp ? 0 : opt.staleness;
+  std::uint64_t own_updates = 0;
+
+  while (!stopped()) {
+    if (opt.mode != Mode::kAsync && round_ > 0) {
+      const std::uint64_t needed = round_ > slack ? round_ - slack : 0;
+      if (!wait_for_rounds(needed)) break;
+    }
+    receive();
+    std::span<const double> compute_view(view_.x);
+    if (opt.mode == Mode::kBsp) {
+      snapshot_ = view_.x;  // frozen per-round view: exact Jacobi
+      compute_view = snapshot_;
+    }
+    for (la::BlockId b : owned) {
+      update_block(b, reps, compute_view);
+      ++own_updates;
+      (*ctx_.updates)[id_].fetch_add(1, std::memory_order_relaxed);
+      maybe_check(own_updates);
+      if (stopped()) break;
+      if (opt.mode != Mode::kBsp) receive();
+    }
+    ++round_;
+  }
+}
+
+}  // namespace asyncit::net

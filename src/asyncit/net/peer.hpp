@@ -1,0 +1,151 @@
+// A worker peer of the message-passing runtime.
+//
+// Each peer runs on its own thread, owns a contiguous range of blocks, and
+// holds a PRIVATE copy of the full iterate: the only way another peer's
+// update reaches it is as a Message drained from its Mailbox (contrast
+// rt::, where workers share the iterate in memory). The loop is the
+// receive -> incorporate -> update -> send cycle of the paper's
+// distributed model:
+//
+//   receive      drain every delivered message, incorporate it under the
+//                configured OverwritePolicy (kLastArrivalWins reproduces
+//                one-sided-put label inversions; kNewestTagWins filters
+//                them receiver-side);
+//   update       apply the block operator to the owned blocks
+//                (inner_steps applications per phase; with
+//                publish_partials, mid-phase partials are sent and
+//                mid-phase arrivals incorporated — Definition 3);
+//   send         publish the new block values to every other peer, tagged
+//                with a per-block production counter.
+//
+// Coordination gates (Mode) before each sweep:
+//   kAsync  never wait — the paper's Section II totally asynchronous
+//           regime (unbounded delays tolerated);
+//   kSsp    stale-synchronous: wait until every peer's last complete
+//           round is within `staleness` of this peer's round (per-worker
+//           clock gap cap);
+//   kBsp    barrier-synchronized baseline: staleness 0 plus a frozen
+//           per-round snapshot (exact distributed Jacobi).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "asyncit/net/channel.hpp"
+#include "asyncit/net/mp_runtime.hpp"
+#include "asyncit/operators/operator.hpp"
+#include "asyncit/runtime/shared_iterate.hpp"
+#include "asyncit/support/timer.hpp"
+#include "asyncit/trace/event_log.hpp"
+
+namespace asyncit::net {
+
+/// A peer's private copy of the iterate plus the receive-side bookkeeping
+/// (value tags, inversion/staleness counters). Kept as a standalone struct
+/// so incorporation is unit-testable without threads.
+struct LocalView {
+  la::Vector x;
+  std::vector<model::Step> tags;     ///< tag of the value currently held
+  std::vector<model::Step> max_tag;  ///< newest tag ever seen per block
+  std::uint64_t inversions = 0;      ///< arrivals with tag < newest seen
+  std::uint64_t stale_filtered = 0;  ///< arrivals discarded by policy
+
+  LocalView(const la::Vector& x0, std::size_t num_blocks)
+      : x(x0), tags(num_blocks, 0), max_tag(num_blocks, 0) {}
+};
+
+/// Applies one received message to a local view under `policy`. An arrival
+/// whose tag is older than the newest tag ever seen for that block is
+/// counted as a label inversion (the trace-level signature of out-of-order
+/// messages); kNewestTagWins additionally refuses to let it overwrite.
+void incorporate(const la::Partition& partition, OverwritePolicy policy,
+                 const Message& m, LocalView& view);
+
+/// Everything a peer shares with the orchestrator and the other peers.
+/// All pointers outlive the peer threads (owned by run_message_passing).
+struct PeerContext {
+  const op::BlockOperator* op = nullptr;
+  const MpOptions* options = nullptr;
+  const WallTimer* clock = nullptr;
+  const std::vector<std::vector<la::BlockId>>* owned = nullptr;
+  std::vector<Mailbox>* mailboxes = nullptr;
+  /// Monitoring plane: peers publish their own blocks here so the
+  /// orchestrator can evaluate stopping rules; compute never reads it.
+  rt::SharedIterate* monitor = nullptr;
+  /// Per-block Euclidean displacement of the most recent update
+  /// (atomic_ref access), for the displacement stopping rule.
+  std::vector<double>* last_displacement = nullptr;
+  std::vector<std::atomic<std::uint64_t>>* updates = nullptr;  ///< per peer
+  std::atomic<bool>* stop = nullptr;
+};
+
+class Peer {
+ public:
+  /// `link_seeds[dst]` seeds this peer's LinkStamper towards dst (unused
+  /// entry for dst == id; kept index-aligned for clarity).
+  Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
+       std::vector<std::uint64_t> link_seeds);
+
+  /// Thread body: loops until ctx.stop. Safe to call exactly once.
+  void run();
+
+  // ---- post-run accessors (valid after the thread has joined) ----
+  const LocalView& view() const { return view_; }
+  std::uint64_t rounds() const { return round_; }
+  std::uint64_t messages_sent() const;
+  std::uint64_t messages_dropped() const;
+  std::uint64_t partials_sent() const { return partials_sent_; }
+  const trace::EventLog& log() const { return log_; }
+
+ private:
+  double now() const { return ctx_.clock->seconds(); }
+  bool stopped() const {
+    return ctx_.stop->load(std::memory_order_relaxed);
+  }
+
+  /// Drains the mailbox and incorporates everything delivered.
+  void receive();
+  /// Computes one updating phase of block b (inner_steps applications;
+  /// flexible communication when configured) and publishes the result.
+  void update_block(la::BlockId b, std::size_t reps,
+                    std::span<const double> compute_view);
+  /// Sends the current value of owned block b to every other peer.
+  void send_block(la::BlockId b, bool partial);
+  /// Blocks until every other peer's count of complete rounds reaches
+  /// `needed` (SSP/BSP gate). Returns false if stopped while waiting.
+  bool wait_for_rounds(std::uint64_t needed);
+  /// Budget checks + CPU-sliced voluntary yield (see rt::executors).
+  void maybe_check(std::uint64_t own_updates);
+
+  PeerContext ctx_;
+  const std::uint32_t id_;
+  LocalView view_;
+  std::vector<LinkStamper> links_;    ///< per destination peer
+  std::vector<Message> inbox_;        ///< drain buffer (reused)
+  /// BSP only: drained messages from rounds this peer has not finished
+  /// yet (fast peers may run one round ahead); incorporated once round_
+  /// passes them, keeping each round's snapshot exact.
+  std::vector<Message> holdback_;
+  la::Vector phase_out_;              ///< block output buffer (reused)
+  la::Vector snapshot_;               ///< BSP per-round frozen view
+
+  std::uint64_t round_ = 0;           ///< completed sweeps over owned blocks
+  std::vector<model::Step> production_;  ///< per owned block send counter
+  model::Step local_step_ = 0;        ///< completed phases (trace labels)
+  std::uint64_t partials_sent_ = 0;
+  ThreadCpuTimer cpu_timer_;
+
+  /// Round-completion tracking per source peer: complete_rounds_[src] is
+  /// the count r of initial rounds (0..r-1) for which ALL of src's final
+  /// block messages have been received; arrivals_[src] counts finals per
+  /// not-yet-complete round.
+  std::vector<std::uint64_t> complete_rounds_;
+  std::vector<std::unordered_map<std::uint64_t, std::size_t>> arrivals_;
+
+  trace::EventLog log_;
+  std::size_t trace_budget_ = 0;      ///< remaining events this peer may log
+};
+
+}  // namespace asyncit::net

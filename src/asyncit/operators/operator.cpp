@@ -1,5 +1,6 @@
 #include "asyncit/operators/operator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "asyncit/support/check.hpp"
@@ -20,6 +21,20 @@ double fixed_point_residual(const BlockOperator& op,
   la::Vector fx(op.dim());
   op.apply(x, fx);
   return la::dist_inf(fx, x);
+}
+
+double max_block_residual(const BlockOperator& op, std::span<const double> x) {
+  ASYNCIT_CHECK(x.size() == op.dim());
+  const la::Partition& partition = op.partition();
+  la::Vector fb;  // one block at a time; no full-dim scratch needed
+  double worst = 0.0;
+  for (la::BlockId b = 0; b < op.num_blocks(); ++b) {
+    const la::BlockRange r = partition.range(b);
+    fb.resize(r.size());
+    op.apply_block(b, x, fb);
+    worst = std::max(worst, la::dist2(fb, x.subspan(r.begin, r.size())));
+  }
+  return worst;
 }
 
 la::Vector picard_solve(const BlockOperator& op, la::Vector x0,

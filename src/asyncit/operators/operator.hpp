@@ -39,6 +39,12 @@ class BlockOperator {
 double fixed_point_residual(const BlockOperator& op,
                             std::span<const double> x);
 
+/// max_b ‖F_b(x) − x_b‖_2 — the per-block Euclidean fixed-point residual.
+/// The certificate behind the displacement stopping rule of the threaded
+/// and message-passing runtimes: for a contraction with factor α, a value
+/// below tol implies ‖x − x*‖ ≤ tol / (1 − α).
+double max_block_residual(const BlockOperator& op, std::span<const double> x);
+
 /// Synchronous Picard iteration x <- F(x) until the fixed-point residual
 /// drops below tol or max_iters is reached. Returns the final iterate.
 /// Used to produce high-precision reference solutions for tests/benches.

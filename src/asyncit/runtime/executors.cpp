@@ -2,39 +2,14 @@
 
 #include <atomic>
 #include <barrier>
-#include <cmath>
 #include <thread>
 
+#include "asyncit/runtime/pacing.hpp"
 #include "asyncit/runtime/shared_iterate.hpp"
 #include "asyncit/support/check.hpp"
 #include "asyncit/support/timer.hpp"
 
 namespace asyncit::rt {
-
-namespace {
-
-/// Contiguous near-even assignment of blocks to workers.
-std::vector<std::vector<la::BlockId>> assign_blocks(std::size_t m,
-                                                    std::size_t workers) {
-  std::vector<std::vector<la::BlockId>> owned(workers);
-  const std::size_t base = m / workers, extra = m % workers;
-  la::BlockId b = 0;
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t count = base + (w < extra ? 1 : 0);
-    for (std::size_t k = 0; k < count; ++k) owned[w].push_back(b++);
-  }
-  return owned;
-}
-
-std::size_t repetitions(const RuntimeOptions& options, std::size_t worker) {
-  if (options.worker_slowdown.empty()) return 1;
-  ASYNCIT_CHECK(worker < options.worker_slowdown.size());
-  const double f = options.worker_slowdown[worker];
-  ASYNCIT_CHECK(f >= 1.0);
-  return static_cast<std::size_t>(std::ceil(f));
-}
-
-}  // namespace
 
 namespace {
 
@@ -52,7 +27,7 @@ RuntimeResult run_async_threads_seqlock(const op::BlockOperator& op,
   la::WeightedMaxNorm norm{partition};
   const bool oracle = options.x_star.has_value();
 
-  const auto owned = assign_blocks(m, options.workers);
+  const auto owned = la::assign_blocks_contiguous(m, options.workers);
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> total_updates{0};
   std::vector<std::uint64_t> per_worker(options.workers, 0);
@@ -65,7 +40,8 @@ RuntimeResult run_async_threads_seqlock(const op::BlockOperator& op,
     std::size_t cursor = 0;
     std::uint64_t own_updates = 0;
     model::Step my_step = 0;
-    const std::size_t reps = repetitions(options, w);
+    ThreadCpuTimer cpu_timer;
+    const std::size_t reps = slowdown_repetitions(options.worker_slowdown, w);
     while (!stop.load(std::memory_order_relaxed)) {
       const la::BlockId b = owned[w][cursor];
       cursor = (cursor + 1) % owned[w].size();
@@ -85,7 +61,8 @@ RuntimeResult run_async_threads_seqlock(const op::BlockOperator& op,
       total_updates.fetch_add(1, std::memory_order_relaxed);
 
       if (own_updates % options.check_every == 0) {
-        if (timer.seconds() > options.max_seconds ||
+        const double now = timer.seconds();
+        if (now > options.max_seconds ||
             total_updates.load(std::memory_order_relaxed) >=
                 options.max_updates) {
           stop.store(true, std::memory_order_relaxed);
@@ -95,6 +72,18 @@ RuntimeResult run_async_threads_seqlock(const op::BlockOperator& op,
           store.read_all(local, tags);
           if (norm.distance(local, *options.x_star) < options.tol)
             stop.store(true, std::memory_order_relaxed);
+        }
+        // On oversubscribed machines (fewer cores than workers) a worker
+        // otherwise burns its whole OS quantum re-iterating against the
+        // other workers' frozen blocks. Yielding after each slice of OWN
+        // CPU time keeps the interleaving fine-grained without distorting
+        // the update-count ratio between fast and slow workers (every
+        // worker gives up the core at the same CPU-consumption cadence,
+        // so counts stay proportional to speed); it is free when every
+        // worker has its own core.
+        if (cpu_timer.seconds() > kYieldPeriod) {
+          cpu_timer.reset();
+          std::this_thread::yield();
         }
       }
     }
@@ -140,7 +129,7 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
   const bool oracle = options.x_star.has_value();
   const bool displacement_stop = options.displacement_tol > 0.0;
 
-  const auto owned = assign_blocks(m, options.workers);
+  const auto owned = la::assign_blocks_contiguous(m, options.workers);
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> total_updates{0};
   std::vector<std::uint64_t> per_worker(options.workers, 0);
@@ -154,7 +143,9 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
     la::Vector local;  // private snapshot for non-flexible inner phases
     std::size_t cursor = 0;
     std::uint64_t own_updates = 0;
-    const std::size_t reps = repetitions(options, w);
+    DisplacementStop stop_rule;  // worker 0 only
+    ThreadCpuTimer cpu_timer;
+    const std::size_t reps = slowdown_repetitions(options.worker_slowdown, w);
     while (!stop.load(std::memory_order_relaxed)) {
       const la::BlockId b = owned[w][cursor];
       cursor = (cursor + 1) % owned[w].size();
@@ -193,19 +184,15 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
         shared.store_block(r.begin, out);
       }
       if (displacement_stop) {
-        double d2 = 0.0;
-        for (std::size_t k = 0; k < out.size(); ++k) {
-          const double d = out[k] - prev_block[k];
-          d2 += d * d;
-        }
         std::atomic_ref<double>(last_displacement[b])
-            .store(std::sqrt(d2), std::memory_order_relaxed);
+            .store(la::dist2(out, prev_block), std::memory_order_relaxed);
       }
       ++own_updates;
       total_updates.fetch_add(1, std::memory_order_relaxed);
 
       if (own_updates % options.check_every == 0) {
-        if (timer.seconds() > options.max_seconds ||
+        const double now = timer.seconds();
+        if (now > options.max_seconds ||
             total_updates.load(std::memory_order_relaxed) >=
                 options.max_updates) {
           stop.store(true, std::memory_order_relaxed);
@@ -218,15 +205,17 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
             if (norm.distance(snap, *options.x_star) < options.tol)
               stop.store(true, std::memory_order_relaxed);
           }
-          if (displacement_stop) {
-            double worst = 0.0;
-            for (la::BlockId blk = 0; blk < m; ++blk)
-              worst = std::max(
-                  worst, std::atomic_ref<double>(last_displacement[blk])
-                             .load(std::memory_order_relaxed));
-            if (worst < options.displacement_tol)
-              stop.store(true, std::memory_order_relaxed);
-          }
+          if (displacement_stop &&
+              stop_rule.should_stop(last_displacement, op,
+                                    options.displacement_tol,
+                                    [&] { return shared.snapshot(); }))
+            stop.store(true, std::memory_order_relaxed);
+        }
+        // See the seqlock executor: CPU-time-sliced yield keeps
+        // interleaving fine-grained when workers outnumber cores.
+        if (cpu_timer.seconds() > kYieldPeriod) {
+          cpu_timer.reset();
+          std::this_thread::yield();
         }
       }
     }
@@ -261,7 +250,7 @@ RuntimeResult run_sync_threads(const op::BlockOperator& op,
 
   la::WeightedMaxNorm norm{partition};
   const bool oracle = options.x_star.has_value();
-  const auto owned = assign_blocks(m, options.workers);
+  const auto owned = la::assign_blocks_contiguous(m, options.workers);
 
   la::Vector x = x0;          // published state (read phase)
   la::Vector x_next = x0;     // staging (write phase)
@@ -287,7 +276,7 @@ RuntimeResult run_sync_threads(const op::BlockOperator& op,
 
   auto worker_fn = [&](std::size_t w) {
     la::Vector out;
-    const std::size_t reps = repetitions(options, w);
+    const std::size_t reps = slowdown_repetitions(options.worker_slowdown, w);
     while (!stop.load(std::memory_order_relaxed)) {
       for (la::BlockId b : owned[w]) {
         const la::BlockRange r = partition.range(b);

@@ -1,0 +1,345 @@
+// Tests for the message-passing runtime: channel determinism under seed,
+// delivery-order semantics, label inversions and their receiver-side
+// filtering, and convergence of all three coordination modes with parity
+// against the shared-memory executors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asyncit/net/channel.hpp"
+#include "asyncit/net/mp_runtime.hpp"
+#include "asyncit/net/peer.hpp"
+#include "asyncit/operators/gradient.hpp"
+#include "asyncit/operators/jacobi.hpp"
+#include "asyncit/problems/linear_system.hpp"
+#include "asyncit/problems/quadratic.hpp"
+#include "asyncit/runtime/executors.hpp"
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::net {
+namespace {
+
+// ------------------------------------------------------------- channels
+
+TEST(DelayHistogram, CountsMeanAndQuantiles) {
+  DelayHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  for (int i = 1; i <= 100; ++i) h.add(1e-3 * i);  // 1ms .. 100ms
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean(), 0.0505, 1e-9);
+  EXPECT_NEAR(h.min(), 1e-3, 1e-12);
+  EXPECT_NEAR(h.max(), 0.1, 1e-12);
+  // log-spaced buckets: quantiles are bucket upper edges, so only check
+  // the ordering and a coarse bracket
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.9));
+  EXPECT_GE(h.quantile(0.99), 0.09);
+
+  DelayHistogram other;
+  other.add(1.0);
+  h.merge(other);
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_NEAR(h.max(), 1.0, 1e-12);
+}
+
+TEST(LinkStamper, ReplayIsDeterministicUnderSeed) {
+  DeliveryPolicy policy;
+  policy.min_latency = 1e-3;
+  policy.max_latency = 5e-2;
+  policy.drop_prob = 0.3;
+  LinkStamper a(policy, 42), b(policy, 42), c(policy, 43);
+  bool any_diff_c = false;
+  for (int i = 0; i < 200; ++i) {
+    Message ma, mb, mc;
+    const double now = 0.1 * i;
+    const bool sa = a.stamp(ma, now, /*allow_drop=*/true);
+    const bool sb = b.stamp(mb, now, /*allow_drop=*/true);
+    const bool sc = c.stamp(mc, now, /*allow_drop=*/true);
+    // same seed: identical latency draws and drop decisions, message by
+    // message — the replay-determinism anchor of the runtime
+    EXPECT_DOUBLE_EQ(ma.deliver_at, mb.deliver_at);
+    EXPECT_EQ(sa, sb);
+    if (sa != sc || ma.deliver_at != mc.deliver_at) any_diff_c = true;
+  }
+  EXPECT_TRUE(any_diff_c);  // different seed: different stream
+  EXPECT_EQ(a.stamped(), 200u);
+  EXPECT_EQ(a.dropped(), b.dropped());
+  EXPECT_GT(a.dropped(), 0u);
+  EXPECT_LT(a.dropped(), 200u);
+}
+
+TEST(LinkStamper, FifoFloorsDeliveryTimes) {
+  DeliveryPolicy policy;
+  policy.min_latency = 1e-3;
+  policy.max_latency = 1e-1;
+  policy.fifo = true;
+  LinkStamper link(policy, 7);
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    Message m;
+    ASSERT_TRUE(link.stamp(m, 1e-4 * i, /*allow_drop=*/true));
+    EXPECT_GE(m.deliver_at, prev);  // in-order delivery guaranteed
+    prev = m.deliver_at;
+  }
+}
+
+TEST(Mailbox, DrainsInDeliveryOrderNotPostOrder) {
+  Mailbox mb;
+  auto make = [](model::Step tag, double t_send, double deliver_at) {
+    Message m;
+    m.tag = tag;
+    m.t_send = t_send;
+    m.deliver_at = deliver_at;
+    return m;
+  };
+  // posted 1, 2, 3 — but message 2 overtakes 1 (smaller latency), and 3
+  // is not deliverable yet
+  mb.post(make(1, 0.0, 0.050));
+  mb.post(make(2, 0.010, 0.020));
+  mb.post(make(3, 0.015, 0.900));
+  std::vector<Message> out;
+  EXPECT_EQ(mb.drain(0.1, out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].tag, 2u);  // delivery order, not post order
+  EXPECT_EQ(out[1].tag, 1u);
+  EXPECT_EQ(mb.posted(), 3u);
+  EXPECT_EQ(mb.delivered(), 2u);
+  EXPECT_NEAR(mb.next_delivery(), 0.9, 1e-12);
+  // measured delays: drain time minus send time
+  EXPECT_EQ(mb.delays().count(), 2u);
+  EXPECT_NEAR(mb.delays().max(), 0.1, 1e-9);
+  out.clear();
+  EXPECT_EQ(mb.drain(1.0, out), 1u);
+  EXPECT_EQ(out[0].tag, 3u);
+}
+
+// -------------------------------------------------------- incorporation
+
+class IncorporateTest : public ::testing::Test {
+ protected:
+  IncorporateTest()
+      : partition_(la::Partition::from_sizes({2, 2})),
+        view_(la::Vector{0, 0, 0, 0}, 2) {}
+
+  Message block0(model::Step tag, double v) {
+    Message m;
+    m.block = 0;
+    m.tag = tag;
+    m.value = {v, v};
+    return m;
+  }
+
+  la::Partition partition_;
+  LocalView view_;
+};
+
+TEST_F(IncorporateTest, LastArrivalWinsSuffersLabelInversions) {
+  incorporate(partition_, OverwritePolicy::kLastArrivalWins, block0(2, 2.0),
+              view_);
+  incorporate(partition_, OverwritePolicy::kLastArrivalWins, block0(1, 1.0),
+              view_);
+  // the stale tag-1 value clobbered the fresher tag-2 value
+  EXPECT_DOUBLE_EQ(view_.x[0], 1.0);
+  EXPECT_EQ(view_.tags[0], 1u);
+  EXPECT_EQ(view_.max_tag[0], 2u);
+  EXPECT_EQ(view_.inversions, 1u);
+  EXPECT_EQ(view_.stale_filtered, 0u);
+}
+
+TEST_F(IncorporateTest, NewestTagWinsFiltersStaleArrivals) {
+  incorporate(partition_, OverwritePolicy::kNewestTagWins, block0(2, 2.0),
+              view_);
+  incorporate(partition_, OverwritePolicy::kNewestTagWins, block0(1, 1.0),
+              view_);
+  // the inversion is OBSERVED but the stale value is refused
+  EXPECT_DOUBLE_EQ(view_.x[0], 2.0);
+  EXPECT_EQ(view_.tags[0], 2u);
+  EXPECT_EQ(view_.inversions, 1u);
+  EXPECT_EQ(view_.stale_filtered, 1u);
+}
+
+// ------------------------------------------------------------ end-to-end
+
+class MpRuntimeFixture : public ::testing::Test {
+ protected:
+  MpRuntimeFixture() : rng_(61) {
+    sys_ = problems::make_diagonally_dominant_system(128, 4, 2.0, rng_);
+    partition_ = la::Partition::balanced(sys_.dim(), 16);
+    jacobi_ = std::make_unique<op::JacobiOperator>(sys_.a, sys_.b,
+                                                   partition_);
+    x_star_ = op::picard_solve(*jacobi_, la::zeros(sys_.dim()), 50000,
+                               1e-14);
+  }
+
+  MpOptions base_options() const {
+    MpOptions opt;
+    opt.workers = 4;
+    opt.delivery.min_latency = 1e-4;
+    opt.delivery.max_latency = 1e-3;
+    opt.tol = 1e-9;
+    opt.x_star = x_star_;
+    opt.max_seconds = 20.0;
+    opt.max_updates = 100000000;
+    return opt;
+  }
+
+  Rng rng_;
+  problems::LinearSystem sys_;
+  la::Partition partition_;
+  std::unique_ptr<op::JacobiOperator> jacobi_;
+  la::Vector x_star_;
+};
+
+TEST_F(MpRuntimeFixture, AllThreeModesConverge) {
+  for (const Mode mode : {Mode::kAsync, Mode::kSsp, Mode::kBsp}) {
+    MpOptions opt = base_options();
+    opt.mode = mode;
+    opt.staleness = 2;
+    auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
+                                           opt);
+    EXPECT_TRUE(result.converged) << "mode " << static_cast<int>(mode)
+                                  << " error " << result.final_error;
+    EXPECT_GT(result.total_updates, 0u);
+    EXPECT_GT(result.messages_delivered, 0u);
+    EXPECT_GT(result.delays.count(), 0u);  // delays measured, not assumed
+    EXPECT_GT(result.delays.mean(), 0.0);
+    EXPECT_EQ(result.updates_per_worker.size(), 4u);
+  }
+}
+
+TEST_F(MpRuntimeFixture, ConvergenceParityWithSharedMemoryRuntime) {
+  // the same Jacobi problem through the shared-memory threads and through
+  // message passing: both reach the same fixed point to oracle tolerance
+  rt::RuntimeOptions shared_opt;
+  shared_opt.workers = 2;
+  shared_opt.tol = 1e-9;
+  shared_opt.x_star = x_star_;
+  shared_opt.max_seconds = 20.0;
+  auto shared = rt::run_async_threads(*jacobi_, la::zeros(sys_.dim()),
+                                      shared_opt);
+  ASSERT_TRUE(shared.converged);
+
+  MpOptions opt = base_options();
+  auto mp = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()), opt);
+  ASSERT_TRUE(mp.converged);
+  EXPECT_LT(la::dist_inf(mp.x, shared.x), 1e-7);
+}
+
+TEST_F(MpRuntimeFixture, QuadraticParityWithSharedMemoryRuntime) {
+  Rng rng(62);
+  auto f = problems::make_separable_quadratic(64, 1.0, 8.0, rng);
+  const double gamma = 2.0 / (f->mu() + f->lipschitz());
+  la::Partition partition = la::Partition::balanced(64, 8);
+  op::GradientOperator grad(*f, gamma, partition);
+  const la::Vector& x_bar = f->minimizer();
+
+  rt::RuntimeOptions shared_opt;
+  shared_opt.workers = 2;
+  shared_opt.tol = 1e-9;
+  shared_opt.x_star = x_bar;
+  shared_opt.max_seconds = 20.0;
+  auto shared = rt::run_async_threads(grad, la::zeros(64), shared_opt);
+  ASSERT_TRUE(shared.converged);
+
+  for (const Mode mode : {Mode::kAsync, Mode::kSsp, Mode::kBsp}) {
+    MpOptions opt = base_options();
+    opt.workers = 4;
+    opt.mode = mode;
+    opt.x_star = x_bar;
+    auto mp = net::run_message_passing(grad, la::zeros(64), opt);
+    ASSERT_TRUE(mp.converged) << "mode " << static_cast<int>(mode)
+                              << " error " << mp.final_error;
+    EXPECT_LT(la::dist_inf(mp.x, x_bar), 1e-8);
+  }
+}
+
+TEST_F(MpRuntimeFixture, NonFifoChannelsProduceLabelInversions) {
+  // wide latency spread + non-FIFO links: later messages overtake earlier
+  // ones, so receivers observe out-of-order tags on real threads
+  MpOptions opt = base_options();
+  opt.mode = Mode::kAsync;
+  opt.delivery.min_latency = 1e-4;
+  opt.delivery.max_latency = 5e-3;
+  opt.overwrite = OverwritePolicy::kLastArrivalWins;
+  auto raw = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()), opt);
+  EXPECT_TRUE(raw.converged);  // paper: convergence despite inversions
+  EXPECT_GT(raw.inversions_observed, 0u);
+  EXPECT_EQ(raw.stale_filtered, 0u);  // last-arrival-wins filters nothing
+
+  opt.overwrite = OverwritePolicy::kNewestTagWins;
+  auto filtered = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
+                                           opt);
+  EXPECT_TRUE(filtered.converged);
+  EXPECT_GT(filtered.inversions_observed, 0u);
+  EXPECT_GT(filtered.stale_filtered, 0u);  // ...newest-tag-wins does
+}
+
+TEST_F(MpRuntimeFixture, FifoChannelsDeliverInOrder) {
+  MpOptions opt = base_options();
+  opt.delivery.fifo = true;
+  opt.delivery.min_latency = 1e-4;
+  opt.delivery.max_latency = 5e-3;
+  auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
+                                         opt);
+  EXPECT_TRUE(result.converged);
+  // per-link FIFO + monotone tags per block: no inversions possible
+  EXPECT_EQ(result.inversions_observed, 0u);
+}
+
+TEST_F(MpRuntimeFixture, SurvivesMessageLoss) {
+  MpOptions opt = base_options();
+  opt.mode = Mode::kAsync;
+  opt.delivery.drop_prob = 0.3;
+  auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
+                                         opt);
+  EXPECT_TRUE(result.converged) << "error " << result.final_error;
+  EXPECT_GT(result.messages_dropped, 0u);
+}
+
+TEST_F(MpRuntimeFixture, FlexibleCommunicationSendsPartials) {
+  MpOptions opt = base_options();
+  opt.inner_steps = 4;
+  opt.publish_partials = true;
+  auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
+                                         opt);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.partials_sent, 0u);
+}
+
+TEST_F(MpRuntimeFixture, DisplacementStoppingWithoutOracle) {
+  MpOptions opt = base_options();
+  opt.x_star.reset();
+  opt.displacement_tol = 1e-10;
+  auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
+                                         opt);
+  EXPECT_LT(result.total_updates, opt.max_updates);
+  EXPECT_LT(la::dist_inf(result.x, x_star_), 1e-7);
+}
+
+TEST_F(MpRuntimeFixture, RecordsTraceEvents) {
+  MpOptions opt = base_options();
+  opt.record_trace = true;
+  auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
+                                         opt);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.log.phases().size(), 0u);
+  EXPECT_GT(result.log.messages().size(), 0u);
+  EXPECT_LE(result.log.phases().size() + result.log.messages().size(),
+            opt.max_trace_events);
+}
+
+TEST(MpRuntimeValidation, RejectsBadConfigurations) {
+  Rng rng(63);
+  auto sys = problems::make_diagonally_dominant_system(8, 2, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::balanced(8, 4));
+  MpOptions opt;
+  opt.workers = 5;  // only 4 blocks
+  EXPECT_THROW(net::run_message_passing(jac, la::zeros(8), opt), asyncit::CheckError);
+  opt.workers = 2;
+  opt.delivery.min_latency = 2.0;
+  opt.delivery.max_latency = 1.0;  // inverted range
+  EXPECT_THROW(net::run_message_passing(jac, la::zeros(8), opt), asyncit::CheckError);
+}
+
+}  // namespace
+}  // namespace asyncit::net
