@@ -11,6 +11,7 @@
 
 #include "asyncit/asyncit.hpp"
 #include "asyncit/operators/relaxation.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -31,11 +32,14 @@ int main() {
                 alpha_j, probe.max_stable_omega());
   }
 
+  bench::Report report("a1_relaxation_factor");
   TextTable table({"omega", "async bound", "steps (no delay)",
                    "steps (const-8)", "steps (sqrt)", "verdict"});
   for (const double omega : {0.5, 0.8, 1.0, 1.2, 1.4, 1.6}) {
     op::SorJacobiOperator sor(sys.a, sys.b, omega,
                               la::Partition::scalar(32));
+    // Steps-to-epsilon, or 0 when the run diverged: the model engine is
+    // seed-deterministic, so these are machine-independent fields.
     auto run = [&](std::unique_ptr<model::DelayModel> delays) {
       auto steering = model::make_cyclic_steering(32);
       engine::ModelEngineOptions opt;
@@ -46,18 +50,28 @@ int main() {
       opt.fresh_own_component = false;
       auto r = engine::run_model_engine(sor, *steering, *delays,
                                         la::zeros(32), opt);
-      return r.converged ? std::to_string(r.steps) : std::string("DIV");
+      return r.converged ? r.steps : model::Step{0};
     };
-    const std::string none = run(model::make_no_delay());
-    const std::string c8 = run(model::make_constant_delay(8));
-    const std::string sq = run(model::make_baudet_sqrt_delay());
+    const model::Step none = run(model::make_no_delay());
+    const model::Step c8 = run(model::make_constant_delay(8));
+    const model::Step sq = run(model::make_baudet_sqrt_delay());
     const double bound = sor.contraction_bound();
+    auto show = [](model::Step s) {
+      return s ? std::to_string(s) : std::string("DIV");
+    };
     table.add_row({TextTable::num(omega, 1), TextTable::num(bound, 3),
-                   none, c8, sq,
+                   show(none), show(c8), show(sq),
                    bound < 1.0 ? "guaranteed" : "no guarantee"});
+    report.scenario("omega_" + TextTable::num(omega, 1))
+        .det("async_bound", bound)
+        .det("steps_no_delay", none)
+        .det("steps_const8", c8)
+        .det("steps_sqrt", sq)
+        .det("guaranteed", bound < 1.0);
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "a1_relaxation_factor");
+  report.write();
   std::printf(
       "reading: inside the guarantee region, larger omega means fewer "
       "steps; past omega_max the asynchronous guarantee is void (the "

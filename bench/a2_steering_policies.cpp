@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -43,6 +44,7 @@ int main() {
   }
   rows.push_back({"starving (pow-2)", model::make_starving_steering(24, 0)});
 
+  bench::Report report("a2_steering_policies");
   TextTable table({"policy", "converged", "steps", "block updates",
                    "macros", "mean macro len", "worst gap"});
   for (auto& row : rows) {
@@ -67,9 +69,16 @@ int main() {
          macros ? TextTable::num(double(r.steps) / double(macros), 1)
                 : "-",
          std::to_string(worst_gap)});
+    report.scenario(row.name)
+        .det("converged", r.converged)
+        .det("steps", r.steps)
+        .det("block_updates", updates)
+        .det("macros", macros)
+        .det("worst_gap", worst_gap);
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "a2_steering_policies");
+  report.write();
   std::printf(
       "reading: macro-iteration LENGTH (steps/macro) tracks the policy's "
       "worst update gap — fairness quality is exactly what the macro "

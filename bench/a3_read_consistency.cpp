@@ -17,6 +17,7 @@
 
 #include "asyncit/asyncit.hpp"
 #include "asyncit/support/stats.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -29,6 +30,7 @@ int main() {
   Rng rng(19);
   auto sys = problems::make_diagonally_dominant_system(n, 8, 2.0, rng);
 
+  bench::Report report("a3_read_consistency");
   TextTable table({"blocks", "block size", "hogwild ms", "hogwild upd",
                    "seqlock ms", "seqlock upd", "consistency cost"});
   for (const std::size_t blocks : {256u, 64u, 16u}) {
@@ -62,9 +64,18 @@ int main() {
                    TextTable::num(seq_upd, 0),
                    TextTable::num(seq_ms / std::max(1e-9, hog_ms), 2) +
                        "x"});
+    report.scenario("blocks_" + std::to_string(blocks))
+        .det("blocks", blocks)
+        .det("block_size", n / blocks)
+        .metric("hogwild_wall_s", hog_ms)
+        .metric("hogwild_updates", hog_upd)
+        .metric("seqlock_wall_s", seq_ms)
+        .metric("seqlock_updates", seq_upd)
+        .metric("consistency_cost", seq_ms / std::max(1e-9, hog_ms));
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "a3_read_consistency");
+  report.write();
   std::printf(
       "reading: both modes converge (asynchronous iterations tolerate "
       "mixed-block reads — they are just another admissible x̃); the "

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -40,6 +41,7 @@ int main() {
     return v;
   };
 
+  bench::Report report("a4_scalability");
   double async_t2 = 0.0, sync_t2 = 0.0;
   TextTable table({"procs", "async vtime", "sync vtime",
                    "async advantage", "async efficiency",
@@ -69,9 +71,18 @@ int main() {
                    TextTable::num(s.virtual_time / a.virtual_time, 2) + "x",
                    TextTable::num(sa / scale, 2),
                    TextTable::num(ss / scale, 2)});
+    // The simulator is seed-deterministic: virtual times are exact
+    // machine-independent outputs, not wall-clock measurements.
+    report.scenario("procs_" + std::to_string(procs))
+        .det("async_converged", a.converged)
+        .det("sync_converged", s.converged)
+        .det("async_steps", a.steps)
+        .det("async_vtime", a.virtual_time)
+        .det("sync_vtime", s.virtual_time);
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "a4_scalability");
+  report.write();
   std::printf(
       "shape check: the async advantage (sync/async at equal P) sits "
       "around the straggler ratio at every P, and async scaling "

@@ -11,6 +11,7 @@
 
 #include "asyncit/asyncit.hpp"
 #include "asyncit/solvers/convergence.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -32,6 +33,7 @@ int main() {
   const la::Vector bf_star = op::picard_solve(bf, la::zeros(32), 200000,
                                               1e-15);
 
+  bench::Report report("a5_rate_vs_delay");
   TextTable table({"operator", "delay bound b", "rate/step",
                    "steps per decade", "rate/macro", "macros to eps"});
   for (const model::Step b : {0u, 2u, 8u, 32u, 128u}) {
@@ -59,10 +61,19 @@ int main() {
            TextTable::num(fit.steps_per_decade, 0),
            fit.per_macro > 0 ? TextTable::num(fit.per_macro, 3) : "-",
            std::to_string(r.macro_boundaries.size() - 1)});
+      report
+          .scenario(std::string(which == 0 ? "jacobi" : "bf") + "_b" +
+                    std::to_string(b))
+          .det("delay_bound", b)
+          .det("converged", r.converged)
+          .det("steps", r.steps)
+          .det("macros", r.macro_boundaries.size() - 1)
+          .det("rate_per_step", fit.per_step);
     }
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "a5_rate_vs_delay");
+  report.write();
   std::printf(
       "shape check: rate/step approaches 1 as b grows (graceful "
       "degradation, steps/decade ~ linear in b), while rate/macro stays "

@@ -17,26 +17,21 @@
 //      at the receivers and the per-message delays are REPORTED from
 //      measurement, not from the injected model.
 //
-// Besides the usual table/CSV output, this bench always writes
-// BENCH_mp_runtime.json (machine-readable scenarios incl. full delay
-// histograms) so the repo's perf trajectory can be tracked run over run.
+// BENCH_mp_runtime.json (via the shared harness): convergence flags and
+// final errors are deterministic-checked by CI's perf-smoke job against
+// bench/baselines/mp_runtime.json; wall clocks, update counts and delay
+// histograms are real-scheduler measurements and tracked warn-only.
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
 namespace {
-
-struct Scenario {
-  std::string name;
-  std::string mode;
-  double slowdown = 1.0;
-  net::MpResult result;
-};
 
 const char* mode_name(net::Mode m) {
   switch (m) {
@@ -47,50 +42,33 @@ const char* mode_name(net::Mode m) {
   return "?";
 }
 
-void append_json(std::string& out, const Scenario& s) {
-  char buf[512];
-  const net::MpResult& r = s.result;
-  std::snprintf(buf, sizeof(buf),
-                "    {\"name\": \"%s\", \"mode\": \"%s\", "
-                "\"slowdown\": %.1f, \"converged\": %s, "
-                "\"wall_seconds\": %.6f, \"updates\": %llu, "
-                "\"rounds\": %llu, \"messages_sent\": %llu, "
-                "\"messages_delivered\": %llu, \"messages_dropped\": %llu, "
-                "\"inversions\": %llu, \"stale_filtered\": %llu,\n",
-                s.name.c_str(), s.mode.c_str(), s.slowdown,
-                r.converged ? "true" : "false", r.wall_seconds,
-                static_cast<unsigned long long>(r.total_updates),
-                static_cast<unsigned long long>(r.rounds),
-                static_cast<unsigned long long>(r.messages_sent),
-                static_cast<unsigned long long>(r.messages_delivered),
-                static_cast<unsigned long long>(r.messages_dropped),
-                static_cast<unsigned long long>(r.inversions_observed),
-                static_cast<unsigned long long>(r.stale_filtered));
-  out += buf;
-  std::snprintf(buf, sizeof(buf),
-                "     \"delay\": {\"count\": %llu, \"mean_ms\": %.4f, "
-                "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"max_ms\": %.4f, "
-                "\"histogram\": [",
-                static_cast<unsigned long long>(r.delays.count()),
-                r.delays.mean() * 1e3, r.delays.quantile(0.5) * 1e3,
-                r.delays.quantile(0.99) * 1e3, r.delays.max() * 1e3);
-  out += buf;
-  bool first = true;
+void record(bench::Report& report, const std::string& name,
+            const net::MpResult& r) {
+  bench::Json hist = bench::Json::array();
   for (std::size_t i = 0; i < r.delays.counts().size(); ++i) {
     if (r.delays.counts()[i] == 0) continue;
-    // The overflow bucket's edge is +inf, which is not valid JSON.
-    if (std::isinf(r.delays.edges()[i]))
-      std::snprintf(buf, sizeof(buf), "%s{\"le_ms\": null, \"n\": %llu}",
-                    first ? "" : ", ",
-                    static_cast<unsigned long long>(r.delays.counts()[i]));
-    else
-      std::snprintf(buf, sizeof(buf), "%s{\"le_ms\": %.4g, \"n\": %llu}",
-                    first ? "" : ", ", r.delays.edges()[i] * 1e3,
-                    static_cast<unsigned long long>(r.delays.counts()[i]));
-    out += buf;
-    first = false;
+    bench::Json bucket = bench::Json::object();
+    // The overflow bucket's edge is +inf, which Json renders as null.
+    bucket["le_ms"] = r.delays.edges()[i] * 1e3;
+    bucket["n"] = r.delays.counts()[i];
+    hist.push_back(std::move(bucket));
   }
-  out += "]}}";
+  report.scenario(name)
+      .det("converged", r.converged)
+      .det("final_error", r.final_error)
+      .metric("wall_seconds", r.wall_seconds)
+      .metric("updates", static_cast<double>(r.total_updates))
+      .metric("rounds", static_cast<double>(r.rounds))
+      .metric("messages_sent", static_cast<double>(r.messages_sent))
+      .metric("messages_delivered",
+              static_cast<double>(r.messages_delivered))
+      .metric("messages_dropped", static_cast<double>(r.messages_dropped))
+      .metric("inversions", static_cast<double>(r.inversions_observed))
+      .metric("stale_filtered", static_cast<double>(r.stale_filtered))
+      .metric("delay_p50_ms", r.delays.quantile(0.5) * 1e3)
+      .metric("delay_p99_ms", r.delays.quantile(0.99) * 1e3)
+      .metric("delay_max_ms", r.delays.max() * 1e3)
+      .attach("delay_histogram", std::move(hist));
 }
 
 }  // namespace
@@ -104,7 +82,7 @@ int main() {
   op::JacobiOperator jac(sys.a, sys.b, partition);
   const la::Vector x_star = op::picard_solve(jac, la::zeros(256), 50000,
                                              1e-14);
-  std::vector<Scenario> scenarios;
+  bench::Report report("mp_runtime");
 
   auto base = [&] {
     net::MpOptions opt;
@@ -132,19 +110,19 @@ int main() {
       net::MpOptions opt = base();
       opt.mode = mode;
       opt.worker_slowdown = {slow, 1.0, 1.0, 1.0};
-      Scenario s;
-      s.name = "hetero_" + std::to_string(static_cast<int>(slow)) + "x";
-      s.mode = mode_name(mode);
-      s.slowdown = slow;
-      s.result = net::run_message_passing(jac, la::zeros(256), opt);
-      if (mode == net::Mode::kBsp) bsp_wall = s.result.wall_seconds;
-      ta.add_row({TextTable::num(slow, 0), s.mode,
-                  TextTable::num(s.result.wall_seconds, 4),
-                  std::to_string(s.result.total_updates),
-                  std::to_string(s.result.rounds),
-                  s.result.converged ? "yes" : "NO",
-                  TextTable::num(bsp_wall / s.result.wall_seconds, 2)});
-      scenarios.push_back(std::move(s));
+      const net::MpResult r =
+          net::run_message_passing(jac, la::zeros(256), opt);
+      if (mode == net::Mode::kBsp) bsp_wall = r.wall_seconds;
+      ta.add_row({TextTable::num(slow, 0), mode_name(mode),
+                  TextTable::num(r.wall_seconds, 4),
+                  std::to_string(r.total_updates),
+                  std::to_string(r.rounds),
+                  r.converged ? "yes" : "NO",
+                  TextTable::num(bsp_wall / r.wall_seconds, 2)});
+      record(report,
+             "hetero_" + std::to_string(static_cast<int>(slow)) + "x_" +
+                 mode_name(mode),
+             r);
     }
   }
   std::printf("%s\n", ta.render().c_str());
@@ -169,41 +147,26 @@ int main() {
       opt.delivery.min_latency = spread.lo;
       opt.delivery.max_latency = spread.hi;
       opt.overwrite = policy;
-      Scenario s;
-      s.name = std::string("reorder_") + spread.name;
-      s.mode = policy == net::OverwritePolicy::kNewestTagWins
-                   ? "async+newest-tag"
-                   : "async+last-arrival";
-      s.result = net::run_message_passing(jac, la::zeros(256), opt);
-      const net::MpResult& r = s.result;
-      tb.add_row({spread.name, s.mode,
+      const char* policy_name =
+          policy == net::OverwritePolicy::kNewestTagWins ? "newest_tag"
+                                                         : "last_arrival";
+      const net::MpResult r =
+          net::run_message_passing(jac, la::zeros(256), opt);
+      tb.add_row({spread.name, policy_name,
                   std::to_string(r.inversions_observed),
                   std::to_string(r.stale_filtered),
                   r.converged ? "yes" : "NO",
                   TextTable::num(r.delays.quantile(0.5) * 1e3, 3),
                   TextTable::num(r.delays.quantile(0.99) * 1e3, 3),
                   TextTable::num(r.delays.max() * 1e3, 3)});
-      scenarios.push_back(std::move(s));
+      record(report,
+             std::string("reorder_") + spread.name + "_" + policy_name, r);
     }
   }
   std::printf("%s\n", tb.render().c_str());
   trace::maybe_write_csv(tb, "c10_reordering");
 
-  // ---------- machine-readable output ----------
-  std::string json = "{\n  \"bench\": \"c10_mp_runtime\",\n"
-                     "  \"scenarios\": [\n";
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    append_json(json, scenarios[i]);
-    json += (i + 1 < scenarios.size()) ? ",\n" : "\n";
-  }
-  json += "  ]\n}\n";
-  if (std::FILE* f = std::fopen("BENCH_mp_runtime.json", "w")) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    std::printf("wrote BENCH_mp_runtime.json (%zu scenarios)\n",
-                scenarios.size());
-  }
-
+  report.write();
   std::printf("shape check: async wall-clock < BSP wall-clock at every "
               "heterogeneity level; inversions appear on non-FIFO links "
               "and are filtered by newest-tag-wins.\n");

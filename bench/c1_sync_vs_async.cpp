@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -41,6 +42,7 @@ int main() {
   const la::Vector x_star = op::picard_solve(jac, la::zeros(64), 50000,
                                              1e-14);
 
+  bench::Report report("c1_sync_vs_async");
   std::printf("(a) simulator: 8 processors, Jacobi n=64, tol 1e-8, one "
               "straggler\n");
   TextTable ta({"straggler x", "sync vtime", "async vtime",
@@ -63,6 +65,12 @@ int main() {
                 TextTable::num(sync_r.virtual_time /
                                    async_r.virtual_time, 2),
                 std::to_string(async_r.steps)});
+    report.scenario("sim_straggler_" + TextTable::num(slow, 0) + "x")
+        .det("async_converged", async_r.converged)
+        .det("sync_converged", sync_r.converged)
+        .det("async_steps", async_r.steps)
+        .det("async_vtime", async_r.virtual_time)
+        .det("sync_vtime", sync_r.virtual_time);
   }
   std::printf("%s\n", ta.render().c_str());
   trace::maybe_write_csv(ta, "c1_virtual_time");
@@ -101,9 +109,15 @@ int main() {
                                2),
                 async_s.converged ? "yes" : "NO",
                 sync_s.converged ? "yes" : "NO"});
+    report.scenario("wall_straggler_" + TextTable::num(slow, 0) + "x")
+        .det("async_converged", async_s.converged)
+        .det("sync_converged", sync_s.converged)
+        .metric("async_wall_s", async_s.wall_seconds)
+        .metric("sync_wall_s", sync_s.wall_seconds);
   }
   std::printf("%s\n", tb.render().c_str());
   trace::maybe_write_csv(tb, "c1_wall_clock");
+  report.write();
 
   std::printf("shape check: async speedup over sync grows with the "
               "straggler factor (sync waits, async does not).\n");

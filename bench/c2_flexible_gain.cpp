@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -32,6 +33,7 @@ int main() {
   const la::Vector x_bar = op::picard_solve(bf, la::zeros(32), 100000,
                                             1e-14);
 
+  bench::Report report("c2_flexible_gain");
   TextTable table({"inner steps", "plain vtime", "flexible vtime",
                    "gain", "plain steps", "flex steps",
                    "partials sent"});
@@ -63,9 +65,18 @@ int main() {
                                   2),
                    std::to_string(plain.steps), std::to_string(flex.steps),
                    std::to_string(flex.partials_sent)});
+    report.scenario("inner_" + std::to_string(inner))
+        .det("plain_converged", plain.converged)
+        .det("flex_converged", flex.converged)
+        .det("plain_vtime", plain.virtual_time)
+        .det("flex_vtime", flex.virtual_time)
+        .det("plain_steps", plain.steps)
+        .det("flex_steps", flex.steps)
+        .det("partials_sent", flex.partials_sent);
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "c2_flexible_gain");
+  report.write();
   std::printf("shape check: gain >= 1 and grows with phase length.\n");
   return 0;
 }

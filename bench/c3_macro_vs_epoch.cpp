@@ -20,6 +20,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -55,6 +56,7 @@ int main() {
        sim::OverwritePolicy::kNewestTagWins, true},
   };
 
+  bench::Report report("c3_macro_vs_epoch");
   TextTable table({"scenario", "steps", "per-machine inversions",
                    "macros k", "epochs", "steps/macro", "steps/epoch",
                    "min box level"});
@@ -91,9 +93,16 @@ int main() {
                                               1, epochs)),
                         1),
          std::to_string(levels.back())});
+    report.scenario(sc.name)
+        .det("steps", r.steps)
+        .det("inversions", r.trace.per_machine_label_inversions())
+        .det("macros", macros)
+        .det("epochs", epochs)
+        .det("final_box_level", levels.back());
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "c3_macro_vs_epoch");
+  report.write();
 
   std::printf(
       "reading: per-machine inversions are the violations of the "

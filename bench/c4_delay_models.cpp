@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -44,6 +45,7 @@ int main() {
   rows.push_back({"out-of-order-16", model::make_out_of_order_delay(16)});
   rows.push_back({"frozen (INADMISSIBLE)", model::make_frozen_delay()});
 
+  bench::Report report("c4_delay_models");
   TextTable table({"delay model", "converged", "steps to eps",
                    "macros to eps", "max delay seen", "final error"});
   for (auto& row : rows) {
@@ -72,9 +74,16 @@ int main() {
                        : "-",
                    std::to_string(d_rep.b_min), TextTable::sci(final_err,
                                                                2)});
+    report.scenario(row.name)
+        .det("converged", r.converged)
+        .det("steps", r.converged ? r.steps : 0)
+        .det("macros",
+             r.converged ? r.macro_boundaries.size() - 1 : std::size_t{0})
+        .det("final_error", final_err);
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "c4_delay_models");
+  report.write();
   std::printf(
       "shape check: every admissible model converges (even unbounded "
       "delays); steps-to-eps grows with staleness; macros-to-eps is "

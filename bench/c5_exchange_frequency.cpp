@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -29,6 +30,7 @@ int main() {
   const la::Partition partition = la::Partition::balanced(prob.dim(), 16);
   auto oper = prob.make_operator(partition);
 
+  bench::Report report("c5_exchange_frequency");
   TextTable table({"exchange every", "virtual time", "updates",
                    "messages", "macros", "flexible vtime"});
   for (const std::size_t every : {1u, 2u, 4u, 8u, 16u}) {
@@ -60,9 +62,17 @@ int main() {
                    std::to_string(plain.messages_sent),
                    std::to_string(plain.macro_boundaries.size() - 1),
                    TextTable::num(flex.virtual_time, 1)});
+    report.scenario("every_" + std::to_string(every))
+        .det("plain_converged", plain.converged)
+        .det("flex_converged", flex.converged)
+        .det("plain_vtime", plain.virtual_time)
+        .det("flex_vtime", flex.virtual_time)
+        .det("plain_steps", plain.steps)
+        .det("messages", plain.messages_sent);
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "c5_exchange_frequency");
+  report.write();
   std::printf(
       "shape check: virtual time is U-shaped in the exchange interval "
       "(message overhead vs staleness); flexible communication flattens "

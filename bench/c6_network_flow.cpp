@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -31,6 +32,7 @@ int main() {
                        problems::make_random_network(24, 40, rng)});
   instances.push_back({"grid 5x6", problems::make_grid_network(5, 6, rng)});
 
+  bench::Report report("c6_network_flow");
   TextTable table({"instance", "mode", "vtime/steps", "max excess",
                    "primal cost", "dual value", "gap"});
   for (auto& inst : instances) {
@@ -87,9 +89,20 @@ int main() {
                    TextTable::sci(std::abs(net.primal_cost(fs) -
                                            net.dual_value(sync_r.x)),
                                   1)});
+    report.scenario(inst.name)
+        .det("seq_max_excess", seq.max_excess)
+        .det("seq_gap", std::abs(seq.primal_cost - seq.dual_value))
+        .det("async_converged", async_r.converged)
+        .det("sync_converged", sync_r.converged)
+        .det("async_vtime", async_r.virtual_time)
+        .det("sync_vtime", sync_r.virtual_time)
+        .det("async_max_excess", net.max_excess(async_r.x))
+        .det("async_gap", std::abs(net.primal_cost(fa) -
+                                   net.dual_value(async_r.x)));
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "c6_network_flow");
+  report.write();
   std::printf("shape check: excess -> 0 and gap -> 0 in all modes; async "
               "virtual time < sync under the 4x straggler.\n");
   return 0;

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -33,6 +34,7 @@ int main() {
     return v;
   };
 
+  bench::Report report("c7_fault_tolerance");
   TextTable table({"drop prob", "async vtime", "async dropped",
                    "async converged", "sync vtime", "sync retransmissions",
                    "sync converged"});
@@ -56,9 +58,17 @@ int main() {
                    TextTable::num(sync_r.virtual_time, 1),
                    std::to_string(sync_r.retransmissions),
                    sync_r.converged ? "yes" : "NO"});
+    report.scenario("drop_" + TextTable::num(p, 3))
+        .det("async_converged", async_r.converged)
+        .det("sync_converged", sync_r.converged)
+        .det("async_vtime", async_r.virtual_time)
+        .det("sync_vtime", sync_r.virtual_time)
+        .det("async_dropped", async_r.messages_dropped)
+        .det("sync_retransmissions", sync_r.retransmissions);
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "c7_fault_tolerance");
+  report.write();
   std::printf("shape check: async degrades gracefully in p (no "
               "retransmission machinery at all); sync pays timeout+resend "
               "for every loss.\n");

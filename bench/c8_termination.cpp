@@ -18,6 +18,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -31,6 +32,7 @@ int main() {
   const la::Vector x_star = op::picard_solve(jac, la::zeros(32), 50000,
                                              1e-14);
 
+  bench::Report report("c8_termination");
   TextTable table({"procs", "scan period", "detected", "error at detect",
                    "premature?", "detect step", "oracle-conv step",
                    "scans", "ctrl msgs"});
@@ -76,10 +78,19 @@ int main() {
            std::to_string(r.detection_step),
            std::to_string(oracle_run.steps), std::to_string(r.scans),
            std::to_string(2 * procs * r.scans)});
+      report
+          .scenario("p" + std::to_string(procs) + "_period" +
+                    TextTable::num(period, 0))
+          .det("detected", r.detection_fired)
+          .det("premature", premature)
+          .det("error_at_detection", r.error_at_detection)
+          .det("detect_step", r.detection_step)
+          .det("scans", r.scans);
     }
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "c8_termination");
+  report.write();
   std::printf(
       "shape check: always detected, never premature; shorter scan "
       "periods detect sooner at more control-message cost; detect step "

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -33,6 +34,7 @@ int main() {
   auto lasso = problems::make_synthetic_lasso(cfg, rng);
   const la::Vector x_star = lasso.problem.reference_minimizer(300000, 1e-13);
 
+  bench::Report report("c9_baselines");
   TextTable table({"method", "converged", "steps", "macros", "epochs",
                    "err to ref"});
 
@@ -65,6 +67,11 @@ int main() {
                    std::to_string(r.macro_boundaries.size() - 1),
                    std::to_string(r.epoch_boundaries.size() - 1),
                    TextTable::sci(la::dist_inf(sol, x_star), 1)});
+    report.scenario("bf_flexible")
+        .det("converged", r.converged)
+        .det("steps", r.steps)
+        .det("macros", r.macro_boundaries.size() - 1)
+        .det("err_to_ref", la::dist_inf(sol, x_star));
   }
 
   // --- ARock [32] ---
@@ -80,6 +87,10 @@ int main() {
                    std::to_string(s.macro_iterations),
                    std::to_string(s.epochs),
                    TextTable::sci(s.error_to_reference, 1)});
+    report.scenario("arock_eta" + TextTable::num(eta, 1))
+        .det("converged", s.converged)
+        .det("steps", s.steps)
+        .det("err_to_ref", s.error_to_reference);
   }
 
   // --- DAve-RPG [30] ---
@@ -98,10 +109,15 @@ int main() {
                    std::to_string(s.macro_boundaries.size() - 1),
                    std::to_string(s.epoch_boundaries.size() - 1),
                    TextTable::sci(s.error_to_reference, 1)});
+    report.scenario("dave_rpg_4shards")
+        .det("converged", s.converged)
+        .det("steps", s.steps)
+        .det("err_to_ref", s.error_to_reference);
   }
 
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "c9_baselines");
+  report.write();
   std::printf("shape check: all methods converge; smaller eta slows "
               "ARock; both meta-iteration sequences certify DAve-RPG.\n");
   return 0;

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -41,6 +42,7 @@ int main() {
   // publishes), so the sqrt(j)-growth shows in the PEAK delay per window:
   // P2's k-th phase lasts k units, i.e. ~sqrt(2t) at time t ~ j, hence
   // peak d2(j) ~ sqrt(2j).
+  bench::Report report("ex1_unbounded_delay");
   TextTable table({"window end j", "min l2", "peak d2", "sqrt(2j)",
                    "peak/sqrt(2j)"});
   const model::Step total = result.trace.steps();
@@ -58,12 +60,20 @@ int main() {
     table.add_row({std::to_string(end), std::to_string(min_l2),
                    std::to_string(peak), TextTable::num(expect, 1),
                    TextTable::num(static_cast<double>(peak) / expect, 3)});
+    report.scenario("window_" + std::to_string(end))
+        .det("min_l2", min_l2)
+        .det("peak_d2", peak)
+        .det("peak_over_sqrt2j", static_cast<double>(peak) / expect);
   }
   std::printf("%s\n", table.render().c_str());
   trace::maybe_write_csv(table, "ex1_unbounded_delay");
 
   const auto rep_b = model::audit_condition_b(result.trace);
   const auto rep_d = model::audit_condition_d(result.trace);
+  report.scenario("audit")
+      .det("condition_b_diverging", rep_b.diverging)
+      .det("max_observed_delay", rep_d.b_min);
+  report.write();
   std::printf("condition b) (labels diverge): %s — quarter minima:",
               rep_b.diverging ? "HOLDS" : "violated");
   for (auto q : rep_b.quarter_min_labels)

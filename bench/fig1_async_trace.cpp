@@ -5,12 +5,13 @@
 // MEASURED from an actual execution of a fixed-point iteration on R²
 // (one component per processor) over channels with latency.
 //
-// Shape to hold (DESIGN.md §4): phases of unequal length, processors never
+// Shape to hold (DESIGN.md §5): phases of unequal length, processors never
 // idle (a new phase starts the moment the previous one ends), every arrow
 // leaves at a phase end, and update labels show delayed reads (labels < j-1).
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -59,5 +60,11 @@ int main() {
               "labels lag behind j-1 (asynchronous reads); macro-"
               "iterations completed: %zu\n",
               result.macro_boundaries.size() - 1);
+  bench::Report report("fig1_async_trace");
+  report.scenario("trace")
+      .det("steps", result.trace.steps())
+      .det("macros", result.macro_boundaries.size() - 1)
+      .det("messages_sent", result.messages_sent);
+  report.write();
   return 0;
 }

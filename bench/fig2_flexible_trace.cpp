@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -61,5 +62,12 @@ int main() {
               result.messages_sent - result.partials_sent);
   std::printf("macro-iterations completed: %zu\n",
               result.macro_boundaries.size() - 1);
+  bench::Report report("fig2_flexible_trace");
+  report.scenario("trace")
+      .det("steps", result.trace.steps())
+      .det("macros", result.macro_boundaries.size() - 1)
+      .det("partials_sent", result.partials_sent)
+      .det("partials_mid_phase", partial_mid_phase);
+  report.write();
   return 0;
 }

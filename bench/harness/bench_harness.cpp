@@ -1,0 +1,257 @@
+#include "bench_harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace asyncit::bench {
+
+// ------------------------------------------------------------------ Json
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::operator[](const std::string& key) {
+  kind_ = Kind::kObject;  // null promotes on first field
+  for (auto& [k, v] : fields_)
+    if (k == key) return v;
+  fields_.emplace_back(key, Json());
+  return fields_.back().second;
+}
+
+void Json::push_back(Json v) {
+  kind_ = Kind::kArray;  // null promotes on first element
+  items_.push_back(std::move(v));
+}
+
+namespace {
+
+void escape_to(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void indent_to(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {
+        out += "null";  // inf/nan are not valid JSON
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.12g", double_);
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      escape_to(out, string_);
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        indent_to(out, depth + 1);
+        items_[i].dump_to(out, depth + 1);
+        out += (i + 1 < items_.size()) ? ",\n" : "\n";
+      }
+      indent_to(out, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (fields_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        indent_to(out, depth + 1);
+        escape_to(out, fields_[i].first);
+        out += ": ";
+        fields_[i].second.dump_to(out, depth + 1);
+        out += (i + 1 < fields_.size()) ? ",\n" : "\n";
+      }
+      indent_to(out, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+// ---------------------------------------------------------------- timing
+
+Timing measure(std::size_t warmup, std::size_t reps, std::size_t inner,
+               const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  for (std::size_t i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < inner; ++i) fn();
+    const auto t1 = clock::now();
+    samples.push_back(std::chrono::duration<double>(t1 - t0).count() /
+                      static_cast<double>(inner == 0 ? 1 : inner));
+  }
+  std::sort(samples.begin(), samples.end());
+  Timing t;
+  t.reps = samples.size();
+  if (samples.empty()) return t;
+  t.min_s = samples.front();
+  t.median_s = samples[samples.size() / 2];
+  t.p90_s = samples[std::min(samples.size() - 1,
+                             static_cast<std::size_t>(
+                                 0.9 * static_cast<double>(samples.size())))];
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  t.mean_s = sum / static_cast<double>(samples.size());
+  return t;
+}
+
+// ---------------------------------------------------------------- report
+
+Scenario::Scenario(std::string name) : name_(std::move(name)) {}
+
+Scenario& Scenario::det(const std::string& key, Json v) {
+  deterministic_[key] = std::move(v);
+  return *this;
+}
+
+Scenario& Scenario::metric(const std::string& key, double v) {
+  measured_[key] = v;
+  return *this;
+}
+
+Scenario& Scenario::timing(const std::string& key, const Timing& t) {
+  measured_[key + "_median_s"] = t.median_s;
+  measured_[key + "_p90_s"] = t.p90_s;
+  measured_[key + "_mean_s"] = t.mean_s;
+  measured_[key + "_min_s"] = t.min_s;
+  return *this;
+}
+
+Scenario& Scenario::attach(const std::string& key, Json v) {
+  measured_[key] = std::move(v);
+  return *this;
+}
+
+Json Scenario::to_json() const {
+  Json j = Json::object();
+  j["name"] = name_;
+  j["deterministic"] = deterministic_;
+  j["measured"] = measured_;
+  return j;
+}
+
+Report::Report(std::string bench_name) : name_(std::move(bench_name)) {}
+
+Scenario& Report::scenario(const std::string& name) {
+  for (auto& s : scenarios_)
+    if (s->name() == name) return *s;
+  scenarios_.push_back(std::make_unique<Scenario>(name));
+  return *scenarios_.back();
+}
+
+std::string Report::write() const {
+  Json root = Json::object();
+  root["schema"] = "asyncit-bench/1";
+  root["bench"] = name_;
+  root["stamp"] = stamp();
+  Json arr = Json::array();
+  for (const auto& s : scenarios_) arr.push_back(s->to_json());
+  root["scenarios"] = std::move(arr);
+
+  const std::string path = "BENCH_" + name_ + ".json";
+  const std::string body = root.dump();
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu scenarios)\n", path.c_str(),
+                scenarios_.size());
+  } else {
+    std::fprintf(stderr, "bench harness: cannot write %s\n", path.c_str());
+  }
+  return path;
+}
+
+Json stamp() {
+  Json s = Json::object();
+  const char* env_sha = std::getenv("ASYNCIT_GIT_SHA");
+#ifdef ASYNCIT_GIT_SHA
+  s["git_sha"] = (env_sha != nullptr && env_sha[0] != '\0') ? env_sha
+                                                            : ASYNCIT_GIT_SHA;
+#else
+  s["git_sha"] = (env_sha != nullptr && env_sha[0] != '\0') ? env_sha
+                                                            : "unknown";
+#endif
+#ifdef ASYNCIT_BUILD_TYPE
+  s["build_type"] = ASYNCIT_BUILD_TYPE;
+#else
+  s["build_type"] = "unknown";
+#endif
+#ifdef __VERSION__
+  s["compiler"] = __VERSION__;
+#else
+  s["compiler"] = "unknown";
+#endif
+  return s;
+}
+
+}  // namespace asyncit::bench

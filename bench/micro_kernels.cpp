@@ -1,141 +1,290 @@
-// PERF — google-benchmark microbenchmarks for the substrates: operator
-// applications, shared-memory stores (Hogwild vs seqlock), the macro-
-// iteration tracker, CSR kernels, and the prox library. These document
-// the per-update costs behind the virtual-time models used in the
-// experiment benches.
-#include <benchmark/benchmark.h>
+// PERF — microbenchmarks for the compute substrates, run through the
+// shared bench harness (bench/harness/): optimized hot-path kernels vs the
+// naive reference loops they replaced (linalg/kernels_ref.hpp), plus the
+// shared-memory stores.
+//
+// Each kernel scenario records
+//   deterministic: problem shape (n, nnz, blocks) and the optimized-vs-
+//                  reference parity gap (max |opt − ref|), which is a pure
+//                  function of the seeded inputs — hard-checked by CI
+//                  against bench/baselines/kernels.json;
+//   measured:      per-call timings (median/p90 over repetitions) for the
+//                  reference and optimized variants plus their ratio
+//                  `speedup_median` — tracked warn-only (machines differ).
+//
+// The three headline scenarios are the ones the asynchronous executors
+// hammer per update: SpMV (spmv_*), the fused Jacobi block update
+// (jacobi_block), and the fused block-residual sweep used by every
+// displacement stopping rule (block_residual).
+#include <cmath>
+#include <cstdio>
+#include <vector>
 
 #include "asyncit/asyncit.hpp"
+#include "asyncit/linalg/kernels.hpp"
+#include "asyncit/linalg/kernels_ref.hpp"
 #include "asyncit/runtime/shared_iterate.hpp"
-
-namespace {
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
-void BM_CsrMatvec(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(1);
-  auto sys = problems::make_diagonally_dominant_system(n, 8, 2.0, rng);
-  la::Vector x(n, 1.0), y(n);
-  for (auto _ : state) {
-    sys.a.matvec(x, y);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(sys.a.nnz()));
-}
-BENCHMARK(BM_CsrMatvec)->Arg(256)->Arg(4096);
+namespace {
 
-void BM_JacobiBlockUpdate(benchmark::State& state) {
-  Rng rng(2);
-  auto sys = problems::make_diagonally_dominant_system(1024, 8, 2.0, rng);
-  op::JacobiOperator jac(sys.a, sys.b, la::Partition::balanced(1024, 64));
-  la::Vector x(1024, 0.5), out(16);
-  la::BlockId b = 0;
-  for (auto _ : state) {
-    jac.apply_block(b, x, out);
-    b = (b + 1) % 64;
-    benchmark::DoNotOptimize(out.data());
-  }
+la::Vector seeded_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  la::Vector x(n);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
 }
-BENCHMARK(BM_JacobiBlockUpdate);
 
-void BM_BackwardForwardBlock(benchmark::State& state) {
-  Rng rng(3);
-  auto f = problems::make_separable_quadratic(1024, 1.0, 8.0, rng);
-  auto g = op::make_l1_prox(0.1);
-  op::BackwardForwardOperator bf(*f, *g, f->suggested_step(),
-                                 la::Partition::balanced(1024, 64));
-  la::Vector x(1024, 0.5), out(16);
-  la::BlockId b = 0;
-  for (auto _ : state) {
-    bf.apply_block(b, x, out);
-    b = (b + 1) % 64;
-    benchmark::DoNotOptimize(out.data());
-  }
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  return la::dist_inf(a, b);
 }
-BENCHMARK(BM_BackwardForwardBlock);
 
-void BM_SharedIterateStore(benchmark::State& state) {
-  rt::SharedIterate shared(la::Vector(4096, 0.0));
-  la::Vector block(64, 1.0);
-  std::size_t offset = 0;
-  for (auto _ : state) {
-    shared.store_block(offset, block);
-    offset = (offset + 64) % 4096;
+/// Pre-PR max_block_residual: fresh scratch vector per call, resized per
+/// block, naive apply + two-pass distance (the shape rt::DisplacementStop
+/// and the net:: monitor used to poll every confirmation).
+double block_residual_ref(const op::BlockOperator& op,
+                          const la::CsrMatrix& a,
+                          std::span<const double> rhs,
+                          std::span<const double> diag,
+                          std::span<const double> x) {
+  const la::Partition& partition = op.partition();
+  la::Vector fb;  // allocated per call — the pre-PR behaviour
+  double worst = 0.0;
+  for (la::BlockId b = 0; b < op.num_blocks(); ++b) {
+    const la::BlockRange r = partition.range(b);
+    fb.resize(r.size());
+    la::ref::jacobi_rows(a.row_ptr(), a.col_idx(), a.values(), rhs, diag,
+                         r.begin, r.end, x, fb);
+    worst = std::max(
+        worst, la::ref::sq_dist(fb.data(), x.data() + r.begin, r.size()));
   }
+  return std::sqrt(worst);
 }
-BENCHMARK(BM_SharedIterateStore);
 
-void BM_SeqlockWrite(benchmark::State& state) {
-  la::Partition p = la::Partition::balanced(4096, 64);
-  rt::SeqlockBlockStore store(p, la::Vector(4096, 0.0));
-  la::Vector block(64, 1.0);
-  la::BlockId b = 0;
-  model::Step tag = 0;
-  for (auto _ : state) {
-    store.write_block(b, block, ++tag);
-    b = (b + 1) % 64;
-  }
-}
-BENCHMARK(BM_SeqlockWrite);
+void spmv_scenario(bench::Report& report, const std::string& name,
+                   std::size_t n, std::size_t off_diag, std::uint64_t seed,
+                   std::size_t inner) {
+  Rng rng(seed);
+  auto sys = problems::make_diagonally_dominant_system(n, off_diag, 2.0, rng);
+  const la::Vector x = seeded_vector(n, seed + 1);
+  la::Vector y_opt(n), y_ref(n);
 
-void BM_SeqlockReadAll(benchmark::State& state) {
-  la::Partition p = la::Partition::balanced(4096, 64);
-  rt::SeqlockBlockStore store(p, la::Vector(4096, 0.0));
-  la::Vector out(4096);
-  std::vector<model::Step> tags(64);
-  for (auto _ : state) {
-    store.read_all(out, tags);
-    benchmark::DoNotOptimize(out.data());
-  }
-}
-BENCHMARK(BM_SeqlockReadAll);
+  sys.a.matvec(x, y_opt);
+  la::ref::csr_matvec(sys.a.row_ptr(), sys.a.col_idx(), sys.a.values(), x,
+                      y_ref);
 
-void BM_MacroTracker(benchmark::State& state) {
-  const std::size_t m = 64;
-  Rng rng(4);
-  std::vector<la::BlockId> single(1);
-  model::MacroIterationTracker tracker(m);
-  model::Step j = 0;
-  for (auto _ : state) {
-    ++j;
-    single[0] = static_cast<la::BlockId>(rng.uniform_index(m));
-    const model::Step lag = rng.uniform_index(8);
-    tracker.observe(j, single, j > lag + 1 ? j - 1 - lag : 0);
-  }
-}
-BENCHMARK(BM_MacroTracker);
+  const auto t_ref = bench::measure(3, 21, inner, [&] {
+    la::ref::csr_matvec(sys.a.row_ptr(), sys.a.col_idx(), sys.a.values(), x,
+                        y_ref);
+  });
+  const auto t_opt =
+      bench::measure(3, 21, inner, [&] { sys.a.matvec(x, y_opt); });
 
-void BM_ProxSoftThreshold(benchmark::State& state) {
-  auto g = op::make_l1_prox(0.3);
-  la::Vector x(4096, 0.7), out(4096);
-  for (auto _ : state) {
-    g->apply(x, 0.25, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          4096);
+  report.scenario(name)
+      .det("n", n)
+      .det("nnz", sys.a.nnz())
+      .det("parity_max_abs_diff", max_abs_diff(y_opt, y_ref))
+      .timing("ref", t_ref)
+      .timing("opt", t_opt)
+      .metric("speedup_median", t_ref.median_s / t_opt.median_s);
+  std::printf("%-16s ref %8.1f ns  opt %8.1f ns  speedup %.2fx\n",
+              name.c_str(), t_ref.median_s * 1e9, t_opt.median_s * 1e9,
+              t_ref.median_s / t_opt.median_s);
 }
-BENCHMARK(BM_ProxSoftThreshold);
-
-void BM_NetworkFlowRelaxNode(benchmark::State& state) {
-  Rng rng(5);
-  auto net = problems::make_random_network(64, 128, rng);
-  la::Vector prices(net.num_nodes(), 0.0);
-  std::size_t node = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(net.relax_node(node, prices));
-    node = 1 + (node % (net.num_nodes() - 1));
-  }
-}
-BENCHMARK(BM_NetworkFlowRelaxNode);
-
-void BM_WeightedMaxNormDistance(benchmark::State& state) {
-  la::WeightedMaxNorm norm(la::Partition::balanced(4096, 64));
-  la::Vector a(4096, 1.0), b(4096, 0.5);
-  for (auto _ : state) benchmark::DoNotOptimize(norm.distance(a, b));
-}
-BENCHMARK(BM_WeightedMaxNormDistance);
 
 }  // namespace
+
+int main() {
+  std::printf("== micro_kernels: optimized hot-path kernels vs naive "
+              "reference ==\n\n");
+  bench::Report report("kernels");
+
+  // ---------------- SpMV: moderately sparse and denser rows ------------
+  spmv_scenario(report, "spmv_n4096_nnz8", 4096, 8, 11, 50);
+  spmv_scenario(report, "spmv_n4096_nnz16", 4096, 16, 12, 50);
+
+  // ---------------- dense dot / axpy ----------------------------------
+  {
+    const std::size_t n = 4096;
+    const la::Vector a = seeded_vector(n, 21), b = seeded_vector(n, 22);
+    la::Vector y(n, 0.0);
+    volatile double sink = 0.0;
+    const auto t_ref = bench::measure(3, 21, 200, [&] {
+      sink = la::ref::dot(a.data(), b.data(), n);
+    });
+    const auto t_opt = bench::measure(3, 21, 200, [&] {
+      sink = la::kern::dot(a.data(), b.data(), n);
+    });
+    (void)sink;
+    report.scenario("dot_n4096")
+        .det("n", n)
+        .det("parity_max_abs_diff",
+             std::abs(la::kern::dot(a.data(), b.data(), n) -
+                      la::ref::dot(a.data(), b.data(), n)))
+        .timing("ref", t_ref)
+        .timing("opt", t_opt)
+        .metric("speedup_median", t_ref.median_s / t_opt.median_s);
+    std::printf("%-16s ref %8.1f ns  opt %8.1f ns  speedup %.2fx\n",
+                "dot_n4096", t_ref.median_s * 1e9, t_opt.median_s * 1e9,
+                t_ref.median_s / t_opt.median_s);
+  }
+
+  // ---------------- fused Jacobi block update -------------------------
+  {
+    const std::size_t n = 1024, blocks = 64;
+    Rng rng(31);
+    auto sys = problems::make_diagonally_dominant_system(n, 16, 2.0, rng);
+    op::JacobiOperator jac(sys.a, sys.b, la::Partition::balanced(n, blocks));
+    const la::Vector diag = sys.a.diagonal();
+    const la::Vector x = seeded_vector(n, 32);
+    la::Vector out_opt(n / blocks), out_ref(n / blocks);
+    op::Workspace ws;
+
+    double parity = 0.0;
+    for (la::BlockId b = 0; b < blocks; ++b) {
+      const la::BlockRange r = jac.partition().range(b);
+      jac.apply_block(b, x, out_opt, ws);
+      la::ref::jacobi_rows(sys.a.row_ptr(), sys.a.col_idx(), sys.a.values(),
+                           sys.b, diag, r.begin, r.end, x, out_ref);
+      parity = std::max(parity, max_abs_diff(out_opt, out_ref));
+    }
+
+    la::BlockId b_ref = 0, b_opt = 0;
+    const auto t_ref = bench::measure(3, 21, 400, [&] {
+      const la::BlockRange r = jac.partition().range(b_ref);
+      la::ref::jacobi_rows(sys.a.row_ptr(), sys.a.col_idx(), sys.a.values(),
+                           sys.b, diag, r.begin, r.end, x, out_ref);
+      b_ref = (b_ref + 1) % blocks;
+    });
+    const auto t_opt = bench::measure(3, 21, 400, [&] {
+      jac.apply_block(b_opt, x, out_opt, ws);
+      b_opt = (b_opt + 1) % blocks;
+    });
+    report.scenario("jacobi_block")
+        .det("n", n)
+        .det("blocks", blocks)
+        .det("nnz", sys.a.nnz())
+        .det("parity_max_abs_diff", parity)
+        .timing("ref", t_ref)
+        .timing("opt", t_opt)
+        .metric("speedup_median", t_ref.median_s / t_opt.median_s);
+    std::printf("%-16s ref %8.1f ns  opt %8.1f ns  speedup %.2fx\n",
+                "jacobi_block", t_ref.median_s * 1e9, t_opt.median_s * 1e9,
+                t_ref.median_s / t_opt.median_s);
+  }
+
+  // ---------------- fused block-residual sweep ------------------------
+  // Full-dimension sweep at the size the stopping-rule monitors poll.
+  {
+    const std::size_t n = 4096, blocks = 64;
+    Rng rng(41);
+    auto sys = problems::make_diagonally_dominant_system(n, 16, 2.0, rng);
+    op::JacobiOperator jac(sys.a, sys.b, la::Partition::balanced(n, blocks));
+    const la::Vector diag = sys.a.diagonal();
+    const la::Vector x = seeded_vector(n, 42);
+    op::Workspace ws;
+    volatile double sink = 0.0;
+
+    const double res_opt = op::max_block_residual(jac, x, ws);
+    const double res_ref = block_residual_ref(jac, sys.a, sys.b, diag, x);
+
+    const auto t_ref = bench::measure(3, 21, 20, [&] {
+      sink = block_residual_ref(jac, sys.a, sys.b, diag, x);
+    });
+    const auto t_opt = bench::measure(3, 21, 20, [&] {
+      sink = op::max_block_residual(jac, x, ws);
+    });
+    (void)sink;
+    report.scenario("block_residual")
+        .det("n", n)
+        .det("blocks", blocks)
+        .det("parity_max_abs_diff", std::abs(res_opt - res_ref))
+        .timing("ref", t_ref)
+        .timing("opt", t_opt)
+        .metric("speedup_median", t_ref.median_s / t_opt.median_s);
+    std::printf("%-16s ref %8.1f ns  opt %8.1f ns  speedup %.2fx\n",
+                "block_residual", t_ref.median_s * 1e9, t_opt.median_s * 1e9,
+                t_ref.median_s / t_opt.median_s);
+  }
+
+  // ---------------- backward-forward block: workspace vs per-call alloc
+  {
+    const std::size_t n = 1024, blocks = 64;
+    Rng rng(51);
+    auto f = problems::make_separable_quadratic(n, 1.0, 8.0, rng);
+    auto g = op::make_l1_prox(0.1);
+    op::BackwardForwardOperator bf(*f, *g, f->suggested_step(),
+                                   la::Partition::balanced(n, blocks));
+    const la::Vector x = seeded_vector(n, 52);
+    la::Vector out(n / blocks), out_ref(n / blocks);
+    op::Workspace ws;
+
+    // Pre-PR shape: fresh full-dimension prox scratch on every block call.
+    auto bf_block_alloc = [&](la::BlockId b, std::span<double> o) {
+      la::Vector z(n);
+      g->apply(x, bf.gamma(), z);
+      const la::BlockRange r = bf.partition().range(b);
+      f->partial_block(r.begin, r.end, z, o);
+      for (std::size_t c = r.begin; c < r.end; ++c)
+        o[c - r.begin] = z[c] - bf.gamma() * o[c - r.begin];
+    };
+
+    double parity = 0.0;
+    for (la::BlockId b = 0; b < blocks; ++b) {
+      bf.apply_block(b, x, out, ws);
+      bf_block_alloc(b, out_ref);
+      parity = std::max(parity, max_abs_diff(out, out_ref));
+    }
+
+    la::BlockId b_ref = 0, b_opt = 0;
+    const auto t_ref = bench::measure(3, 21, 200, [&] {
+      bf_block_alloc(b_ref, out_ref);
+      b_ref = (b_ref + 1) % blocks;
+    });
+    const auto t_opt = bench::measure(3, 21, 200, [&] {
+      bf.apply_block(b_opt, x, out, ws);
+      b_opt = (b_opt + 1) % blocks;
+    });
+    report.scenario("bf_block")
+        .det("n", n)
+        .det("blocks", blocks)
+        .det("parity_max_abs_diff", parity)
+        .timing("ref", t_ref)
+        .timing("opt", t_opt)
+        .metric("speedup_median", t_ref.median_s / t_opt.median_s);
+    std::printf("%-16s ref %8.1f ns  opt %8.1f ns  speedup %.2fx\n",
+                "bf_block", t_ref.median_s * 1e9, t_opt.median_s * 1e9,
+                t_ref.median_s / t_opt.median_s);
+  }
+
+  // ---------------- shared-memory stores (no reference variant) -------
+  {
+    rt::SharedIterate shared(la::Vector(4096, 0.0));
+    la::Vector block(64, 1.0);
+    std::size_t offset = 0;
+    const auto t_store = bench::measure(3, 21, 2000, [&] {
+      shared.store_block(offset, block);
+      offset = (offset + 64) % 4096;
+    });
+    la::Partition p = la::Partition::balanced(4096, 64);
+    rt::SeqlockBlockStore store(p, la::Vector(4096, 0.0));
+    la::BlockId b = 0;
+    model::Step tag = 0;
+    const auto t_seq = bench::measure(3, 21, 2000, [&] {
+      store.write_block(b, block, ++tag);
+      b = (b + 1) % 64;
+    });
+    report.scenario("stores")
+        .det("n", 4096)
+        .det("block", 64)
+        .timing("hogwild_store", t_store)
+        .timing("seqlock_write", t_seq);
+    std::printf("%-16s hogwild %6.1f ns  seqlock %6.1f ns\n", "stores",
+                t_store.median_s * 1e9, t_seq.median_s * 1e9);
+  }
+
+  report.write();
+  return 0;
+}

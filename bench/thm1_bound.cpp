@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "asyncit/asyncit.hpp"
+#include "harness/bench_harness.hpp"
 
 using namespace asyncit;
 
@@ -61,6 +62,7 @@ int main() {
       {"out-of-order-16", d_ooo, 1, false},
   };
 
+  bench::Report bench_report("thm1_bound");
   for (const bool coupled : {false, true}) {
     Rng rng(77);
     std::unique_ptr<op::SmoothFunction> f;
@@ -103,6 +105,13 @@ int main() {
            report.holds ? "YES" : "no*",
            TextTable::num(rate * rate, 4),  // squared: same units as 1-rho
            TextTable::num(1.0 - rho, 4)});
+      bench_report
+          .scenario(std::string(coupled ? "coupled_" : "separable_") +
+                    cfg.name)
+          .det("steps", result.steps)
+          .det("macros", result.macro_boundaries.size() - 1)
+          .det("worst_ratio", report.worst_ratio)
+          .det("thm1_holds", report.holds);
     }
     std::printf("%s", table.render().c_str());
     trace::maybe_write_csv(table,
@@ -144,6 +153,10 @@ int main() {
                 "err/bound = %.4f (must be <= 1); label inversions "
                 "measured: %zu\n",
                 worst, result.trace.total_label_inversions());
+    bench_report.scenario("box_level_ooo")
+        .det("worst_err_over_bound", worst)
+        .det("label_inversions", result.trace.total_label_inversions());
   }
+  bench_report.write();
   return 0;
 }

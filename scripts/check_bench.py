@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json report against a committed baseline.
+
+Usage:
+    scripts/check_bench.py <report.json> <baseline.json>
+
+Baseline format (schema asyncit-bench-baseline/1):
+
+    {
+      "schema": "asyncit-bench-baseline/1",
+      "bench": "kernels",
+      "checks": [
+        {"scenario": "spmv_n4096_nnz16", "field": "n", "equals": 4096},
+        {"scenario": "spmv_n4096_nnz16", "field": "parity_max_abs_diff",
+         "max": 1e-9},
+        {"scenario": "block_residual", "field": "speedup_median",
+         "warn_min": 1.5}
+      ]
+    }
+
+Check kinds:
+    equals             exact match (numbers, bools, strings) -> HARD FAIL
+    min / max          inclusive band (numbers)              -> HARD FAIL
+    warn_min/warn_max  inclusive band (numbers)              -> WARN ONLY
+
+Fields are looked up in the scenario's "deterministic" dict first, then in
+"measured". A missing scenario or field is a hard failure — a silently
+dropped scenario is exactly the kind of drift the gate exists to catch.
+Hard checks are meant for machine-independent fields (iteration counts,
+convergence flags, residual tolerance bands, parity diffs); wall-clock
+derived fields (timings, speedups) belong in warn-only checks.
+
+Exit status: 0 = all hard checks pass (warnings allowed), 1 = any hard
+failure, 2 = usage / malformed input.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FATAL: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def lookup(scenario: dict, field: str):
+    for section in ("deterministic", "measured"):
+        sec = scenario.get(section, {})
+        if field in sec:
+            return sec[field], section
+    return None, None
+
+
+def numbers_equal(a, b) -> bool:
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return float(a) == float(b)
+    return a == b
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    report = load(sys.argv[1])
+    baseline = load(sys.argv[2])
+
+    if report.get("schema") != "asyncit-bench/1":
+        fail(f"{sys.argv[1]}: unexpected report schema "
+             f"{report.get('schema')!r}")
+    if baseline.get("schema") != "asyncit-bench-baseline/1":
+        fail(f"{sys.argv[2]}: unexpected baseline schema "
+             f"{baseline.get('schema')!r}")
+    if report.get("bench") != baseline.get("bench"):
+        fail(f"bench name mismatch: report {report.get('bench')!r} vs "
+             f"baseline {baseline.get('bench')!r}")
+
+    scenarios = {s.get("name"): s for s in report.get("scenarios", [])}
+    failures = 0
+    warnings = 0
+    checked = 0
+
+    for check in baseline.get("checks", []):
+        name = check.get("scenario")
+        field = check.get("field")
+        label = f"{name}.{field}"
+        scenario = scenarios.get(name)
+        if scenario is None:
+            print(f"FAIL  {label}: scenario missing from report")
+            failures += 1
+            continue
+        value, section = lookup(scenario, field)
+        if section is None:
+            print(f"FAIL  {label}: field missing from report")
+            failures += 1
+            continue
+
+        checked += 1
+        hard_msgs = []
+        warn_msgs = []
+        if "equals" in check and not numbers_equal(value, check["equals"]):
+            hard_msgs.append(f"expected == {check['equals']!r}")
+        if "min" in check and not (isinstance(value, (int, float))
+                                   and float(value) >= check["min"]):
+            hard_msgs.append(f"expected >= {check['min']}")
+        if "max" in check and not (isinstance(value, (int, float))
+                                   and float(value) <= check["max"]):
+            hard_msgs.append(f"expected <= {check['max']}")
+        if "warn_min" in check and not (isinstance(value, (int, float))
+                                        and float(value) >= check["warn_min"]):
+            warn_msgs.append(f"expected >= {check['warn_min']}")
+        if "warn_max" in check and not (isinstance(value, (int, float))
+                                        and float(value) <= check["warn_max"]):
+            warn_msgs.append(f"expected <= {check['warn_max']}")
+
+        if hard_msgs:
+            print(f"FAIL  {label} = {value!r}  ({'; '.join(hard_msgs)})")
+            failures += 1
+        elif warn_msgs:
+            print(f"WARN  {label} = {value!r}  ({'; '.join(warn_msgs)})")
+            warnings += 1
+        else:
+            print(f"ok    {label} = {value!r}")
+
+    print(f"\ncheck_bench: {checked} checks, {failures} failures, "
+          f"{warnings} warnings "
+          f"({report.get('bench')} @ "
+          f"{report.get('stamp', {}).get('git_sha', '?')})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

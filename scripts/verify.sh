@@ -1,12 +1,29 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
-# Usage: scripts/verify.sh [build-dir]   (default: build)
+#
+# Usage:
+#   scripts/verify.sh                               # legacy: build/ dir, default build type
+#   scripts/verify.sh [build-dir]                   # legacy: custom build dir
+#   scripts/verify.sh --preset <name> [cmake args]  # CMakePresets.json preset
+#
+# Presets (release | debug | asan) are exactly what .github/workflows/ci.yml
+# runs, so `scripts/verify.sh --preset asan` reproduces the CI sanitizer leg
+# locally. Extra arguments after the preset name are forwarded to the
+# configure step (e.g. -DCMAKE_CXX_COMPILER_LAUNCHER=ccache).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j
-cd "$BUILD_DIR"
-ctest --output-on-failure -j
+if [[ "${1:-}" == "--preset" ]]; then
+  PRESET="${2:?usage: scripts/verify.sh --preset <release|debug|asan> [cmake args]}"
+  shift 2
+  cmake --preset "$PRESET" "$@"
+  cmake --build --preset "$PRESET" -j "$(nproc)"
+  ctest --preset "$PRESET" -j "$(nproc)"
+else
+  BUILD_DIR="${1:-build}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+  cd "$BUILD_DIR"
+  ctest --output-on-failure -j
+fi

@@ -45,6 +45,7 @@
 #include "asyncit/operators/projected_jacobi.hpp"
 #include "asyncit/operators/prox.hpp"
 #include "asyncit/operators/prox_gradient.hpp"
+#include "asyncit/operators/workspace.hpp"
 #include "asyncit/problems/composite.hpp"
 #include "asyncit/problems/lasso.hpp"
 #include "asyncit/problems/linear_system.hpp"

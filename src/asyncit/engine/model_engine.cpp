@@ -69,6 +69,7 @@ ModelEngineResult run_model_engine(const op::BlockOperator& op,
   }
 
   // Scratch buffers reused across steps.
+  op::Workspace ws;             // operator scratch (steady state: no alloc)
   la::Vector read_vec(n);       // x̃(j)
   la::Vector label_vec;         // x(l(j)) — only materialized for audits
   if (options.audit_flexible_constraint && track_error) label_vec.resize(n);
@@ -141,7 +142,7 @@ ModelEngineResult run_model_engine(const op::BlockOperator& op,
       new_block.assign(r.size(), 0.0);
       std::vector<la::Vector> partials;
       if (options.inner_steps == 1) {
-        op.apply_block(i, read_vec, new_block);
+        op.apply_block(i, read_vec, new_block, ws);
       } else {
         // Inner iterations: the phase repeatedly applies the block map to
         // its own component while others stay frozen at x̃ — this is the
@@ -150,7 +151,7 @@ ModelEngineResult run_model_engine(const op::BlockOperator& op,
         inner_buf.assign(read_vec.begin() + static_cast<std::ptrdiff_t>(r.begin),
                          read_vec.begin() + static_cast<std::ptrdiff_t>(r.end));
         for (std::size_t t = 0; t < options.inner_steps; ++t) {
-          op.apply_block(i, read_vec, new_block);
+          op.apply_block(i, read_vec, new_block, ws);
           std::copy(new_block.begin(), new_block.end(),
                     read_vec.begin() + static_cast<std::ptrdiff_t>(r.begin));
           if (options.publish_partials && t + 1 < options.inner_steps)

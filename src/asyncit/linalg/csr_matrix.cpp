@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "asyncit/linalg/kernels.hpp"
 #include "asyncit/support/check.hpp"
 
 namespace asyncit::la {
@@ -48,11 +49,45 @@ CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
 
 void CsrMatrix::matvec(std::span<const double> x, std::span<double> y) const {
   ASYNCIT_CHECK(x.size() == cols_ && y.size() == rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      s += values_[k] * x[col_idx_[k]];
-    y[r] = s;
+  matvec_rows(0, rows_, x, y);
+}
+
+void CsrMatrix::matvec_rows(std::size_t begin, std::size_t end,
+                            std::span<const double> x,
+                            std::span<double> y) const {
+  ASYNCIT_CHECK(begin <= end && end <= rows_);
+  ASYNCIT_CHECK(x.size() == cols_ && y.size() == end - begin);
+  const double* xp = x.data();
+  const double* vals = values_.data();
+  const std::uint32_t* cols = col_idx_.data();
+  std::size_t k = row_ptr_[begin];
+  for (std::size_t r = begin; r < end; ++r) {
+    const std::size_t k_end = row_ptr_[r + 1];
+    y[r - begin] = kern::sparse_dot(vals + k, cols + k, k_end - k, xp);
+    k = k_end;
+  }
+}
+
+void CsrMatrix::jacobi_rows(std::size_t begin, std::size_t end,
+                            std::span<const double> rhs,
+                            std::span<const double> inv_diag,
+                            std::span<const double> x,
+                            std::span<double> out) const {
+  ASYNCIT_CHECK(rows_ == cols_);  // the identity reads x at the row index
+  ASYNCIT_CHECK(begin <= end && end <= rows_);
+  ASYNCIT_CHECK(rhs.size() == rows_ && inv_diag.size() == rows_);
+  ASYNCIT_CHECK(x.size() == cols_ && out.size() == end - begin);
+  const double* xp = x.data();
+  const double* vals = values_.data();
+  const std::uint32_t* cols = col_idx_.data();
+  std::size_t k = row_ptr_[begin];
+  for (std::size_t r = begin; r < end; ++r) {
+    const std::size_t k_end = row_ptr_[r + 1];
+    // Full row dot (diagonal included), then add the diagonal term back:
+    //   (rhs − Σ_{k≠r} a_rk x_k)/a_rr = (rhs − row·x)/a_rr + x_r.
+    const double s = kern::sparse_dot(vals + k, cols + k, k_end - k, xp);
+    out[r - begin] = (rhs[r] - s) * inv_diag[r] + xp[r];
+    k = k_end;
   }
 }
 
@@ -66,11 +101,13 @@ void CsrMatrix::matvec_transpose(std::span<const double> x,
                                  std::span<double> y) const {
   ASYNCIT_CHECK(x.size() == rows_ && y.size() == cols_);
   for (double& v : y) v = 0.0;
+  const double* vals = values_.data();
+  const std::uint32_t* cols = col_idx_.data();
   for (std::size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
     if (xr == 0.0) continue;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-      y[col_idx_[k]] += values_[k] * xr;
+    const std::size_t k = row_ptr_[r];
+    kern::sparse_axpy(xr, vals + k, cols + k, row_ptr_[r + 1] - k, y.data());
   }
 }
 
@@ -82,10 +119,9 @@ Vector CsrMatrix::matvec_transpose(std::span<const double> x) const {
 
 double CsrMatrix::row_dot(std::size_t r, std::span<const double> x) const {
   ASYNCIT_CHECK(r < rows_ && x.size() == cols_);
-  double s = 0.0;
-  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-    s += values_[k] * x[col_idx_[k]];
-  return s;
+  const std::size_t k = row_ptr_[r];
+  return kern::sparse_dot(values_.data() + k, col_idx_.data() + k,
+                          row_ptr_[r + 1] - k, x.data());
 }
 
 double CsrMatrix::at(std::size_t r, std::size_t c) const {

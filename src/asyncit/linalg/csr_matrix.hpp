@@ -35,6 +35,21 @@ class CsrMatrix {
   void matvec_transpose(std::span<const double> x, std::span<double> y) const;
   Vector matvec_transpose(std::span<const double> x) const;
 
+  /// Row-range matvec: y[r - begin] = (A x)_r for r in [begin, end).
+  /// The block-granular kernel the asynchronous executors hit per update.
+  void matvec_rows(std::size_t begin, std::size_t end,
+                   std::span<const double> x, std::span<double> y) const;
+
+  /// Fused Jacobi row-range kernel:
+  ///   out[r - begin] = (rhs[r] − A.row(r)·x) · inv_diag[r] + x[r]
+  /// which equals the point-Jacobi update (rhs[r] − Σ_{k≠r} a_rk x_k)/a_rr
+  /// when inv_diag[r] = 1/a_rr — the diagonal term is handled
+  /// algebraically instead of with a per-element branch.
+  void jacobi_rows(std::size_t begin, std::size_t end,
+                   std::span<const double> rhs,
+                   std::span<const double> inv_diag,
+                   std::span<const double> x, std::span<double> out) const;
+
   /// Dot product of row r with x.
   double row_dot(std::size_t r, std::span<const double> x) const;
 
@@ -47,6 +62,12 @@ class CsrMatrix {
   /// Row range accessors for iteration.
   std::span<const std::uint32_t> row_cols(std::size_t r) const;
   std::span<const double> row_values(std::size_t r) const;
+
+  /// Raw CSR arrays (reference kernels and tests; prefer the typed
+  /// kernels above for compute).
+  std::span<const std::size_t> row_ptr() const { return row_ptr_; }
+  std::span<const std::uint32_t> col_idx() const { return col_idx_; }
+  std::span<const double> values() const { return values_; }
 
  private:
   std::size_t rows_ = 0;

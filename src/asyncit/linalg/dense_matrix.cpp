@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "asyncit/linalg/kernels.hpp"
 #include "asyncit/support/check.hpp"
 
 namespace asyncit::la {
@@ -9,12 +10,8 @@ namespace asyncit::la {
 void DenseMatrix::matvec(std::span<const double> x,
                          std::span<double> y) const {
   ASYNCIT_CHECK(x.size() == cols_ && y.size() == rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* a = data_.data() + r * cols_;
-    double s = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) s += a[c] * x[c];
-    y[r] = s;
-  }
+  for (std::size_t r = 0; r < rows_; ++r)
+    y[r] = kern::dot(data_.data() + r * cols_, x.data(), cols_);
 }
 
 Vector DenseMatrix::matvec(std::span<const double> x) const {
@@ -27,11 +24,8 @@ void DenseMatrix::matvec_transpose(std::span<const double> x,
                                    std::span<double> y) const {
   ASYNCIT_CHECK(x.size() == rows_ && y.size() == cols_);
   for (double& v : y) v = 0.0;
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* a = data_.data() + r * cols_;
-    const double xr = x[r];
-    for (std::size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
-  }
+  for (std::size_t r = 0; r < rows_; ++r)
+    kern::axpy(x[r], data_.data() + r * cols_, y.data(), cols_);
 }
 
 Vector DenseMatrix::matvec_transpose(std::span<const double> x) const {
@@ -47,7 +41,7 @@ DenseMatrix DenseMatrix::gram() const {
     for (std::size_t i = 0; i < cols_; ++i) {
       const double ai = a[i];
       if (ai == 0.0) continue;
-      for (std::size_t j = 0; j < cols_; ++j) g(i, j) += ai * a[j];
+      kern::axpy(ai, a, &g(i, 0), cols_);
     }
   }
   return g;

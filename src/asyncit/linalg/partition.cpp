@@ -1,5 +1,7 @@
 #include "asyncit/linalg/partition.hpp"
 
+#include <algorithm>
+
 #include "asyncit/support/check.hpp"
 
 namespace asyncit::la {
@@ -27,6 +29,7 @@ Partition Partition::from_sizes(const std::vector<std::size_t>& sizes) {
     ASYNCIT_CHECK(s > 0);
     p.ranges_.push_back({begin, begin + s});
     begin += s;
+    p.max_block_size_ = std::max(p.max_block_size_, s);
   }
   p.dim_ = begin;
   p.coord_to_block_.resize(p.dim_);

@@ -37,6 +37,8 @@ class Partition {
 
   std::size_t dim() const { return dim_; }
   std::size_t num_blocks() const { return ranges_.size(); }
+  /// Largest block size (scratch sizing for per-block work buffers).
+  std::size_t max_block_size() const { return max_block_size_; }
 
   BlockRange range(BlockId b) const;
   BlockId block_of(std::size_t coordinate) const;
@@ -50,6 +52,7 @@ class Partition {
 
  private:
   std::size_t dim_ = 0;
+  std::size_t max_block_size_ = 0;
   std::vector<BlockRange> ranges_;
   std::vector<BlockId> coord_to_block_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "asyncit/linalg/kernels.hpp"
 #include "asyncit/support/check.hpp"
 
 namespace asyncit::la {
@@ -13,14 +14,12 @@ Vector constant(std::size_t n, double v) { return Vector(n, v); }
 
 double dot(std::span<const double> a, std::span<const double> b) {
   ASYNCIT_CHECK(a.size() == b.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return kern::dot(a.data(), b.data(), a.size());
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   ASYNCIT_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kern::axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(double alpha, std::span<double> x) {
@@ -42,9 +41,7 @@ Vector add(std::span<const double> a, std::span<const double> b) {
 }
 
 double norm2_sq(std::span<const double> x) {
-  double s = 0.0;
-  for (double v : x) s += v * v;
-  return s;
+  return kern::sq_norm(x.data(), x.size());
 }
 
 double norm2(std::span<const double> x) { return std::sqrt(norm2_sq(x)); }
@@ -63,12 +60,7 @@ double norm_inf(std::span<const double> x) {
 
 double dist2(std::span<const double> a, std::span<const double> b) {
   ASYNCIT_CHECK(a.size() == b.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
+  return std::sqrt(kern::sq_dist(a.data(), b.data(), a.size()));
 }
 
 double dist_inf(std::span<const double> a, std::span<const double> b) {

@@ -83,8 +83,11 @@ MpResult run_message_passing(const op::BlockOperator& op,
     threads.emplace_back([&peers, p] { peers[p]->run(); });
 
   // ---- monitor loop (this thread): stopping rules over the published
-  // plane; peers handle the time/update budgets themselves as well.
-  la::Vector snap;
+  // plane; peers handle the time/update budgets themselves as well. All
+  // snapshot/residual scratch comes from the monitor's workspace — the
+  // poll loop allocates nothing once warm.
+  op::Workspace monitor_ws;
+  la::Vector snap(partition.dim());
   rt::DisplacementStop stop_rule;
   while (!stop.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(
@@ -97,15 +100,17 @@ MpResult run_message_passing(const op::BlockOperator& op,
       break;
     }
     if (oracle) {
-      snap = monitor.snapshot();
+      monitor.snapshot_into(snap);
       if (norm.distance(snap, *options.x_star) < options.tol) {
         stop.store(true, std::memory_order_relaxed);
         break;
       }
     }
     if (displacement_stop &&
-        stop_rule.should_stop(last_displacement, op, options.displacement_tol,
-                              [&] { return monitor.snapshot(); })) {
+        stop_rule.should_stop(
+            last_displacement, op, options.displacement_tol,
+            [&](std::span<double> s) { monitor.snapshot_into(s); },
+            monitor_ws)) {
       stop.store(true, std::memory_order_relaxed);
       break;
     }

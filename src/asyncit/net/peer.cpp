@@ -156,12 +156,12 @@ void Peer::update_block(la::BlockId b, std::size_t reps,
   const std::size_t inner = opt.mode == Mode::kBsp ? 1 : opt.inner_steps;
 
   // Displacement of this phase = movement of the block across the phase.
-  la::Vector prev(view_.x.begin() + static_cast<std::ptrdiff_t>(r.begin),
-                  view_.x.begin() + static_cast<std::ptrdiff_t>(r.end));
+  phase_prev_.assign(view_.x.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                     view_.x.begin() + static_cast<std::ptrdiff_t>(r.end));
 
   for (std::size_t t = 0; t < inner; ++t) {
     for (std::size_t rep = 0; rep < reps; ++rep)
-      ctx_.op->apply_block(b, compute_view, phase_out_);
+      ctx_.op->apply_block(b, compute_view, phase_out_, ws_);
     std::copy(phase_out_.begin(), phase_out_.end(),
               view_.x.begin() + static_cast<std::ptrdiff_t>(r.begin));
     if (flexible && t + 1 < inner) {
@@ -174,7 +174,7 @@ void Peer::update_block(la::BlockId b, std::size_t reps,
   // Publish to the monitoring plane (never read by compute).
   ctx_.monitor->store_block(r.begin, phase_out_);
   std::atomic_ref<double>((*ctx_.last_displacement)[b])
-      .store(la::dist2(phase_out_, prev), std::memory_order_relaxed);
+      .store(la::dist2(phase_out_, phase_prev_), std::memory_order_relaxed);
 
   ++local_step_;
   if (trace_budget_ > 0) {

@@ -129,7 +129,9 @@ class Peer {
   /// passes them, keeping each round's snapshot exact.
   std::vector<Message> holdback_;
   la::Vector phase_out_;              ///< block output buffer (reused)
+  la::Vector phase_prev_;             ///< phase-start block value (reused)
   la::Vector snapshot_;               ///< BSP per-round frozen view
+  op::Workspace ws_;                  ///< per-peer operator scratch
 
   std::uint64_t round_ = 0;           ///< completed sweeps over owned blocks
   std::vector<model::Step> production_;  ///< per owned block send counter

@@ -15,7 +15,7 @@ GradientOperator::GradientOperator(const SmoothFunction& f, double gamma,
 }
 
 void GradientOperator::apply_block(la::BlockId blk, std::span<const double> x,
-                                   std::span<double> out) const {
+                                   std::span<double> out, Workspace&) const {
   ASYNCIT_CHECK(x.size() == dim());
   const la::BlockRange r = partition_.range(blk);
   ASYNCIT_CHECK(out.size() == r.size());

@@ -19,8 +19,9 @@ class GradientOperator final : public BlockOperator {
                    la::Partition partition);
 
   const la::Partition& partition() const override { return partition_; }
+  using BlockOperator::apply_block;
   void apply_block(la::BlockId blk, std::span<const double> x,
-                   std::span<double> out) const override;
+                   std::span<double> out, Workspace& ws) const override;
   std::string name() const override { return "gradient"; }
 
   double gamma() const { return gamma_; }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "asyncit/linalg/kernels.hpp"
 #include "asyncit/support/check.hpp"
 
 namespace asyncit::op {
@@ -13,26 +14,31 @@ JacobiOperator::JacobiOperator(const la::CsrMatrix& a, la::Vector b,
   ASYNCIT_CHECK(b_.size() == a_.rows());
   ASYNCIT_CHECK(partition_.dim() == a_.rows());
   diag_ = a_.diagonal();
-  for (double d : diag_)
-    ASYNCIT_CHECK_MSG(d != 0.0, "Jacobi needs a nonzero diagonal");
+  inv_diag_.resize(diag_.size());
+  for (std::size_t i = 0; i < diag_.size(); ++i) {
+    ASYNCIT_CHECK_MSG(diag_[i] != 0.0, "Jacobi needs a nonzero diagonal");
+    inv_diag_[i] = 1.0 / diag_[i];
+  }
 }
 
 void JacobiOperator::apply_block(la::BlockId blk, std::span<const double> x,
-                                 std::span<double> out) const {
+                                 std::span<double> out, Workspace&) const {
   ASYNCIT_CHECK(x.size() == dim());
   const la::BlockRange r = partition_.range(blk);
   ASYNCIT_CHECK(out.size() == r.size());
-  for (std::size_t row = r.begin; row < r.end; ++row) {
-    // b_row - sum_{k != row} a_rk x_k  =  b_row - (A x)_row + a_rr x_row
-    const auto cols = a_.row_cols(row);
-    const auto vals = a_.row_values(row);
-    double s = b_[row];
-    for (std::size_t k = 0; k < cols.size(); ++k) {
-      if (cols[k] == row) continue;
-      s -= vals[k] * x[cols[k]];
-    }
-    out[row - r.begin] = s / diag_[row];
-  }
+  a_.jacobi_rows(r.begin, r.end, b_, inv_diag_, x, out);
+}
+
+double JacobiOperator::apply_block_residual(la::BlockId blk,
+                                            std::span<const double> x,
+                                            std::span<double> out,
+                                            Workspace&) const {
+  ASYNCIT_CHECK(x.size() == dim());
+  const la::BlockRange r = partition_.range(blk);
+  ASYNCIT_CHECK(out.size() == r.size());
+  a_.jacobi_rows(r.begin, r.end, b_, inv_diag_, x, out);
+  return std::sqrt(
+      la::kern::sq_dist(out.data(), x.data() + r.begin, r.size()));
 }
 
 double JacobiOperator::contraction_bound() const {

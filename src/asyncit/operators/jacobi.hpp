@@ -21,8 +21,14 @@ class JacobiOperator final : public BlockOperator {
                  la::Partition partition);
 
   const la::Partition& partition() const override { return partition_; }
+  using BlockOperator::apply_block;
   void apply_block(la::BlockId blk, std::span<const double> x,
-                   std::span<double> out) const override;
+                   std::span<double> out, Workspace& ws) const override;
+  /// Fused update + displacement: one matrix traversal, no extra pass
+  /// re-reading the rows.
+  double apply_block_residual(la::BlockId blk, std::span<const double> x,
+                              std::span<double> out,
+                              Workspace& ws) const override;
   std::string name() const override { return "jacobi"; }
 
   /// Max-norm contraction bound: max_i Σ_{k≠i} |a_ik| / |a_ii|.
@@ -32,6 +38,7 @@ class JacobiOperator final : public BlockOperator {
   const la::CsrMatrix& a_;
   la::Vector b_;
   la::Vector diag_;
+  la::Vector inv_diag_;
   la::Partition partition_;
 };
 

@@ -12,8 +12,9 @@ KrasnoselskiiMannOperator::KrasnoselskiiMannOperator(
 
 void KrasnoselskiiMannOperator::apply_block(la::BlockId blk,
                                             std::span<const double> x,
-                                            std::span<double> out) const {
-  inner_.apply_block(blk, x, out);
+                                            std::span<double> out,
+                                            Workspace& ws) const {
+  inner_.apply_block(blk, x, out, ws);
   const la::BlockRange r = partition().range(blk);
   for (std::size_t c = 0; c < out.size(); ++c) {
     const double xi = x[r.begin + c];

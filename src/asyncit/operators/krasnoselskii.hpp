@@ -20,8 +20,9 @@ class KrasnoselskiiMannOperator final : public BlockOperator {
   const la::Partition& partition() const override {
     return inner_.partition();
   }
+  using BlockOperator::apply_block;
   void apply_block(la::BlockId blk, std::span<const double> x,
-                   std::span<double> out) const override;
+                   std::span<double> out, Workspace& ws) const override;
   std::string name() const override;
 
   double eta() const { return eta_; }

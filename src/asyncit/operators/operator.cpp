@@ -3,49 +3,60 @@
 #include <algorithm>
 #include <cmath>
 
+#include "asyncit/linalg/kernels.hpp"
 #include "asyncit/support/check.hpp"
 
 namespace asyncit::op {
 
-void BlockOperator::apply(std::span<const double> x,
-                          std::span<double> y) const {
+void BlockOperator::apply(std::span<const double> x, std::span<double> y,
+                          Workspace& ws) const {
   ASYNCIT_CHECK(x.size() == dim() && y.size() == dim());
   for (la::BlockId b = 0; b < num_blocks(); ++b) {
     const la::BlockRange r = partition().range(b);
-    apply_block(b, x, y.subspan(r.begin, r.size()));
+    apply_block(b, x, y.subspan(r.begin, r.size()), ws);
   }
 }
 
-double fixed_point_residual(const BlockOperator& op,
-                            std::span<const double> x) {
-  la::Vector fx(op.dim());
-  op.apply(x, fx);
-  return la::dist_inf(fx, x);
+double BlockOperator::apply_block_residual(la::BlockId b,
+                                           std::span<const double> x,
+                                           std::span<double> out,
+                                           Workspace& ws) const {
+  const la::BlockRange r = partition().range(b);
+  apply_block(b, x, out, ws);
+  return std::sqrt(
+      la::kern::sq_dist(out.data(), x.data() + r.begin, r.size()));
 }
 
-double max_block_residual(const BlockOperator& op, std::span<const double> x) {
+double fixed_point_residual(const BlockOperator& op, std::span<const double> x,
+                            Workspace& ws) {
+  Scratch fx(ws, op.dim());
+  op.apply(x, fx, ws);
+  return la::dist_inf(fx.span(), x);
+}
+
+double max_block_residual(const BlockOperator& op, std::span<const double> x,
+                          Workspace& ws) {
   ASYNCIT_CHECK(x.size() == op.dim());
   const la::Partition& partition = op.partition();
-  la::Vector fb;  // one block at a time; no full-dim scratch needed
+  Scratch fb(ws, partition.max_block_size());
   double worst = 0.0;
   for (la::BlockId b = 0; b < op.num_blocks(); ++b) {
     const la::BlockRange r = partition.range(b);
-    fb.resize(r.size());
-    op.apply_block(b, x, fb);
-    worst = std::max(worst, la::dist2(fb, x.subspan(r.begin, r.size())));
+    worst = std::max(
+        worst, op.apply_block_residual(b, x, fb.span().first(r.size()), ws));
   }
   return worst;
 }
 
 la::Vector picard_solve(const BlockOperator& op, la::Vector x0,
-                        std::size_t max_iters, double tol) {
+                        std::size_t max_iters, double tol, Workspace& ws) {
   ASYNCIT_CHECK(x0.size() == op.dim());
   la::Vector x = std::move(x0);
-  la::Vector y(x.size());
+  Scratch y(ws, x.size());
   for (std::size_t it = 0; it < max_iters; ++it) {
-    op.apply(x, y);
-    const double r = la::dist_inf(x, y);
-    x.swap(y);
+    op.apply(x, y, ws);
+    const double r = la::dist_inf(x, y.span());
+    x.swap(y.vec());
     if (r < tol) break;
   }
   return x;

@@ -17,8 +17,9 @@ ProjectedJacobiOperator::ProjectedJacobiOperator(const la::CsrMatrix& a,
 
 void ProjectedJacobiOperator::apply_block(la::BlockId blk,
                                           std::span<const double> x,
-                                          std::span<double> out) const {
-  jacobi_.apply_block(blk, x, out);
+                                          std::span<double> out,
+                                          Workspace& ws) const {
+  jacobi_.apply_block(blk, x, out, ws);
   const la::BlockRange r = partition().range(blk);
   for (std::size_t c = 0; c < out.size(); ++c)
     out[c] = std::max(out[c], lower_[r.begin + c]);

@@ -20,8 +20,9 @@ class ProjectedJacobiOperator final : public BlockOperator {
   const la::Partition& partition() const override {
     return jacobi_.partition();
   }
+  using BlockOperator::apply_block;
   void apply_block(la::BlockId blk, std::span<const double> x,
-                   std::span<double> out) const override;
+                   std::span<double> out, Workspace& ws) const override;
   std::string name() const override { return "projected-jacobi"; }
 
   double contraction_bound() const { return jacobi_.contraction_bound(); }

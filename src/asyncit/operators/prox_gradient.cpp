@@ -17,17 +17,19 @@ BackwardForwardOperator::BackwardForwardOperator(const SmoothFunction& f,
 
 void BackwardForwardOperator::apply_block(la::BlockId blk,
                                           std::span<const double> x,
-                                          std::span<double> out) const {
+                                          std::span<double> out,
+                                          Workspace& ws) const {
   ASYNCIT_CHECK(x.size() == dim());
   // z = prox_{γ,g}(x): g is separable so this is a coordinate-wise pass;
   // the full z is needed because ∂f/∂x_i is evaluated AT z (Definition 4).
-  la::Vector z(dim());
+  Scratch z(ws, dim());
   g_.apply(x, gamma_, z);
   const la::BlockRange r = partition_.range(blk);
   ASYNCIT_CHECK(out.size() == r.size());
   f_.partial_block(r.begin, r.end, z, out);
+  const double* zp = z.data();
   for (std::size_t c = r.begin; c < r.end; ++c)
-    out[c - r.begin] = z[c] - gamma_ * out[c - r.begin];
+    out[c - r.begin] = zp[c] - gamma_ * out[c - r.begin];
 }
 
 la::Vector BackwardForwardOperator::solution_from_fixed_point(
@@ -48,7 +50,8 @@ ForwardBackwardOperator::ForwardBackwardOperator(const SmoothFunction& f,
 
 void ForwardBackwardOperator::apply_block(la::BlockId blk,
                                           std::span<const double> x,
-                                          std::span<double> out) const {
+                                          std::span<double> out,
+                                          Workspace&) const {
   ASYNCIT_CHECK(x.size() == dim());
   const la::BlockRange r = partition_.range(blk);
   ASYNCIT_CHECK(out.size() == r.size());

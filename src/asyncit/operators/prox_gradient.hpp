@@ -36,8 +36,9 @@ class BackwardForwardOperator final : public BlockOperator {
                           double gamma, la::Partition partition);
 
   const la::Partition& partition() const override { return partition_; }
+  using BlockOperator::apply_block;
   void apply_block(la::BlockId blk, std::span<const double> x,
-                   std::span<double> out) const override;
+                   std::span<double> out, Workspace& ws) const override;
   std::string name() const override { return "backward-forward(Def.4)"; }
 
   double gamma() const { return gamma_; }
@@ -61,8 +62,9 @@ class ForwardBackwardOperator final : public BlockOperator {
                           double gamma, la::Partition partition);
 
   const la::Partition& partition() const override { return partition_; }
+  using BlockOperator::apply_block;
   void apply_block(la::BlockId blk, std::span<const double> x,
-                   std::span<double> out) const override;
+                   std::span<double> out, Workspace& ws) const override;
   std::string name() const override { return "forward-backward"; }
 
   double gamma() const { return gamma_; }

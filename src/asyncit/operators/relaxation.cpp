@@ -14,8 +14,9 @@ SorJacobiOperator::SorJacobiOperator(const la::CsrMatrix& a, la::Vector b,
 
 void SorJacobiOperator::apply_block(la::BlockId blk,
                                     std::span<const double> x,
-                                    std::span<double> out) const {
-  jacobi_.apply_block(blk, x, out);
+                                    std::span<double> out,
+                                    Workspace& ws) const {
+  jacobi_.apply_block(blk, x, out, ws);
   const la::BlockRange r = partition().range(blk);
   for (std::size_t c = 0; c < out.size(); ++c) {
     const double xi = x[r.begin + c];
@@ -54,7 +55,8 @@ ScaledGradientOperator::ScaledGradientOperator(const SmoothFunction& f,
 
 void ScaledGradientOperator::apply_block(la::BlockId blk,
                                          std::span<const double> x,
-                                         std::span<double> out) const {
+                                         std::span<double> out,
+                                         Workspace&) const {
   ASYNCIT_CHECK(x.size() == partition_.dim());
   const la::BlockRange r = partition_.range(blk);
   ASYNCIT_CHECK(out.size() == r.size());

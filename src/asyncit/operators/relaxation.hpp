@@ -36,8 +36,9 @@ class SorJacobiOperator final : public BlockOperator {
   const la::Partition& partition() const override {
     return jacobi_.partition();
   }
+  using BlockOperator::apply_block;
   void apply_block(la::BlockId blk, std::span<const double> x,
-                   std::span<double> out) const override;
+                   std::span<double> out, Workspace& ws) const override;
   std::string name() const override;
 
   double omega() const { return omega_; }
@@ -60,8 +61,9 @@ class ScaledGradientOperator final : public BlockOperator {
                          double damping, la::Partition partition);
 
   const la::Partition& partition() const override { return partition_; }
+  using BlockOperator::apply_block;
   void apply_block(la::BlockId blk, std::span<const double> x,
-                   std::span<double> out) const override;
+                   std::span<double> out, Workspace& ws) const override;
   std::string name() const override { return "scaled-gradient"; }
 
   const la::Vector& steps() const { return steps_; }

@@ -1,0 +1,34 @@
+#include "asyncit/operators/workspace.hpp"
+
+namespace asyncit::op {
+
+la::Vector Workspace::acquire(std::size_t n) {
+  if (!pool_.empty()) {
+    // Prefer a parked buffer that already fits; otherwise grow the largest
+    // one (so capacity concentrates in few buffers instead of fragmenting
+    // across many that each eventually grow).
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (pool_[i].capacity() >= n) {
+        pick = i;
+        break;
+      }
+      if (pool_[i].capacity() > pool_[pick].capacity()) pick = i;
+    }
+    la::Vector v = std::move(pool_[pick]);
+    pool_[pick] = std::move(pool_.back());
+    pool_.pop_back();
+    v.resize(n);  // no-op on capacity when the buffer already fits
+    return v;
+  }
+  return la::Vector(n);
+}
+
+void Workspace::release(la::Vector v) { pool_.push_back(std::move(v)); }
+
+Workspace& thread_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace asyncit::op

@@ -46,7 +46,8 @@ PageRankOperator::PageRankOperator(const PageRankProblem& problem)
     : problem_(problem), partition_(la::Partition::scalar(problem.dim())) {}
 
 void PageRankOperator::apply_block(la::BlockId blk, std::span<const double> x,
-                                   std::span<double> out) const {
+                                   std::span<double> out,
+                                   op::Workspace&) const {
   ASYNCIT_CHECK(out.size() == 1);
   out[0] = problem_.damping() * problem_.pt().row_dot(blk, x) +
            (1.0 - problem_.damping()) * problem_.teleport()[blk];

@@ -53,8 +53,9 @@ class PageRankOperator final : public op::BlockOperator {
   explicit PageRankOperator(const PageRankProblem& problem);
 
   const la::Partition& partition() const override { return partition_; }
+  using op::BlockOperator::apply_block;
   void apply_block(la::BlockId blk, std::span<const double> x,
-                   std::span<double> out) const override;
+                   std::span<double> out, op::Workspace& ws) const override;
   std::string name() const override { return "pagerank"; }
 
  private:

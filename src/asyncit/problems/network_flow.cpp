@@ -143,7 +143,8 @@ NetworkFlowDualOperator::NetworkFlowDualOperator(
 
 void NetworkFlowDualOperator::apply_block(la::BlockId blk,
                                           std::span<const double> x,
-                                          std::span<double> out) const {
+                                          std::span<double> out,
+                                          op::Workspace&) const {
   ASYNCIT_CHECK(out.size() == 1);
   if (blk == 0) {
     out[0] = 0.0;  // reference node pins the dual's shift invariance

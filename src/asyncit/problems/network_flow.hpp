@@ -93,8 +93,9 @@ class NetworkFlowDualOperator final : public op::BlockOperator {
   explicit NetworkFlowDualOperator(const NetworkFlowProblem& problem);
 
   const la::Partition& partition() const override { return partition_; }
+  using op::BlockOperator::apply_block;
   void apply_block(la::BlockId blk, std::span<const double> x,
-                   std::span<double> out) const override;
+                   std::span<double> out, op::Workspace& ws) const override;
   std::string name() const override { return "network-flow-relaxation"; }
 
  private:

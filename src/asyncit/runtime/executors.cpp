@@ -34,9 +34,10 @@ RuntimeResult run_async_threads_seqlock(const op::BlockOperator& op,
 
   WallTimer timer;
   auto worker_fn = [&](std::size_t w) {
+    op::Workspace ws;  // per-worker scratch: steady state allocates nothing
     la::Vector local(partition.dim());
     std::vector<model::Step> tags(m);
-    la::Vector out;
+    la::Vector out(partition.max_block_size());
     std::size_t cursor = 0;
     std::uint64_t own_updates = 0;
     model::Step my_step = 0;
@@ -50,7 +51,7 @@ RuntimeResult run_async_threads_seqlock(const op::BlockOperator& op,
       store.read_all(local, tags);  // consistent per-block snapshot
       for (std::size_t t = 0; t < options.inner_steps; ++t) {
         for (std::size_t rep = 0; rep < reps; ++rep)
-          op.apply_block(b, local, out);
+          op.apply_block(b, local, out, ws);
         std::copy(out.begin(), out.end(),
                   local.begin() + static_cast<std::ptrdiff_t>(r.begin));
         if (options.publish_partials && t + 1 < options.inner_steps)
@@ -139,8 +140,10 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
 
   WallTimer timer;
   auto worker_fn = [&](std::size_t w) {
-    la::Vector out;
+    op::Workspace ws;  // per-worker scratch: steady state allocates nothing
+    la::Vector out(partition.max_block_size());
     la::Vector local;  // private snapshot for non-flexible inner phases
+    la::Vector prev_block(partition.max_block_size());
     std::size_t cursor = 0;
     std::uint64_t own_updates = 0;
     DisplacementStop stop_rule;  // worker 0 only
@@ -154,13 +157,12 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
       // Hogwild read: the raw view; element loads are never torn on the
       // supported targets (see shared_iterate.hpp).
       const std::span<const double> view = shared.raw_view();
-      la::Vector prev_block;
       if (displacement_stop)
         prev_block.assign(view.begin() + static_cast<std::ptrdiff_t>(r.begin),
                           view.begin() + static_cast<std::ptrdiff_t>(r.end));
       if (options.inner_steps == 1) {
         for (std::size_t rep = 0; rep < reps; ++rep)
-          op.apply_block(b, view, out);  // slow worker: redo the work
+          op.apply_block(b, view, out, ws);  // slow worker: redo the work
         shared.store_block(r.begin, out);
       } else if (options.publish_partials) {
         // Flexible communication: each inner step reads the LIVE shared
@@ -168,7 +170,7 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
         // immediately — other workers can consume it at once.
         for (std::size_t t = 0; t < options.inner_steps; ++t) {
           for (std::size_t rep = 0; rep < reps; ++rep)
-            op.apply_block(b, view, out);
+            op.apply_block(b, view, out, ws);
           shared.store_block(r.begin, out);
         }
       } else {
@@ -177,7 +179,7 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
         local.assign(view.begin(), view.end());
         for (std::size_t t = 0; t < options.inner_steps; ++t) {
           for (std::size_t rep = 0; rep < reps; ++rep)
-            op.apply_block(b, local, out);
+            op.apply_block(b, local, out, ws);
           std::copy(out.begin(), out.end(),
                     local.begin() + static_cast<std::ptrdiff_t>(r.begin));
         }
@@ -201,14 +203,15 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
         if (w == 0) {
           // worker 0 doubles as the convergence monitor
           if (oracle) {
-            const la::Vector snap = shared.snapshot();
+            op::Scratch snap(ws, partition.dim());
+            shared.snapshot_into(snap.span());
             if (norm.distance(snap, *options.x_star) < options.tol)
               stop.store(true, std::memory_order_relaxed);
           }
           if (displacement_stop &&
-              stop_rule.should_stop(last_displacement, op,
-                                    options.displacement_tol,
-                                    [&] { return shared.snapshot(); }))
+              stop_rule.should_stop(
+                  last_displacement, op, options.displacement_tol,
+                  [&](std::span<double> s) { shared.snapshot_into(s); }, ws))
             stop.store(true, std::memory_order_relaxed);
         }
         // See the seqlock executor: CPU-time-sliced yield keeps
@@ -275,14 +278,15 @@ RuntimeResult run_sync_threads(const op::BlockOperator& op,
                        });
 
   auto worker_fn = [&](std::size_t w) {
-    la::Vector out;
+    op::Workspace ws;
+    la::Vector out(partition.max_block_size());
     const std::size_t reps = slowdown_repetitions(options.worker_slowdown, w);
     while (!stop.load(std::memory_order_relaxed)) {
       for (la::BlockId b : owned[w]) {
         const la::BlockRange r = partition.range(b);
         out.resize(r.size());
         for (std::size_t rep = 0; rep < reps; ++rep)
-          op.apply_block(b, x, out);
+          op.apply_block(b, x, out, ws);
         std::copy(out.begin(), out.end(),
                   x_next.begin() + static_cast<std::ptrdiff_t>(r.begin));
       }

@@ -50,11 +50,13 @@ class DisplacementStop {
  public:
   /// Returns true when the stop is confirmed. `last_displacement` is the
   /// per-block displacement plane (written via atomic_ref by workers);
-  /// `snapshot` produces a consistent copy of the iterate on demand.
-  template <class SnapshotFn>
+  /// `snapshot_into` fills a caller buffer with a consistent copy of the
+  /// iterate on demand. Snapshot and residual scratch come from `ws`, so
+  /// a poll allocates nothing once the workspace is warm.
+  template <class SnapshotIntoFn>
   bool should_stop(std::span<double> last_displacement,
                    const op::BlockOperator& op, double tol,
-                   SnapshotFn&& snapshot) {
+                   SnapshotIntoFn&& snapshot_into, op::Workspace& ws) {
     if (backoff_ > 0) {
       --backoff_;
       return false;
@@ -64,8 +66,9 @@ class DisplacementStop {
       worst = std::max(
           worst, std::atomic_ref<double>(d).load(std::memory_order_relaxed));
     if (worst >= tol) return false;
-    const la::Vector snap = snapshot();
-    if (op::max_block_residual(op, snap) < tol) return true;
+    op::Scratch snap(ws, op.dim());
+    snapshot_into(snap.span());
+    if (op::max_block_residual(op, snap, ws) < tol) return true;
     backoff_ = kConfirmBackoff;
     return false;
   }

@@ -6,8 +6,13 @@ namespace asyncit::rt {
 
 la::Vector SharedIterate::snapshot() const {
   la::Vector out(data_.size());
-  for (std::size_t i = 0; i < data_.size(); ++i) out[i] = load(i);
+  snapshot_into(out);
   return out;
+}
+
+void SharedIterate::snapshot_into(std::span<double> out) const {
+  ASYNCIT_CHECK(out.size() == data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) out[i] = load(i);
 }
 
 SeqlockBlockStore::SeqlockBlockStore(const la::Partition& partition,

@@ -60,6 +60,10 @@ class SharedIterate {
   /// a whole possibly mixed-label — exactly an asynchronous read).
   la::Vector snapshot() const;
 
+  /// Allocation-free snapshot into a caller-provided buffer (monitor hot
+  /// path: stopping rules poll this thousands of times per run).
+  void snapshot_into(std::span<double> out) const;
+
  private:
   mutable la::Vector data_;
 };

@@ -138,6 +138,8 @@ SimResult run_async_sim(const op::BlockOperator& op, const la::Vector& x0,
   }
 
   std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+  op::Workspace ws;        // operator scratch shared by all simulated procs
+  la::Vector apply_out;    // inner-step output buffer (reused)
   std::uint64_t seq = 0;
   auto push = [&](Event e) {
     e.seq = seq++;
@@ -252,9 +254,9 @@ SimResult run_async_sim(const op::BlockOperator& op, const la::Vector& x0,
           for (la::BlockId h = 0; h < m; ++h)
             s.phase_labels[h] = std::min(s.phase_labels[h], s.view_tag[h]);
         }
-        la::Vector out(r.size());
-        op.apply_block(s.block, read, out);
-        s.inner_value = std::move(out);
+        apply_out.resize(r.size());
+        op.apply_block(s.block, read, apply_out, ws);
+        s.inner_value.swap(apply_out);
 
         if (ev.inner_index < options.inner_steps) {
           if (options.publish_partials) {
@@ -435,6 +437,7 @@ SyncSimResult run_sync_sim(const op::BlockOperator& op, const la::Vector& x0,
   const la::Vector* x_star = track_error ? &*options.x_star : nullptr;
   if (track_error) result.initial_error = norm.distance(x0, *x_star);
 
+  op::Workspace ws;
   la::Vector x = x0, y(x.size());
   double t = 0.0;
   const std::size_t max_rounds =
@@ -470,7 +473,7 @@ SyncSimResult run_sync_sim(const op::BlockOperator& op, const la::Vector& x0,
     }
     t += slowest + comm;
 
-    op.apply(x, y);
+    op.apply(x, y, ws);
     x.swap(y);
     result.rounds = round;
 

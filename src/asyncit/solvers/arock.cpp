@@ -18,8 +18,9 @@ ARockSummary solve_arock(const problems::CompositeProblem& p,
   const op::KrasnoselskiiMannOperator km(fb, options.eta);
 
   // Reference: the FB fixed point is the minimizer; KM shares it.
+  op::Workspace ws;
   const la::Vector x_star =
-      op::picard_solve(fb, la::zeros(p.dim()), 200000, 1e-13);
+      op::picard_solve(fb, la::zeros(p.dim()), 200000, 1e-13, ws);
 
   auto steering = model::make_random_subset_steering(p.dim(), 1);
   auto delays = options.delay_bound == 0

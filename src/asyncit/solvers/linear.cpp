@@ -26,10 +26,11 @@ LinearSolveSummary solve_jacobi_async(const problems::LinearSystem& sys,
   const std::size_t blocks = options.blocks == 0 ? sys.dim() : options.blocks;
   op::JacobiOperator jac(sys.a, sys.b,
                          la::Partition::balanced(sys.dim(), blocks));
+  op::Workspace ws;
   la::Vector ref = options.reference.has_value()
                        ? *options.reference
                        : op::picard_solve(jac, la::zeros(sys.dim()), 200000,
-                                          1e-13);
+                                          1e-13, ws);
   auto run = rt::run_async_threads(jac, la::zeros(sys.dim()),
                                    to_runtime(options, std::move(ref)));
   LinearSolveSummary s;
@@ -48,10 +49,11 @@ LinearSolveSummary solve_jacobi_sync(const problems::LinearSystem& sys,
   const std::size_t blocks = options.blocks == 0 ? sys.dim() : options.blocks;
   op::JacobiOperator jac(sys.a, sys.b,
                          la::Partition::balanced(sys.dim(), blocks));
+  op::Workspace ws;
   la::Vector ref = options.reference.has_value()
                        ? *options.reference
                        : op::picard_solve(jac, la::zeros(sys.dim()), 200000,
-                                          1e-13);
+                                          1e-13, ws);
   auto run = rt::run_sync_threads(jac, la::zeros(sys.dim()),
                                   to_runtime(options, std::move(ref)));
   LinearSolveSummary s;

@@ -38,8 +38,9 @@ Prepared prepare(const problems::CompositeProblem& p,
       prep.reference_iterate = prep.reference_solution;
     }
   } else {
+    op::Workspace ws;
     prep.reference_iterate =
-        op::picard_solve(iteration_op, la::zeros(p.dim()), 200000, 1e-13);
+        op::picard_solve(iteration_op, la::zeros(p.dim()), 200000, 1e-13, ws);
     prep.reference_solution =
         bf != nullptr ? bf->solution_from_fixed_point(prep.reference_iterate)
                       : prep.reference_iterate;
@@ -131,11 +132,12 @@ SolveSummary solve_prox_gradient_sequential(
   WallTimer timer;
   const op::ForwardBackwardOperator fb(
       *p.f, *p.g, p.suggested_gamma(), la::Partition::balanced(p.dim(), 1));
+  op::Workspace ws;
   SolveSummary s;
-  s.x = op::picard_solve(fb, la::zeros(p.dim()), max_iters, tol);
+  s.x = op::picard_solve(fb, la::zeros(p.dim()), max_iters, tol, ws);
   s.wall_seconds = timer.seconds();
   s.objective = p.objective(s.x);
-  s.converged = op::fixed_point_residual(fb, s.x) < tol * 10.0;
+  s.converged = op::fixed_point_residual(fb, s.x, ws) < tol * 10.0;
   s.error_to_reference = 0.0;
   return s;
 }

@@ -1,5 +1,5 @@
 // CSV mirroring of benchmark tables (written when ASYNCIT_BENCH_CSV is set
-// in the environment; see DESIGN.md §4).
+// in the environment; see DESIGN.md §5).
 #pragma once
 
 #include <string>

@@ -1,0 +1,198 @@
+// Allocation-count regression test for the operator hot path.
+//
+// The PR-2 contract: once a worker's op::Workspace is warm, steady-state
+// block updates, full applications, and residual polls perform ZERO heap
+// allocations — the allocator must never appear in the asynchronous update
+// loop. This binary replaces the global operator new/delete with counting
+// versions and pins that contract; if somebody reintroduces a per-call
+// temporary (the pre-PR BackwardForward prox scratch, the residual
+// monitor's per-poll vectors), this test fails with the allocation count.
+//
+// The counters are only sampled inside explicit windows between gtest
+// assertions, so gtest's own allocations don't pollute the measurement.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "asyncit/operators/jacobi.hpp"
+#include "asyncit/operators/krasnoselskii.hpp"
+#include "asyncit/operators/operator.hpp"
+#include "asyncit/operators/prox.hpp"
+#include "asyncit/operators/prox_gradient.hpp"
+#include "asyncit/problems/linear_system.hpp"
+#include "asyncit/problems/quadratic.hpp"
+#include "asyncit/runtime/pacing.hpp"
+#include "asyncit/runtime/shared_iterate.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace asyncit {
+namespace {
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(AllocationRegression, JacobiApplyBlockSteadyStateAllocatesNothing) {
+  Rng rng(1);
+  auto sys = problems::make_diagonally_dominant_system(128, 6, 2.0, rng);
+  const la::Partition partition = la::Partition::balanced(128, 8);
+  op::JacobiOperator jac(sys.a, sys.b, partition);
+  la::Vector x(128, 0.3), out(partition.max_block_size());
+  op::Workspace ws;
+
+  // Warm-up: one pass over every code path grows the workspace to its
+  // high-water mark.
+  for (la::BlockId b = 0; b < jac.num_blocks(); ++b) {
+    out.resize(partition.range(b).size());
+    jac.apply_block(b, x, out, ws);
+    jac.apply_block_residual(b, x, out, ws);
+  }
+
+  const std::uint64_t before = allocations();
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    for (la::BlockId b = 0; b < jac.num_blocks(); ++b) {
+      out.resize(partition.range(b).size());
+      jac.apply_block(b, x, out, ws);
+      jac.apply_block_residual(b, x, out, ws);
+    }
+  }
+  const std::uint64_t during = allocations() - before;
+  EXPECT_EQ(during, 0u) << "steady-state apply_block allocated";
+}
+
+TEST(AllocationRegression, ResidualMonitorsSteadyStateAllocateNothing) {
+  Rng rng(2);
+  auto sys = problems::make_diagonally_dominant_system(96, 5, 2.0, rng);
+  const la::Partition partition = la::Partition::balanced(96, 12);
+  op::JacobiOperator jac(sys.a, sys.b, partition);
+  la::Vector x(96, 0.1), y(96);
+  op::Workspace ws;
+
+  op::fixed_point_residual(jac, x, ws);  // warm-up
+  op::max_block_residual(jac, x, ws);
+  jac.apply(x, y, ws);
+
+  const std::uint64_t before = allocations();
+  double sink = 0.0;
+  for (int it = 0; it < 100; ++it) {
+    sink += op::fixed_point_residual(jac, x, ws);
+    sink += op::max_block_residual(jac, x, ws);
+    jac.apply(x, y, ws);
+  }
+  const std::uint64_t during = allocations() - before;
+  EXPECT_EQ(during, 0u) << "residual monitors allocated (sink=" << sink
+                        << ")";
+}
+
+TEST(AllocationRegression, BackwardForwardKmStackSteadyStateAllocatesNothing) {
+  // The deepest operator composition in the tree: KM averaging wrapping
+  // the Definition-4 backward-forward operator, whose prox pass needs a
+  // full-dimension workspace scratch per block application.
+  Rng rng(3);
+  auto f = problems::make_separable_quadratic(64, 1.0, 8.0, rng);
+  auto g = op::make_l1_prox(0.1);
+  const la::Partition partition = la::Partition::balanced(64, 16);
+  op::BackwardForwardOperator bf(*f, *g, f->suggested_step(), partition);
+  op::KrasnoselskiiMannOperator km(bf, 0.8);
+  la::Vector x(64, 0.4), out(partition.max_block_size());
+  op::Workspace ws;
+
+  for (la::BlockId b = 0; b < km.num_blocks(); ++b)
+    km.apply_block(b, x, out, ws);  // warm-up
+
+  const std::uint64_t before = allocations();
+  for (int sweep = 0; sweep < 100; ++sweep)
+    for (la::BlockId b = 0; b < km.num_blocks(); ++b)
+      km.apply_block(b, x, out, ws);
+  const std::uint64_t during = allocations() - before;
+  EXPECT_EQ(during, 0u) << "BF+KM apply_block allocated";
+}
+
+TEST(AllocationRegression, DisplacementStopPollSteadyStateAllocatesNothing) {
+  // The monitor path of rt::run_async_threads and the net:: orchestrator:
+  // displacement scan + snapshot + residual confirmation, all through the
+  // workspace (the pre-PR version allocated the snapshot and the residual
+  // scratch on every confirmation poll).
+  Rng rng(4);
+  auto sys = problems::make_diagonally_dominant_system(64, 4, 2.0, rng);
+  const la::Partition partition = la::Partition::balanced(64, 8);
+  op::JacobiOperator jac(sys.a, sys.b, partition);
+  rt::SharedIterate shared(la::Vector(64, 0.2));
+  std::vector<double> last_displacement(8, 0.0);  // all below tol:
+  op::Workspace ws;                               // every poll confirms
+  rt::DisplacementStop rule;
+  auto snapshot_into = [&](std::span<double> s) { shared.snapshot_into(s); };
+
+  rule.should_stop(last_displacement, jac, 1e-3, snapshot_into, ws);  // warm
+
+  const std::uint64_t before = allocations();
+  bool sink = false;
+  for (int poll = 0; poll < 100; ++poll) {
+    rt::DisplacementStop fresh;  // defeat the backoff between polls
+    sink ^= fresh.should_stop(last_displacement, jac, 1e-3, snapshot_into,
+                              ws);
+  }
+  const std::uint64_t during = allocations() - before;
+  EXPECT_EQ(during, 0u) << "DisplacementStop poll allocated (sink=" << sink
+                        << ")";
+}
+
+TEST(AllocationRegression, ThreadWorkspaceConvenienceWarmsUpToo) {
+  // The Workspace-less convenience overloads route through the thread's
+  // shared workspace; after warm-up they must be allocation-free as well.
+  Rng rng(5);
+  auto sys = problems::make_diagonally_dominant_system(48, 4, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b, la::Partition::balanced(48, 6));
+  la::Vector x(48, 0.5), out(8);
+
+  jac.apply_block(0, x, out);        // warm the thread workspace
+  op::max_block_residual(jac, x);
+
+  const std::uint64_t before = allocations();
+  double sink = 0.0;
+  for (int it = 0; it < 100; ++it) {
+    jac.apply_block(it % 6, x, out);
+    sink += op::max_block_residual(jac, x);
+  }
+  const std::uint64_t during = allocations() - before;
+  EXPECT_EQ(during, 0u) << "thread-workspace path allocated (sink=" << sink
+                        << ")";
+}
+
+}  // namespace
+}  // namespace asyncit
