@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
-"""Compare a BENCH_*.json report against a committed baseline.
+"""Compare a BENCH_*.json report against a committed baseline, and
+optionally track wall-clock trends across runs.
 
 Usage:
     scripts/check_bench.py <report.json> <baseline.json>
+        [--history PATH] [--drift-window N] [--drift-ratio R]
+        [--history-limit M]
 
 Baseline format (schema asyncit-bench-baseline/1):
 
@@ -30,11 +33,23 @@ Hard checks are meant for machine-independent fields (iteration counts,
 convergence flags, residual tolerance bands, parity diffs); wall-clock
 derived fields (timings, speedups) belong in warn-only checks.
 
+Trend history (--history): the report's measured numeric fields are
+appended as one JSONL record to PATH (CI persists the file across runs as
+a downloaded artifact/cache). Before appending, time-like fields (name
+contains "wall"/"seconds" or ends in _s/_ms) are drift-checked: with at
+least 2N prior+current samples, WARN when the median of the newest N
+exceeds drift-ratio x the median of the previous N — the sustained-
+regression signal a single warn_max band cannot see. Trend warnings never
+fail the gate.
+
 Exit status: 0 = all hard checks pass (warnings allowed), 1 = any hard
 failure, 2 = usage / malformed input.
 """
 
+import argparse
 import json
+import os
+import statistics
 import sys
 
 
@@ -67,24 +82,12 @@ def numbers_equal(a, b) -> bool:
     return a == b
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
+def is_time_field(field: str) -> bool:
+    return ("wall" in field or "seconds" in field or field.endswith("_s")
+            or field.endswith("_ms"))
 
-    report = load(sys.argv[1])
-    baseline = load(sys.argv[2])
 
-    if report.get("schema") != "asyncit-bench/1":
-        fail(f"{sys.argv[1]}: unexpected report schema "
-             f"{report.get('schema')!r}")
-    if baseline.get("schema") != "asyncit-bench-baseline/1":
-        fail(f"{sys.argv[2]}: unexpected baseline schema "
-             f"{baseline.get('schema')!r}")
-    if report.get("bench") != baseline.get("bench"):
-        fail(f"bench name mismatch: report {report.get('bench')!r} vs "
-             f"baseline {baseline.get('bench')!r}")
-
+def run_checks(report: dict, baseline: dict) -> int:
     scenarios = {s.get("name"): s for s in report.get("scenarios", [])}
     failures = 0
     warnings = 0
@@ -136,6 +139,132 @@ def main() -> int:
           f"{warnings} warnings "
           f"({report.get('bench')} @ "
           f"{report.get('stamp', {}).get('git_sha', '?')})")
+    return failures
+
+
+def measured_record(report: dict) -> dict:
+    """Compact one-run record: every numeric measured field per scenario."""
+    measured = {}
+    for scenario in report.get("scenarios", []):
+        fields = {}
+        for key, value in scenario.get("measured", {}).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            fields[key] = value
+        if fields:
+            measured[scenario.get("name", "?")] = fields
+    return {
+        "sha": report.get("stamp", {}).get("git_sha", "?"),
+        "bench": report.get("bench", "?"),
+        "measured": measured,
+    }
+
+
+def load_history(path: str) -> list:
+    records = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                # A torn line (interrupted CI write) loses one sample, not
+                # the whole trend.
+                print(f"check_bench: history {path}:{lineno}: "
+                      f"skipping unparseable line", file=sys.stderr)
+    return records
+
+
+def check_drift(history: list, current: dict, window: int,
+                ratio: float) -> int:
+    """Warn-only sustained-drift scan over time-like measured fields."""
+    warnings = 0
+    for name, fields in current["measured"].items():
+        for field, value in fields.items():
+            if not is_time_field(field):
+                continue
+            series = [
+                rec["measured"][name][field]
+                for rec in history
+                if isinstance(rec.get("measured", {}).get(name, {})
+                              .get(field), (int, float))
+            ]
+            series.append(value)
+            if len(series) < 2 * window:
+                continue
+            recent = statistics.median(series[-window:])
+            prior = statistics.median(series[-2 * window:-window])
+            if prior > 0 and recent > ratio * prior:
+                print(f"WARN  trend {name}.{field}: median of last "
+                      f"{window} runs {recent:.6g} > {ratio:g}x previous "
+                      f"{window}-run median {prior:.6g} (sustained drift)")
+                warnings += 1
+    return warnings
+
+
+def update_history(path: str, history: list, current: dict,
+                   limit: int) -> None:
+    """Appends `current` and prunes THIS bench's records to `limit`.
+    Records of other benches sharing the file are preserved untouched."""
+    bench = current["bench"]
+    history = history + [current]
+    ours = [rec for rec in history if rec.get("bench") == bench]
+    if len(ours) > limit:
+        drop = set(map(id, ours[:len(ours) - limit]))
+        history = [rec for rec in history if id(rec) not in drop]
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        for rec in history:
+            f.write(json.dumps(rec, separators=(",", ":")) + "\n")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="Gate a BENCH_*.json report against a baseline.",
+        add_help=True)
+    ap.add_argument("report")
+    ap.add_argument("baseline")
+    ap.add_argument("--history", default=None,
+                    help="JSONL trend file: append this run's measured "
+                         "fields and warn on sustained wall-clock drift")
+    ap.add_argument("--drift-window", type=int, default=5)
+    ap.add_argument("--drift-ratio", type=float, default=1.3)
+    ap.add_argument("--history-limit", type=int, default=200)
+    args = ap.parse_args()
+
+    report = load(args.report)
+    baseline = load(args.baseline)
+
+    if report.get("schema") != "asyncit-bench/1":
+        fail(f"{args.report}: unexpected report schema "
+             f"{report.get('schema')!r}")
+    if baseline.get("schema") != "asyncit-bench-baseline/1":
+        fail(f"{args.baseline}: unexpected baseline schema "
+             f"{baseline.get('schema')!r}")
+    if report.get("bench") != baseline.get("bench"):
+        fail(f"bench name mismatch: report {report.get('bench')!r} vs "
+             f"baseline {baseline.get('bench')!r}")
+
+    failures = run_checks(report, baseline)
+
+    if args.history:
+        current = measured_record(report)
+        history = load_history(args.history)
+        ours = [rec for rec in history
+                if rec.get("bench") == current["bench"]]
+        drift_warnings = check_drift(ours, current, args.drift_window,
+                                     args.drift_ratio)
+        update_history(args.history, history, current, args.history_limit)
+        print(f"check_bench: trend {args.history}: "
+              f"{len(ours) + 1} samples of {current['bench']}, "
+              f"{drift_warnings} drift warnings")
+
     return 1 if failures else 0
 
 

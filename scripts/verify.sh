@@ -6,16 +6,19 @@
 #   scripts/verify.sh [build-dir]                   # legacy: custom build dir
 #   scripts/verify.sh --preset <name> [cmake args]  # CMakePresets.json preset
 #
-# Presets (release | debug | asan) are exactly what .github/workflows/ci.yml
-# runs, so `scripts/verify.sh --preset asan` reproduces the CI sanitizer leg
-# locally. Extra arguments after the preset name are forwarded to the
-# configure step (e.g. -DCMAKE_CXX_COMPILER_LAUNCHER=ccache).
+# Presets (release | debug | asan | tsan) are exactly what
+# .github/workflows/ci.yml runs, so `scripts/verify.sh --preset asan`
+# reproduces the CI sanitizer leg locally and `--preset tsan` the
+# ThreadSanitizer leg (its test preset filters to net_test +
+# transport_test, the suites with real concurrent threads). Extra
+# arguments after the preset name are forwarded to the configure step
+# (e.g. -DCMAKE_CXX_COMPILER_LAUNCHER=ccache).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--preset" ]]; then
-  PRESET="${2:?usage: scripts/verify.sh --preset <release|debug|asan> [cmake args]}"
+  PRESET="${2:?usage: scripts/verify.sh --preset <release|debug|asan|tsan> [cmake args]}"
   shift 2
   cmake --preset "$PRESET" "$@"
   cmake --build --preset "$PRESET" -j "$(nproc)"

@@ -19,9 +19,13 @@
 //   sim/       discrete-event distributed simulator (+ termination
 //              detection) and the synchronous BSP baseline
 //   runtime/   real threaded shared-memory executors
-//   net/       in-process message-passing runtime: real threads exchanging
-//              step-tagged block values over mailbox channels with
-//              injected latency / reordering / loss (BSP, SSP, async)
+//   transport/ pluggable wire transports: in-process mailbox channels,
+//              TCP sockets (loopback/LAN, multi-process), and the chaos
+//              delay/reorder/drop decorator; pooled zero-alloc messaging
+//   net/       message-passing runtime: real threads (or processes — see
+//              net/node_runtime.hpp) exchanging step-tagged block values
+//              through a transport with injected latency / reordering /
+//              loss (BSP, SSP, async)
 //   solvers/   the public solve_* facade + ARock / DAve-RPG baselines
 //   trace/     event logs, ASCII Gantt (Fig. 1 / Fig. 2), CSV
 #pragma once
@@ -37,6 +41,7 @@
 #include "asyncit/model/steering.hpp"
 #include "asyncit/net/channel.hpp"
 #include "asyncit/net/mp_runtime.hpp"
+#include "asyncit/net/node_runtime.hpp"
 #include "asyncit/net/peer.hpp"
 #include "asyncit/operators/contraction.hpp"
 #include "asyncit/operators/gradient.hpp"
@@ -65,3 +70,8 @@
 #include "asyncit/support/check.hpp"
 #include "asyncit/trace/csv.hpp"
 #include "asyncit/trace/gantt.hpp"
+#include "asyncit/transport/chaos.hpp"
+#include "asyncit/transport/inproc.hpp"
+#include "asyncit/transport/tcp.hpp"
+#include "asyncit/transport/transport.hpp"
+#include "asyncit/transport/wire.hpp"

@@ -30,6 +30,14 @@
 
 namespace asyncit::net {
 
+/// What a message carries. Almost everything is a block value; kStop is
+/// the one control frame of the multi-process node runtime (a rank
+/// announcing that it has met its stopping criterion and is leaving).
+enum class MsgKind : std::uint8_t {
+  kValue = 0,
+  kStop = 1,
+};
+
 /// A block value in flight between two peers.
 struct Message {
   std::uint32_t src = 0;        ///< sending peer
@@ -37,6 +45,16 @@ struct Message {
   model::Step tag = 0;          ///< sender's production counter for `block`
   std::uint64_t round = 0;      ///< sender's phase/round index when sent
   bool partial = false;         ///< mid-phase partial update (Definition 3)
+  MsgKind kind = MsgKind::kValue;
+  /// Coordinate offset of the payload within the block: a partial-block
+  /// frame carries value.size() <= block size coordinates starting here
+  /// (flexible communication at sub-block granularity). 0 + full size for
+  /// whole-block messages.
+  std::uint32_t offset = 0;
+  /// Latency injected by the chaos transport decorator, in seconds. Rides
+  /// the wire so the receive side of a REAL link can hold the frame for
+  /// the sender-drawn (seed-deterministic) delay. 0 outside chaos.
+  double injected_delay = 0.0;
   double t_send = 0.0;          ///< wall seconds (runtime clock) at post
   double deliver_at = 0.0;      ///< t_send + injected latency
   la::Vector value;             ///< the block payload

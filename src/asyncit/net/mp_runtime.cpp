@@ -11,6 +11,7 @@
 #include "asyncit/runtime/shared_iterate.hpp"
 #include "asyncit/support/check.hpp"
 #include "asyncit/support/timer.hpp"
+#include "asyncit/transport/inproc.hpp"
 
 namespace asyncit::net {
 
@@ -26,6 +27,21 @@ constexpr double kMonitorPeriod = 2e-4;
 MpResult run_message_passing(const op::BlockOperator& op,
                              const la::Vector& x0,
                              const MpOptions& options) {
+  ASYNCIT_CHECK(options.delivery.min_latency >= 0.0 &&
+                options.delivery.max_latency >= options.delivery.min_latency);
+  ASYNCIT_CHECK(options.delivery.drop_prob >= 0.0 &&
+                options.delivery.drop_prob < 1.0);
+  // The in-process backend derives one RNG stream per directed link from
+  // options.seed in the fixed pre-transport order: replays are
+  // deterministic however the OS schedules the threads.
+  transport::InprocTransport transport(options.workers, options.delivery,
+                                       options.seed);
+  return run_message_passing(op, x0, options, transport);
+}
+
+MpResult run_message_passing(const op::BlockOperator& op,
+                             const la::Vector& x0, const MpOptions& options,
+                             transport::Transport& transport) {
   const la::Partition& partition = op.partition();
   const std::size_t m = partition.num_blocks();
   const std::size_t peers_n = options.workers;
@@ -33,13 +49,10 @@ MpResult run_message_passing(const op::BlockOperator& op,
   ASYNCIT_CHECK(x0.size() == partition.dim());
   ASYNCIT_CHECK(options.inner_steps >= 1);
   ASYNCIT_CHECK(options.check_every >= 1);
-  ASYNCIT_CHECK(options.delivery.min_latency >= 0.0 &&
-                options.delivery.max_latency >= options.delivery.min_latency);
-  ASYNCIT_CHECK(options.delivery.drop_prob >= 0.0 &&
-                options.delivery.drop_prob < 1.0);
+  ASYNCIT_CHECK(transport.world() == peers_n);
+  ASYNCIT_CHECK(transport.local_ranks().size() == peers_n);
 
   const auto owned = la::assign_blocks_contiguous(m, peers_n);
-  std::vector<Mailbox> mailboxes(peers_n);
   rt::SharedIterate monitor(x0);
   std::vector<double> last_displacement(m, 1e300);
   std::vector<std::atomic<std::uint64_t>> updates(peers_n);
@@ -48,24 +61,12 @@ MpResult run_message_passing(const op::BlockOperator& op,
   const bool oracle = options.x_star.has_value();
   const bool displacement_stop = options.displacement_tol > 0.0;
 
-  // One independent RNG stream per directed link, derived from the master
-  // seed in a fixed order: the latency/drop draw sequence of every link
-  // is a pure function of (seed, link, message index) — replays are
-  // deterministic however the OS schedules the threads.
-  Rng seeder(options.seed);
-  std::vector<std::vector<std::uint64_t>> link_seeds(
-      peers_n, std::vector<std::uint64_t>(peers_n, 0));
-  for (std::size_t src = 0; src < peers_n; ++src)
-    for (std::size_t dst = 0; dst < peers_n; ++dst)
-      link_seeds[src][dst] = seeder.next();
-
   WallTimer timer;
   PeerContext ctx;
   ctx.op = &op;
   ctx.options = &options;
   ctx.clock = &timer;
   ctx.owned = &owned;
-  ctx.mailboxes = &mailboxes;
   ctx.monitor = &monitor;
   ctx.last_displacement = &last_displacement;
   ctx.updates = &updates;
@@ -75,7 +76,8 @@ MpResult run_message_passing(const op::BlockOperator& op,
   peers.reserve(peers_n);
   for (std::size_t p = 0; p < peers_n; ++p)
     peers.push_back(std::make_unique<Peer>(
-        ctx, static_cast<std::uint32_t>(p), x0, link_seeds[p]));
+        ctx, static_cast<std::uint32_t>(p), x0,
+        transport.endpoint(static_cast<std::uint32_t>(p))));
 
   std::vector<std::thread> threads;
   threads.reserve(peers_n);
@@ -131,15 +133,19 @@ MpResult run_message_passing(const op::BlockOperator& op,
   for (const auto& p : peers)
     result.rounds = std::min(result.rounds, p->rounds());
   for (const auto& p : peers) {
-    result.messages_sent += p->messages_sent();
-    result.messages_dropped += p->messages_dropped();
     result.partials_sent += p->partials_sent();
     result.inversions_observed += p->view().inversions;
     result.stale_filtered += p->view().stale_filtered;
+    result.peers_stopped += p->peers_stopped();
+    result.frames_rejected += p->frames_rejected();
   }
-  for (const Mailbox& mb : mailboxes) {
-    result.messages_delivered += mb.delivered();
-    result.delays.merge(mb.delays());
+  for (std::size_t p = 0; p < peers_n; ++p) {
+    const transport::Endpoint& ep =
+        transport.endpoint(static_cast<std::uint32_t>(p));
+    result.messages_sent += ep.sent();
+    result.messages_dropped += ep.dropped();
+    result.messages_delivered += ep.delivered();
+    result.delays.merge(ep.delays());
   }
   if (options.record_trace) {
     std::vector<trace::PhaseEvent> phases;

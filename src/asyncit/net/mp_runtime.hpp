@@ -1,14 +1,21 @@
-// Orchestration of the in-process message-passing runtime.
+// Orchestration of the message-passing runtime.
 //
 // run_message_passing executes asynchronous iterations the way the paper's
 // testbeds did: P worker threads own disjoint block ranges and exchange
-// step-tagged block values through mailbox channels with injectable
-// latency, reordering (non-FIFO delivery), and loss — values actually
-// TRAVEL between workers instead of living in shared memory (rt::) or in
-// a virtual-time simulation (sim::). Out-of-order messages, label
-// inversions, and unbounded heterogeneity delays therefore occur on real
-// hardware, and every per-message delay is measured into a histogram
+// step-tagged block values through a pluggable wire transport with
+// injectable latency, reordering (non-FIFO delivery), and loss — values
+// actually TRAVEL between workers instead of living in shared memory
+// (rt::) or in a virtual-time simulation (sim::). Out-of-order messages,
+// label inversions, and unbounded heterogeneity delays therefore occur on
+// real hardware, and every per-message delay is measured into a histogram
 // rather than assumed from a model.
+//
+// The default overload runs over the in-process mailbox backend
+// (transport/inproc.hpp), byte-for-byte the pre-transport behaviour; the
+// Transport overload accepts any backend hosting every rank in this
+// process — e.g. transport::TcpTransport over loopback sockets, or
+// transport::ChaosTransport stacking the delay models on top of TCP. For
+// one-rank-per-PROCESS deployments see net/node_runtime.hpp.
 //
 // Three coordination modes are selectable per run (see net/peer.hpp):
 // totally asynchronous (kAsync), staleness-bounded (kSsp), and the
@@ -25,6 +32,10 @@
 #include "asyncit/net/channel.hpp"
 #include "asyncit/operators/operator.hpp"
 #include "asyncit/trace/event_log.hpp"
+
+namespace asyncit::transport {
+class Transport;
+}
 
 namespace asyncit::net {
 
@@ -94,6 +105,13 @@ struct MpResult {
   std::uint64_t inversions_observed = 0;
   /// Inversions that kNewestTagWins refused to incorporate.
   std::uint64_t stale_filtered = 0;
+  /// kStop control frames received (node mode only: how many other ranks
+  /// announced their stopping criterion before this rank finished).
+  std::uint64_t peers_stopped = 0;
+  /// Received frames discarded because their semantic fields (source
+  /// rank, block id, offset/payload extent) do not fit this run's
+  /// geometry — a misconfigured or hostile sender, not a wire error.
+  std::uint64_t frames_rejected = 0;
   /// Measured post-to-drain delay of every delivered message.
   DelayHistogram delays;
 
@@ -101,8 +119,18 @@ struct MpResult {
 };
 
 /// Runs P = options.workers peer threads until convergence or budget
-/// exhaustion. Requires workers <= num_blocks and x0.size() == dim.
+/// exhaustion over the in-process mailbox backend (options.delivery and
+/// options.seed configure its channels). Requires workers <= num_blocks
+/// and x0.size() == dim.
 MpResult run_message_passing(const op::BlockOperator& op,
                              const la::Vector& x0, const MpOptions& options);
+
+/// Same, over a caller-supplied transport backend. The transport must
+/// host every rank of the run in this process (transport.world() ==
+/// options.workers, all ranks local); its own delivery behaviour applies
+/// — options.delivery is ignored in this overload.
+MpResult run_message_passing(const op::BlockOperator& op,
+                             const la::Vector& x0, const MpOptions& options,
+                             transport::Transport& transport);
 
 }  // namespace asyncit::net

@@ -1,0 +1,76 @@
+#include "asyncit/net/node_runtime.hpp"
+
+#include <atomic>
+
+#include "asyncit/net/peer.hpp"
+#include "asyncit/runtime/shared_iterate.hpp"
+#include "asyncit/support/check.hpp"
+#include "asyncit/support/timer.hpp"
+
+namespace asyncit::net {
+
+MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
+                  const MpOptions& options,
+                  transport::Endpoint& endpoint) {
+  const la::Partition& partition = op.partition();
+  const std::size_t m = partition.num_blocks();
+  const std::size_t world = options.workers;
+  const std::uint32_t rank = endpoint.rank();
+  ASYNCIT_CHECK(world >= 1 && world <= m);
+  ASYNCIT_CHECK(rank < world);
+  ASYNCIT_CHECK(x0.size() == partition.dim());
+  ASYNCIT_CHECK(options.inner_steps >= 1);
+  ASYNCIT_CHECK(options.check_every >= 1);
+
+  const auto owned = la::assign_blocks_contiguous(m, world);
+  rt::SharedIterate monitor(x0);  // publish plane (unused without an
+                                  // orchestrator, kept for uniformity)
+  std::vector<double> last_displacement(m, 1e300);
+  std::vector<std::atomic<std::uint64_t>> updates(world);
+  std::atomic<bool> stop{false};
+  la::WeightedMaxNorm norm{partition};
+
+  WallTimer timer;
+  PeerContext ctx;
+  ctx.op = &op;
+  ctx.options = &options;
+  ctx.clock = &timer;
+  ctx.owned = &owned;
+  ctx.monitor = &monitor;
+  ctx.last_displacement = &last_displacement;
+  ctx.updates = &updates;
+  ctx.stop = &stop;
+  ctx.node_mode = true;
+  ctx.norm = &norm;
+
+  Peer peer(ctx, rank, x0, endpoint);
+  peer.run();  // the calling thread IS the peer
+
+  MpResult result;
+  result.wall_seconds = timer.seconds();
+  result.x = peer.view().x;  // the rank's full private iterate
+  result.updates_per_worker.assign(world, 0);
+  result.updates_per_worker[rank] = updates[rank].load();
+  result.total_updates = result.updates_per_worker[rank];
+  result.rounds = peer.rounds();
+  result.partials_sent = peer.partials_sent();
+  result.inversions_observed = peer.view().inversions;
+  result.stale_filtered = peer.view().stale_filtered;
+  result.peers_stopped = peer.peers_stopped();
+  result.frames_rejected = peer.frames_rejected();
+  result.messages_sent = endpoint.sent();
+  result.messages_dropped = endpoint.dropped();
+  result.messages_delivered = endpoint.delivered();
+  result.delays.merge(endpoint.delays());
+  if (options.record_trace) {
+    for (const auto& e : peer.log().phases()) result.log.add_phase(e);
+    for (const auto& e : peer.log().messages()) result.log.add_message(e);
+  }
+  if (options.x_star.has_value()) {
+    result.final_error = norm.distance(result.x, *options.x_star);
+    result.converged = result.final_error < options.tol;
+  }
+  return result;
+}
+
+}  // namespace asyncit::net

@@ -1,0 +1,41 @@
+// One-rank-per-process driver for genuinely distributed runs.
+//
+// run_message_passing hosts every peer as a thread of one process;
+// run_node hosts exactly ONE peer — the calling process's rank — on the
+// calling thread, talking to the other ranks through a transport endpoint
+// (in practice transport::TcpTransport with local_ranks = {rank}; see
+// tools/asyncit_node.cpp and scripts/launch_cluster.py for the
+// config/rendezvous glue).
+//
+// What changes without a global orchestrator:
+//   stopping   no process can snapshot the global iterate, but each
+//              peer's PRIVATE view converges to the same fixed point, so
+//              the peer checks its own criterion (oracle distance under
+//              the weighted max norm, or the residual certificate when
+//              displacement_tol is set) and broadcasts a kStop control
+//              frame on a hit. Async ranks keep refining until their own
+//              criterion fires (a departed rank's final values are within
+//              tolerance, so the survivors still converge); SSP/BSP ranks
+//              stop on the first kStop — the departed rank would deadlock
+//              their round gate.
+//   budgets    options.max_updates counts THIS rank's updates (no global
+//              counter exists); max_seconds is per-process wall time.
+//
+// The caller owns transport lifetime: flush() the transport after
+// run_node returns so the final kStop/value frames reach the wire before
+// teardown.
+#pragma once
+
+#include "asyncit/net/mp_runtime.hpp"
+#include "asyncit/transport/transport.hpp"
+
+namespace asyncit::net {
+
+/// Runs this process's rank (endpoint.rank()) of a world of
+/// options.workers ranks until the local stopping criterion, a received
+/// stop, or budget exhaustion. MpResult.x is the rank's full private
+/// iterate; message statistics cover this rank's endpoint only.
+MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
+                  const MpOptions& options, transport::Endpoint& endpoint);
+
+}  // namespace asyncit::net

@@ -15,12 +15,17 @@ namespace {
 /// a waiting peer can miss the stop flag.
 constexpr double kMaxGateWait = 1e-3;
 
+/// Node-mode stopping checks run at this multiple of the budget-check
+/// cadence (an oracle distance / residual scan is O(n), so it should not
+/// run on every budget check).
+constexpr std::uint64_t kNodeStopCheckFactor = 4;
+
 }  // namespace
 
 void incorporate(const la::Partition& partition, OverwritePolicy policy,
                  const Message& m, LocalView& view) {
   auto dst = partition.block_span(std::span<double>(view.x), m.block);
-  ASYNCIT_CHECK(m.value.size() == dst.size());
+  ASYNCIT_CHECK(m.offset + m.value.size() <= dst.size());
   if (m.tag < view.max_tag[m.block]) ++view.inversions;
   view.max_tag[m.block] = std::max(view.max_tag[m.block], m.tag);
   if (policy == OverwritePolicy::kNewestTagWins &&
@@ -28,43 +33,29 @@ void incorporate(const la::Partition& partition, OverwritePolicy policy,
     ++view.stale_filtered;
     return;
   }
-  std::copy(m.value.begin(), m.value.end(), dst.begin());
+  std::copy(m.value.begin(), m.value.end(), dst.begin() + m.offset);
   view.tags[m.block] = m.tag;
 }
 
 Peer::Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
-           std::vector<std::uint64_t> link_seeds)
+           transport::Endpoint& endpoint)
     : ctx_(ctx),
       id_(id),
       view_(x0, ctx.op->partition().num_blocks()),
+      endpoint_(&endpoint),
       round_(0),
       production_((*ctx.owned)[id].size(), 0),
       complete_rounds_(ctx.options->workers, 0),
       arrivals_(ctx.options->workers) {
-  ASYNCIT_CHECK(link_seeds.size() == ctx_.options->workers);
-  links_.reserve(link_seeds.size());
-  for (std::uint64_t seed : link_seeds)
-    links_.emplace_back(ctx_.options->delivery, seed);
+  ASYNCIT_CHECK(endpoint_->rank() == id_);
   if (ctx_.options->record_trace)
     trace_budget_ =
         ctx_.options->max_trace_events / std::max<std::size_t>(1, ctx_.options->workers);
 }
 
-std::uint64_t Peer::messages_sent() const {
-  std::uint64_t n = 0;
-  for (const LinkStamper& l : links_) n += l.stamped();
-  return n;
-}
-
-std::uint64_t Peer::messages_dropped() const {
-  std::uint64_t n = 0;
-  for (const LinkStamper& l : links_) n += l.dropped();
-  return n;
-}
-
 void Peer::receive() {
   inbox_.clear();
-  (*ctx_.mailboxes)[id_].drain(now(), inbox_);
+  endpoint_->receive(now(), inbox_);
   // BSP keeps exact Jacobi rounds: a message from a round this peer has
   // not yet finished must not leak into the current snapshot, so it is
   // held back until round_ advances past it. (Fast peers can legally be
@@ -77,17 +68,57 @@ void Peer::receive() {
   const la::Partition& partition = ctx_.op->partition();
 
   if (bsp && !holdback_.empty()) {
-    std::vector<Message> still_held;
     for (Message& m : holdback_) {
-      if (m.round < round_)
+      if (m.round < round_) {
         incorporate(partition, policy, m, view_);
-      else
-        still_held.push_back(std::move(m));
+        recycle_scratch_.push_back(std::move(m));
+      } else {
+        holdback_keep_.push_back(std::move(m));
+      }
     }
-    holdback_.swap(still_held);
+    holdback_.swap(holdback_keep_);
+    holdback_keep_.clear();
   }
 
   for (Message& m : inbox_) {
+    // Semantic validation BEFORE any field is used as an index: a frame
+    // can be wire-valid yet describe another run's geometry (two nodes
+    // launched with disagreeing configs). Such a message must be
+    // discarded with a counter, not abort the rank via a failed CHECK.
+    // A non-partial value frame must carry EXACTLY its block (a shorter
+    // payload would silently prefix-overwrite the block yet count as a
+    // complete update in the round accounting); only mid-phase partials
+    // may carry sub-ranges.
+    bool reject = m.src >= ctx_.options->workers || m.src == id_ ||
+                  m.block >= partition.num_blocks();
+    if (!reject) {
+      const std::size_t block_size = partition.range(m.block).size();
+      reject = m.offset + m.value.size() > block_size ||
+               (m.kind == MsgKind::kValue && !m.partial &&
+                (m.offset != 0 || m.value.size() != block_size));
+    }
+    if (reject) {
+      ++frames_rejected_;
+      continue;
+    }
+    if (m.kind == MsgKind::kStop) {
+      // A rank announcing that its local stopping criterion fired (node
+      // mode). Gated modes must stop immediately — the departed rank will
+      // never complete another round and the SSP/BSP gate would deadlock.
+      // The totally asynchronous mode keeps refining until its OWN
+      // criterion fires (the departed rank's final values are within
+      // tolerance, so convergence completes); only a rank with no local
+      // criterion at all stops once everyone else has left.
+      ++peers_stopped_;
+      const bool has_local_criterion =
+          ctx_.options->x_star.has_value() ||
+          ctx_.options->displacement_tol > 0.0;
+      if (ctx_.options->mode != Mode::kAsync ||
+          (!has_local_criterion &&
+           peers_stopped_ + 1 >= ctx_.options->workers))
+        ctx_.stop->store(true, std::memory_order_relaxed);
+      continue;
+    }
     // Round-completion tracking (counts at drain time, independent of any
     // BSP holdback). Only SSP/BSP gates consult it — and with message
     // loss (kAsync) an incomplete round would leave its map entry behind
@@ -109,6 +140,10 @@ void Peer::receive() {
     }
     incorporate(partition, policy, m, view_);
   }
+  // Return every consumed payload buffer to the endpoint's pool (the
+  // shells whose value moved into holdback_ are skipped by the pool).
+  endpoint_->recycle(inbox_);
+  if (!recycle_scratch_.empty()) endpoint_->recycle(recycle_scratch_);
 }
 
 void Peer::send_block(la::BlockId b, bool partial) {
@@ -123,24 +158,34 @@ void Peer::send_block(la::BlockId b, bool partial) {
   const bool allow_drop = ctx_.options->mode == Mode::kAsync;
   const std::uint32_t peers =
       static_cast<std::uint32_t>(ctx_.options->workers);
+  transport::MessageHeader header;
+  header.block = b;
+  header.tag = tag;
+  header.round = round_;
+  header.partial = partial;
   for (std::uint32_t dst = 0; dst < peers; ++dst) {
     if (dst == id_) continue;
-    Message m;
-    m.src = id_;
-    m.block = b;
-    m.tag = tag;
-    m.round = round_;
-    m.partial = partial;
-    m.value.assign(value.begin(), value.end());
-    const bool sent = links_[dst].stamp(m, t, allow_drop);
+    const transport::SendReceipt receipt =
+        endpoint_->send(dst, header, value, t, allow_drop);
     if (trace_budget_ > 0) {
       --trace_budget_;
-      log_.add_message({id_, dst, b, partial, !sent, m.t_send, m.deliver_at,
-                        tag});
+      log_.add_message({id_, dst, b, partial, !receipt.sent, receipt.t_send,
+                        receipt.deliver_at, tag});
     }
-    if (sent) (*ctx_.mailboxes)[dst].post(std::move(m));
   }
   if (partial) ++partials_sent_;
+}
+
+void Peer::broadcast_stop() {
+  transport::MessageHeader header;
+  header.kind = MsgKind::kStop;
+  const double t = now();
+  const std::uint32_t peers =
+      static_cast<std::uint32_t>(ctx_.options->workers);
+  for (std::uint32_t dst = 0; dst < peers; ++dst) {
+    if (dst == id_) continue;
+    endpoint_->send(dst, header, {}, t, /*allow_drop=*/false);
+  }
 }
 
 void Peer::update_block(la::BlockId b, std::size_t reps,
@@ -187,7 +232,16 @@ bool Peer::wait_for_rounds(std::uint64_t needed) {
   const std::uint32_t peers =
       static_cast<std::uint32_t>(ctx_.options->workers);
   while (!stopped()) {
-    const std::uint64_t seen = (*ctx_.mailboxes)[id_].posted();
+    // Enforce the wall budget INSIDE the gate: a rank whose awaited
+    // peer died without a stop frame would otherwise wait forever —
+    // maybe_check only runs between updates, and in node mode there is
+    // no monitor thread to trip the flag (the threaded orchestrator
+    // does, but checking here keeps both paths honest).
+    if (now() > ctx_.options->max_seconds) {
+      ctx_.stop->store(true, std::memory_order_relaxed);
+      return false;
+    }
+    const std::uint64_t seen = endpoint_->activity();
     receive();
     bool satisfied = true;
     for (std::uint32_t src = 0; src < peers; ++src) {
@@ -198,13 +252,13 @@ bool Peer::wait_for_rounds(std::uint64_t needed) {
       }
     }
     if (satisfied) return true;
-    // Sleep until the next pending delivery matures, a new post arrives,
+    // Sleep until the next pending delivery matures, new data arrives,
     // or the poll bound expires (keeps the stop flag responsive).
     const double t = now();
-    const double next = (*ctx_.mailboxes)[id_].next_delivery();
+    const double next = endpoint_->next_delivery();
     double timeout = kMaxGateWait;
     if (next > t) timeout = std::min(timeout, next - t);
-    (*ctx_.mailboxes)[id_].wait_for_post(seen, std::max(timeout, 1e-5));
+    endpoint_->wait_for_activity(seen, std::max(timeout, 1e-5));
   }
   return false;
 }
@@ -216,12 +270,34 @@ void Peer::maybe_check(std::uint64_t own_updates) {
     ctx_.stop->store(true, std::memory_order_relaxed);
     return;
   }
+  // In node mode only this rank's counter is visible here, so the update
+  // budget is per-rank; the threaded orchestrator sums all peers.
   std::uint64_t total = 0;
   for (const auto& u : *ctx_.updates)
     total += u.load(std::memory_order_relaxed);
   if (total >= opt.max_updates) {
     ctx_.stop->store(true, std::memory_order_relaxed);
     return;
+  }
+  if (ctx_.node_mode && !stopped() &&
+      own_updates % (opt.check_every * kNodeStopCheckFactor) == 0) {
+    // The peer's private view is the only full iterate this process has;
+    // evaluate the stopping criterion on it directly. With an oracle,
+    // stop below tol in the weighted max norm; without one, fall back to
+    // the residual certificate of the displacement rule.
+    bool hit = false;
+    if (opt.x_star.has_value()) {
+      hit = ctx_.norm != nullptr &&
+            ctx_.norm->distance(view_.x, *opt.x_star) < opt.tol;
+    } else if (opt.displacement_tol > 0.0) {
+      hit = op::max_block_residual(*ctx_.op, view_.x, ws_) <
+            opt.displacement_tol;
+    }
+    if (hit) {
+      broadcast_stop();
+      ctx_.stop->store(true, std::memory_order_relaxed);
+      return;
+    }
   }
   if (cpu_timer_.seconds() > rt::kYieldPeriod) {
     cpu_timer_.reset();

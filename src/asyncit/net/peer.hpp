@@ -1,11 +1,14 @@
 // A worker peer of the message-passing runtime.
 //
-// Each peer runs on its own thread, owns a contiguous range of blocks, and
-// holds a PRIVATE copy of the full iterate: the only way another peer's
-// update reaches it is as a Message drained from its Mailbox (contrast
-// rt::, where workers share the iterate in memory). The loop is the
-// receive -> incorporate -> update -> send cycle of the paper's
-// distributed model:
+// Each peer runs on its own thread (or its own PROCESS — see
+// net/node_runtime.hpp), owns a contiguous range of blocks, and holds a
+// PRIVATE copy of the full iterate: the only way another peer's update
+// reaches it is as a Message received through its transport::Endpoint
+// (contrast rt::, where workers share the iterate in memory). The peer
+// never touches the communication medium directly — inproc mailboxes,
+// TCP sockets, and the chaos decorator all hide behind the endpoint
+// (see transport/transport.hpp). The loop is the receive -> incorporate
+// -> update -> send cycle of the paper's distributed model:
 //
 //   receive      drain every delivered message, incorporate it under the
 //                configured OverwritePolicy (kLastArrivalWins reproduces
@@ -39,6 +42,7 @@
 #include "asyncit/runtime/shared_iterate.hpp"
 #include "asyncit/support/timer.hpp"
 #include "asyncit/trace/event_log.hpp"
+#include "asyncit/transport/transport.hpp"
 
 namespace asyncit::net {
 
@@ -60,17 +64,19 @@ struct LocalView {
 /// whose tag is older than the newest tag ever seen for that block is
 /// counted as a label inversion (the trace-level signature of out-of-order
 /// messages); kNewestTagWins additionally refuses to let it overwrite.
+/// Partial-block frames (m.offset > 0 or m.value shorter than the block)
+/// overwrite only the carried coordinate range.
 void incorporate(const la::Partition& partition, OverwritePolicy policy,
                  const Message& m, LocalView& view);
 
 /// Everything a peer shares with the orchestrator and the other peers.
-/// All pointers outlive the peer threads (owned by run_message_passing).
+/// All pointers outlive the peer threads (owned by run_message_passing /
+/// run_node).
 struct PeerContext {
   const op::BlockOperator* op = nullptr;
   const MpOptions* options = nullptr;
   const WallTimer* clock = nullptr;
   const std::vector<std::vector<la::BlockId>>* owned = nullptr;
-  std::vector<Mailbox>* mailboxes = nullptr;
   /// Monitoring plane: peers publish their own blocks here so the
   /// orchestrator can evaluate stopping rules; compute never reads it.
   rt::SharedIterate* monitor = nullptr;
@@ -79,14 +85,18 @@ struct PeerContext {
   std::vector<double>* last_displacement = nullptr;
   std::vector<std::atomic<std::uint64_t>>* updates = nullptr;  ///< per peer
   std::atomic<bool>* stop = nullptr;
+  /// Single-rank process mode (net::run_node): there is no orchestrator
+  /// that can see a global snapshot, so the peer evaluates its stopping
+  /// criterion on its OWN private view and announces a hit with a kStop
+  /// control frame. Update budgets then count local updates only.
+  bool node_mode = false;
+  const la::WeightedMaxNorm* norm = nullptr;  ///< node-mode oracle stop
 };
 
 class Peer {
  public:
-  /// `link_seeds[dst]` seeds this peer's LinkStamper towards dst (unused
-  /// entry for dst == id; kept index-aligned for clarity).
   Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
-       std::vector<std::uint64_t> link_seeds);
+       transport::Endpoint& endpoint);
 
   /// Thread body: loops until ctx.stop. Safe to call exactly once.
   void run();
@@ -94,9 +104,14 @@ class Peer {
   // ---- post-run accessors (valid after the thread has joined) ----
   const LocalView& view() const { return view_; }
   std::uint64_t rounds() const { return round_; }
-  std::uint64_t messages_sent() const;
-  std::uint64_t messages_dropped() const;
+  std::uint64_t messages_sent() const { return endpoint_->sent(); }
+  std::uint64_t messages_dropped() const { return endpoint_->dropped(); }
   std::uint64_t partials_sent() const { return partials_sent_; }
+  /// kStop control frames received (node mode: peers that left).
+  std::uint64_t peers_stopped() const { return peers_stopped_; }
+  /// Wire-valid messages discarded for out-of-range semantic fields
+  /// (source rank / block id / offset extent — config mismatch).
+  std::uint64_t frames_rejected() const { return frames_rejected_; }
   const trace::EventLog& log() const { return log_; }
 
  private:
@@ -105,7 +120,7 @@ class Peer {
     return ctx_.stop->load(std::memory_order_relaxed);
   }
 
-  /// Drains the mailbox and incorporates everything delivered.
+  /// Drains the endpoint and incorporates everything delivered.
   void receive();
   /// Computes one updating phase of block b (inner_steps applications;
   /// flexible communication when configured) and publishes the result.
@@ -113,21 +128,26 @@ class Peer {
                     std::span<const double> compute_view);
   /// Sends the current value of owned block b to every other peer.
   void send_block(la::BlockId b, bool partial);
+  /// Announces this rank's local stopping-criterion hit (node mode).
+  void broadcast_stop();
   /// Blocks until every other peer's count of complete rounds reaches
   /// `needed` (SSP/BSP gate). Returns false if stopped while waiting.
   bool wait_for_rounds(std::uint64_t needed);
-  /// Budget checks + CPU-sliced voluntary yield (see rt::executors).
+  /// Budget checks + CPU-sliced voluntary yield (see rt::executors);
+  /// node mode adds the local stopping-criterion check.
   void maybe_check(std::uint64_t own_updates);
 
   PeerContext ctx_;
   const std::uint32_t id_;
   LocalView view_;
-  std::vector<LinkStamper> links_;    ///< per destination peer
+  transport::Endpoint* endpoint_;
   std::vector<Message> inbox_;        ///< drain buffer (reused)
   /// BSP only: drained messages from rounds this peer has not finished
   /// yet (fast peers may run one round ahead); incorporated once round_
   /// passes them, keeping each round's snapshot exact.
   std::vector<Message> holdback_;
+  std::vector<Message> holdback_keep_;     ///< holdback filter scratch
+  std::vector<Message> recycle_scratch_;   ///< consumed holdback returns
   la::Vector phase_out_;              ///< block output buffer (reused)
   la::Vector phase_prev_;             ///< phase-start block value (reused)
   la::Vector snapshot_;               ///< BSP per-round frozen view
@@ -137,6 +157,8 @@ class Peer {
   std::vector<model::Step> production_;  ///< per owned block send counter
   model::Step local_step_ = 0;        ///< completed phases (trace labels)
   std::uint64_t partials_sent_ = 0;
+  std::uint64_t peers_stopped_ = 0;
+  std::uint64_t frames_rejected_ = 0;
   ThreadCpuTimer cpu_timer_;
 
   /// Round-completion tracking per source peer: complete_rounds_[src] is

@@ -1,0 +1,115 @@
+#include "asyncit/transport/inproc.hpp"
+
+#include "asyncit/support/check.hpp"
+#include "asyncit/support/rng.hpp"
+
+namespace asyncit::transport {
+
+InprocTransport::InprocTransport(std::size_t world,
+                                 const net::DeliveryPolicy& policy,
+                                 std::uint64_t seed) {
+  ASYNCIT_CHECK(world >= 1);
+  ASYNCIT_CHECK(policy.min_latency >= 0.0 &&
+                policy.max_latency >= policy.min_latency);
+  ASYNCIT_CHECK(policy.drop_prob >= 0.0 && policy.drop_prob < 1.0);
+  stations_.reserve(world);
+  for (std::size_t i = 0; i < world; ++i)
+    stations_.push_back(std::make_unique<Station>());
+  // One independent RNG stream per directed link, derived in the fixed
+  // (src, dst) row-major order of the pre-transport orchestrator: the
+  // latency/drop draw sequence of every link stays a pure function of
+  // (seed, link, message index).
+  Rng seeder(seed);
+  endpoints_.resize(world);
+  for (std::size_t src = 0; src < world; ++src) {
+    InprocEndpoint& ep = endpoints_[src];
+    ep.owner_ = this;
+    ep.rank_ = static_cast<std::uint32_t>(src);
+    ep.links_.reserve(world);
+    for (std::size_t dst = 0; dst < world; ++dst)
+      ep.links_.emplace_back(policy, seeder.next());
+  }
+}
+
+std::vector<std::uint32_t> InprocTransport::local_ranks() const {
+  std::vector<std::uint32_t> ranks(stations_.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    ranks[i] = static_cast<std::uint32_t>(i);
+  return ranks;
+}
+
+Endpoint& InprocTransport::endpoint(std::uint32_t rank) {
+  ASYNCIT_CHECK(rank < endpoints_.size());
+  return endpoints_[rank];
+}
+
+SendReceipt InprocEndpoint::send(std::uint32_t dst,
+                                 const MessageHeader& header,
+                                 std::span<const double> value, double now,
+                                 bool allow_drop) {
+  ASYNCIT_CHECK(dst < owner_->stations_.size() && dst != rank_);
+  InprocTransport::Station& station = *owner_->stations_[dst];
+  net::Message m = station.pool.acquire();
+  m.src = rank_;
+  m.block = header.block;
+  m.tag = header.tag;
+  m.round = header.round;
+  m.partial = header.partial;
+  m.kind = header.kind;
+  m.offset = header.offset;
+  m.injected_delay = header.injected_delay;  // chaos latency rides along
+  m.value.assign(value.begin(), value.end());
+  const bool sent = links_[dst].stamp(m, now, allow_drop);
+  const SendReceipt receipt{sent, m.t_send, m.deliver_at};
+  if (sent)
+    station.mailbox.post(std::move(m));
+  else
+    station.pool.recycle(std::move(m));
+  return receipt;
+}
+
+std::size_t InprocEndpoint::receive(double now,
+                                    std::vector<net::Message>& out) {
+  return owner_->stations_[rank_]->mailbox.drain(now, out);
+}
+
+void InprocEndpoint::recycle(std::vector<net::Message>& consumed) {
+  MessagePool& pool = owner_->stations_[rank_]->pool;
+  for (net::Message& m : consumed) pool.recycle(std::move(m));
+  consumed.clear();
+}
+
+std::uint64_t InprocEndpoint::activity() const {
+  return owner_->stations_[rank_]->mailbox.posted();
+}
+
+void InprocEndpoint::wait_for_activity(std::uint64_t seen,
+                                       double timeout_seconds) {
+  owner_->stations_[rank_]->mailbox.wait_for_post(seen, timeout_seconds);
+}
+
+double InprocEndpoint::next_delivery() const {
+  return owner_->stations_[rank_]->mailbox.next_delivery();
+}
+
+std::uint64_t InprocEndpoint::sent() const {
+  std::uint64_t n = 0;
+  for (const net::LinkStamper& l : links_) n += l.stamped();
+  return n;
+}
+
+std::uint64_t InprocEndpoint::dropped() const {
+  std::uint64_t n = 0;
+  for (const net::LinkStamper& l : links_) n += l.dropped();
+  return n;
+}
+
+std::uint64_t InprocEndpoint::delivered() const {
+  return owner_->stations_[rank_]->mailbox.delivered();
+}
+
+net::DelayHistogram InprocEndpoint::delays() const {
+  return owner_->stations_[rank_]->mailbox.delays();
+}
+
+}  // namespace asyncit::transport

@@ -1,0 +1,85 @@
+// In-process backend: the seeded mailbox channels behind the Transport
+// interface.
+//
+// This is the PR-1 net:: channel machinery (net::Mailbox delivery-order
+// queues, net::LinkStamper per-directed-link latency/drop stamping)
+// verbatim, relocated from the peer loop into an Endpoint. The RNG
+// streams are derived from the master seed in the exact (src, dst)
+// row-major order the old run_message_passing used, and each send
+// performs the same draws in the same order, so the latency/drop sequence
+// of every link is byte-for-byte the pre-transport one — the channel
+// replay-determinism tests hold across the refactor.
+//
+// Pooling: a sender borrows the outgoing net::Message from the
+// DESTINATION station's pool (the message ends its life there when the
+// receiver recycles its drain batch), so every pool's acquires and
+// recycles match one-to-one regardless of how asymmetric the traffic is.
+//
+// delays() measures post-to-drain (injected latency + scheduling), as
+// before.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "asyncit/net/channel.hpp"
+#include "asyncit/transport/pool.hpp"
+#include "asyncit/transport/transport.hpp"
+
+namespace asyncit::transport {
+
+class InprocTransport;
+
+class InprocEndpoint final : public Endpoint {
+ public:
+  std::uint32_t rank() const override { return rank_; }
+  SendReceipt send(std::uint32_t dst, const MessageHeader& header,
+                   std::span<const double> value, double now,
+                   bool allow_drop) override;
+  std::size_t receive(double now, std::vector<net::Message>& out) override;
+  void recycle(std::vector<net::Message>& consumed) override;
+  std::uint64_t activity() const override;
+  void wait_for_activity(std::uint64_t seen,
+                         double timeout_seconds) override;
+  double next_delivery() const override;
+  std::uint64_t sent() const override;
+  std::uint64_t dropped() const override;
+  std::uint64_t delivered() const override;
+  net::DelayHistogram delays() const override;
+
+ private:
+  friend class InprocTransport;
+  InprocTransport* owner_ = nullptr;
+  std::uint32_t rank_ = 0;
+  /// Per-destination stampers, owned and used by this endpoint's peer
+  /// thread alone (the replay-determinism contract of net::LinkStamper).
+  std::vector<net::LinkStamper> links_;
+};
+
+class InprocTransport final : public Transport {
+ public:
+  /// Seeds one RNG stream per directed link from `seed` in (src, dst)
+  /// row-major order — identical derivation to the pre-transport
+  /// orchestrator, including the unused self-link draws.
+  InprocTransport(std::size_t world, const net::DeliveryPolicy& policy,
+                  std::uint64_t seed);
+
+  std::size_t world() const override { return stations_.size(); }
+  std::vector<std::uint32_t> local_ranks() const override;
+  Endpoint& endpoint(std::uint32_t rank) override;
+  const char* backend() const override { return "inproc"; }
+
+ private:
+  friend class InprocEndpoint;
+  /// Receive side of one rank: the mailbox plus the pool its consumed
+  /// messages return to (and its senders borrow from).
+  struct Station {
+    net::Mailbox mailbox;
+    MessagePool pool;
+  };
+  std::vector<std::unique_ptr<Station>> stations_;
+  std::vector<InprocEndpoint> endpoints_;
+};
+
+}  // namespace asyncit::transport

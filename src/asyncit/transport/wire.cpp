@@ -1,0 +1,148 @@
+#include "asyncit/transport/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace asyncit::transport {
+
+namespace {
+
+// Explicit little-endian byte (de)serialization: portable regardless of
+// host order, and on LE hosts the compiler collapses each helper to a
+// plain load/store.
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  return std::bit_cast<double>(get_u64(p));
+}
+
+constexpr std::uint8_t kFlagPartial = 0x01;
+constexpr std::uint8_t kFlagStop = 0x02;
+constexpr std::uint8_t kKnownFlags = kFlagPartial | kFlagStop;
+
+}  // namespace
+
+namespace {
+
+void encode_fields(std::uint32_t src, la::BlockId block, model::Step tag,
+                   std::uint64_t round, std::uint32_t offset, bool partial,
+                   net::MsgKind kind, double t_send, double injected_delay,
+                   std::span<const double> value,
+                   std::vector<std::uint8_t>& out) {
+  out.clear();
+  const std::uint32_t count = static_cast<std::uint32_t>(value.size());
+  out.reserve(frame_bytes(count));
+  put_u32(out, static_cast<std::uint32_t>(kWireHeaderBytes + 8 * count));
+  put_u16(out, kWireMagic);
+  out.push_back(kWireVersion);
+  std::uint8_t flags = 0;
+  if (partial) flags |= kFlagPartial;
+  if (kind == net::MsgKind::kStop) flags |= kFlagStop;
+  out.push_back(flags);
+  put_u32(out, src);
+  put_u32(out, block);
+  put_u64(out, tag);
+  put_u64(out, round);
+  put_u32(out, offset);
+  put_u32(out, count);
+  put_f64(out, t_send);
+  put_f64(out, injected_delay);
+  for (const double v : value) put_f64(out, v);
+}
+
+}  // namespace
+
+void encode_frame(const net::Message& m, std::vector<std::uint8_t>& out) {
+  encode_fields(m.src, m.block, m.tag, m.round, m.offset, m.partial, m.kind,
+                m.t_send, m.injected_delay, m.value, out);
+}
+
+void encode_frame(std::uint32_t src, const MessageHeader& header,
+                  std::span<const double> value, double t_send,
+                  std::vector<std::uint8_t>& out) {
+  encode_fields(src, header.block, header.tag, header.round, header.offset,
+                header.partial, header.kind, t_send, header.injected_delay,
+                value, out);
+}
+
+DecodeStatus decode_frame(std::span<const std::uint8_t> buf,
+                          std::size_t& consumed, net::Message& out) {
+  consumed = 0;
+  if (buf.size() < 4) return DecodeStatus::kNeedMore;
+  const std::uint8_t* p = buf.data();
+  const std::uint32_t length = get_u32(p);
+  // Reject an insane length BEFORE waiting for it to "complete": a
+  // corrupted prefix must not make the reader buffer gigabytes.
+  if (length < kWireHeaderBytes ||
+      length > kWireHeaderBytes + 8ull * kMaxPayloadDoubles ||
+      (length - kWireHeaderBytes) % 8 != 0)
+    return DecodeStatus::kBadFrame;
+  // Magic/version are validated as soon as they are present, again so a
+  // garbage stream fails fast instead of stalling in kNeedMore.
+  if (buf.size() >= 6 && get_u16(p + 4) != kWireMagic)
+    return DecodeStatus::kBadFrame;
+  if (buf.size() >= 7 && p[6] != kWireVersion) return DecodeStatus::kBadFrame;
+  if (buf.size() < 4 + std::size_t(length)) return DecodeStatus::kNeedMore;
+
+  const std::uint8_t flags = p[7];
+  if (flags & ~kKnownFlags) return DecodeStatus::kBadFrame;
+  const std::uint32_t count = get_u32(p + 36);
+  if (kWireHeaderBytes + 8ull * count != length) return DecodeStatus::kBadFrame;
+
+  out.src = get_u32(p + 8);
+  out.block = get_u32(p + 12);
+  out.tag = get_u64(p + 16);
+  out.round = get_u64(p + 24);
+  out.offset = get_u32(p + 32);
+  out.partial = (flags & kFlagPartial) != 0;
+  out.kind = (flags & kFlagStop) ? net::MsgKind::kStop : net::MsgKind::kValue;
+  out.t_send = get_f64(p + 40);
+  out.injected_delay = get_f64(p + 48);
+  out.deliver_at = 0.0;
+  out.value.resize(count);
+  const std::uint8_t* payload = p + 4 + kWireHeaderBytes;
+  if constexpr (std::endian::native == std::endian::little) {
+    if (count > 0) std::memcpy(out.value.data(), payload, 8ull * count);
+  } else {
+    for (std::uint32_t i = 0; i < count; ++i)
+      out.value[i] = get_f64(payload + 8ull * i);
+  }
+  consumed = 4 + std::size_t(length);
+  return DecodeStatus::kOk;
+}
+
+}  // namespace asyncit::transport

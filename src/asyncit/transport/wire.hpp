@@ -1,0 +1,79 @@
+// Wire format for net::Message — the byte contract of the TCP backend.
+//
+// A frame is a little-endian length prefix followed by a fixed header and
+// the payload doubles:
+//
+//   offset  size  field
+//   0       4     u32  frame length (bytes AFTER this field)
+//   4       2     u16  magic 0xA517
+//   6       1     u8   version (currently 1)
+//   7       1     u8   flags: bit0 partial, bit1 control/stop (MsgKind)
+//   8       4     u32  sender rank
+//   12      4     u32  block id
+//   16      8     u64  tag (sender's per-block production counter)
+//   24      8     u64  epoch (sender's round index)
+//   32      4     u32  offset (coordinate offset within the block —
+//                      partial-block frames for flexible communication)
+//   36      4     u32  count (number of payload doubles)
+//   40      8     f64  t_send (sender clock, diagnostic only: sender and
+//                      receiver clocks are not comparable across hosts)
+//   48      8     f64  injected_delay (chaos decorator; 0 otherwise)
+//   56      8*count    payload doubles, little-endian IEEE-754
+//
+// All integers and doubles are little-endian regardless of host order.
+// decode_frame is defensive: it never trusts the length field further
+// than the declared maximum, rejects bad magic/version/kind and
+// inconsistent lengths, and distinguishes "frame still incomplete"
+// (kNeedMore) from "stream is garbage" (kBadFrame) so a reader thread can
+// keep a reassembly buffer across short reads yet kill a corrupted
+// connection immediately.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "asyncit/net/channel.hpp"
+#include "asyncit/transport/transport.hpp"
+
+namespace asyncit::transport {
+
+inline constexpr std::uint16_t kWireMagic = 0xA517;
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Header bytes AFTER the 4-byte length prefix.
+inline constexpr std::size_t kWireHeaderBytes = 52;
+/// Hard cap on payload doubles per frame (sanity bound for garbage
+/// rejection; generously above any block the runtime partitions).
+inline constexpr std::uint32_t kMaxPayloadDoubles = 1u << 22;
+
+/// Encoded size of a message carrying `count` payload doubles, including
+/// the length prefix.
+inline constexpr std::size_t frame_bytes(std::size_t count) {
+  return 4 + kWireHeaderBytes + 8 * count;
+}
+
+/// Serializes `m` into `out` (cleared first; capacity is retained, so a
+/// pooled buffer makes this allocation-free once warm).
+void encode_frame(const net::Message& m, std::vector<std::uint8_t>& out);
+
+/// Sender-side fast path: encodes straight from the header and payload
+/// span the peer passes to Endpoint::send — no net::Message is
+/// materialized on the TX side at all.
+void encode_frame(std::uint32_t src, const MessageHeader& header,
+                  std::span<const double> value, double t_send,
+                  std::vector<std::uint8_t>& out);
+
+enum class DecodeStatus {
+  kOk,        ///< one frame decoded; `consumed` bytes eaten
+  kNeedMore,  ///< prefix of a valid frame; feed more bytes
+  kBadFrame,  ///< stream corrupt (bad magic/version/length/kind)
+};
+
+/// Attempts to decode one frame from the front of `buf` into `out`
+/// (payload assigned into out.value — capacity retained). On kOk,
+/// `consumed` is set to the number of bytes eaten; otherwise it is 0.
+DecodeStatus decode_frame(std::span<const std::uint8_t> buf,
+                          std::size_t& consumed, net::Message& out);
+
+}  // namespace asyncit::transport

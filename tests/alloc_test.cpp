@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "asyncit/net/peer.hpp"
 #include "asyncit/operators/jacobi.hpp"
 #include "asyncit/operators/krasnoselskii.hpp"
 #include "asyncit/operators/operator.hpp"
@@ -26,6 +27,10 @@
 #include "asyncit/runtime/pacing.hpp"
 #include "asyncit/runtime/shared_iterate.hpp"
 #include "asyncit/support/rng.hpp"
+#include "asyncit/support/timer.hpp"
+#include "asyncit/transport/chaos.hpp"
+#include "asyncit/transport/inproc.hpp"
+#include "asyncit/transport/wire.hpp"
 
 namespace {
 
@@ -170,6 +175,84 @@ TEST(AllocationRegression, DisplacementStopPollSteadyStateAllocatesNothing) {
   const std::uint64_t during = allocations() - before;
   EXPECT_EQ(during, 0u) << "DisplacementStop poll allocated (sink=" << sink
                         << ")";
+}
+
+TEST(AllocationRegression, InprocMessagingRoundTripAllocatesNothing) {
+  // The PR-3 contract extension: once the transport pools are warm, a
+  // full send -> stamp -> post -> drain -> incorporate -> recycle round
+  // trip performs ZERO heap allocations — the allocator is out of the
+  // messaging path, not just the update loop (the pre-transport peer
+  // allocated a fresh value vector for every message it sent).
+  const la::Partition partition = la::Partition::from_sizes({6, 6});
+  transport::InprocTransport tx(2, net::DeliveryPolicy{}, 3);
+  transport::Endpoint& e0 = tx.endpoint(0);
+  transport::Endpoint& e1 = tx.endpoint(1);
+  net::LocalView view(la::Vector(12, 0.0), 2);
+  la::Vector payload(6, 1.25);
+  std::vector<net::Message> inbox;
+  transport::MessageHeader header;
+  header.block = 0;
+
+  auto round_trip = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      header.tag = static_cast<model::Step>(i + 1);
+      e0.send(1, header, payload, 1e-4 * i, /*allow_drop=*/false);
+      e1.receive(1e9, inbox);
+      for (const net::Message& m : inbox)
+        net::incorporate(partition, net::OverwritePolicy::kLastArrivalWins,
+                         m, view);
+      e1.recycle(inbox);
+    }
+  };
+
+  round_trip(50);  // warm-up: pools, mailbox, inbox reach high water
+
+  const std::uint64_t before = allocations();
+  round_trip(200);
+  const std::uint64_t during = allocations() - before;
+  EXPECT_EQ(during, 0u) << "steady-state messaging round trip allocated";
+}
+
+TEST(AllocationRegression, ChaosWireFramingSteadyStateAllocatesNothing) {
+  // The chaos decorator's hold queue and the wire encoder both recycle:
+  // stamping, encoding into a pooled frame, and the receiver-side staging
+  // of delayed frames stay off the allocator once warm.
+  net::DeliveryPolicy zero;
+  transport::InprocTransport inner(2, zero, 1);
+  net::DeliveryPolicy policy;
+  policy.min_latency = 1e-5;
+  policy.max_latency = 1e-4;
+  transport::ChaosTransport chaos(inner, policy, 9);
+  transport::Endpoint& e0 = chaos.endpoint(0);
+  transport::Endpoint& e1 = chaos.endpoint(1);
+  la::Vector payload(8, 0.5);
+  std::vector<net::Message> inbox;
+  std::vector<std::uint8_t> frame;
+  net::Message scratch, decoded;
+  transport::MessageHeader header;
+
+  auto cycle = [&](int count, double base) {
+    for (int i = 0; i < count; ++i) {
+      const double now = base + 1e-3 * i;
+      header.tag = static_cast<model::Step>(i + 1);
+      e0.send(1, header, payload, now, /*allow_drop=*/false);
+      e1.receive(now, inbox);          // stage
+      e1.receive(now + 1.0, inbox);    // mature everything
+      e1.recycle(inbox);
+      // Wire framing round trip with reused buffers.
+      scratch.value.assign(payload.begin(), payload.end());
+      transport::encode_frame(scratch, frame);
+      std::size_t consumed = 0;
+      transport::decode_frame(frame, consumed, decoded);
+    }
+  };
+
+  cycle(50, 0.0);
+
+  const std::uint64_t before = allocations();
+  cycle(200, 1.0);
+  const std::uint64_t during = allocations() - before;
+  EXPECT_EQ(during, 0u) << "chaos/wire steady state allocated";
 }
 
 TEST(AllocationRegression, ThreadWorkspaceConvenienceWarmsUpToo) {

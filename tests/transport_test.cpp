@@ -1,0 +1,506 @@
+// Tests for the transport subsystem: wire-format round trips and garbage
+// rejection, pool recycling, the inproc backend's replay determinism
+// behind the interface, real TCP loopback delivery, the chaos decorator's
+// delay/reorder/drop injection, cross-backend parity of the Jacobi
+// problem, and the single-rank node runtime over sockets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "asyncit/net/mp_runtime.hpp"
+#include "asyncit/net/node_runtime.hpp"
+#include "asyncit/net/peer.hpp"
+#include "asyncit/operators/jacobi.hpp"
+#include "asyncit/problems/linear_system.hpp"
+#include "asyncit/support/rng.hpp"
+#include "asyncit/support/timer.hpp"
+#include "asyncit/transport/chaos.hpp"
+#include "asyncit/transport/inproc.hpp"
+#include "asyncit/transport/pool.hpp"
+#include "asyncit/transport/tcp.hpp"
+#include "asyncit/transport/wire.hpp"
+
+namespace asyncit::transport {
+namespace {
+
+// ------------------------------------------------------------------ wire
+
+net::Message random_message(Rng& rng, std::size_t payload) {
+  net::Message m;
+  m.src = static_cast<std::uint32_t>(rng.uniform_index(64));
+  m.block = static_cast<la::BlockId>(rng.uniform_index(1024));
+  m.tag = rng.next();
+  m.round = rng.next();
+  m.partial = rng.bernoulli(0.5);
+  m.kind = rng.bernoulli(0.1) ? net::MsgKind::kStop : net::MsgKind::kValue;
+  m.offset = static_cast<std::uint32_t>(rng.uniform_index(32));
+  m.injected_delay = rng.uniform(0.0, 0.5);
+  m.t_send = rng.uniform(0.0, 100.0);
+  m.value.resize(payload);
+  for (double& v : m.value) v = rng.normal();
+  return m;
+}
+
+void expect_equal(const net::Message& a, const net::Message& b) {
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.block, b.block);
+  EXPECT_EQ(a.tag, b.tag);
+  EXPECT_EQ(a.round, b.round);
+  EXPECT_EQ(a.partial, b.partial);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.offset, b.offset);
+  EXPECT_DOUBLE_EQ(a.injected_delay, b.injected_delay);
+  EXPECT_DOUBLE_EQ(a.t_send, b.t_send);
+  ASSERT_EQ(a.value.size(), b.value.size());
+  for (std::size_t i = 0; i < a.value.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.value[i], b.value[i]);
+}
+
+TEST(Wire, RoundTripsRandomizedMessages) {
+  Rng rng(11);
+  std::vector<std::uint8_t> frame;
+  net::Message out;
+  // Empty payloads (control frames), single coordinates, unroll-tail
+  // sizes, and a max-size block all survive the trip bit-exactly.
+  for (const std::size_t payload :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{128},
+        std::size_t{4096}}) {
+    for (int rep = 0; rep < 20; ++rep) {
+      const net::Message m = random_message(rng, payload);
+      encode_frame(m, frame);
+      EXPECT_EQ(frame.size(), frame_bytes(payload));
+      std::size_t consumed = 0;
+      ASSERT_EQ(decode_frame(frame, consumed, out), DecodeStatus::kOk);
+      EXPECT_EQ(consumed, frame.size());
+      expect_equal(m, out);
+    }
+  }
+}
+
+TEST(Wire, HeaderOverloadMatchesMessageOverload) {
+  Rng rng(12);
+  const net::Message m = random_message(rng, 17);
+  std::vector<std::uint8_t> a, b;
+  encode_frame(m, a);
+  MessageHeader h;
+  h.block = m.block;
+  h.tag = m.tag;
+  h.round = m.round;
+  h.offset = m.offset;
+  h.partial = m.partial;
+  h.kind = m.kind;
+  h.injected_delay = m.injected_delay;
+  encode_frame(m.src, h, m.value, m.t_send, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Wire, TruncatedFramesWantMoreBytes) {
+  Rng rng(13);
+  const net::Message m = random_message(rng, 9);
+  std::vector<std::uint8_t> frame;
+  encode_frame(m, frame);
+  net::Message out;
+  std::size_t consumed = 1;
+  // Every strict prefix is "incomplete", never "corrupt" — a reader
+  // keeps its reassembly buffer and waits for the rest of the frame.
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    const DecodeStatus st = decode_frame(
+        std::span<const std::uint8_t>(frame.data(), n), consumed, out);
+    EXPECT_EQ(st, DecodeStatus::kNeedMore) << "prefix " << n;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(Wire, RejectsGarbageFrames) {
+  Rng rng(14);
+  const net::Message m = random_message(rng, 5);
+  std::vector<std::uint8_t> frame;
+  net::Message out;
+  std::size_t consumed = 0;
+
+  encode_frame(m, frame);
+  frame[4] ^= 0xFF;  // magic
+  EXPECT_EQ(decode_frame(frame, consumed, out), DecodeStatus::kBadFrame);
+
+  encode_frame(m, frame);
+  frame[6] = 99;  // version
+  EXPECT_EQ(decode_frame(frame, consumed, out), DecodeStatus::kBadFrame);
+
+  encode_frame(m, frame);
+  frame[7] = 0xF0;  // unknown flag bits
+  EXPECT_EQ(decode_frame(frame, consumed, out), DecodeStatus::kBadFrame);
+
+  encode_frame(m, frame);
+  frame[36] ^= 0x01;  // payload count inconsistent with frame length
+  EXPECT_EQ(decode_frame(frame, consumed, out), DecodeStatus::kBadFrame);
+
+  // An insane declared length is rejected from the 4-byte prefix alone —
+  // a corrupt stream must not make the reader buffer gigabytes.
+  std::vector<std::uint8_t> huge = {0xFF, 0xFF, 0xFF, 0x7F};
+  EXPECT_EQ(decode_frame(huge, consumed, out), DecodeStatus::kBadFrame);
+
+  // A length that is not header + whole doubles is structurally broken.
+  std::vector<std::uint8_t> ragged = {
+      static_cast<std::uint8_t>(kWireHeaderBytes + 3), 0, 0, 0};
+  EXPECT_EQ(decode_frame(ragged, consumed, out), DecodeStatus::kBadFrame);
+}
+
+TEST(Wire, DecodesBackToBackFramesFromOneBuffer) {
+  Rng rng(15);
+  std::vector<std::uint8_t> stream, frame;
+  std::vector<net::Message> sent;
+  for (int i = 0; i < 5; ++i) {
+    sent.push_back(random_message(rng, 3 + i));
+    encode_frame(sent.back(), frame);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  std::size_t off = 0;
+  for (int i = 0; i < 5; ++i) {
+    net::Message out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(std::span<const std::uint8_t>(
+                               stream.data() + off, stream.size() - off),
+                           consumed, out),
+              DecodeStatus::kOk);
+    expect_equal(sent[static_cast<std::size_t>(i)], out);
+    off += consumed;
+  }
+  EXPECT_EQ(off, stream.size());
+}
+
+// ------------------------------------------------------------------ pools
+
+TEST(Pools, MessagePoolRetainsCapacityAndDropsShells) {
+  MessagePool pool;
+  net::Message m = pool.acquire();
+  m.value.assign(64, 1.0);
+  const double* data = m.value.data();
+  pool.recycle(std::move(m));
+  EXPECT_EQ(pool.pooled(), 1u);
+  net::Message again = pool.acquire();
+  EXPECT_EQ(again.value.data(), data);  // same buffer came back
+  EXPECT_GE(again.value.capacity(), 64u);
+
+  net::Message shell;  // moved-from value: capacity 0
+  pool.recycle(std::move(shell));
+  EXPECT_EQ(pool.pooled(), 0u);  // shells must not poison the pool
+}
+
+TEST(Pools, BytePoolRecyclesCleared) {
+  BytePool pool;
+  std::vector<std::uint8_t> b = pool.acquire();
+  b.assign(128, 0xAB);
+  pool.recycle(std::move(b));
+  std::vector<std::uint8_t> again = pool.acquire();
+  EXPECT_TRUE(again.empty());
+  EXPECT_GE(again.capacity(), 128u);
+}
+
+// ----------------------------------------------------------------- inproc
+
+TEST(InprocBackend, DeliversAndReplaysDeterministically) {
+  net::DeliveryPolicy policy;
+  policy.min_latency = 1e-3;
+  policy.max_latency = 5e-2;
+  InprocTransport a(2, policy, 77), b(2, policy, 77), c(2, policy, 78);
+  MessageHeader h;
+  h.block = 0;
+  const la::Vector payload{1.0, 2.0};
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    h.tag = static_cast<model::Step>(i + 1);
+    const double now = 1e-3 * i;
+    const SendReceipt ra =
+        a.endpoint(0).send(1, h, payload, now, /*allow_drop=*/false);
+    const SendReceipt rb =
+        b.endpoint(0).send(1, h, payload, now, /*allow_drop=*/false);
+    const SendReceipt rc =
+        c.endpoint(0).send(1, h, payload, now, /*allow_drop=*/false);
+    // Same seed: identical injected latencies, message by message — the
+    // replay-determinism anchor survives the interface refactor.
+    EXPECT_DOUBLE_EQ(ra.deliver_at, rb.deliver_at);
+    if (ra.deliver_at != rc.deliver_at) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);  // different seed: different stream
+  std::vector<net::Message> got;
+  EXPECT_EQ(a.endpoint(1).receive(1e9, got), 100u);
+  EXPECT_EQ(a.endpoint(1).delivered(), 100u);
+  for (std::size_t i = 1; i < got.size(); ++i)
+    EXPECT_LE(got[i - 1].deliver_at, got[i].deliver_at);  // delivery order
+  a.endpoint(1).recycle(got);
+  EXPECT_TRUE(got.empty());
+}
+
+// -------------------------------------------------------------------- tcp
+
+TEST(TcpBackend, LoopbackDeliversContentIntactAndInOrder) {
+  TcpOptions topts;
+  topts.nodes = {{"127.0.0.1", 0}, {"127.0.0.1", 0}};
+  TcpTransport tx(std::move(topts));
+  EXPECT_GT(tx.port_of(0), 0);
+  EXPECT_GT(tx.port_of(1), 0);
+
+  Endpoint& e0 = tx.endpoint(0);
+  Endpoint& e1 = tx.endpoint(1);
+  Rng rng(21);
+  constexpr int kCount = 200;
+  std::vector<la::Vector> payloads;
+  WallTimer clock;
+  for (int i = 0; i < kCount; ++i) {
+    la::Vector v(1 + rng.uniform_index(16));
+    for (double& x : v) x = rng.normal();
+    MessageHeader h;
+    h.block = static_cast<la::BlockId>(i % 7);
+    h.tag = static_cast<model::Step>(i + 1);
+    h.round = static_cast<std::uint64_t>(i);
+    h.partial = (i % 3) == 0;
+    h.offset = static_cast<std::uint32_t>(i % 5);
+    const SendReceipt r = e0.send(1, h, v, clock.seconds(), false);
+    EXPECT_TRUE(r.sent);
+    payloads.push_back(std::move(v));
+  }
+  std::vector<net::Message> got;
+  while (got.size() < kCount && clock.seconds() < 10.0) {
+    const std::uint64_t seen = e1.activity();
+    if (e1.receive(clock.seconds(), got) == 0)
+      e1.wait_for_activity(seen, 0.05);
+  }
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    const net::Message& m = got[static_cast<std::size_t>(i)];
+    EXPECT_EQ(m.src, 0u);
+    EXPECT_EQ(m.tag, static_cast<model::Step>(i + 1));  // TCP link: FIFO
+    EXPECT_EQ(m.block, static_cast<la::BlockId>(i % 7));
+    EXPECT_EQ(m.partial, (i % 3) == 0);
+    EXPECT_EQ(m.offset, static_cast<std::uint32_t>(i % 5));
+    ASSERT_EQ(m.value.size(), payloads[static_cast<std::size_t>(i)].size());
+    for (std::size_t k = 0; k < m.value.size(); ++k)
+      EXPECT_DOUBLE_EQ(m.value[k], payloads[static_cast<std::size_t>(i)][k]);
+  }
+  e1.recycle(got);
+  EXPECT_EQ(e0.sent(), static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(e1.delivered(), static_cast<std::uint64_t>(kCount));
+  EXPECT_EQ(tx.bad_frames(), 0u);
+
+  // Control frames survive the wire with their kind intact.
+  MessageHeader stop;
+  stop.kind = net::MsgKind::kStop;
+  e1.send(0, stop, {}, clock.seconds(), false);
+  std::vector<net::Message> ctl;
+  while (ctl.empty() && clock.seconds() < 10.0) {
+    const std::uint64_t seen = e0.activity();
+    if (e0.receive(clock.seconds(), ctl) == 0)
+      e0.wait_for_activity(seen, 0.05);
+  }
+  ASSERT_EQ(ctl.size(), 1u);
+  EXPECT_EQ(ctl[0].kind, net::MsgKind::kStop);
+  EXPECT_TRUE(ctl[0].value.empty());
+  e0.recycle(ctl);
+}
+
+// ------------------------------------------------------------------ chaos
+
+TEST(ChaosDecorator, HoldsFramesForInjectedLatency) {
+  net::DeliveryPolicy zero;  // inner channels deliver immediately
+  InprocTransport inner(2, zero, 1);
+  net::DeliveryPolicy policy;
+  policy.min_latency = 0.010;
+  policy.max_latency = 0.020;
+  ChaosTransport chaos(inner, policy, 5);
+  Endpoint& e0 = chaos.endpoint(0);
+  Endpoint& e1 = chaos.endpoint(1);
+
+  MessageHeader h;
+  h.tag = 1;
+  const la::Vector v{3.0};
+  ASSERT_TRUE(e0.send(1, h, v, 0.0, false).sent);
+  std::vector<net::Message> got;
+  // First seen at t=0.005: scheduled release within [0.015, 0.025].
+  EXPECT_EQ(e1.receive(0.005, got), 0u);
+  const double next = e1.next_delivery();
+  EXPECT_GE(next, 0.015);
+  EXPECT_LE(next, 0.025);
+  EXPECT_EQ(e1.receive(next - 1e-6, got), 0u);  // still immature
+  ASSERT_EQ(e1.receive(next + 1e-9, got), 1u);  // matured
+  EXPECT_DOUBLE_EQ(got[0].value[0], 3.0);
+  EXPECT_GE(e1.delays().min(), 0.010);  // measured hold >= injected floor
+  e1.recycle(got);
+}
+
+TEST(ChaosDecorator, DrawsTheSameDropSequenceAsInproc) {
+  net::DeliveryPolicy policy;
+  policy.min_latency = 1e-4;
+  policy.max_latency = 5e-3;
+  policy.drop_prob = 0.3;
+  constexpr std::uint64_t kSeed = 99;
+  constexpr int kCount = 300;
+
+  net::DeliveryPolicy zero;
+  InprocTransport inner(2, zero, 1);
+  ChaosTransport chaos(inner, policy, kSeed);
+  InprocTransport direct(2, policy, kSeed);
+
+  MessageHeader h;
+  const la::Vector v{1.0};
+  for (int i = 0; i < kCount; ++i) {
+    const double now = 1e-4 * i;
+    const SendReceipt rc = chaos.endpoint(0).send(1, h, v, now, true);
+    const SendReceipt rd = direct.endpoint(0).send(1, h, v, now, true);
+    // Chaos derives its per-link streams exactly like inproc, so the
+    // drop decisions AND the latency draws coincide message by message.
+    EXPECT_EQ(rc.sent, rd.sent) << "message " << i;
+    EXPECT_DOUBLE_EQ(rc.deliver_at, rd.deliver_at) << "message " << i;
+  }
+  EXPECT_GT(chaos.endpoint(0).dropped(), 0u);
+  EXPECT_EQ(chaos.endpoint(0).dropped(), direct.endpoint(0).dropped());
+  EXPECT_EQ(chaos.endpoint(0).sent(), direct.endpoint(0).sent());
+}
+
+TEST(ChaosDecorator, NonFifoReleaseReordersAndFifoFloorRestoresOrder) {
+  net::DeliveryPolicy zero;
+  for (const bool fifo : {false, true}) {
+    InprocTransport inner(2, zero, 1);
+    net::DeliveryPolicy policy;
+    policy.min_latency = 1e-4;
+    policy.max_latency = 5e-2;
+    policy.fifo = fifo;
+    ChaosTransport chaos(inner, policy, 7);
+    Endpoint& e0 = chaos.endpoint(0);
+    Endpoint& e1 = chaos.endpoint(1);
+    MessageHeader h;
+    const la::Vector v{1.0};
+    for (int i = 0; i < 100; ++i) {
+      h.tag = static_cast<model::Step>(i + 1);
+      e0.send(1, h, v, 0.0, false);
+    }
+    std::vector<net::Message> got;
+    e1.receive(0.0, got);  // stage everything (first seen at t=0)
+    while (got.size() < 100) ASSERT_LT(e1.receive(1e9, got), 101u);
+    ASSERT_EQ(got.size(), 100u);
+    bool inverted = false;
+    for (std::size_t i = 1; i < got.size(); ++i)
+      if (got[i].tag < got[i - 1].tag) inverted = true;
+    // Non-FIFO: a later send with a smaller draw matures first (the
+    // paper's out-of-order regime); the FIFO floor forbids exactly that.
+    EXPECT_EQ(inverted, !fifo);
+    e1.recycle(got);
+  }
+}
+
+// -------------------------------------------------- incorporation (offset)
+
+TEST(PartialBlockFrames, IncorporateWritesOnlyTheCarriedRange) {
+  const la::Partition partition = la::Partition::from_sizes({8});
+  net::LocalView view(la::Vector(8, 0.0), 1);
+  net::Message m;
+  m.block = 0;
+  m.tag = 1;
+  m.offset = 2;
+  m.value = {5.0, 6.0, 7.0};
+  net::incorporate(partition, net::OverwritePolicy::kLastArrivalWins, m,
+                   view);
+  const la::Vector expect{0, 0, 5.0, 6.0, 7.0, 0, 0, 0};
+  EXPECT_EQ(view.x, expect);
+  EXPECT_EQ(view.tags[0], 1u);
+}
+
+// ------------------------------------------- cross-backend parity (Jacobi)
+
+class BackendParityFixture : public ::testing::Test {
+ protected:
+  BackendParityFixture() : rng_(61) {
+    sys_ = problems::make_diagonally_dominant_system(128, 4, 2.0, rng_);
+    partition_ = la::Partition::balanced(sys_.dim(), 16);
+    jacobi_ = std::make_unique<op::JacobiOperator>(sys_.a, sys_.b,
+                                                   partition_);
+    x_star_ = op::picard_solve(*jacobi_, la::zeros(sys_.dim()), 50000,
+                               1e-14);
+  }
+
+  net::MpOptions base_options() const {
+    net::MpOptions opt;
+    opt.workers = 4;
+    opt.delivery.min_latency = 1e-4;
+    opt.delivery.max_latency = 1e-3;
+    opt.tol = 1e-9;
+    opt.x_star = x_star_;
+    opt.max_seconds = 20.0;
+    opt.max_updates = 100000000;
+    return opt;
+  }
+
+  Rng rng_;
+  problems::LinearSystem sys_;
+  la::Partition partition_;
+  std::unique_ptr<op::JacobiOperator> jacobi_;
+  la::Vector x_star_;
+};
+
+TEST_F(BackendParityFixture, InprocAndTcpLoopbackReachTheSameIterate) {
+  const net::MpOptions opt = base_options();
+  const auto inproc =
+      net::run_message_passing(*jacobi_, la::zeros(sys_.dim()), opt);
+  ASSERT_TRUE(inproc.converged) << "inproc error " << inproc.final_error;
+
+  TcpOptions topts;
+  topts.nodes.assign(4, {"127.0.0.1", 0});
+  TcpTransport tcp(std::move(topts));
+  const auto over_tcp =
+      net::run_message_passing(*jacobi_, la::zeros(sys_.dim()), opt, tcp);
+  ASSERT_TRUE(over_tcp.converged) << "tcp error " << over_tcp.final_error;
+  EXPECT_GT(over_tcp.messages_delivered, 0u);
+  EXPECT_EQ(tcp.bad_frames(), 0u);
+
+  // Both backends drive the same contraction to the same fixed point.
+  EXPECT_LT(la::dist_inf(over_tcp.x, inproc.x), 1e-7);
+  EXPECT_LT(la::dist_inf(over_tcp.x, x_star_), 1e-7);
+}
+
+TEST_F(BackendParityFixture, ChaosOverTcpRunsTheDelayModelOnRealSockets) {
+  net::MpOptions opt = base_options();
+  opt.tol = 1e-8;
+  TcpOptions topts;
+  topts.nodes.assign(4, {"127.0.0.1", 0});
+  TcpTransport tcp(std::move(topts));
+  net::DeliveryPolicy policy;
+  policy.min_latency = 2e-4;
+  policy.max_latency = 2e-3;
+  ChaosTransport chaos(tcp, policy, opt.seed);
+  const auto r =
+      net::run_message_passing(*jacobi_, la::zeros(sys_.dim()), opt, chaos);
+  EXPECT_TRUE(r.converged) << "error " << r.final_error;
+  EXPECT_GT(r.delays.count(), 0u);
+  // Every measured delay includes the injected hold: the floor of the
+  // delay model survives the real socket path.
+  EXPECT_GE(r.delays.min(), policy.min_latency);
+}
+
+// ------------------------------------------------------- node runtime
+
+TEST_F(BackendParityFixture, RunNodeRanksOverTcpAllConverge) {
+  net::MpOptions opt = base_options();
+  opt.workers = 2;
+  opt.tol = 1e-8;
+  TcpOptions topts;
+  topts.nodes.assign(2, {"127.0.0.1", 0});
+  TcpTransport tcp(std::move(topts));
+  net::MpResult results[2];
+  std::thread t1([&] {
+    results[1] =
+        net::run_node(*jacobi_, la::zeros(sys_.dim()), opt, tcp.endpoint(1));
+  });
+  results[0] =
+      net::run_node(*jacobi_, la::zeros(sys_.dim()), opt, tcp.endpoint(0));
+  t1.join();
+  tcp.flush(2.0);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_TRUE(results[r].converged)
+        << "rank " << r << " error " << results[r].final_error;
+    EXPECT_GT(results[r].total_updates, 0u);
+    EXPECT_GT(results[r].messages_delivered, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace asyncit::transport
