@@ -9,8 +9,9 @@
 # Presets (release | debug | asan | tsan) are exactly what
 # .github/workflows/ci.yml runs, so `scripts/verify.sh --preset asan`
 # reproduces the CI sanitizer leg locally and `--preset tsan` the
-# ThreadSanitizer leg (its test preset filters to net_test +
-# transport_test, the suites with real concurrent threads). Extra
+# ThreadSanitizer leg (its test preset filters to net_test,
+# transport_test, membership_test and the multi-process churn_smoke —
+# the suites with real concurrent threads and processes). Extra
 # arguments after the preset name are forwarded to the configure step
 # (e.g. -DCMAKE_CXX_COMPILER_LAUNCHER=ccache).
 set -euo pipefail

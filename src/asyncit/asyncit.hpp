@@ -19,6 +19,9 @@
 //   sim/       discrete-event distributed simulator (+ termination
 //              detection) and the synchronous BSP baseline
 //   runtime/   real threaded shared-memory executors
+//   membership/ SWIM-style gossip membership + failure detection for
+//              elastic ranks (join/leave/crash mid-solve) over the
+//              transport control-frame path
 //   transport/ pluggable wire transports: in-process mailbox channels,
 //              TCP sockets (loopback/LAN, multi-process), and the chaos
 //              delay/reorder/drop decorator; pooled zero-alloc messaging
@@ -39,6 +42,8 @@
 #include "asyncit/model/epoch.hpp"
 #include "asyncit/model/macro_iteration.hpp"
 #include "asyncit/model/steering.hpp"
+#include "asyncit/membership/membership.hpp"
+#include "asyncit/membership/swim.hpp"
 #include "asyncit/net/channel.hpp"
 #include "asyncit/net/mp_runtime.hpp"
 #include "asyncit/net/node_runtime.hpp"

@@ -30,13 +30,23 @@
 
 namespace asyncit::net {
 
-/// What a message carries. Almost everything is a block value; kStop is
-/// the one control frame of the multi-process node runtime (a rank
-/// announcing that it has met its stopping criterion and is leaving).
+/// What a message carries. Almost everything is a block value; everything
+/// else is a CONTROL frame riding the same path: kStop is a rank
+/// announcing that it met its stopping criterion and is leaving, and the
+/// kPing/kAck/kPingReq/kMembershipUpdate quartet is the SWIM failure
+/// detector of membership/ (elastic ranks). Control frames reuse the
+/// value header with repurposed fields — see membership/swim.hpp.
 enum class MsgKind : std::uint8_t {
   kValue = 0,
   kStop = 1,
+  kPing = 2,              ///< direct liveness probe (tag = sequence)
+  kAck = 3,               ///< probe answer (block = answered target)
+  kPingReq = 4,           ///< indirect probe request (block = target)
+  kMembershipUpdate = 5,  ///< dedicated gossip broadcast
 };
+inline constexpr std::uint8_t kNumMsgKinds = 6;
+
+inline constexpr bool is_control(MsgKind k) { return k != MsgKind::kValue; }
 
 /// A block value in flight between two peers.
 struct Message {
@@ -74,6 +84,15 @@ struct DeliveryPolicy {
   /// totally asynchronous mode (SSP/BSP gate on complete rounds and would
   /// deadlock without retransmission, which net/ does not model).
   double drop_prob = 0.0;
+  /// By default the loss model spares CONTROL frames (MsgKind != kValue):
+  /// a lost kStop would wedge a gated rank forever and lost membership
+  /// frames would turn every chaos run into false-positive soup — the
+  /// iteration theory licenses dropping VALUES (a fresher one follows),
+  /// not protocol signals. Set true to subject control frames to the
+  /// drop model anyway (failure-detector stress testing). The drop draw
+  /// is consumed either way, so value-stream replay determinism is
+  /// unaffected by the flag.
+  bool drop_control = false;
 };
 
 /// Receiver-side incorporation policy — mirrors sim::OverwritePolicy.

@@ -72,12 +72,29 @@ MpResult run_message_passing(const op::BlockOperator& op,
   ctx.updates = &updates;
   ctx.stop = &stop;
 
+  // Elastic membership in threaded mode: every rank runs its own agent
+  // (driven by its peer thread alone — the Endpoint threading contract).
+  // Nobody actually dies in-process, so this is the failure detector
+  // under load: the false-positive testbed (tests/membership_test.cpp).
+  std::vector<std::unique_ptr<membership::SwimAgent>> agents;
+  if (options.membership.enabled) {
+    ASYNCIT_CHECK(options.mode == Mode::kAsync);
+    agents.reserve(peers_n);
+    for (std::size_t p = 0; p < peers_n; ++p)
+      agents.push_back(std::make_unique<membership::SwimAgent>(
+          static_cast<std::uint32_t>(p), peers_n, options.membership,
+          options.seed));
+  }
+
   std::vector<std::unique_ptr<Peer>> peers;
   peers.reserve(peers_n);
-  for (std::size_t p = 0; p < peers_n; ++p)
+  for (std::size_t p = 0; p < peers_n; ++p) {
+    PeerContext pctx = ctx;
+    if (!agents.empty()) pctx.membership = agents[p].get();
     peers.push_back(std::make_unique<Peer>(
-        ctx, static_cast<std::uint32_t>(p), x0,
+        pctx, static_cast<std::uint32_t>(p), x0,
         transport.endpoint(static_cast<std::uint32_t>(p))));
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(peers_n);
@@ -138,7 +155,11 @@ MpResult run_message_passing(const op::BlockOperator& op,
     result.stale_filtered += p->view().stale_filtered;
     result.peers_stopped += p->peers_stopped();
     result.frames_rejected += p->frames_rejected();
+    result.reassignments += p->reassignments();
+    result.snapshot_blocks_sent += p->snapshot_blocks_sent();
   }
+  result.bad_frames = transport.bad_frames();
+  for (const auto& a : agents) result.membership += a->stats();
   for (std::size_t p = 0; p < peers_n; ++p) {
     const transport::Endpoint& ep =
         transport.endpoint(static_cast<std::uint32_t>(p));

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "asyncit/linalg/norms.hpp"
+#include "asyncit/membership/membership.hpp"
 #include "asyncit/net/channel.hpp"
 #include "asyncit/operators/operator.hpp"
 #include "asyncit/trace/event_log.hpp"
@@ -83,6 +84,14 @@ struct MpOptions {
   std::size_t max_trace_events = 20000;
 
   std::uint64_t seed = 1;
+
+  /// Elastic ranks (membership/): when enabled, every peer runs a SWIM
+  /// failure detector over the control-frame path, block ownership
+  /// follows the live view (la::assign_blocks_contiguous re-run on every
+  /// membership change), joiners are welcomed with an iterate snapshot,
+  /// and `workers` becomes the number of SLOTS — membership.initial_alive
+  /// (empty = all) says which are present at launch. Requires kAsync.
+  membership::Options membership;
 };
 
 struct MpResult {
@@ -112,6 +121,23 @@ struct MpResult {
   /// rank, block id, offset/payload extent) do not fit this run's
   /// geometry — a misconfigured or hostile sender, not a wire error.
   std::uint64_t frames_rejected = 0;
+  /// Wire-invalid frames the transport's readers rejected (corrupted or
+  /// foreign byte streams — transport::Transport::bad_frames). Filled
+  /// where the runtime sees the whole transport (the Transport overload
+  /// of run_message_passing; tools/asyncit_node fills it for run_node).
+  std::uint64_t bad_frames = 0;
+
+  // ---- elastic membership (all zero/empty when membership is off) ----
+  /// Detector + dissemination counters, summed over local ranks.
+  membership::Stats membership;
+  /// Live-view changes that re-ran block assignment.
+  std::uint64_t reassignments = 0;
+  /// Blocks sent as welcome snapshots to joining ranks.
+  std::uint64_t snapshot_blocks_sent = 0;
+  /// This rank's live view at exit (run_node only; sorted, includes the
+  /// own rank).
+  std::vector<std::uint32_t> live_at_exit;
+
   /// Measured post-to-drain delay of every delivered message.
   DelayHistogram delays;
 

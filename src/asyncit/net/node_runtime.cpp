@@ -1,7 +1,9 @@
 #include "asyncit/net/node_runtime.hpp"
 
 #include <atomic>
+#include <memory>
 
+#include "asyncit/membership/swim.hpp"
 #include "asyncit/net/peer.hpp"
 #include "asyncit/runtime/shared_iterate.hpp"
 #include "asyncit/support/check.hpp"
@@ -43,6 +45,17 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
   ctx.node_mode = true;
   ctx.norm = &norm;
 
+  // Elastic membership: one SWIM agent, driven by this (the peer's)
+  // thread. The launch assignment in `owned` becomes a fallback; the
+  // peer re-assigns blocks over the live view as it changes.
+  std::unique_ptr<membership::SwimAgent> agent;
+  if (options.membership.enabled) {
+    ASYNCIT_CHECK(options.mode == Mode::kAsync);
+    agent = std::make_unique<membership::SwimAgent>(
+        rank, world, options.membership, options.seed);
+    ctx.membership = agent.get();
+  }
+
   Peer peer(ctx, rank, x0, endpoint);
   peer.run();  // the calling thread IS the peer
 
@@ -58,6 +71,12 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
   result.stale_filtered = peer.view().stale_filtered;
   result.peers_stopped = peer.peers_stopped();
   result.frames_rejected = peer.frames_rejected();
+  result.reassignments = peer.reassignments();
+  result.snapshot_blocks_sent = peer.snapshot_blocks_sent();
+  if (agent) {
+    result.membership = agent->stats();
+    result.live_at_exit = agent->table().live_ranks();
+  }
   result.messages_sent = endpoint.sent();
   result.messages_dropped = endpoint.dropped();
   result.messages_delivered = endpoint.delivered();

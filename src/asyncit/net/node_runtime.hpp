@@ -20,6 +20,13 @@
 //              their round gate.
 //   budgets    options.max_updates counts THIS rank's updates (no global
 //              counter exists); max_seconds is per-process wall time.
+//   elasticity with options.membership.enabled the world is a set of
+//              SLOTS, not a frozen roster: a SWIM failure detector
+//              (membership/) runs on the control-frame path, dead ranks'
+//              blocks are adopted via re-assignment over the live view,
+//              and late-started ranks join mid-run (snapshot-welcomed).
+//              See DESIGN.md §7; requires Mode::kAsync and an elastic
+//              transport (TcpOptions::elastic).
 //
 // The caller owns transport lifetime: flush() the transport after
 // run_node returns so the final kStop/value frames reach the wire before

@@ -44,10 +44,18 @@ Peer::Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
       view_(x0, ctx.op->partition().num_blocks()),
       endpoint_(&endpoint),
       round_(0),
-      production_((*ctx.owned)[id].size(), 0),
+      production_(ctx.op->partition().num_blocks(), 0),
       complete_rounds_(ctx.options->workers, 0),
       arrivals_(ctx.options->workers) {
   ASYNCIT_CHECK(endpoint_->rank() == id_);
+  if (ctx_.membership != nullptr) {
+    // Elastic ranks only make sense in the totally asynchronous regime:
+    // SSP/BSP round gates would wait forever for a rank that left.
+    ASYNCIT_CHECK(ctx_.options->mode == Mode::kAsync);
+    stopped_ranks_.assign(ctx_.options->workers, false);
+    owned_epoch_ = ctx_.membership->table().epoch();
+    recompute_owned();
+  }
   if (ctx_.options->record_trace)
     trace_budget_ =
         ctx_.options->max_trace_events / std::max<std::size_t>(1, ctx_.options->workers);
@@ -85,19 +93,7 @@ void Peer::receive() {
     // can be wire-valid yet describe another run's geometry (two nodes
     // launched with disagreeing configs). Such a message must be
     // discarded with a counter, not abort the rank via a failed CHECK.
-    // A non-partial value frame must carry EXACTLY its block (a shorter
-    // payload would silently prefix-overwrite the block yet count as a
-    // complete update in the round accounting); only mid-phase partials
-    // may carry sub-ranges.
-    bool reject = m.src >= ctx_.options->workers || m.src == id_ ||
-                  m.block >= partition.num_blocks();
-    if (!reject) {
-      const std::size_t block_size = partition.range(m.block).size();
-      reject = m.offset + m.value.size() > block_size ||
-               (m.kind == MsgKind::kValue && !m.partial &&
-                (m.offset != 0 || m.value.size() != block_size));
-    }
-    if (reject) {
+    if (m.src >= ctx_.options->workers || m.src == id_) {
       ++frames_rejected_;
       continue;
     }
@@ -113,12 +109,50 @@ void Peer::receive() {
       const bool has_local_criterion =
           ctx_.options->x_star.has_value() ||
           ctx_.options->displacement_tol > 0.0;
-      if (ctx_.options->mode != Mode::kAsync ||
-          (!has_local_criterion &&
-           peers_stopped_ + 1 >= ctx_.options->workers))
+      if (ctx_.membership != nullptr) {
+        // A deliberate leave: straight to dead in the table (no point
+        // probing a rank that said goodbye), and its blocks are adopted
+        // at the re-assignment this triggers. "Everyone else is done"
+        // is evaluated over the LIVE view, not the static world — a
+        // spare slot that never joined must not keep us running.
+        stopped_ranks_[m.src] = true;
+        ctx_.membership->table().leave(m.src, now());
+        if (ctx_.options->mode != Mode::kAsync ||
+            (!has_local_criterion && all_others_inactive()))
+          ctx_.stop->store(true, std::memory_order_relaxed);
+      } else if (ctx_.options->mode != Mode::kAsync ||
+                 (!has_local_criterion &&
+                  peers_stopped_ + 1 >= ctx_.options->workers)) {
         ctx_.stop->store(true, std::memory_order_relaxed);
+      }
       continue;
     }
+    if (is_control(m.kind)) {
+      // SWIM failure-detector traffic (membership/swim.hpp). Without an
+      // agent these frames describe a protocol this run does not speak —
+      // discard with the same counter as any config mismatch.
+      if (ctx_.membership == nullptr)
+        ++frames_rejected_;
+      else
+        ctx_.membership->on_frame(m, now());
+      continue;
+    }
+    // A non-partial value frame must carry EXACTLY its block (a shorter
+    // payload would silently prefix-overwrite the block yet count as a
+    // complete update in the round accounting); only mid-phase partials
+    // may carry sub-ranges.
+    bool reject = m.block >= partition.num_blocks();
+    if (!reject) {
+      const std::size_t block_size = partition.range(m.block).size();
+      reject = m.offset + m.value.size() > block_size ||
+               (!m.partial && (m.offset != 0 || m.value.size() != block_size));
+    }
+    if (reject) {
+      ++frames_rejected_;
+      continue;
+    }
+    if (ctx_.membership != nullptr)
+      ctx_.membership->heard_from(m.src, now());
     // Round-completion tracking (counts at drain time, independent of any
     // BSP holdback). Only SSP/BSP gates consult it — and with message
     // loss (kAsync) an incomplete round would leave its map entry behind
@@ -144,27 +178,29 @@ void Peer::receive() {
   // shells whose value moved into holdback_ are skipped by the pool).
   endpoint_->recycle(inbox_);
   if (!recycle_scratch_.empty()) endpoint_->recycle(recycle_scratch_);
+  service_membership();
 }
 
 void Peer::send_block(la::BlockId b, bool partial) {
   const la::Partition& partition = ctx_.op->partition();
-  const la::BlockId own_first = (*ctx_.owned)[id_].front();
-  const model::Step tag = ++production_[b - own_first];
+  // The next tag must beat everything we have SEEN for the block, not
+  // just everything we produced: after an elastic re-assignment the new
+  // owner continues the previous owner's sequence, so kNewestTagWins
+  // receivers accept the adopted block's updates immediately.
+  const model::Step tag = (production_[b] =
+                               std::max(production_[b], view_.max_tag[b]) + 1);
   view_.tags[b] = tag;
   view_.max_tag[b] = tag;
   const auto value =
       partition.block_span(std::span<const double>(view_.x), b);
   const double t = now();
   const bool allow_drop = ctx_.options->mode == Mode::kAsync;
-  const std::uint32_t peers =
-      static_cast<std::uint32_t>(ctx_.options->workers);
   transport::MessageHeader header;
   header.block = b;
   header.tag = tag;
   header.round = round_;
   header.partial = partial;
-  for (std::uint32_t dst = 0; dst < peers; ++dst) {
-    if (dst == id_) continue;
+  auto send_one = [&](std::uint32_t dst) {
     const transport::SendReceipt receipt =
         endpoint_->send(dst, header, value, t, allow_drop);
     if (trace_budget_ > 0) {
@@ -172,6 +208,17 @@ void Peer::send_block(la::BlockId b, bool partial) {
       log_.add_message({id_, dst, b, partial, !receipt.sent, receipt.t_send,
                         receipt.deliver_at, tag});
     }
+  };
+  if (ctx_.membership != nullptr) {
+    // Publish to the LIVE view only (suspects included — they are still
+    // presumed members until the grace period expires).
+    for (const std::uint32_t dst : ctx_.membership->table().live_ranks())
+      if (dst != id_) send_one(dst);
+  } else {
+    const std::uint32_t peers =
+        static_cast<std::uint32_t>(ctx_.options->workers);
+    for (std::uint32_t dst = 0; dst < peers; ++dst)
+      if (dst != id_) send_one(dst);
   }
   if (partial) ++partials_sent_;
 }
@@ -180,11 +227,112 @@ void Peer::broadcast_stop() {
   transport::MessageHeader header;
   header.kind = MsgKind::kStop;
   const double t = now();
+  if (ctx_.membership != nullptr) {
+    for (const std::uint32_t dst : ctx_.membership->table().live_ranks()) {
+      if (dst == id_) continue;
+      endpoint_->send(dst, header, {}, t, /*allow_drop=*/false);
+    }
+    return;
+  }
   const std::uint32_t peers =
       static_cast<std::uint32_t>(ctx_.options->workers);
   for (std::uint32_t dst = 0; dst < peers; ++dst) {
     if (dst == id_) continue;
     endpoint_->send(dst, header, {}, t, /*allow_drop=*/false);
+  }
+}
+
+bool Peer::all_others_inactive() const {
+  const membership::MembershipTable& table = ctx_.membership->table();
+  for (std::uint32_t r = 0; r < ctx_.options->workers; ++r) {
+    if (r == id_ || stopped_ranks_[r]) continue;
+    const membership::MemberState s = table.state(r);
+    if (s == membership::MemberState::kAlive ||
+        s == membership::MemberState::kSuspect)
+      return false;
+  }
+  return true;
+}
+
+void Peer::recompute_owned() {
+  const la::Partition& partition = ctx_.op->partition();
+  const std::vector<std::uint32_t>& live =
+      ctx_.membership->table().live_ranks();
+  // Self is always in its own live view; blocks are re-assigned over the
+  // SORTED live ranks, so every rank with the same view computes the
+  // same assignment. Transient view disagreement (gossip in flight) only
+  // double-assigns or orphans blocks briefly — both are plain staleness
+  // under the totally asynchronous convergence theory.
+  const auto it = std::lower_bound(live.begin(), live.end(), id_);
+  ASYNCIT_CHECK(it != live.end() && *it == id_);
+  const std::size_t index = static_cast<std::size_t>(it - live.begin());
+  const std::size_t workers =
+      std::min(live.size(), partition.num_blocks());
+  if (index >= workers) {
+    // More live ranks than blocks: the surplus ranks idle (receive-only).
+    elastic_owned_.clear();
+    return;
+  }
+  const auto assignment =
+      la::assign_blocks_contiguous(partition.num_blocks(), workers);
+  elastic_owned_ = assignment[index];
+}
+
+void Peer::send_snapshot_to(std::uint32_t dst) {
+  // Welcome a joiner with the blocks WE currently own, at their current
+  // tags: the union over the established ranks covers the whole iterate,
+  // so the joiner starts from the live solution instead of x0. (Plain
+  // kValue frames — the receiver needs no special path.)
+  const la::Partition& partition = ctx_.op->partition();
+  const double t = now();
+  for (const la::BlockId b : owned_blocks()) {
+    transport::MessageHeader header;
+    header.block = b;
+    header.tag = production_[b];
+    header.round = round_;
+    endpoint_->send(dst, header,
+                    partition.block_span(std::span<const double>(view_.x), b),
+                    t, /*allow_drop=*/false);
+    ++snapshot_blocks_sent_;
+  }
+}
+
+void Peer::service_membership() {
+  membership::SwimAgent* agent = ctx_.membership;
+  if (agent == nullptr) return;
+  agent->tick(now());
+  if (!agent->outbox().empty()) {
+    const double t = now();
+    for (const membership::ControlFrame& f : agent->outbox()) {
+      transport::MessageHeader header;
+      header.kind = f.kind;
+      header.block = f.target;
+      header.tag = f.seq;
+      // allow_drop=true: the DEFAULT DeliveryPolicy spares control
+      // frames anyway (drop_control=false); flipping the flag turns the
+      // chaos loss model into a failure-detector stress test.
+      endpoint_->send(f.dst, header, f.payload, t, /*allow_drop=*/true);
+    }
+    agent->outbox().clear();
+  }
+  events_scratch_.clear();
+  agent->drain_events(events_scratch_);
+  for (const membership::Event& e : events_scratch_) {
+    if (e.kind == membership::EventKind::kJoined && e.rank != id_)
+      send_snapshot_to(e.rank);  // pre-re-assignment owned set: the
+                                 // established ranks jointly cover x
+  }
+  if (owned_epoch_ != agent->table().epoch()) {
+    owned_epoch_ = agent->table().epoch();
+    recompute_owned();
+    ++reassignments_;
+    // A death may complete the live-view termination condition for a
+    // rank with no local criterion (everyone else stopped or died).
+    const bool has_local_criterion =
+        ctx_.options->x_star.has_value() ||
+        ctx_.options->displacement_tol > 0.0;
+    if (ctx_.node_mode && !has_local_criterion && all_others_inactive())
+      ctx_.stop->store(true, std::memory_order_relaxed);
   }
 }
 
@@ -310,7 +458,7 @@ void Peer::run() {
   // CPU clock here so yield pacing measures THIS thread's consumption.
   cpu_timer_.reset();
   const MpOptions& opt = *ctx_.options;
-  const std::vector<la::BlockId>& owned = (*ctx_.owned)[id_];
+  const bool elastic = ctx_.membership != nullptr;
   const std::size_t reps = rt::slowdown_repetitions(opt.worker_slowdown, id_);
   const std::uint64_t slack =
       opt.mode == Mode::kBsp ? 0 : opt.staleness;
@@ -322,6 +470,20 @@ void Peer::run() {
       if (!wait_for_rounds(needed)) break;
     }
     receive();
+    // The owned set may change UNDER the sweep (a receive() inside
+    // update_block can re-run the assignment), so each sweep iterates a
+    // stable copy; adopted blocks join the next sweep.
+    if (elastic) sweep_owned_ = owned_blocks();
+    const std::vector<la::BlockId>& owned =
+        elastic ? sweep_owned_ : (*ctx_.owned)[id_];
+    if (owned.empty()) {
+      // Receive-only rank (more live ranks than blocks): keep the
+      // detector and the stop checks alive without spinning.
+      const std::uint64_t seen = endpoint_->activity();
+      maybe_check(own_updates);
+      if (!stopped()) endpoint_->wait_for_activity(seen, kMaxGateWait);
+      continue;
+    }
     std::span<const double> compute_view(view_.x);
     if (opt.mode == Mode::kBsp) {
       snapshot_ = view_.x;  // frozen per-round view: exact Jacobi

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "asyncit/membership/swim.hpp"
 #include "asyncit/net/channel.hpp"
 #include "asyncit/net/mp_runtime.hpp"
 #include "asyncit/operators/operator.hpp"
@@ -91,6 +92,15 @@ struct PeerContext {
   /// control frame. Update budgets then count local updates only.
   bool node_mode = false;
   const la::WeightedMaxNorm* norm = nullptr;  ///< node-mode oracle stop
+  /// Elastic membership (one agent PER PEER, driven by the peer thread
+  /// alone). When set, the peer owns the blocks its index in the LIVE
+  /// view assigns (re-running la::assign_blocks_contiguous on every
+  /// view change), routes kPing/kAck/kPingReq/kMembershipUpdate frames
+  /// into the agent, welcomes joiners with an iterate snapshot, and
+  /// evaluates "everyone else is done" over the live view instead of
+  /// the static world. Requires Mode::kAsync — the gated modes assume a
+  /// static round structure that churn would deadlock.
+  membership::SwimAgent* membership = nullptr;
 };
 
 class Peer {
@@ -112,6 +122,10 @@ class Peer {
   /// Wire-valid messages discarded for out-of-range semantic fields
   /// (source rank / block id / offset extent — config mismatch).
   std::uint64_t frames_rejected() const { return frames_rejected_; }
+  /// Elastic mode: live-view changes that re-ran block assignment.
+  std::uint64_t reassignments() const { return reassignments_; }
+  /// Elastic mode: blocks sent as welcome snapshots to joining ranks.
+  std::uint64_t snapshot_blocks_sent() const { return snapshot_blocks_sent_; }
   const trace::EventLog& log() const { return log_; }
 
  private:
@@ -122,6 +136,24 @@ class Peer {
 
   /// Drains the endpoint and incorporates everything delivered.
   void receive();
+  /// Elastic mode: drives the SWIM agent (probe cadence, gossip), puts
+  /// its outbox on the wire, reacts to membership events (snapshot
+  /// joins, block re-assignment, live-view completion). No-op without a
+  /// membership agent.
+  void service_membership();
+  /// Re-runs la::assign_blocks_contiguous over the live view.
+  void recompute_owned();
+  /// Sends the current value of every owned block to a joining rank so
+  /// it starts from the live iterate instead of x0 (snapshot join).
+  void send_snapshot_to(std::uint32_t dst);
+  /// The blocks this peer currently owns (elastic view, or the static
+  /// launch assignment when membership is off).
+  const std::vector<la::BlockId>& owned_blocks() const {
+    return ctx_.membership != nullptr ? elastic_owned_ : (*ctx_.owned)[id_];
+  }
+  /// Async no-local-criterion termination over the live view: true when
+  /// every other slot has stopped, died, or never joined.
+  bool all_others_inactive() const;
   /// Computes one updating phase of block b (inner_steps applications;
   /// flexible communication when configured) and publishes the result.
   void update_block(la::BlockId b, std::size_t reps,
@@ -154,12 +186,25 @@ class Peer {
   op::Workspace ws_;                  ///< per-peer operator scratch
 
   std::uint64_t round_ = 0;           ///< completed sweeps over owned blocks
-  std::vector<model::Step> production_;  ///< per owned block send counter
+  /// Per-BLOCK send counter (all m blocks, not just the launch-owned
+  /// ones: elastic re-assignment hands blocks between ranks, and a new
+  /// owner must continue the tag sequence past everything it has seen or
+  /// kNewestTagWins receivers would discard its updates as stale).
+  std::vector<model::Step> production_;
   model::Step local_step_ = 0;        ///< completed phases (trace labels)
   std::uint64_t partials_sent_ = 0;
   std::uint64_t peers_stopped_ = 0;
   std::uint64_t frames_rejected_ = 0;
   ThreadCpuTimer cpu_timer_;
+
+  // ---- elastic membership (all empty/zero when ctx.membership is null)
+  std::vector<la::BlockId> elastic_owned_;   ///< current live assignment
+  std::vector<la::BlockId> sweep_owned_;     ///< per-sweep stable copy
+  std::vector<bool> stopped_ranks_;          ///< kStop seen, by rank
+  std::vector<membership::Event> events_scratch_;
+  std::uint64_t owned_epoch_ = 0;     ///< table epoch of elastic_owned_
+  std::uint64_t reassignments_ = 0;
+  std::uint64_t snapshot_blocks_sent_ = 0;
 
   /// Round-completion tracking per source peer: complete_rounds_[src] is
   /// the count r of initial rounds (0..r-1) for which ALL of src's final

@@ -24,6 +24,7 @@ ChaosTransport::ChaosTransport(Transport& inner,
     auto ep = std::make_unique<ChaosEndpoint>();
     ep->inner_ = &inner.endpoint(r);
     ep->fifo_ = policy.fifo;
+    ep->drop_control_ = policy.drop_control;
     ep->fifo_floor_.assign(world, 0.0);
     endpoints_[r] = std::move(ep);
   }
@@ -57,7 +58,12 @@ SendReceipt ChaosEndpoint::send(std::uint32_t dst,
                                 bool allow_drop) {
   ASYNCIT_CHECK(dst < links_.size());
   net::Message probe;  // carries only the stamped timing fields
-  const bool kept = links_[dst].stamp(probe, now, allow_drop);
+  // Control frames are exempt from the drop model unless the stress flag
+  // opts them in (see DeliveryPolicy::drop_control); the stamper still
+  // consumes its draws, keeping the link streams replay-deterministic.
+  const bool droppable =
+      allow_drop && (!net::is_control(header.kind) || drop_control_);
+  const bool kept = links_[dst].stamp(probe, now, droppable);
   if (!kept) return {false, probe.t_send, probe.deliver_at};
   MessageHeader h = header;
   h.injected_delay = probe.deliver_at - now;  // this link's latency draw
@@ -78,21 +84,36 @@ std::size_t ChaosEndpoint::receive(double now,
     }
     m.t_send = now;  // first seen at this layer (delay measurement base)
     m.deliver_at = release;
+    // Arrivals are near-sorted already (now advances), so this insert
+    // lands close to the tail and stays cheap even with a big backlog.
     const auto it = std::upper_bound(
-        held_.begin(), held_.end(), m,
+        held_.begin() + static_cast<std::ptrdiff_t>(held_head_),
+        held_.end(), m,
         [](const net::Message& a, const net::Message& b) {
           return a.deliver_at < b.deliver_at;
         });
     held_.insert(it, std::move(m));
   }
   staging_.clear();
+  // Consume from a head cursor instead of erasing the vector front: with
+  // a large injected latency against a fast sender the backlog reaches
+  // rate x latency messages, and a front erase per drain made every
+  // receive O(backlog) — the compaction below keeps it amortized O(1).
   std::size_t n = 0;
-  while (n < held_.size() && held_[n].deliver_at <= now) ++n;
+  while (held_head_ + n < held_.size() &&
+         held_[held_head_ + n].deliver_at <= now)
+    ++n;
   for (std::size_t i = 0; i < n; ++i) {
-    delays_.add(now - held_[i].t_send);
-    out.push_back(std::move(held_[i]));
+    net::Message& m = held_[held_head_ + i];
+    delays_.add(now - m.t_send);
+    out.push_back(std::move(m));
   }
-  held_.erase(held_.begin(), held_.begin() + static_cast<std::ptrdiff_t>(n));
+  held_head_ += n;
+  if (held_head_ >= 64 && held_head_ * 2 >= held_.size()) {
+    held_.erase(held_.begin(),
+                held_.begin() + static_cast<std::ptrdiff_t>(held_head_));
+    held_head_ = 0;
+  }
   delivered_ += n;
   return n;
 }
@@ -110,8 +131,8 @@ void ChaosEndpoint::wait_for_activity(std::uint64_t seen,
 
 double ChaosEndpoint::next_delivery() const {
   const double inner_next = inner_->next_delivery();
-  if (held_.empty()) return inner_next;
-  return std::min(inner_next, held_.front().deliver_at);
+  if (held_head_ >= held_.size()) return inner_next;
+  return std::min(inner_next, held_[held_head_].deliver_at);
 }
 
 std::uint64_t ChaosEndpoint::sent() const {

@@ -60,9 +60,14 @@ class ChaosEndpoint final : public Endpoint {
   friend class ChaosTransport;
 
   Endpoint* inner_ = nullptr;
+  bool drop_control_ = false;  ///< DeliveryPolicy::drop_control
   std::vector<net::LinkStamper> links_;  ///< per destination
-  /// Frames awaiting maturity, sorted by deliver_at (mailbox discipline).
+  /// Frames awaiting maturity, sorted by deliver_at (mailbox
+  /// discipline). Entries before held_head_ are consumed; the vector is
+  /// compacted once the consumed prefix dominates, so draining stays
+  /// amortized O(1) however large the latency backlog grows.
   std::vector<net::Message> held_;
+  std::size_t held_head_ = 0;
   std::vector<net::Message> staging_;    ///< inner drain scratch
   std::vector<double> fifo_floor_;       ///< per SOURCE link release floor
   bool fifo_ = false;
@@ -87,6 +92,7 @@ class ChaosTransport final : public Transport {
   void flush(double timeout_seconds) override {
     inner_->flush(timeout_seconds);
   }
+  std::uint64_t bad_frames() const override { return inner_->bad_frames(); }
 
  private:
   Transport* inner_;

@@ -25,6 +25,7 @@ InprocTransport::InprocTransport(std::size_t world,
     InprocEndpoint& ep = endpoints_[src];
     ep.owner_ = this;
     ep.rank_ = static_cast<std::uint32_t>(src);
+    ep.drop_control_ = policy.drop_control;
     ep.links_.reserve(world);
     for (std::size_t dst = 0; dst < world; ++dst)
       ep.links_.emplace_back(policy, seeder.next());
@@ -59,7 +60,12 @@ SendReceipt InprocEndpoint::send(std::uint32_t dst,
   m.offset = header.offset;
   m.injected_delay = header.injected_delay;  // chaos latency rides along
   m.value.assign(value.begin(), value.end());
-  const bool sent = links_[dst].stamp(m, now, allow_drop);
+  // The loss model spares control frames unless the stress flag opts
+  // them in; the stamper consumes its drop draw regardless, so the
+  // per-link draw sequence (replay determinism) is kind-independent.
+  const bool droppable =
+      allow_drop && (!net::is_control(header.kind) || drop_control_);
+  const bool sent = links_[dst].stamp(m, now, droppable);
   const SendReceipt receipt{sent, m.t_send, m.deliver_at};
   if (sent)
     station.mailbox.post(std::move(m));

@@ -52,6 +52,7 @@ class InprocEndpoint final : public Endpoint {
   friend class InprocTransport;
   InprocTransport* owner_ = nullptr;
   std::uint32_t rank_ = 0;
+  bool drop_control_ = false;  ///< DeliveryPolicy::drop_control
   /// Per-destination stampers, owned and used by this endpoint's peer
   /// thread alone (the replay-determinism contract of net::LinkStamper).
   std::vector<net::LinkStamper> links_;

@@ -31,6 +31,14 @@ namespace {
 constexpr std::uint32_t kHelloMagic = 0x48454C4F;  // "HELO"
 constexpr int kPollMillis = 200;     ///< service-thread wakeup bound
 constexpr int kDialBackoffMicros = 20000;
+/// Elastic mode: minimum spacing between background redial attempts on
+/// one link, and the budget for a single nonblocking connect.
+constexpr double kRedialBackoffSeconds = 0.2;
+constexpr double kDialAttemptSeconds = 0.25;
+/// Elastic mode: per-link send-queue bound; beyond it the OLDEST frame is
+/// dropped first (a fresher value supersedes it anyway — last-arrival
+/// semantics).
+constexpr std::size_t kMaxElasticQueue = 1024;
 
 void close_if_open(int& fd) {
   if (fd >= 0) {
@@ -82,7 +90,7 @@ class TcpEndpoint final : public Endpoint {
                          double timeout_seconds) override;
   double next_delivery() const override;
   std::uint64_t sent() const override { return sent_; }
-  std::uint64_t dropped() const override { return dropped_; }
+  std::uint64_t dropped() const override;
   std::uint64_t delivered() const override;
   net::DelayHistogram delays() const override;
 
@@ -91,15 +99,22 @@ class TcpEndpoint final : public Endpoint {
   friend struct TcpTransport::Impl;
 
   /// One outgoing directed link: a queue of encoded frames drained by a
-  /// dedicated writer thread.
+  /// dedicated writer thread. In elastic mode the writer also owns the
+  /// connection life cycle (lazy dial / redial), so fd is atomic: the
+  /// writer mutates it while send()/flush() peek at it.
   struct OutLink {
-    int fd = -1;
+    std::uint32_t dst = 0;
+    std::atomic<int> fd{-1};
     std::thread writer;
     std::mutex mu;
     std::condition_variable cv;
     std::vector<std::vector<std::uint8_t>> queue;  ///< guarded by mu
     bool writing = false;                          ///< guarded by mu
     std::atomic<bool> closed{false};
+    /// Frames discarded by the writer (unconnected / dead destination,
+    /// elastic queue overflow) — part of the endpoint's dropped() count.
+    std::atomic<std::uint64_t> tx_dropped{0};
+    double next_dial_at = 0.0;  ///< writer-thread local backoff clock
   };
 
   /// One incoming directed link, serviced by a reader thread.
@@ -107,6 +122,10 @@ class TcpEndpoint final : public Endpoint {
     std::uint32_t src = 0;
     int fd = -1;
     std::thread reader;
+    /// Elastic rejoin: a fresh connection from the same rank supersedes
+    /// this one (its fd is shut down; the reader exits; the shell stays
+    /// for the teardown join).
+    bool retired = false;  ///< guarded by the endpoint's in_mu_
   };
 
   TcpTransport::Impl* impl_ = nullptr;
@@ -139,6 +158,7 @@ class TcpEndpoint final : public Endpoint {
 struct TcpTransport::Impl {
   TcpOptions options;
   std::vector<std::uint32_t> locals;
+  std::vector<bool> expected_ranks;  ///< startup rendezvous set (by rank)
   std::vector<std::unique_ptr<TcpEndpoint>> endpoints;  ///< by world rank
   WallTimer clock;  ///< arrival timestamps (receiver-local intervals only)
   std::atomic<bool> stopping{false};
@@ -153,6 +173,13 @@ struct TcpTransport::Impl {
   void shutdown();
   void start(TcpOptions opts);
   int dial(std::uint32_t dst, double deadline) const;
+  /// Single bounded nonblocking connect + hello (elastic redial path).
+  /// Returns the connected fd or -1; never throws, never retries.
+  int try_dial(std::uint32_t src_rank, std::uint32_t dst,
+               double timeout) const;
+  /// Writer-side connection upkeep (elastic): redial when unconnected or
+  /// dead, rate-limited by kRedialBackoffSeconds. True when usable.
+  bool ensure_connected(TcpEndpoint* ep, TcpEndpoint::OutLink* link);
   void accept_loop(TcpEndpoint* ep);
   void reader_loop(TcpEndpoint* ep, TcpEndpoint::InLink* link);
   void writer_loop(TcpEndpoint* ep, TcpEndpoint::OutLink* link);
@@ -177,6 +204,15 @@ void TcpTransport::Impl::start(TcpOptions opts) {
     // A remote rank must be dialable from the config alone.
     ASYNCIT_CHECK(local || options.nodes[r].port != 0);
   }
+  // The startup rendezvous set: everyone in the static mesh, only the
+  // configured subset in elastic mode (absent slots join later).
+  std::vector<bool> expected(world, !options.elastic);
+  if (options.elastic) {
+    for (const std::uint32_t r : options.expected_ranks) {
+      ASYNCIT_CHECK(r < world);
+      expected[r] = true;
+    }
+  }
   ASYNCIT_CHECK(::pipe(stop_pipe_) == 0);
   set_nonblocking(stop_pipe_[0]);
 
@@ -188,7 +224,10 @@ void TcpTransport::Impl::start(TcpOptions opts) {
     ep->impl_ = this;
     ep->rank_ = r;
     ep->out_.resize(world);
-    for (auto& l : ep->out_) l = std::make_unique<TcpEndpoint::OutLink>();
+    for (std::size_t dst = 0; dst < world; ++dst) {
+      ep->out_[dst] = std::make_unique<TcpEndpoint::OutLink>();
+      ep->out_[dst]->dst = static_cast<std::uint32_t>(dst);
+    }
     ep->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     ASYNCIT_CHECK(ep->listen_fd_ >= 0);
     int one = 1;
@@ -212,34 +251,46 @@ void TcpTransport::Impl::start(TcpOptions opts) {
   }
   // Phase 2: acceptors run while we dial, so local<->local pairs (the
   // in-process loopback mesh) rendezvous without any ordering games.
-  pending_incoming = locals.size() * (world - 1);
+  // Expected incoming: one hello per expected non-self rank per local
+  // endpoint (non-expected slots dial in whenever they start).
+  std::size_t expected_peers = 0;
+  for (std::size_t r = 0; r < world; ++r)
+    if (expected[r]) ++expected_peers;
+  pending_incoming = 0;
+  for (const std::uint32_t r : locals)
+    pending_incoming += expected_peers - (expected[r] ? 1 : 0);
+  expected_ranks = std::move(expected);
   for (const std::uint32_t r : locals) {
     TcpEndpoint* ep = endpoints[r].get();
     ep->acceptor_ = std::thread([this, ep] { accept_loop(ep); });
   }
-  // Phase 3: dial every destination from every local rank and say hello.
+  // Phase 3: dial every EXPECTED destination from every local rank and
+  // say hello; writers for the remaining slots start unconnected and
+  // (in elastic mode) dial lazily once traffic for them appears.
   const double deadline =
       clock.seconds() + options.connect_timeout_seconds;
   for (const std::uint32_t r : locals) {
     TcpEndpoint* ep = endpoints[r].get();
     for (std::uint32_t dst = 0; dst < world; ++dst) {
       if (dst == r) continue;
-      const int fd = dial(dst, deadline);
-      std::uint8_t hello[8];
-      for (int i = 0; i < 4; ++i)
-        hello[i] = static_cast<std::uint8_t>(kHelloMagic >> (8 * i));
-      for (int i = 0; i < 4; ++i)
-        hello[4 + i] = static_cast<std::uint8_t>(r >> (8 * i));
-      ASYNCIT_CHECK(::send(fd, hello, sizeof(hello), MSG_NOSIGNAL) ==
-                    static_cast<ssize_t>(sizeof(hello)));
-      set_nodelay(fd);
-      set_nonblocking(fd);
       TcpEndpoint::OutLink* link = ep->out_[dst].get();
-      link->fd = fd;
+      if (expected_ranks[dst]) {
+        const int fd = dial(dst, deadline);
+        std::uint8_t hello[8];
+        for (int i = 0; i < 4; ++i)
+          hello[i] = static_cast<std::uint8_t>(kHelloMagic >> (8 * i));
+        for (int i = 0; i < 4; ++i)
+          hello[4 + i] = static_cast<std::uint8_t>(r >> (8 * i));
+        ASYNCIT_CHECK(::send(fd, hello, sizeof(hello), MSG_NOSIGNAL) ==
+                      static_cast<ssize_t>(sizeof(hello)));
+        set_nodelay(fd);
+        set_nonblocking(fd);
+        link->fd.store(fd, std::memory_order_relaxed);
+      }
       link->writer = std::thread([this, ep, link] { writer_loop(ep, link); });
     }
   }
-  // Phase 4: wait until every local rank has its world-1 incoming links.
+  // Phase 4: wait until every local rank has its expected incoming links.
   {
     std::unique_lock<std::mutex> lock(reg_mu);
     const bool ok = reg_cv.wait_for(
@@ -266,6 +317,86 @@ int TcpTransport::Impl::dial(std::uint32_t dst, double deadline) const {
   }
 }
 
+int TcpTransport::Impl::try_dial(std::uint32_t src_rank, std::uint32_t dst,
+                                 double timeout) const {
+  const sockaddr_in sa =
+      resolve_ipv4(options.nodes[dst].host, options.nodes[dst].port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  set_nonblocking(fd);
+  const double deadline = clock.seconds() + timeout;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    for (;;) {
+      pollfd p[2] = {{fd, POLLOUT, 0}, {stop_pipe_[0], POLLIN, 0}};
+      ::poll(p, 2, kPollMillis);
+      if (p[0].revents & POLLOUT) break;
+      if (stopping.load(std::memory_order_relaxed) ||
+          clock.seconds() > deadline) {
+        ::close(fd);
+        return -1;
+      }
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  // Hello: 8 bytes into an empty send buffer — completes immediately on
+  // any healthy connection (the poll covers a pathological one).
+  std::uint8_t hello[8];
+  for (int i = 0; i < 4; ++i)
+    hello[i] = static_cast<std::uint8_t>(kHelloMagic >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    hello[4 + i] = static_cast<std::uint8_t>(src_rank >> (8 * i));
+  std::size_t off = 0;
+  while (off < sizeof(hello)) {
+    const ssize_t k =
+        ::send(fd, hello + off, sizeof(hello) - off, MSG_NOSIGNAL);
+    if (k > 0) {
+      off += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (clock.seconds() > deadline) break;
+      pollfd p{fd, POLLOUT, 0};
+      ::poll(&p, 1, kPollMillis);
+      continue;
+    }
+    break;
+  }
+  if (off != sizeof(hello)) {
+    ::close(fd);
+    return -1;
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+bool TcpTransport::Impl::ensure_connected(TcpEndpoint* ep,
+                                          TcpEndpoint::OutLink* link) {
+  const int fd = link->fd.load(std::memory_order_relaxed);
+  if (fd >= 0 && !link->closed.load(std::memory_order_relaxed)) return true;
+  if (!options.elastic || stopping.load(std::memory_order_relaxed))
+    return false;
+  const double t = clock.seconds();
+  if (t < link->next_dial_at) return false;
+  link->next_dial_at = t + kRedialBackoffSeconds;
+  const int nfd = try_dial(ep->rank_, link->dst, kDialAttemptSeconds);
+  if (nfd < 0) return false;
+  if (fd >= 0) ::close(fd);
+  link->fd.store(nfd, std::memory_order_relaxed);
+  link->closed.store(false, std::memory_order_relaxed);
+  return true;
+}
+
 bool TcpTransport::Impl::read_exact(int fd, std::uint8_t* out,
                                     std::size_t n, double deadline) const {
   std::size_t off = 0;
@@ -288,9 +419,16 @@ bool TcpTransport::Impl::read_exact(int fd, std::uint8_t* out,
 }
 
 void TcpTransport::Impl::accept_loop(TcpEndpoint* ep) {
-  const std::size_t expect = options.nodes.size() - 1;
+  // Static mesh: exit once every expected hello arrived. Elastic: run
+  // for the transport's lifetime — late joiners and crash-rejoins dial
+  // in whenever they come up.
+  std::size_t expect = 0;
+  for (std::size_t r = 0; r < expected_ranks.size(); ++r)
+    if (expected_ranks[r] && r != ep->rank_) ++expect;
+  std::vector<bool> counted(options.nodes.size(), false);
   std::size_t registered = 0;
-  while (!stopping.load(std::memory_order_relaxed) && registered < expect) {
+  while (!stopping.load(std::memory_order_relaxed) &&
+         (options.elastic || registered < expect)) {
     pollfd p[2] = {{ep->listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
     ::poll(p, 2, kPollMillis);
     if (!(p[0].revents & POLLIN)) continue;
@@ -319,26 +457,37 @@ void TcpTransport::Impl::accept_loop(TcpEndpoint* ep) {
     TcpEndpoint::InLink* raw = link.get();
     {
       std::lock_guard<std::mutex> lock(ep->in_mu_);
-      // One incoming link per source rank: a duplicate hello (a stale
-      // process from a previous run on a recycled port, a retried dial)
-      // must not consume a rendezvous slot, or the mesh would "complete"
-      // while the genuine peer sits unread in the listen backlog.
-      bool duplicate = false;
-      for (const auto& existing : ep->in_)
-        if (existing->src == src) duplicate = true;
-      if (duplicate) {
-        ::close(fd);
-        continue;
+      TcpEndpoint::InLink* existing = nullptr;
+      for (const auto& l : ep->in_)
+        if (l->src == src && !l->retired) existing = l.get();
+      if (existing != nullptr) {
+        if (!options.elastic) {
+          // One incoming link per source rank: a duplicate hello (a
+          // stale process from a previous run on a recycled port, a
+          // retried dial) must not consume a rendezvous slot, or the
+          // mesh would "complete" while the genuine peer sits unread in
+          // the listen backlog.
+          ::close(fd);
+          continue;
+        }
+        // Elastic rejoin: the fresh connection supersedes the stale one.
+        // Shutting the old fd down unblocks its reader (which exits);
+        // the shell stays in in_ for the teardown join.
+        existing->retired = true;
+        ::shutdown(existing->fd, SHUT_RDWR);
       }
       ep->in_.push_back(std::move(link));
     }
     raw->reader = std::thread([this, ep, raw] { reader_loop(ep, raw); });
-    ++registered;
-    {
-      std::lock_guard<std::mutex> lock(reg_mu);
-      --pending_incoming;
+    if (expected_ranks[src] && !counted[src]) {
+      counted[src] = true;
+      ++registered;
+      {
+        std::lock_guard<std::mutex> lock(reg_mu);
+        --pending_incoming;
+      }
+      reg_cv.notify_all();
     }
-    reg_cv.notify_all();
   }
 }
 
@@ -397,16 +546,17 @@ void TcpTransport::Impl::reader_loop(TcpEndpoint* ep,
 
 bool TcpTransport::Impl::write_all(TcpEndpoint::OutLink* link,
                                    std::span<const std::uint8_t> bytes) {
+  const int fd = link->fd.load(std::memory_order_relaxed);
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t k = ::send(link->fd, bytes.data() + off,
+    const ssize_t k = ::send(fd, bytes.data() + off,
                              bytes.size() - off, MSG_NOSIGNAL);
     if (k >= 0) {
       off += static_cast<std::size_t>(k);
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      pollfd p[2] = {{link->fd, POLLOUT, 0}, {stop_pipe_[0], POLLIN, 0}};
+      pollfd p[2] = {{fd, POLLOUT, 0}, {stop_pipe_[0], POLLIN, 0}};
       ::poll(p, 2, kPollMillis);
       if (stopping.load(std::memory_order_relaxed)) return false;
       continue;
@@ -432,9 +582,15 @@ void TcpTransport::Impl::writer_loop(TcpEndpoint* ep,
       batch.swap(link->queue);
       link->writing = true;
     }
+    // Elastic links own their connection: (re)dial before draining. A
+    // batch for an unreachable destination is discarded — the medium is
+    // down, and the totally asynchronous regime treats that as loss.
+    const bool usable = ensure_connected(ep, link);
     for (auto& frame : batch) {
-      if (!link->closed.load(std::memory_order_relaxed))
+      if (usable && !link->closed.load(std::memory_order_relaxed))
         write_all(link, frame);
+      else
+        link->tx_dropped.fetch_add(1, std::memory_order_relaxed);
       ep->frame_pool_.recycle(std::move(frame));
     }
     batch.clear();
@@ -471,7 +627,10 @@ void TcpTransport::Impl::shutdown() {
     for (auto& link : ep->out_)
       if (link->writer.joinable()) link->writer.join();
     for (auto& link : ep->in_) close_if_open(link->fd);
-    for (auto& link : ep->out_) close_if_open(link->fd);
+    for (auto& link : ep->out_) {
+      const int fd = link->fd.exchange(-1, std::memory_order_relaxed);
+      if (fd >= 0) ::close(fd);
+    }
     close_if_open(ep->listen_fd_);
   }
   close_if_open(stop_pipe_[0]);
@@ -486,7 +645,11 @@ SendReceipt TcpEndpoint::send(std::uint32_t dst, const MessageHeader& header,
   ASYNCIT_CHECK(dst < out_.size() && dst != rank_);
   ++sent_;
   OutLink* link = out_[dst].get();
-  if (link->closed.load(std::memory_order_relaxed)) {
+  const bool elastic = impl_->options.elastic;
+  // Static mesh: a closed link stays closed, drop at the door. Elastic:
+  // enqueue anyway — the writer redials in the background (the
+  // destination may be rejoining) and discards what it cannot deliver.
+  if (!elastic && link->closed.load(std::memory_order_relaxed)) {
     ++dropped_;
     return {false, now, now};
   }
@@ -499,6 +662,13 @@ SendReceipt TcpEndpoint::send(std::uint32_t dst, const MessageHeader& header,
   encode_frame(rank_, header, value, now, frame);
   {
     std::lock_guard<std::mutex> lock(link->mu);
+    if (elastic && link->queue.size() >= kMaxElasticQueue) {
+      // Bounded queue toward an unreachable destination: the OLDEST
+      // frame is the least valuable (a fresher value supersedes it).
+      frame_pool_.recycle(std::move(link->queue.front()));
+      link->queue.erase(link->queue.begin());
+      ++dropped_;
+    }
     link->queue.push_back(std::move(frame));
   }
   link->cv.notify_one();
@@ -546,6 +716,15 @@ double TcpEndpoint::next_delivery() const {
   return std::numeric_limits<double>::infinity();
 }
 
+std::uint64_t TcpEndpoint::dropped() const {
+  // Accepted-then-undeliverable frames (writer-side discards on dead or
+  // never-connected links) count alongside the at-the-door drops.
+  std::uint64_t n = dropped_;
+  for (const auto& link : out_)
+    n += link->tx_dropped.load(std::memory_order_relaxed);
+  return n;
+}
+
 std::uint64_t TcpEndpoint::delivered() const {
   std::lock_guard<std::mutex> lock(rx_mu_);
   return delivered_count_;
@@ -584,7 +763,9 @@ void TcpTransport::flush(double timeout_seconds) {
   for (auto& ep : impl_->endpoints) {
     if (!ep) continue;
     for (auto& link : ep->out_) {
-      if (link->fd < 0) continue;
+      if (!impl_->options.elastic &&
+          link->fd.load(std::memory_order_relaxed) < 0)
+        continue;
       std::unique_lock<std::mutex> lock(link->mu);
       link->cv.wait_for(
           lock,

@@ -23,7 +23,10 @@
 //   - a closed link (peer process exited) turns subsequent sends into
 //     drops — the totally asynchronous regime tolerates that, and the
 //     node runtime broadcasts a stop frame (flushed before teardown)
-//     first.
+//     first. In ELASTIC mode (TcpOptions::elastic, the membership/
+//     runtime) a closed or never-connected link additionally redials in
+//     the background, so a rank that joins late — or rejoins after a
+//     crash — is wired into the mesh without restarting anyone.
 //
 // Steady state allocates nothing: frames and messages are pooled
 // (transport/pool.hpp), reassembly buffers and queues retain capacity.
@@ -46,13 +49,36 @@ struct TcpPeerAddress {
 };
 
 struct TcpOptions {
-  /// One address per rank; world size is nodes.size().
+  /// One address per rank; world size is nodes.size(). With elastic
+  /// membership every SLOT gets an address up front — a spare rank the
+  /// launcher starts later is dialable from the config alone.
   std::vector<TcpPeerAddress> nodes;
   /// Ranks hosted by this process. Empty = all (in-process mesh).
   std::vector<std::uint32_t> local_ranks;
   /// Rendezvous budget: dialing retries until every local rank is fully
   /// connected (other processes may start later).
   double connect_timeout_seconds = 20.0;
+
+  /// Elastic-membership mode (membership/ — ranks may join, die, and
+  /// rejoin mid-run). What changes:
+  ///   - only `expected_ranks` take part in the startup rendezvous
+  ///     (dialed with retry, their hellos awaited); every other slot
+  ///     starts unconnected;
+  ///   - acceptors run for the transport's lifetime, so a late rank can
+  ///     dial in at any time, and a fresh connection from an
+  ///     already-known rank REPLACES the stale one (rejoin after crash);
+  ///   - outgoing links (re)dial lazily from the writer thread with a
+  ///     backoff whenever frames are queued for an unconnected or dead
+  ///     destination; frames that cannot be delivered are dropped
+  ///     (counted), which is exactly the loss the totally asynchronous
+  ///     regime tolerates;
+  ///   - per-link send queues are bounded (oldest frame dropped first)
+  ///     so a dead destination cannot grow memory without bound.
+  bool elastic = false;
+  /// Ranks expected at launch (rendezvous set). Ignored unless elastic;
+  /// empty means no rendezvous at all (a late joiner: dial lazily, wait
+  /// for nobody).
+  std::vector<std::uint32_t> expected_ranks;
 };
 
 class TcpTransport final : public Transport {
@@ -74,7 +100,7 @@ class TcpTransport final : public Transport {
   /// Frames rejected by wire validation across all local readers (a
   /// nonzero value means a corrupted or foreign byte stream; the
   /// offending connection is closed on first rejection).
-  std::uint64_t bad_frames() const;
+  std::uint64_t bad_frames() const override;
 
  private:
   friend class TcpEndpoint;

@@ -130,6 +130,12 @@ class Transport {
   /// control frame and must not tear the fabric down under it). Default:
   /// nothing buffered, nothing to do.
   virtual void flush(double /*timeout_seconds*/) {}
+
+  /// Wire-invalid frames observed across local receivers (corrupted or
+  /// foreign byte streams; see TcpTransport). Backends without a framed
+  /// medium have none. Part of the uniform counter schema every node
+  /// reports (MpResult::bad_frames / the asyncit-node/1 JSON).
+  virtual std::uint64_t bad_frames() const { return 0; }
 };
 
 }  // namespace asyncit::transport

@@ -50,9 +50,13 @@ double get_f64(const std::uint8_t* p) {
   return std::bit_cast<double>(get_u64(p));
 }
 
+// flags byte: bit0 = partial, bits 1-3 = MsgKind (kValue 0 .. 5; kStop=1
+// lands on the old 0x02 "stop" bit, so version-1 frames are unchanged).
 constexpr std::uint8_t kFlagPartial = 0x01;
-constexpr std::uint8_t kFlagStop = 0x02;
-constexpr std::uint8_t kKnownFlags = kFlagPartial | kFlagStop;
+constexpr std::uint8_t kKindShift = 1;
+constexpr std::uint8_t kKindMask = 0x07;
+constexpr std::uint8_t kKnownFlags =
+    kFlagPartial | (kKindMask << kKindShift);
 
 }  // namespace
 
@@ -71,7 +75,8 @@ void encode_fields(std::uint32_t src, la::BlockId block, model::Step tag,
   out.push_back(kWireVersion);
   std::uint8_t flags = 0;
   if (partial) flags |= kFlagPartial;
-  if (kind == net::MsgKind::kStop) flags |= kFlagStop;
+  flags |= static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(kind) & kKindMask) << kKindShift);
   out.push_back(flags);
   put_u32(out, src);
   put_u32(out, block);
@@ -120,6 +125,8 @@ DecodeStatus decode_frame(std::span<const std::uint8_t> buf,
 
   const std::uint8_t flags = p[7];
   if (flags & ~kKnownFlags) return DecodeStatus::kBadFrame;
+  const std::uint8_t kind = (flags >> kKindShift) & kKindMask;
+  if (kind >= net::kNumMsgKinds) return DecodeStatus::kBadFrame;
   const std::uint32_t count = get_u32(p + 36);
   if (kWireHeaderBytes + 8ull * count != length) return DecodeStatus::kBadFrame;
 
@@ -129,7 +136,7 @@ DecodeStatus decode_frame(std::span<const std::uint8_t> buf,
   out.round = get_u64(p + 24);
   out.offset = get_u32(p + 32);
   out.partial = (flags & kFlagPartial) != 0;
-  out.kind = (flags & kFlagStop) ? net::MsgKind::kStop : net::MsgKind::kValue;
+  out.kind = static_cast<net::MsgKind>(kind);
   out.t_send = get_f64(p + 40);
   out.injected_delay = get_f64(p + 48);
   out.deliver_at = 0.0;

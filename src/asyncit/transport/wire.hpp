@@ -7,7 +7,11 @@
 //   0       4     u32  frame length (bytes AFTER this field)
 //   4       2     u16  magic 0xA517
 //   6       1     u8   version (currently 1)
-//   7       1     u8   flags: bit0 partial, bit1 control/stop (MsgKind)
+//   7       1     u8   flags: bit0 partial, bits1-3 MsgKind (kValue 0,
+//                      kStop 1, kPing 2, kAck 3, kPingReq 4,
+//                      kMembershipUpdate 5 — kStop keeps its original
+//                      bit pattern 0x02, so pre-membership frames are
+//                      byte-identical; 6-7 rejected)
 //   8       4     u32  sender rank
 //   12      4     u32  block id
 //   16      8     u64  tag (sender's per-block production counter)

@@ -33,7 +33,10 @@ net::Message random_message(Rng& rng, std::size_t payload) {
   m.tag = rng.next();
   m.round = rng.next();
   m.partial = rng.bernoulli(0.5);
-  m.kind = rng.bernoulli(0.1) ? net::MsgKind::kStop : net::MsgKind::kValue;
+  // All six wire kinds, values most often (as in a real run).
+  m.kind = rng.bernoulli(0.3)
+               ? static_cast<net::MsgKind>(rng.uniform_index(net::kNumMsgKinds))
+               : net::MsgKind::kValue;
   m.offset = static_cast<std::uint32_t>(rng.uniform_index(32));
   m.injected_delay = rng.uniform(0.0, 0.5);
   m.t_send = rng.uniform(0.0, 100.0);
@@ -386,6 +389,56 @@ TEST(ChaosDecorator, NonFifoReleaseReordersAndFifoFloorRestoresOrder) {
     EXPECT_EQ(inverted, !fifo);
     e1.recycle(got);
   }
+}
+
+TEST(ChaosDecorator, LossModelSparesControlFramesUnlessOptedIn) {
+  // The regression the flag exists for: a dropped kStop would wedge a
+  // gated rank forever, and dropped membership frames would poison the
+  // failure detector — control frames must ride through the loss model
+  // untouched unless a stress test opts them in (drop_control).
+  for (const bool drop_control : {false, true}) {
+    net::DeliveryPolicy zero;
+    InprocTransport inner(2, zero, 1);
+    net::DeliveryPolicy policy;
+    policy.drop_prob = 0.6;
+    policy.drop_control = drop_control;
+    ChaosTransport chaos(inner, policy, 11);
+    Endpoint& e0 = chaos.endpoint(0);
+    MessageHeader h;
+    for (int i = 0; i < 200; ++i) {
+      h.kind = (i % 4 == 0) ? net::MsgKind::kStop
+                            : (i % 4 == 1) ? net::MsgKind::kPing
+                            : (i % 4 == 2) ? net::MsgKind::kAck
+                                           : net::MsgKind::kMembershipUpdate;
+      e0.send(1, h, {}, 1e-4 * i, /*allow_drop=*/true);
+    }
+    if (drop_control)
+      EXPECT_GT(e0.dropped(), 0u);
+    else
+      EXPECT_EQ(e0.dropped(), 0u);
+  }
+  // The exemption consumes the drop draw either way: with an identical
+  // interleaving of control and value frames, flipping drop_control
+  // changes only the CONTROL frames' fate — the value stream's drop
+  // sequence is byte-for-byte the same (replay determinism).
+  std::vector<bool> fates[2];
+  for (const bool drop_control : {false, true}) {
+    net::DeliveryPolicy policy;
+    policy.drop_prob = 0.5;
+    policy.drop_control = drop_control;
+    InprocTransport t(2, policy, 21);
+    MessageHeader value_h;
+    MessageHeader ping_h;
+    ping_h.kind = net::MsgKind::kPing;
+    const la::Vector v{1.0};
+    std::vector<bool>& value_fate = fates[drop_control ? 1 : 0];
+    for (int i = 0; i < 100; ++i) {
+      t.endpoint(0).send(1, ping_h, {}, 1e-3 * i, true);
+      value_fate.push_back(
+          t.endpoint(0).send(1, value_h, v, 1e-3 * i, true).sent);
+    }
+  }
+  EXPECT_EQ(fates[0], fates[1]);
 }
 
 // -------------------------------------------------- incorporation (offset)

@@ -33,10 +33,32 @@
 //   max_latency 0
 //   fifo 0                   # chaos in-order delivery floor
 //   drop_prob 0              # chaos loss probability (async only)
+//   drop_control 0           # 1: chaos loss also drops CONTROL frames
+//   membership 0             # 1: elastic ranks (SWIM detector, async only)
+//   ping_period 0.05         # membership probe cadence (seconds)
+//   ping_timeout 0.15        # direct-ack window (suspect at 2x)
+//   suspicion_timeout 1.0    # suspect -> dead grace period
+//   ping_req_fanout 2        # indirect probe helpers
+//   late 4                   # slot absent at launch (repeatable): it is
+//                            # excluded from rendezvous + initial view
+//                            # and joins whenever the launcher starts it
 //
 // Exit status 0 when this rank's final oracle error is below tol (or the
 // 10x band when the run was ended by another rank's stop frame — gated
 // modes stop on the first announcement, in-flight staleness allowed).
+//
+// Output: one `ASYNCIT_NODE_JSON {...}` line per rank (schema
+// asyncit-node/1), the machine-readable contract launch_cluster.py
+// aggregates and asserts on. Fields: schema, rank, ok, converged, error,
+// tol, wall_seconds, updates, rounds, sent, delivered, dropped,
+// inversions, stale_filtered, partials_sent, peers_stopped,
+// frames_rejected, bad_frames, and a membership object (enabled,
+// pings_sent, acks_sent, acks_received, ping_reqs_sent,
+// gossip_frames_sent, suspicions, deaths_observed, joins_observed,
+// refutations, control_rejected, reassignments, snapshot_blocks_sent,
+// live_at_exit[]). The older ASYNCIT_NODE_RESULT key=value line is kept
+// for humans and old scripts.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +91,9 @@ struct NodeConfig {
   std::uint64_t max_updates = 100000000;
   bool chaos = false;
   net::DeliveryPolicy chaos_policy;
+  membership::Options membership;  ///< elastic ranks (initial_alive filled
+                                   ///< from the `late` lines below)
+  std::vector<std::uint32_t> late;  ///< slots absent at launch
   std::vector<transport::TcpPeerAddress> nodes;
 };
 
@@ -165,6 +190,26 @@ NodeConfig parse_config(const std::string& path) {
       cfg.chaos_policy.fifo = v != 0;
     } else if (key == "drop_prob") {
       want(cfg.chaos_policy.drop_prob);
+    } else if (key == "drop_control") {
+      int v = 0;
+      want(v);
+      cfg.chaos_policy.drop_control = v != 0;
+    } else if (key == "membership") {
+      int v = 0;
+      want(v);
+      cfg.membership.enabled = v != 0;
+    } else if (key == "ping_period") {
+      want(cfg.membership.ping_period);
+    } else if (key == "ping_timeout") {
+      want(cfg.membership.ping_timeout);
+    } else if (key == "suspicion_timeout") {
+      want(cfg.membership.suspicion_timeout);
+    } else if (key == "ping_req_fanout") {
+      want(cfg.membership.ping_req_fanout);
+    } else if (key == "late") {
+      std::uint32_t r = 0;
+      want(r);
+      cfg.late.push_back(r);
     } else {
       die(path + ":" + std::to_string(lineno) + ": unknown key " + key);
     }
@@ -173,6 +218,19 @@ NodeConfig parse_config(const std::string& path) {
   for (std::size_t r = 0; r < cfg.world; ++r)
     if (cfg.nodes[r].port == 0)
       die("config missing node line for rank " + std::to_string(r));
+  for (const std::uint32_t r : cfg.late)
+    if (r >= cfg.world) die("late rank out of range");
+  if (!cfg.late.empty() && !cfg.membership.enabled)
+    die("late ranks require membership 1");
+  if (cfg.membership.enabled && cfg.mode != net::Mode::kAsync)
+    die("membership requires mode async (elastic ranks would deadlock a "
+        "gated round structure)");
+  // The initial live view = every slot not marked late.
+  if (cfg.membership.enabled) {
+    for (std::uint32_t r = 0; r < cfg.world; ++r)
+      if (std::find(cfg.late.begin(), cfg.late.end(), r) == cfg.late.end())
+        cfg.membership.initial_alive.push_back(r);
+  }
   return cfg;
 }
 
@@ -226,15 +284,31 @@ int main(int argc, char** argv) {
   topts.nodes = cfg.nodes;
   topts.local_ranks = {rank};
   topts.connect_timeout_seconds = 30.0;
+  const bool is_late =
+      std::find(cfg.late.begin(), cfg.late.end(), rank) != cfg.late.end();
+  if (cfg.membership.enabled) {
+    topts.elastic = true;
+    // Launch-time ranks rendezvous with each other as before; a late
+    // joiner rendezvouses with NOBODY — it dials in lazily (some of the
+    // initial ranks may already be dead) and is discovered via gossip.
+    if (!is_late) topts.expected_ranks = cfg.membership.initial_alive;
+  }
   if (!quiet)
-    std::printf("[rank %u] rendezvous: %zu ranks, my port %u\n", rank,
-                cfg.world, cfg.nodes[rank].port);
+    std::printf("[rank %u] rendezvous: %zu ranks%s, my port %u\n", rank,
+                cfg.world, is_late ? " (late join)" : "",
+                cfg.nodes[rank].port);
   transport::TcpTransport tcp(std::move(topts));
   std::unique_ptr<transport::ChaosTransport> chaos;
   if (cfg.chaos)
     chaos = std::make_unique<transport::ChaosTransport>(
         tcp, cfg.chaos_policy, cfg.seed);
   transport::Transport& fabric = chaos ? static_cast<transport::Transport&>(*chaos) : tcp;
+
+  // Rendezvous done, solve starting: the marker scripts/launch_cluster.py
+  // anchors its churn schedule on (a kill scheduled from process spawn
+  // could land inside setup/rendezvous on a slow or sanitized build).
+  std::printf("ASYNCIT_NODE_START rank=%u\n", rank);
+  std::fflush(stdout);
 
   net::MpOptions opt;
   opt.workers = cfg.world;
@@ -248,6 +322,7 @@ int main(int argc, char** argv) {
   opt.max_seconds = cfg.max_seconds;
   opt.max_updates = cfg.max_updates;
   opt.seed = cfg.seed;
+  opt.membership = cfg.membership;
 
   const net::MpResult result =
       net::run_node(jacobi, la::zeros(cfg.dim), opt, fabric.endpoint(rank));
@@ -280,7 +355,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(result.messages_delivered),
         static_cast<unsigned long long>(result.messages_dropped),
         static_cast<unsigned long long>(result.inversions_observed));
-  // Machine-parseable summary (scripts/launch_cluster.py reads this).
+  // Machine-parseable summaries. The key=value line predates the JSON
+  // one and is kept for humans / old scripts; launch_cluster.py reads
+  // the asyncit-node/1 JSON (one line, schema documented in the header
+  // comment above).
   std::printf("ASYNCIT_NODE_RESULT rank=%u ok=%d converged=%d error=%.17g "
               "updates=%llu sent=%llu delivered=%llu dropped=%llu\n",
               rank, ok ? 1 : 0, result.converged ? 1 : 0,
@@ -289,5 +367,54 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.messages_sent),
               static_cast<unsigned long long>(result.messages_delivered),
               static_cast<unsigned long long>(result.messages_dropped));
+  const std::uint64_t bad_frames = fabric.bad_frames();
+  const membership::Stats& ms = result.membership;
+  std::string live = "[";
+  for (std::size_t i = 0; i < result.live_at_exit.size(); ++i) {
+    if (i > 0) live += ",";
+    live += std::to_string(result.live_at_exit[i]);
+  }
+  live += "]";
+  std::printf(
+      "ASYNCIT_NODE_JSON {\"schema\":\"asyncit-node/1\",\"rank\":%u,"
+      "\"ok\":%s,\"converged\":%s,\"error\":%.17g,\"tol\":%.17g,"
+      "\"wall_seconds\":%.6f,\"updates\":%llu,\"rounds\":%llu,"
+      "\"sent\":%llu,\"delivered\":%llu,\"dropped\":%llu,"
+      "\"inversions\":%llu,\"stale_filtered\":%llu,\"partials_sent\":%llu,"
+      "\"peers_stopped\":%llu,\"frames_rejected\":%llu,\"bad_frames\":%llu,"
+      "\"membership\":{\"enabled\":%s,\"pings_sent\":%llu,"
+      "\"acks_sent\":%llu,\"acks_received\":%llu,\"ping_reqs_sent\":%llu,"
+      "\"gossip_frames_sent\":%llu,\"suspicions\":%llu,"
+      "\"deaths_observed\":%llu,\"joins_observed\":%llu,"
+      "\"refutations\":%llu,\"control_rejected\":%llu,"
+      "\"reassignments\":%llu,\"snapshot_blocks_sent\":%llu,"
+      "\"live_at_exit\":%s}}\n",
+      rank, ok ? "true" : "false", result.converged ? "true" : "false",
+      result.final_error, cfg.tol, result.wall_seconds,
+      static_cast<unsigned long long>(result.total_updates),
+      static_cast<unsigned long long>(result.rounds),
+      static_cast<unsigned long long>(result.messages_sent),
+      static_cast<unsigned long long>(result.messages_delivered),
+      static_cast<unsigned long long>(result.messages_dropped),
+      static_cast<unsigned long long>(result.inversions_observed),
+      static_cast<unsigned long long>(result.stale_filtered),
+      static_cast<unsigned long long>(result.partials_sent),
+      static_cast<unsigned long long>(result.peers_stopped),
+      static_cast<unsigned long long>(result.frames_rejected),
+      static_cast<unsigned long long>(bad_frames),
+      cfg.membership.enabled ? "true" : "false",
+      static_cast<unsigned long long>(ms.pings_sent),
+      static_cast<unsigned long long>(ms.acks_sent),
+      static_cast<unsigned long long>(ms.acks_received),
+      static_cast<unsigned long long>(ms.ping_reqs_sent),
+      static_cast<unsigned long long>(ms.gossip_frames_sent),
+      static_cast<unsigned long long>(ms.suspicions),
+      static_cast<unsigned long long>(ms.deaths_observed),
+      static_cast<unsigned long long>(ms.joins_observed),
+      static_cast<unsigned long long>(ms.refutations),
+      static_cast<unsigned long long>(ms.control_rejected),
+      static_cast<unsigned long long>(result.reassignments),
+      static_cast<unsigned long long>(result.snapshot_blocks_sent),
+      live.c_str());
   return ok ? 0 : 1;
 }
