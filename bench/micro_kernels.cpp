@@ -16,13 +16,25 @@
 // hammer per update: SpMV (spmv_*), the fused Jacobi block update
 // (jacobi_block), and the fused block-residual sweep used by every
 // displacement stopping rule (block_residual).
+//
+// The *_levels scenarios additionally walk the SIMD dispatch ladder
+// (linalg/simd_dispatch.hpp): each supported level is forced in turn and
+// timed against the scalar level on the same inputs, with the level-vs-
+// scalar parity gap recorded as a deterministic field (hard-gated where
+// the level exists — the per-level checks in bench/baselines/kernels.json
+// are `optional` because which levels exist depends on the host). The
+// speedup_<level> ratios are wall-clock and therefore warn-only, but the
+// trend history (check_bench --history) keeps them regression-gated run
+// over run on the same runner.
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "asyncit/asyncit.hpp"
 #include "asyncit/linalg/kernels.hpp"
 #include "asyncit/linalg/kernels_ref.hpp"
+#include "asyncit/linalg/simd_dispatch.hpp"
 #include "asyncit/runtime/shared_iterate.hpp"
 #include "harness/bench_harness.hpp"
 
@@ -257,6 +269,101 @@ int main() {
     std::printf("%-16s ref %8.1f ns  opt %8.1f ns  speedup %.2fx\n",
                 "bf_block", t_ref.median_s * 1e9, t_opt.median_s * 1e9,
                 t_ref.median_s / t_opt.median_s);
+  }
+
+  // ---------------- the SIMD dispatch ladder ---------------------------
+  // Each supported level vs the SCALAR level on identical inputs: SpMV,
+  // the fused Jacobi row kernel (64-row block sweeps, the executors'
+  // shape), and an L1-resident dot (n=1024 — the 4096-point dot above is
+  // L2-bandwidth-bound and understates the vector win).
+  {
+    const std::size_t n = 4096, block = 64;
+    Rng rng(61);
+    auto sys = problems::make_diagonally_dominant_system(n, 16, 2.0, rng);
+    const la::Vector x = seeded_vector(n, 62);
+    const la::Vector diag = sys.a.diagonal();
+    la::Vector inv_diag(n);
+    for (std::size_t i = 0; i < n; ++i) inv_diag[i] = 1.0 / diag[i];
+    const std::size_t nd = 1024;
+    const la::Vector da = seeded_vector(nd, 63), db = seeded_vector(nd, 64);
+
+    bench::Scenario& spmv = report.scenario("spmv_levels_n4096_nnz16");
+    bench::Scenario& jrows = report.scenario("jacobi_rows_levels");
+    bench::Scenario& dotl = report.scenario("dot_levels_n1024");
+    spmv.det("n", n).det("nnz", sys.a.nnz());
+    jrows.det("n", n).det("block", block).det("nnz", sys.a.nnz());
+    dotl.det("n", nd);
+
+    la::Vector y(n), y_scalar(n), out(block), out_scalar(n);
+    double t_scalar_spmv = 0.0, t_scalar_jac = 0.0, t_scalar_dot = 0.0;
+    double best_spmv = 0.0, best_jac = 0.0, best_dot = 0.0;
+
+    for (const la::simd::Level level : la::simd::supported_levels()) {
+      la::simd::force(level);
+      const std::string name = la::simd::to_string(level);
+
+      sys.a.matvec(x, y);
+      const auto t_spmv =
+          bench::measure(3, 21, 50, [&] { sys.a.matvec(x, y); });
+
+      std::size_t row = 0;
+      const auto t_jac = bench::measure(3, 21, 400, [&] {
+        sys.a.jacobi_rows(row, row + block, sys.b, inv_diag, x, out);
+        row = (row + block) % n;
+      });
+
+      volatile double sink = 0.0;
+      const auto t_dot = bench::measure(3, 21, 400, [&] {
+        sink = la::kern::dot(da.data(), db.data(), nd);
+      });
+      (void)sink;
+
+      if (level == la::simd::Level::kScalar) {
+        t_scalar_spmv = t_spmv.median_s;
+        t_scalar_jac = t_jac.median_s;
+        t_scalar_dot = t_dot.median_s;
+        y_scalar = y;
+        for (std::size_t r = 0; r < n; r += block)
+          sys.a.jacobi_rows(r, r + block, sys.b, inv_diag, x,
+                            std::span<double>(out_scalar).subspan(r, block));
+      }
+
+      // Level-vs-scalar parity on identical inputs: a pure function of
+      // the seeded problem and the backend's summation order, hard-gated
+      // (optional per level) by the baseline.
+      double parity = max_abs_diff(y, y_scalar);
+      la::Vector jac_out(n);
+      for (std::size_t r = 0; r < n; r += block)
+        sys.a.jacobi_rows(r, r + block, sys.b, inv_diag, x,
+                          std::span<double>(jac_out).subspan(r, block));
+      const double parity_jac = max_abs_diff(jac_out, out_scalar);
+
+      spmv.det("parity_" + name, parity)
+          .timing(name, t_spmv)
+          .metric("speedup_" + name, t_scalar_spmv / t_spmv.median_s);
+      jrows.det("parity_" + name, parity_jac)
+          .timing(name, t_jac)
+          .metric("speedup_" + name, t_scalar_jac / t_jac.median_s);
+      dotl.timing(name, t_dot)
+          .metric("speedup_" + name, t_scalar_dot / t_dot.median_s);
+      best_spmv = std::max(best_spmv, t_scalar_spmv / t_spmv.median_s);
+      best_jac = std::max(best_jac, t_scalar_jac / t_jac.median_s);
+      best_dot = std::max(best_dot, t_scalar_dot / t_dot.median_s);
+
+      std::printf("%-16s %-7s spmv %8.1f ns  jacobi64 %7.1f ns  "
+                  "dot1k %6.1f ns\n",
+                  "simd_levels", name.c_str(), t_spmv.median_s * 1e9,
+                  t_jac.median_s * 1e9, t_dot.median_s * 1e9);
+    }
+    la::simd::dispatch();  // back to the startup level for what follows
+
+    spmv.metric("speedup_best_vs_scalar", best_spmv);
+    jrows.metric("speedup_best_vs_scalar", best_jac);
+    dotl.metric("speedup_best_vs_scalar", best_dot);
+    std::printf("%-16s best-vs-scalar: spmv %.2fx  jacobi %.2fx  "
+                "dot1k %.2fx  (active: %s)\n",
+                "simd_levels", best_spmv, best_jac, best_dot,
+                la::simd::to_string(la::simd::active_level()));
   }
 
   // ---------------- shared-memory stores (no reference variant) -------

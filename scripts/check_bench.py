@@ -29,6 +29,12 @@ Check kinds:
 Fields are looked up in the scenario's "deterministic" dict first, then in
 "measured". A missing scenario or field is a hard failure — a silently
 dropped scenario is exactly the kind of drift the gate exists to catch.
+The exception is checks marked `"optional": true`: those are SKIPPED when
+the scenario or field is absent but still enforced (at full strength) when
+present. They exist for host-dependent coverage — the per-SIMD-level
+kernel parity fields only appear for the dispatch levels the runner
+supports (an ARM runner has no avx2 fields, a scalar-only container has
+neither), yet where a level runs its parity must still hard-gate.
 Hard checks are meant for machine-independent fields (iteration counts,
 convergence flags, residual tolerance bands, parity diffs); wall-clock
 derived fields (timings, speedups) belong in warn-only checks.
@@ -99,11 +105,17 @@ def run_checks(report: dict, baseline: dict) -> int:
         label = f"{name}.{field}"
         scenario = scenarios.get(name)
         if scenario is None:
+            if check.get("optional"):
+                print(f"skip  {label}: scenario not in report (optional)")
+                continue
             print(f"FAIL  {label}: scenario missing from report")
             failures += 1
             continue
         value, section = lookup(scenario, field)
         if section is None:
+            if check.get("optional"):
+                print(f"skip  {label}: field not in report (optional)")
+                continue
             print(f"FAIL  {label}: field missing from report")
             failures += 1
             continue

@@ -36,6 +36,7 @@
 #include "asyncit/engine/auditors.hpp"
 #include "asyncit/engine/model_engine.hpp"
 #include "asyncit/linalg/norms.hpp"
+#include "asyncit/linalg/simd_dispatch.hpp"
 #include "asyncit/model/admissibility.hpp"
 #include "asyncit/model/box_level.hpp"
 #include "asyncit/model/delay_models.hpp"

@@ -57,15 +57,12 @@ void CsrMatrix::matvec_rows(std::size_t begin, std::size_t end,
                             std::span<double> y) const {
   ASYNCIT_CHECK(begin <= end && end <= rows_);
   ASYNCIT_CHECK(x.size() == cols_ && y.size() == end - begin);
-  const double* xp = x.data();
-  const double* vals = values_.data();
-  const std::uint32_t* cols = col_idx_.data();
-  std::size_t k = row_ptr_[begin];
-  for (std::size_t r = begin; r < end; ++r) {
-    const std::size_t k_end = row_ptr_[r + 1];
-    y[r - begin] = kern::sparse_dot(vals + k, cols + k, k_end - k, xp);
-    k = k_end;
-  }
+  if (begin == end) return;
+  // Fused row kernel from the active dispatch level: the row loop and the
+  // gather dot live in the same ISA unit (one indirect call per RANGE, not
+  // per row).
+  kern::matvec_rows(row_ptr_.data(), col_idx_.data(), values_.data(), begin,
+                    end, x.data(), y.data());
 }
 
 void CsrMatrix::jacobi_rows(std::size_t begin, std::size_t end,
@@ -77,18 +74,13 @@ void CsrMatrix::jacobi_rows(std::size_t begin, std::size_t end,
   ASYNCIT_CHECK(begin <= end && end <= rows_);
   ASYNCIT_CHECK(rhs.size() == rows_ && inv_diag.size() == rows_);
   ASYNCIT_CHECK(x.size() == cols_ && out.size() == end - begin);
-  const double* xp = x.data();
-  const double* vals = values_.data();
-  const std::uint32_t* cols = col_idx_.data();
-  std::size_t k = row_ptr_[begin];
-  for (std::size_t r = begin; r < end; ++r) {
-    const std::size_t k_end = row_ptr_[r + 1];
-    // Full row dot (diagonal included), then add the diagonal term back:
-    //   (rhs − Σ_{k≠r} a_rk x_k)/a_rr = (rhs − row·x)/a_rr + x_r.
-    const double s = kern::sparse_dot(vals + k, cols + k, k_end - k, xp);
-    out[r - begin] = (rhs[r] - s) * inv_diag[r] + xp[r];
-    k = k_end;
-  }
+  if (begin == end) return;
+  // Full row dot (diagonal included), then add the diagonal term back:
+  //   (rhs − Σ_{k≠r} a_rk x_k)/a_rr = (rhs − row·x)/a_rr + x_r.
+  // Fused per ISA like matvec_rows above.
+  kern::jacobi_rows(row_ptr_.data(), col_idx_.data(), values_.data(),
+                    rhs.data(), inv_diag.data(), begin, end, x.data(),
+                    out.data());
 }
 
 Vector CsrMatrix::matvec(std::span<const double> x) const {

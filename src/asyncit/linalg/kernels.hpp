@@ -1,120 +1,90 @@
-// Hot-path scalar kernels: tight pointer-based inner loops shared by the
-// linalg containers and the block operators.
+// Hot-path kernel façade: the tight inner loops shared by the linalg
+// containers and the block operators, routed through the runtime SIMD
+// dispatch layer.
 //
 // Every executor layer (engine/, sim/, runtime/, net/) funnels its
-// per-update work through these few loops, so they are written the way a
-// hand-tuned BLAS level-1 would be:
+// per-update work through these few entry points. The actual loop bodies
+// live in one backend per instruction set —
 //
-//  * 4-way unrolled with FOUR independent accumulators. Strict IEEE
-//    semantics forbid the compiler from reassociating a single-accumulator
-//    reduction (s += a[k]*b[k] is a serial dependency chain of FP adds, at
-//    ~4 cycles each); splitting the sum across independent registers is a
-//    reassociation we are allowed to do at the source level, and it is
-//    where the measured speedup of bench/micro_kernels comes from.
-//  * pointer-based CSR traversal: one (value, column) stream walked with
-//    local pointers instead of re-indexing row_ptr_[r] bounds through the
-//    containing object each iteration.
-//  * branchless: diagonal handling in the Jacobi kernel is algebraic
-//    (subtract the full row dot, add the diagonal term back) instead of a
-//    per-element `if (col == row)` test that defeats unrolling.
+//   kernels_scalar.hpp   4-way unrolled portable floor (always built)
+//   kernels_avx2.hpp     4-wide AVX2+FMA; CSR indirection via
+//                        broadcast+blend, deliberately NO vgatherdpd
+//   kernels_avx512.hpp   8-wide AVX-512 with masked remainders
+//   kernels_neon.hpp     2-wide aarch64 AdvSIMD
 //
-// The naive counterparts these replaced live on in kernels_ref.hpp; the
-// parity tests (tests/kernels_test.cpp) pin optimized == reference to a few
-// ULPs on random inputs, and bench/micro_kernels measures the gap.
+// — and simd_dispatch.hpp installs exactly one of them at startup
+// (cpuid / getauxval detection, ASYNCIT_SIMD env override). Each wrapper
+// below is a single indirect call through the installed table: no per-call
+// branching, no allocation, no re-resolution (pinned by
+// tests/alloc_test.cpp).
 //
-// NOTE on floating point: unrolling changes the summation ORDER, so results
-// may differ from the reference by rounding (not by magnitude). All
+// NOTE on floating point: every backend reorders the summation relative
+// to the naive loops (unrolling, vector lanes, horizontal reductions), so
+// results may differ from kernels_ref.hpp by rounding — not by magnitude.
+// kernels_ref.hpp is the semantics oracle; the relative-error tolerance of
+// the ISA-sweep parity suite in tests/kernels_test.cpp is the spec. All
 // consumers in this repo are fixed-point iterations that converge to
-// tolerances far above 1e-12 relative error.
+// tolerances far above that parity band.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
+#include "asyncit/linalg/simd_dispatch.hpp"
+
 namespace asyncit::la::kern {
 
 /// sum_k a[k] * b[k]
 inline double dot(const double* a, const double* b, std::size_t n) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t k = 0;
-  for (; k + 4 <= n; k += 4) {
-    s0 += a[k] * b[k];
-    s1 += a[k + 1] * b[k + 1];
-    s2 += a[k + 2] * b[k + 2];
-    s3 += a[k + 3] * b[k + 3];
-  }
-  for (; k < n; ++k) s0 += a[k] * b[k];
-  return (s0 + s1) + (s2 + s3);
+  return simd::kernels().dot(a, b, n);
 }
 
 /// Sparse gather dot: sum_k vals[k] * x[cols[k]]
 inline double sparse_dot(const double* vals, const std::uint32_t* cols,
                          std::size_t n, const double* x) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t k = 0;
-  for (; k + 4 <= n; k += 4) {
-    s0 += vals[k] * x[cols[k]];
-    s1 += vals[k + 1] * x[cols[k + 1]];
-    s2 += vals[k + 2] * x[cols[k + 2]];
-    s3 += vals[k + 3] * x[cols[k + 3]];
-  }
-  for (; k < n; ++k) s0 += vals[k] * x[cols[k]];
-  return (s0 + s1) + (s2 + s3);
+  return simd::kernels().gather_dot(vals, cols, n, x);
 }
 
 /// y[k] += alpha * x[k]
 inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
-  std::size_t k = 0;
-  for (; k + 4 <= n; k += 4) {
-    y[k] += alpha * x[k];
-    y[k + 1] += alpha * x[k + 1];
-    y[k + 2] += alpha * x[k + 2];
-    y[k + 3] += alpha * x[k + 3];
-  }
-  for (; k < n; ++k) y[k] += alpha * x[k];
+  simd::kernels().axpy(alpha, x, y, n);
 }
 
 /// Sparse scatter axpy: y[cols[k]] += alpha * vals[k]
 inline void sparse_axpy(double alpha, const double* vals,
                         const std::uint32_t* cols, std::size_t n, double* y) {
-  // No unroll: scatter targets may alias (duplicate columns across the
-  // unroll window would reorder read-modify-writes).
+  // Deliberately scalar at every dispatch level: scatter targets may alias
+  // (duplicate columns inside a vector window would reorder
+  // read-modify-writes), so this loop is not legal to widen.
   for (std::size_t k = 0; k < n; ++k) y[cols[k]] += alpha * vals[k];
 }
 
 /// sum_k (a[k] - b[k])^2
 inline double sq_dist(const double* a, const double* b, std::size_t n) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t k = 0;
-  for (; k + 4 <= n; k += 4) {
-    const double d0 = a[k] - b[k];
-    const double d1 = a[k + 1] - b[k + 1];
-    const double d2 = a[k + 2] - b[k + 2];
-    const double d3 = a[k + 3] - b[k + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  for (; k < n; ++k) {
-    const double d = a[k] - b[k];
-    s0 += d * d;
-  }
-  return (s0 + s1) + (s2 + s3);
+  return simd::kernels().sq_dist(a, b, n);
 }
 
 /// sum_k a[k]^2
 inline double sq_norm(const double* a, std::size_t n) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t k = 0;
-  for (; k + 4 <= n; k += 4) {
-    s0 += a[k] * a[k];
-    s1 += a[k + 1] * a[k + 1];
-    s2 += a[k + 2] * a[k + 2];
-    s3 += a[k + 3] * a[k + 3];
-  }
-  for (; k < n; ++k) s0 += a[k] * a[k];
-  return (s0 + s1) + (s2 + s3);
+  return simd::kernels().sq_norm(a, n);
+}
+
+/// Fused CSR row-range matvec (row loop + gather dot in one ISA unit):
+/// y[r - begin] = (A x)_r for r in [begin, end).
+inline void matvec_rows(const std::size_t* row_ptr, const std::uint32_t* cols,
+                        const double* vals, std::size_t begin, std::size_t end,
+                        const double* x, double* y) {
+  simd::kernels().matvec_rows(row_ptr, cols, vals, begin, end, x, y);
+}
+
+/// Fused CSR Jacobi row range:
+/// out[r - begin] = (rhs[r] - row_r . x) * inv_diag[r] + x[r].
+inline void jacobi_rows(const std::size_t* row_ptr, const std::uint32_t* cols,
+                        const double* vals, const double* rhs,
+                        const double* inv_diag, std::size_t begin,
+                        std::size_t end, const double* x, double* out) {
+  simd::kernels().jacobi_rows(row_ptr, cols, vals, rhs, inv_diag, begin, end,
+                              x, out);
 }
 
 }  // namespace asyncit::la::kern

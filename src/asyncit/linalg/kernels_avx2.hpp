@@ -1,0 +1,52 @@
+// AVX2 + FMA dispatch backend: 256-bit (4-wide) double kernels.
+//
+// This header carries DECLARATIONS only (no intrinsics), so it is safe to
+// include from any translation unit; the definitions live exclusively in
+// kernels_avx2.cpp, which CMake compiles with -mavx2 -mfma on x86-64 —
+// per-TU ISA flags mean the object BUILDS on any x86-64 host while the
+// runtime (simd_dispatch.cpp) only installs it when cpuid reports
+// AVX2+FMA.
+//
+// The functions are deliberately NON-inline: the AVX-512 backend reuses
+// the sparse kernels below (see kernels_avx512.hpp), and an inline
+// definition would be re-emitted by the AVX-512 TU with EVEX encodings —
+// the linker's COMDAT selection could then hand the avx2 dispatch table
+// AVX-512-encoded code, a SIGILL on any AVX2-only CPU. One out-of-line
+// definition in the one ISA-clean TU removes that failure mode.
+//
+// Implementation shape (see kernels_avx2.cpp): multiple independent
+// vector accumulators to break the FP add dependency chain, scalar
+// remainder loops (AVX2 has no cheap lane masking for doubles — the
+// masked-tail variant lives in the AVX-512 backend), and the horizontal
+// reduction at the end is one more summation order, covered by the parity
+// tolerance (kernels_ref.hpp is the oracle).
+//
+// The sparse column indirection deliberately does NOT use vgatherdpd:
+// on the wide installed base of Downfall-mitigated parts (Skylake through
+// Ice Lake server cores, most cloud VMs) the microcoded gather is several
+// times SLOWER than scalar loads. Instead each x lane is fetched with
+// vbroadcastsd (a pure load uop) and lanes are combined with vblendpd
+// (any-port). That construction is never pathological: it ties the scalar
+// backend on narrow cores and wins on wide ones, whatever the microcode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asyncit::la::simd::avx2 {
+
+double dot(const double* a, const double* b, std::size_t n);
+double gather_dot(const double* vals, const std::uint32_t* cols,
+                  std::size_t n, const double* x);
+void axpy(double alpha, const double* x, double* y, std::size_t n);
+double sq_dist(const double* a, const double* b, std::size_t n);
+double sq_norm(const double* a, std::size_t n);
+void matvec_rows(const std::size_t* row_ptr, const std::uint32_t* cols,
+                 const double* vals, std::size_t begin, std::size_t end,
+                 const double* x, double* y);
+void jacobi_rows(const std::size_t* row_ptr, const std::uint32_t* cols,
+                 const double* vals, const double* rhs,
+                 const double* inv_diag, std::size_t begin, std::size_t end,
+                 const double* x, double* out);
+
+}  // namespace asyncit::la::simd::avx2

@@ -1,0 +1,15 @@
+// The AVX-512 backend's translation unit — the ONLY object compiled with
+// -mavx512f -mavx512vl (see the per-source properties in CMakeLists.txt).
+// It builds on any x86-64 host; whether it RUNS is cpuid's call at
+// startup (simd_dispatch.cpp).
+#include "asyncit/linalg/kernels_avx512.hpp"
+
+namespace asyncit::la::simd {
+
+#if defined(ASYNCIT_SIMD_AVX512_COMPILED)
+const KernelTable* avx512_table() { return &avx512::kTable; }
+#else
+const KernelTable* avx512_table() { return nullptr; }
+#endif
+
+}  // namespace asyncit::la::simd

@@ -1,0 +1,173 @@
+// AVX-512 dispatch backend: 512-bit (8-wide) double kernels with masked
+// remainders.
+//
+// Only "live" inside kernels_avx512.cpp, which CMake compiles with
+// -mavx512f -mavx512vl on x86-64 (per-TU ISA flags: the object builds on
+// any x86-64 host; simd_dispatch.cpp installs it only when cpuid reports
+// AVX512F+VL — VL covers the 256-bit mask operations, and is present on
+// every server/desktop AVX-512 part).
+//
+// Unlike the AVX2 backend, the dense kernels handle remainders with lane
+// masks instead of scalar loops: a masked load zeroes the inactive lanes
+// (0 * 0 contributes nothing to an FMA accumulator) and never touches
+// memory past n — so a length-1 vector and a length-1000 vector run the
+// same code path. The sparse kernels (gather_dot and the fused row
+// kernels) are not redefined here at all: short CSR rows gain nothing
+// from 512-bit accumulators, so the table points straight at the AVX2
+// backend's broadcast+blend implementations (see kernels_avx2.hpp for
+// why there is deliberately no vgatherdpd) — which are OUT-OF-LINE
+// definitions living only in kernels_avx2.cpp, so they are guaranteed
+// VEX-encoded whatever flags this TU uses — while dot/axpy/sq_dist/
+// sq_norm run full width. The horizontal reduction is one more summation
+// order, covered by the parity tolerance.
+#pragma once
+
+#include "asyncit/linalg/kernels_avx2.hpp"
+#include "asyncit/linalg/simd_dispatch.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512VL__) && defined(__AVX2__) && \
+    defined(__FMA__)
+#define ASYNCIT_SIMD_AVX512_COMPILED 1
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC implements its unmasked AVX-512 intrinsics in terms of
+// _mm512_undefined_pd() and flags the deliberately-uninitialized source at
+// every always_inline site (GCC PR 105593). The kernels below initialize
+// every accumulator; suppress the header false positive for this backend
+// TU only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace asyncit::la::simd::avx512 {
+
+/// Lane mask for the final `rem` (< 8) elements.
+inline __mmask8 tail_mask(std::size_t rem) {
+  return static_cast<__mmask8>((1u << rem) - 1u);
+}
+
+/// Sum of the eight lanes. Hand-rolled instead of _mm512_reduce_add_pd,
+/// whose header implementation extracts the high half through the same
+/// undefined-source pattern as the gathers (GCC PR 105593).
+inline double hsum(__m512d v) {
+  const __m256d lo = _mm512_castpd512_pd256(v);
+  const __m256d hi =
+      _mm512_castpd512_pd256(_mm512_shuffle_f64x2(v, v, 0xEE));
+  const __m256d s4 = _mm256_add_pd(lo, hi);
+  __m128d l = _mm256_castpd256_pd128(s4);
+  l = _mm_add_pd(l, _mm256_extractf128_pd(s4, 1));
+  return _mm_cvtsd_f64(_mm_add_sd(l, _mm_unpackhi_pd(l, l)));
+}
+
+inline double dot(const double* a, const double* b, std::size_t n) {
+  __m512d s0 = _mm512_setzero_pd(), s1 = _mm512_setzero_pd();
+  __m512d s2 = _mm512_setzero_pd(), s3 = _mm512_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 32 <= n; k += 32) {
+    s0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + k), _mm512_loadu_pd(b + k), s0);
+    s1 = _mm512_fmadd_pd(_mm512_loadu_pd(a + k + 8),
+                         _mm512_loadu_pd(b + k + 8), s1);
+    s2 = _mm512_fmadd_pd(_mm512_loadu_pd(a + k + 16),
+                         _mm512_loadu_pd(b + k + 16), s2);
+    s3 = _mm512_fmadd_pd(_mm512_loadu_pd(a + k + 24),
+                         _mm512_loadu_pd(b + k + 24), s3);
+  }
+  for (; k + 8 <= n; k += 8)
+    s0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + k), _mm512_loadu_pd(b + k), s0);
+  if (k < n) {
+    const __mmask8 m = tail_mask(n - k);
+    s1 = _mm512_fmadd_pd(_mm512_maskz_loadu_pd(m, a + k),
+                         _mm512_maskz_loadu_pd(m, b + k), s1);
+  }
+  return hsum(_mm512_add_pd(_mm512_add_pd(s0, s1), _mm512_add_pd(s2, s3)));
+}
+
+inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  const __m512d av = _mm512_set1_pd(alpha);
+  std::size_t k = 0;
+  for (; k + 16 <= n; k += 16) {
+    _mm512_storeu_pd(y + k, _mm512_fmadd_pd(av, _mm512_loadu_pd(x + k),
+                                            _mm512_loadu_pd(y + k)));
+    _mm512_storeu_pd(y + k + 8,
+                     _mm512_fmadd_pd(av, _mm512_loadu_pd(x + k + 8),
+                                     _mm512_loadu_pd(y + k + 8)));
+  }
+  for (; k + 8 <= n; k += 8)
+    _mm512_storeu_pd(y + k, _mm512_fmadd_pd(av, _mm512_loadu_pd(x + k),
+                                            _mm512_loadu_pd(y + k)));
+  if (k < n) {
+    const __mmask8 m = tail_mask(n - k);
+    _mm512_mask_storeu_pd(
+        y + k, m,
+        _mm512_fmadd_pd(av, _mm512_maskz_loadu_pd(m, x + k),
+                        _mm512_maskz_loadu_pd(m, y + k)));
+  }
+}
+
+inline double sq_dist(const double* a, const double* b, std::size_t n) {
+  __m512d s0 = _mm512_setzero_pd(), s1 = _mm512_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 16 <= n; k += 16) {
+    const __m512d d0 =
+        _mm512_sub_pd(_mm512_loadu_pd(a + k), _mm512_loadu_pd(b + k));
+    const __m512d d1 =
+        _mm512_sub_pd(_mm512_loadu_pd(a + k + 8), _mm512_loadu_pd(b + k + 8));
+    s0 = _mm512_fmadd_pd(d0, d0, s0);
+    s1 = _mm512_fmadd_pd(d1, d1, s1);
+  }
+  for (; k + 8 <= n; k += 8) {
+    const __m512d d =
+        _mm512_sub_pd(_mm512_loadu_pd(a + k), _mm512_loadu_pd(b + k));
+    s0 = _mm512_fmadd_pd(d, d, s0);
+  }
+  if (k < n) {
+    const __mmask8 m = tail_mask(n - k);
+    const __m512d d = _mm512_sub_pd(_mm512_maskz_loadu_pd(m, a + k),
+                                    _mm512_maskz_loadu_pd(m, b + k));
+    s1 = _mm512_fmadd_pd(d, d, s1);
+  }
+  return hsum(_mm512_add_pd(s0, s1));
+}
+
+inline double sq_norm(const double* a, std::size_t n) {
+  __m512d s0 = _mm512_setzero_pd(), s1 = _mm512_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 16 <= n; k += 16) {
+    const __m512d v0 = _mm512_loadu_pd(a + k);
+    const __m512d v1 = _mm512_loadu_pd(a + k + 8);
+    s0 = _mm512_fmadd_pd(v0, v0, s0);
+    s1 = _mm512_fmadd_pd(v1, v1, s1);
+  }
+  for (; k + 8 <= n; k += 8) {
+    const __m512d v = _mm512_loadu_pd(a + k);
+    s0 = _mm512_fmadd_pd(v, v, s0);
+  }
+  if (k < n) {
+    const __m512d v = _mm512_maskz_loadu_pd(tail_mask(n - k), a + k);
+    s1 = _mm512_fmadd_pd(v, v, s1);
+  }
+  return hsum(_mm512_add_pd(s0, s1));
+}
+
+// The sparse kernels come from the AVX2 backend unchanged (out-of-line
+// VEX-encoded definitions in kernels_avx2.cpp; nothing 512-bit to gain on
+// short rows) — one implementation to maintain, and the parity suite
+// exercises it at both levels.
+inline constexpr KernelTable kTable = {
+    Level::kAvx512,    &dot,     &avx2::gather_dot,  &axpy,
+    &sq_dist,          &sq_norm, &avx2::matvec_rows, &avx2::jacobi_rows,
+};
+
+}  // namespace asyncit::la::simd::avx512
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // __AVX512F__ && __AVX512VL__

@@ -1,0 +1,14 @@
+// The NEON backend's translation unit. AdvSIMD is baseline on aarch64, so
+// no per-TU flags are needed — the guard in kernels_neon.hpp keeps this
+// object empty everywhere else.
+#include "asyncit/linalg/kernels_neon.hpp"
+
+namespace asyncit::la::simd {
+
+#if defined(ASYNCIT_SIMD_NEON_COMPILED)
+const KernelTable* neon_table() { return &neon::kTable; }
+#else
+const KernelTable* neon_table() { return nullptr; }
+#endif
+
+}  // namespace asyncit::la::simd

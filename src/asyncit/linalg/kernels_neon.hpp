@@ -1,0 +1,156 @@
+// NEON (aarch64 Advanced SIMD) dispatch backend: 128-bit (2-wide) double
+// kernels.
+//
+// Only "live" inside kernels_neon.cpp on aarch64 builds — AdvSIMD is part
+// of the baseline aarch64 ABI, so no per-TU flags are needed; the runtime
+// still confirms via getauxval(AT_HWCAP) & HWCAP_ASIMD before installing
+// (simd_dispatch.cpp). On every other architecture the guard compiles this
+// header away.
+//
+// The 2-wide registers give less headroom than AVX, so the unroll is
+// deeper (4 accumulators = 8 elements per iteration) to cover the FMA
+// latency. NEON has no gather: the sparse column indirection loads lanes
+// individually, which still pairs the multiplies and keeps the accumulator
+// structure identical to the other backends.
+#pragma once
+
+#include "asyncit/linalg/simd_dispatch.hpp"
+
+#if defined(__aarch64__)
+#define ASYNCIT_SIMD_NEON_COMPILED 1
+
+#include <arm_neon.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asyncit::la::simd::neon {
+
+inline double hsum4(float64x2_t s0, float64x2_t s1, float64x2_t s2,
+                    float64x2_t s3) {
+  return vaddvq_f64(vaddq_f64(vaddq_f64(s0, s1), vaddq_f64(s2, s3)));
+}
+
+/// Two x lanes fetched through the column indices.
+inline float64x2_t gather2(const double* x, const std::uint32_t* cols) {
+  float64x2_t v = vdupq_n_f64(x[cols[0]]);
+  return vsetq_lane_f64(x[cols[1]], v, 1);
+}
+
+inline double dot(const double* a, const double* b, std::size_t n) {
+  float64x2_t s0 = vdupq_n_f64(0.0), s1 = vdupq_n_f64(0.0);
+  float64x2_t s2 = vdupq_n_f64(0.0), s3 = vdupq_n_f64(0.0);
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    s0 = vfmaq_f64(s0, vld1q_f64(a + k), vld1q_f64(b + k));
+    s1 = vfmaq_f64(s1, vld1q_f64(a + k + 2), vld1q_f64(b + k + 2));
+    s2 = vfmaq_f64(s2, vld1q_f64(a + k + 4), vld1q_f64(b + k + 4));
+    s3 = vfmaq_f64(s3, vld1q_f64(a + k + 6), vld1q_f64(b + k + 6));
+  }
+  for (; k + 2 <= n; k += 2)
+    s0 = vfmaq_f64(s0, vld1q_f64(a + k), vld1q_f64(b + k));
+  double s = hsum4(s0, s1, s2, s3);
+  for (; k < n; ++k) s += a[k] * b[k];
+  return s;
+}
+
+inline double gather_dot(const double* vals, const std::uint32_t* cols,
+                         std::size_t n, const double* x) {
+  float64x2_t s0 = vdupq_n_f64(0.0), s1 = vdupq_n_f64(0.0);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    s0 = vfmaq_f64(s0, vld1q_f64(vals + k), gather2(x, cols + k));
+    s1 = vfmaq_f64(s1, vld1q_f64(vals + k + 2), gather2(x, cols + k + 2));
+  }
+  for (; k + 2 <= n; k += 2)
+    s0 = vfmaq_f64(s0, vld1q_f64(vals + k), gather2(x, cols + k));
+  double s = vaddvq_f64(vaddq_f64(s0, s1));
+  for (; k < n; ++k) s += vals[k] * x[cols[k]];
+  return s;
+}
+
+inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  const float64x2_t av = vdupq_n_f64(alpha);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    vst1q_f64(y + k, vfmaq_f64(vld1q_f64(y + k), av, vld1q_f64(x + k)));
+    vst1q_f64(y + k + 2,
+              vfmaq_f64(vld1q_f64(y + k + 2), av, vld1q_f64(x + k + 2)));
+  }
+  for (; k + 2 <= n; k += 2)
+    vst1q_f64(y + k, vfmaq_f64(vld1q_f64(y + k), av, vld1q_f64(x + k)));
+  for (; k < n; ++k) y[k] += alpha * x[k];
+}
+
+inline double sq_dist(const double* a, const double* b, std::size_t n) {
+  float64x2_t s0 = vdupq_n_f64(0.0), s1 = vdupq_n_f64(0.0);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const float64x2_t d0 = vsubq_f64(vld1q_f64(a + k), vld1q_f64(b + k));
+    const float64x2_t d1 =
+        vsubq_f64(vld1q_f64(a + k + 2), vld1q_f64(b + k + 2));
+    s0 = vfmaq_f64(s0, d0, d0);
+    s1 = vfmaq_f64(s1, d1, d1);
+  }
+  for (; k + 2 <= n; k += 2) {
+    const float64x2_t d = vsubq_f64(vld1q_f64(a + k), vld1q_f64(b + k));
+    s0 = vfmaq_f64(s0, d, d);
+  }
+  double s = vaddvq_f64(vaddq_f64(s0, s1));
+  for (; k < n; ++k) {
+    const double d = a[k] - b[k];
+    s += d * d;
+  }
+  return s;
+}
+
+inline double sq_norm(const double* a, std::size_t n) {
+  float64x2_t s0 = vdupq_n_f64(0.0), s1 = vdupq_n_f64(0.0);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const float64x2_t v0 = vld1q_f64(a + k);
+    const float64x2_t v1 = vld1q_f64(a + k + 2);
+    s0 = vfmaq_f64(s0, v0, v0);
+    s1 = vfmaq_f64(s1, v1, v1);
+  }
+  for (; k + 2 <= n; k += 2) {
+    const float64x2_t v = vld1q_f64(a + k);
+    s0 = vfmaq_f64(s0, v, v);
+  }
+  double s = vaddvq_f64(vaddq_f64(s0, s1));
+  for (; k < n; ++k) s += a[k] * a[k];
+  return s;
+}
+
+inline void matvec_rows(const std::size_t* row_ptr, const std::uint32_t* cols,
+                        const double* vals, std::size_t begin, std::size_t end,
+                        const double* x, double* y) {
+  std::size_t k = row_ptr[begin];
+  for (std::size_t r = begin; r < end; ++r) {
+    const std::size_t k_end = row_ptr[r + 1];
+    y[r - begin] = gather_dot(vals + k, cols + k, k_end - k, x);
+    k = k_end;
+  }
+}
+
+inline void jacobi_rows(const std::size_t* row_ptr, const std::uint32_t* cols,
+                        const double* vals, const double* rhs,
+                        const double* inv_diag, std::size_t begin,
+                        std::size_t end, const double* x, double* out) {
+  std::size_t k = row_ptr[begin];
+  for (std::size_t r = begin; r < end; ++r) {
+    const std::size_t k_end = row_ptr[r + 1];
+    const double s = gather_dot(vals + k, cols + k, k_end - k, x);
+    out[r - begin] = (rhs[r] - s) * inv_diag[r] + x[r];
+    k = k_end;
+  }
+}
+
+inline constexpr KernelTable kTable = {
+    Level::kNeon,   &dot,     &gather_dot,  &axpy,
+    &sq_dist,       &sq_norm, &matvec_rows, &jacobi_rows,
+};
+
+}  // namespace asyncit::la::simd::neon
+
+#endif  // __aarch64__

@@ -1,0 +1,143 @@
+// Scalar dispatch backend: the 4-way-unrolled pointer-based kernels that
+// used to live directly in kernels.hpp, plus the fused CSR row kernels.
+//
+// This is the portable floor of the dispatch ladder (simd_dispatch.hpp)
+// and the build-time fallback on architectures without a vector backend:
+//
+//  * 4-way unrolled with FOUR independent accumulators. Strict IEEE
+//    semantics forbid the compiler from reassociating a single-accumulator
+//    reduction (s += a[k]*b[k] is a serial dependency chain of FP adds, at
+//    ~4 cycles each); splitting the sum across independent registers is a
+//    reassociation we are allowed to do at the source level.
+//  * pointer-based CSR traversal: one (value, column) stream walked with
+//    local pointers instead of re-indexing row_ptr[r] bounds through the
+//    containing object each iteration.
+//  * branchless: diagonal handling in the Jacobi kernel is algebraic
+//    (subtract the full row dot, add the diagonal term back) instead of a
+//    per-element `if (col == row)` test that defeats unrolling.
+//
+// NOTE on floating point: unrolling changes the summation ORDER, so
+// results may differ from kernels_ref.hpp by rounding (not by magnitude).
+// Every dispatch level is a valid summation order; the parity tolerance of
+// tests/kernels_test.cpp is the spec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "asyncit/linalg/simd_dispatch.hpp"
+
+namespace asyncit::la::simd::scalar {
+
+/// sum_k a[k] * b[k]
+inline double dot(const double* a, const double* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    s0 += a[k] * b[k];
+    s1 += a[k + 1] * b[k + 1];
+    s2 += a[k + 2] * b[k + 2];
+    s3 += a[k + 3] * b[k + 3];
+  }
+  for (; k < n; ++k) s0 += a[k] * b[k];
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// Sparse gather dot: sum_k vals[k] * x[cols[k]]
+inline double gather_dot(const double* vals, const std::uint32_t* cols,
+                         std::size_t n, const double* x) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    s0 += vals[k] * x[cols[k]];
+    s1 += vals[k + 1] * x[cols[k + 1]];
+    s2 += vals[k + 2] * x[cols[k + 2]];
+    s3 += vals[k + 3] * x[cols[k + 3]];
+  }
+  for (; k < n; ++k) s0 += vals[k] * x[cols[k]];
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// y[k] += alpha * x[k]
+inline void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    y[k] += alpha * x[k];
+    y[k + 1] += alpha * x[k + 1];
+    y[k + 2] += alpha * x[k + 2];
+    y[k + 3] += alpha * x[k + 3];
+  }
+  for (; k < n; ++k) y[k] += alpha * x[k];
+}
+
+/// sum_k (a[k] - b[k])^2
+inline double sq_dist(const double* a, const double* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const double d0 = a[k] - b[k];
+    const double d1 = a[k + 1] - b[k + 1];
+    const double d2 = a[k + 2] - b[k + 2];
+    const double d3 = a[k + 3] - b[k + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; k < n; ++k) {
+    const double d = a[k] - b[k];
+    s0 += d * d;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// sum_k a[k]^2
+inline double sq_norm(const double* a, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    s0 += a[k] * a[k];
+    s1 += a[k + 1] * a[k + 1];
+    s2 += a[k + 2] * a[k + 2];
+    s3 += a[k + 3] * a[k + 3];
+  }
+  for (; k < n; ++k) s0 += a[k] * a[k];
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// y[r - begin] = (A x)_r for r in [begin, end); the gather dot is inlined
+/// into the row loop (same ISA unit: no per-row indirect call).
+inline void matvec_rows(const std::size_t* row_ptr, const std::uint32_t* cols,
+                        const double* vals, std::size_t begin, std::size_t end,
+                        const double* x, double* y) {
+  std::size_t k = row_ptr[begin];
+  for (std::size_t r = begin; r < end; ++r) {
+    const std::size_t k_end = row_ptr[r + 1];
+    y[r - begin] = gather_dot(vals + k, cols + k, k_end - k, x);
+    k = k_end;
+  }
+}
+
+/// out[r - begin] = (rhs[r] - row_r . x) * inv_diag[r] + x[r]
+/// which equals the point-Jacobi update (rhs_r - sum_{k!=r} a_rk x_k)/a_rr
+/// when inv_diag[r] = 1/a_rr — the diagonal term is handled algebraically
+/// instead of with a per-element branch.
+inline void jacobi_rows(const std::size_t* row_ptr, const std::uint32_t* cols,
+                        const double* vals, const double* rhs,
+                        const double* inv_diag, std::size_t begin,
+                        std::size_t end, const double* x, double* out) {
+  std::size_t k = row_ptr[begin];
+  for (std::size_t r = begin; r < end; ++r) {
+    const std::size_t k_end = row_ptr[r + 1];
+    const double s = gather_dot(vals + k, cols + k, k_end - k, x);
+    out[r - begin] = (rhs[r] - s) * inv_diag[r] + x[r];
+    k = k_end;
+  }
+}
+
+inline constexpr KernelTable kTable = {
+    Level::kScalar, &dot,     &gather_dot,   &axpy,
+    &sq_dist,       &sq_norm, &matvec_rows,  &jacobi_rows,
+};
+
+}  // namespace asyncit::la::simd::scalar

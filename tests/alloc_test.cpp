@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "asyncit/linalg/simd_dispatch.hpp"
 #include "asyncit/net/peer.hpp"
 #include "asyncit/operators/jacobi.hpp"
 #include "asyncit/operators/krasnoselskii.hpp"
@@ -98,6 +99,46 @@ TEST(AllocationRegression, JacobiApplyBlockSteadyStateAllocatesNothing) {
   }
   const std::uint64_t during = allocations() - before;
   EXPECT_EQ(during, 0u) << "steady-state apply_block allocated";
+}
+
+TEST(AllocationRegression, SimdDispatchResolvesOnceAndNeverOnTheHotPath) {
+  // The PR-5 contract: the SIMD dispatch layer installs its function
+  // pointers at startup (or when a test forces a level) and the steady
+  // state never re-resolves — no cpuid, no env lookup, no allocation per
+  // kernel call. The resolutions() hook counts table installs; a block
+  // update loop at EVERY supported level must leave it untouched.
+  Rng rng(6);
+  auto sys = problems::make_diagonally_dominant_system(96, 5, 2.0, rng);
+  const la::Partition partition = la::Partition::balanced(96, 8);
+  op::JacobiOperator jac(sys.a, sys.b, partition);
+  la::Vector x(96, 0.2), out(partition.max_block_size());
+  op::Workspace ws;
+
+  const la::simd::Level original = la::simd::active_level();
+  for (const la::simd::Level level : la::simd::supported_levels()) {
+    ASSERT_TRUE(la::simd::force(level));
+    for (la::BlockId b = 0; b < jac.num_blocks(); ++b) {  // warm-up pass
+      out.resize(partition.range(b).size());
+      jac.apply_block(b, x, out, ws);
+      jac.apply_block_residual(b, x, out, ws);
+    }
+
+    const std::uint64_t resolutions_before = la::simd::resolutions();
+    const std::uint64_t alloc_before = allocations();
+    for (int sweep = 0; sweep < 100; ++sweep) {
+      for (la::BlockId b = 0; b < jac.num_blocks(); ++b) {
+        out.resize(partition.range(b).size());
+        jac.apply_block(b, x, out, ws);
+        jac.apply_block_residual(b, x, out, ws);
+      }
+    }
+    EXPECT_EQ(allocations() - alloc_before, 0u)
+        << la::simd::to_string(level) << ": steady-state update allocated";
+    EXPECT_EQ(la::simd::resolutions(), resolutions_before)
+        << la::simd::to_string(level)
+        << ": hot path re-resolved the dispatch table";
+  }
+  la::simd::force(original);
 }
 
 TEST(AllocationRegression, ResidualMonitorsSteadyStateAllocateNothing) {

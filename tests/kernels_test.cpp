@@ -4,16 +4,29 @@
 // optimized forms reassociate floating-point reductions, so "agree" means
 // within a few ULPs of accumulated rounding, not bitwise.
 //
-// Coverage deliberately includes the shapes that break unrolled kernels:
-// sizes below/straddling the unroll width, empty CSR rows, single-element
-// blocks, and irregular (mixed-size) partitions.
+// Since PR 5 the kernels are a dispatch façade over per-ISA backends
+// (linalg/simd_dispatch.hpp). The ISA-SWEEP section below runs a
+// randomized property harness at EVERY dispatch level this host supports
+// (forced through simd::force) against the kernels_ref oracle — the
+// FP-reassociation contract is "any dispatch level is a valid summation
+// order; the parity tolerance here is the spec". It also pins the
+// dispatcher itself: ASYNCIT_SIMD override honored, unsupported levels
+// fall back cleanly, resolutions happen only at install time.
+//
+// Coverage deliberately includes the shapes that break vectorized
+// kernels: sizes below/straddling every unroll width, empty CSR rows,
+// single-element blocks, irregular (mixed-size) partitions, ±Inf/NaN
+// propagation, and denormals.
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <gtest/gtest.h>
 
 #include "asyncit/linalg/csr_matrix.hpp"
 #include "asyncit/linalg/dense_matrix.hpp"
 #include "asyncit/linalg/kernels.hpp"
 #include "asyncit/linalg/kernels_ref.hpp"
+#include "asyncit/linalg/simd_dispatch.hpp"
 #include "asyncit/operators/jacobi.hpp"
 #include "asyncit/operators/operator.hpp"
 #include "asyncit/operators/prox.hpp"
@@ -296,6 +309,420 @@ TEST(Workspace, ScratchContentsAreWritable) {
   for (std::size_t i = 0; i < s.size(); ++i) s.data()[i] = double(i);
   std::span<double> view = s;
   EXPECT_EQ(view[7], 7.0);
+}
+
+// --- ISA sweep: every dispatch level against the kernels_ref oracle ------
+
+/// Forces a dispatch level for one scope, restoring the previous level
+/// (and leaving the resolution counter honest) on exit.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(la::simd::Level level)
+      : previous_(la::simd::active_level()) {
+    EXPECT_TRUE(la::simd::force(level));
+  }
+  ~ScopedLevel() { la::simd::force(previous_); }
+
+ private:
+  la::simd::Level previous_;
+};
+
+/// Reassociation-aware comparison: `scale` is the sum of the absolute
+/// values of the summed terms (the natural magnitude against which the
+/// rounding of ANY summation order is bounded). NaN is a value here: a
+/// level must produce NaN exactly when the oracle does.
+void expect_fp_equiv(double opt, double ref, double scale,
+                     const std::string& what) {
+  if (std::isnan(ref)) {
+    EXPECT_TRUE(std::isnan(opt)) << what << ": oracle NaN, got " << opt;
+    return;
+  }
+  if (std::isinf(ref)) {
+    EXPECT_EQ(opt, ref) << what;
+    return;
+  }
+  EXPECT_NEAR(opt, ref, 1e-13 * std::max(1.0, scale)) << what;
+}
+
+double abs_dot(const double* a, const double* b, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < n; ++k) s += std::abs(a[k] * b[k]);
+  return s;
+}
+
+double abs_sparse_dot(const double* vals, const std::uint32_t* cols,
+                      std::size_t n, const double* x) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < n; ++k) s += std::abs(vals[k] * x[cols[k]]);
+  return s;
+}
+
+/// The level under test is only forced INSIDE the body, so input
+/// generation is identical across levels (same seeds, same shapes).
+class IsaParity : public ::testing::TestWithParam<la::simd::Level> {};
+
+// Sizes below / at / straddling every backend's unroll width (scalar 4,
+// NEON 2x4, AVX2 4x2, AVX-512 8x4) plus non-multiples deep in the loop.
+const std::size_t kSweepSizes[] = {0,  1,  2,  3,  4,  5,   7,   8,   9,
+                                   15, 16, 17, 31, 32, 33,  63,  64,  65,
+                                   100, 127, 128, 129, 1000, 1001};
+
+TEST_P(IsaParity, DenseKernelsMatchOracleOnRandomSizes) {
+  Rng rng(101);
+  for (const std::size_t n : kSweepSizes) {
+    const la::Vector a = random_vector(n, rng), b = random_vector(n, rng);
+    la::Vector y0 = random_vector(n, rng);
+    la::Vector y1 = y0;
+
+    const double ref_dot = la::ref::dot(a.data(), b.data(), n);
+    const double ref_sq = la::ref::sq_dist(a.data(), b.data(), n);
+    double ref_norm = 0.0;
+    for (std::size_t k = 0; k < n; ++k) ref_norm += a[k] * a[k];
+    la::ref::axpy(0.73, a.data(), y1.data(), n);
+
+    ScopedLevel forced(GetParam());
+    const std::string tag =
+        std::string(la::simd::to_string(GetParam())) + " n=" +
+        std::to_string(n);
+    expect_fp_equiv(la::kern::dot(a.data(), b.data(), n), ref_dot,
+                    abs_dot(a.data(), b.data(), n), "dot " + tag);
+    expect_fp_equiv(la::kern::sq_dist(a.data(), b.data(), n), ref_sq, ref_sq,
+                    "sq_dist " + tag);
+    expect_fp_equiv(la::kern::sq_norm(a.data(), n), ref_norm, ref_norm,
+                    "sq_norm " + tag);
+    la::kern::axpy(0.73, a.data(), y0.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      expect_fp_equiv(y0[i], y1[i], std::abs(y1[i]),
+                      "axpy " + tag + " i=" + std::to_string(i));
+  }
+}
+
+TEST_P(IsaParity, GatherDotMatchesOracleOnRandomIndices) {
+  Rng rng(102);
+  const std::size_t m = 500;  // x dimension
+  const la::Vector x = random_vector(m, rng);
+  for (const std::size_t n : kSweepSizes) {
+    la::Vector vals = random_vector(n, rng);
+    std::vector<std::uint32_t> cols(n);
+    for (auto& c : cols)
+      c = static_cast<std::uint32_t>(rng.uniform_index(m));
+    const double ref = la::ref::sparse_dot(vals.data(), cols.data(), n,
+                                           x.data());
+    ScopedLevel forced(GetParam());
+    expect_fp_equiv(
+        la::kern::sparse_dot(vals.data(), cols.data(), n, x.data()), ref,
+        abs_sparse_dot(vals.data(), cols.data(), n, x.data()),
+        std::string("sparse_dot ") + la::simd::to_string(GetParam()) +
+            " n=" + std::to_string(n));
+  }
+}
+
+TEST_P(IsaParity, CsrRowKernelsMatchOracleOnIrregularShapes) {
+  Rng rng(103);
+  // Irregular CSR: empty rows (0, middle, last), duplicate columns merged
+  // by the builder, random row lengths straddling every vector width.
+  const std::size_t n = 97;
+  std::vector<la::Triplet> t;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    if (r == 0 || r == 41 || r == 96) continue;  // fully empty rows
+    const std::size_t len = rng.uniform_index(34);  // 0..33 entries
+    for (std::size_t k = 0; k < len; ++k)
+      t.push_back({r, static_cast<std::uint32_t>(rng.uniform_index(n)),
+                   rng.uniform(-1.0, 1.0)});
+  }
+  const la::CsrMatrix a = la::CsrMatrix::from_triplets(n, n, std::move(t));
+  const la::Vector x = random_vector(n, rng);
+  la::Vector ref(n);
+  la::ref::csr_matvec(a.row_ptr(), a.col_idx(), a.values(), x, ref);
+
+  ScopedLevel forced(GetParam());
+  // Irregular row ranges, including empty, single-row and full spans.
+  const std::pair<std::size_t, std::size_t> ranges[] = {
+      {0, 0}, {0, 1}, {0, n}, {41, 42}, {96, n}, {1, 2}, {13, 57}, {90, n}};
+  for (const auto& [begin, end] : ranges) {
+    la::Vector part(end - begin, -777.0);
+    a.matvec_rows(begin, end, x, part);
+    for (std::size_t r = begin; r < end; ++r) {
+      double scale = 0.0;
+      const auto rc = a.row_cols(r);
+      const auto rv = a.row_values(r);
+      for (std::size_t k = 0; k < rc.size(); ++k)
+        scale += std::abs(rv[k] * x[rc[k]]);
+      expect_fp_equiv(part[r - begin], ref[r], scale,
+                      std::string("matvec_rows ") +
+                          la::simd::to_string(GetParam()) + " row " +
+                          std::to_string(r));
+    }
+  }
+}
+
+TEST_P(IsaParity, JacobiRowsMatchesOracleOnIrregularPartitions) {
+  Rng rng(104);
+  auto sys = problems::make_diagonally_dominant_system(83, 7, 2.0, rng);
+  const la::Vector diag = sys.a.diagonal();
+  la::Vector inv_diag(diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) inv_diag[i] = 1.0 / diag[i];
+  const la::Vector x = random_vector(83, rng);
+
+  ScopedLevel forced(GetParam());
+  const std::pair<std::size_t, std::size_t> ranges[] = {
+      {0, 83}, {0, 1}, {82, 83}, {5, 6}, {17, 44}, {44, 83}, {7, 7}};
+  for (const auto& [begin, end] : ranges) {
+    la::Vector out_opt(end - begin), out_ref(end - begin);
+    sys.a.jacobi_rows(begin, end, sys.b, inv_diag, x, out_opt);
+    la::ref::jacobi_rows(sys.a.row_ptr(), sys.a.col_idx(), sys.a.values(),
+                         sys.b, diag, begin, end, x, out_ref);
+    for (std::size_t i = 0; i < out_opt.size(); ++i) {
+      const std::size_t r = begin + i;
+      double scale = std::abs(sys.b[r]);
+      const auto rc = sys.a.row_cols(r);
+      const auto rv = sys.a.row_values(r);
+      for (std::size_t k = 0; k < rc.size(); ++k)
+        scale += std::abs(rv[k] * x[rc[k]]);
+      expect_fp_equiv(out_opt[i], out_ref[i],
+                      scale * std::abs(inv_diag[r]) + std::abs(x[r]),
+                      std::string("jacobi_rows ") +
+                          la::simd::to_string(GetParam()) + " row " +
+                          std::to_string(r));
+    }
+  }
+}
+
+TEST_P(IsaParity, InfAndNanPropagateLikeTheOracle) {
+  Rng rng(105);
+  for (const std::size_t n : {1u, 3u, 8u, 9u, 17u, 40u}) {
+    for (int scenario = 0; scenario < 3; ++scenario) {
+      la::Vector a = random_vector(n, rng), b = random_vector(n, rng);
+      const std::size_t i = rng.uniform_index(n);
+      if (scenario == 0) {
+        a[i] = std::numeric_limits<double>::quiet_NaN();
+      } else if (scenario == 1) {
+        a[i] = std::numeric_limits<double>::infinity();
+        b[i] = 2.0;  // single +Inf term: every summation order gives +Inf
+      } else {
+        // +Inf and −Inf terms together: every complete summation order
+        // eventually combines them — NaN at every level.
+        if (n < 2) continue;
+        const std::size_t j = (i + 1) % n;
+        a[i] = std::numeric_limits<double>::infinity();
+        b[i] = 1.0;
+        a[j] = -std::numeric_limits<double>::infinity();
+        b[j] = 1.0;
+      }
+      const double ref_dot = la::ref::dot(a.data(), b.data(), n);
+      const double ref_sq = la::ref::sq_dist(a.data(), b.data(), n);
+
+      ScopedLevel forced(GetParam());
+      const std::string tag = std::string(la::simd::to_string(GetParam())) +
+                              " n=" + std::to_string(n) + " scenario=" +
+                              std::to_string(scenario);
+      expect_fp_equiv(la::kern::dot(a.data(), b.data(), n), ref_dot, 0.0,
+                      "dot " + tag);
+      expect_fp_equiv(la::kern::sq_dist(a.data(), b.data(), n), ref_sq, 0.0,
+                      "sq_dist " + tag);
+    }
+  }
+}
+
+TEST_P(IsaParity, DenormalsSurviveEveryLevel) {
+  // Mixed denormal/normal inputs: products and partial sums land in the
+  // subnormal range, where flush-to-zero shortcuts (none are enabled —
+  // no -ffast-math anywhere) would show up as exact zeros.
+  Rng rng(106);
+  for (const std::size_t n : {4u, 9u, 33u, 100u}) {
+    la::Vector a(n), b(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      a[k] = rng.uniform(1.0, 2.0) * 1e-308;  // subnormal after the product
+      b[k] = rng.uniform(0.5, 1.0) * 1e-15;
+    }
+    const double ref = la::ref::dot(a.data(), b.data(), n);
+    ASSERT_GT(ref, 0.0);  // sanity: not flushed by the oracle
+    ScopedLevel forced(GetParam());
+    const double opt = la::kern::dot(a.data(), b.data(), n);
+    EXPECT_GT(opt, 0.0) << la::simd::to_string(GetParam())
+                        << ": denormal sum flushed to zero, n=" << n;
+    // Subnormal ULP is absolute (~5e-324): allow n of them on top of the
+    // relative band.
+    EXPECT_NEAR(opt, ref, 1e-13 * ref + 5e-324 * double(n))
+        << la::simd::to_string(GetParam()) << " n=" << n;
+  }
+}
+
+TEST_P(IsaParity, OperatorPathProducesSameFixedPointResidual) {
+  // End-to-end through the operator surface: a block Jacobi residual
+  // computed at the forced level must match the scalar level within the
+  // reassociation band (the executors may run at any level on any rank —
+  // mixed fleets must agree on convergence).
+  Rng rng(107);
+  auto sys = problems::make_diagonally_dominant_system(64, 5, 2.0, rng);
+  op::JacobiOperator jac(sys.a, sys.b,
+                         la::Partition::from_sizes({1, 9, 1, 21, 16, 16}));
+  const la::Vector x = random_vector(64, rng);
+  op::Workspace ws;
+  double scalar_res;
+  {
+    ScopedLevel forced(la::simd::Level::kScalar);
+    scalar_res = op::max_block_residual(jac, x, ws);
+  }
+  ScopedLevel forced(GetParam());
+  const double level_res = op::max_block_residual(jac, x, ws);
+  EXPECT_NEAR(level_res, scalar_res,
+              1e-11 * std::max(1.0, std::abs(scalar_res)))
+      << la::simd::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSupportedLevels, IsaParity,
+    ::testing::ValuesIn(la::simd::supported_levels()),
+    [](const ::testing::TestParamInfo<la::simd::Level>& info) {
+      return la::simd::to_string(info.param);
+    });
+
+// --- the dispatcher itself ----------------------------------------------
+
+/// Saves and restores the ASYNCIT_SIMD variable and the installed level so
+/// dispatcher tests cannot leak state into the rest of the suite (which
+/// may itself be running under a forced level in the CI ISA sweep).
+class DispatchEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* env = std::getenv("ASYNCIT_SIMD");
+    had_env_ = env != nullptr;
+    if (had_env_) saved_env_ = env;
+    saved_level_ = la::simd::active_level();
+  }
+  void TearDown() override {
+    if (had_env_)
+      setenv("ASYNCIT_SIMD", saved_env_.c_str(), 1);
+    else
+      unsetenv("ASYNCIT_SIMD");
+    la::simd::force(saved_level_);
+  }
+
+ private:
+  bool had_env_ = false;
+  std::string saved_env_;
+  la::simd::Level saved_level_ = la::simd::Level::kScalar;
+};
+
+TEST_F(DispatchEnv, ScalarIsAlwaysRegistered) {
+  EXPECT_TRUE(la::simd::supported(la::simd::Level::kScalar));
+  const auto levels = la::simd::supported_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), la::simd::Level::kScalar);
+  ASSERT_NE(la::simd::scalar_table(), nullptr);
+  EXPECT_EQ(la::simd::scalar_table()->level, la::simd::Level::kScalar);
+}
+
+TEST_F(DispatchEnv, HonorsOverrideForEverySupportedLevel) {
+  for (const la::simd::Level level : la::simd::supported_levels()) {
+    setenv("ASYNCIT_SIMD", la::simd::to_string(level), 1);
+    EXPECT_EQ(la::simd::dispatch(), level);
+    EXPECT_EQ(la::simd::active_level(), level);
+  }
+}
+
+TEST_F(DispatchEnv, FallsBackCleanlyOnUnsupportedOrGarbage) {
+  // Find a level this host does NOT support (x86 hosts lack neon, arm
+  // hosts lack avx2/avx512; a host supporting all four cannot exist).
+  bool checked = false;
+  for (std::size_t i = 0; i < la::simd::kNumLevels; ++i) {
+    const auto level = static_cast<la::simd::Level>(i);
+    if (la::simd::supported(level)) continue;
+    setenv("ASYNCIT_SIMD", la::simd::to_string(level), 1);
+    EXPECT_EQ(la::simd::dispatch(), la::simd::best_supported())
+        << "requested unsupported " << la::simd::to_string(level);
+    checked = true;
+  }
+  EXPECT_TRUE(checked);
+  setenv("ASYNCIT_SIMD", "pentium-mmx", 1);
+  EXPECT_EQ(la::simd::dispatch(), la::simd::best_supported());
+  unsetenv("ASYNCIT_SIMD");
+  EXPECT_EQ(la::simd::dispatch(), la::simd::best_supported());
+}
+
+TEST_F(DispatchEnv, ForceRejectsUnsupportedAndKeepsActiveTable) {
+  const la::simd::Level before = la::simd::active_level();
+  for (std::size_t i = 0; i < la::simd::kNumLevels; ++i) {
+    const auto level = static_cast<la::simd::Level>(i);
+    if (la::simd::supported(level)) continue;
+    EXPECT_FALSE(la::simd::force(level));
+    EXPECT_EQ(la::simd::active_level(), before);
+  }
+}
+
+TEST_F(DispatchEnv, SteadyStateCallsNeverReResolve) {
+  la::simd::force(la::simd::best_supported());
+  const std::uint64_t before = la::simd::resolutions();
+  Rng rng(108);
+  const la::Vector a = random_vector(256, rng), b = random_vector(256, rng);
+  double sink = 0.0;
+  for (int it = 0; it < 1000; ++it)
+    sink += la::kern::dot(a.data(), b.data(), 256);
+  EXPECT_EQ(la::simd::resolutions(), before) << "(sink=" << sink << ")";
+  la::simd::force(la::simd::Level::kScalar);
+  EXPECT_EQ(la::simd::resolutions(), before + 1);  // installs DO count
+}
+
+TEST_F(DispatchEnv, RequiredLevelMustBeSupportedNotFallenBackFrom) {
+  // The CI ISA sweep exports ASYNCIT_SIMD_REQUIRE alongside ASYNCIT_SIMD
+  // for every level the host DETECTED (scripts/simd_levels.sh). There,
+  // the dispatcher's clean fallback must be fatal: if a detection or
+  // backend-registration regression silently drops a level, the sweep
+  // would otherwise degrade to a green scalar run — the exact coverage
+  // it exists to guarantee. Plain ASYNCIT_SIMD (no REQUIRE) keeps the
+  // forgiving fallback for manual use.
+  const char* required = std::getenv("ASYNCIT_SIMD_REQUIRE");
+  if (required == nullptr) GTEST_SKIP() << "no required level set";
+  la::simd::Level level;
+  ASSERT_TRUE(la::simd::parse_level(required, level))
+      << "ASYNCIT_SIMD_REQUIRE=" << required << " names no known level";
+  // The sweep detects levels from cpuinfo, which cannot see whether the
+  // TOOLCHAIN compiled the backend in (an old compiler without the -m
+  // flags is a legitimate build, not a regression) — that case skips
+  // loudly. A compiled-in backend the dispatcher refuses on a host whose
+  // cpu advertises it IS a regression and fails.
+  using Provider = const la::simd::KernelTable* (*)();
+  constexpr Provider kProviders[] = {
+      &la::simd::scalar_table, &la::simd::avx2_table,
+      &la::simd::avx512_table, &la::simd::neon_table};
+  if (kProviders[static_cast<std::size_t>(level)]() == nullptr)
+    GTEST_SKIP() << required
+                 << " backend not compiled into this build (toolchain "
+                    "without the ISA flags) — vector parity coverage for "
+                    "it is LOST on this host";
+  EXPECT_TRUE(la::simd::supported(level))
+      << required << " was detected by the sweep and its backend is "
+      << "compiled in, yet the dispatcher refuses it — detection/"
+      << "registration regression";
+  setenv("ASYNCIT_SIMD", required, 1);
+  EXPECT_EQ(la::simd::dispatch(), level);
+}
+
+TEST_F(DispatchEnv, EveryRegisteredTableAgreesWithItsLevel) {
+  using Table = const la::simd::KernelTable* (*)();
+  const Table providers[] = {&la::simd::scalar_table, &la::simd::avx2_table,
+                             &la::simd::avx512_table, &la::simd::neon_table};
+  const la::simd::Level levels[] = {
+      la::simd::Level::kScalar, la::simd::Level::kAvx2,
+      la::simd::Level::kAvx512, la::simd::Level::kNeon};
+  for (std::size_t i = 0; i < la::simd::kNumLevels; ++i) {
+    const la::simd::KernelTable* table = providers[i]();
+    if (table == nullptr) {
+      EXPECT_FALSE(la::simd::supported(levels[i]))
+          << la::simd::to_string(levels[i])
+          << " claims support without a compiled table";
+      continue;
+    }
+    EXPECT_EQ(table->level, levels[i]);
+    EXPECT_NE(table->dot, nullptr);
+    EXPECT_NE(table->gather_dot, nullptr);
+    EXPECT_NE(table->axpy, nullptr);
+    EXPECT_NE(table->sq_dist, nullptr);
+    EXPECT_NE(table->sq_norm, nullptr);
+    EXPECT_NE(table->matvec_rows, nullptr);
+    EXPECT_NE(table->jacobi_rows, nullptr);
+  }
 }
 
 }  // namespace
