@@ -119,6 +119,11 @@ class DelayHistogram {
   double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
   /// Approximate quantile (upper edge of the bucket holding rank p*count).
   double quantile(double p) const;
+  /// Named quantiles exported through the node/cluster JSON (schema
+  /// asyncit-node/2); max() above completes the set.
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 
   /// Bucket upper edges (seconds) and counts, for serialization.
   const std::vector<double>& edges() const { return edges_; }

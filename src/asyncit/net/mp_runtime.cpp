@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "asyncit/net/peer.hpp"
+#include "asyncit/obs/metrics.hpp"
 #include "asyncit/runtime/pacing.hpp"
 #include "asyncit/runtime/shared_iterate.hpp"
 #include "asyncit/support/check.hpp"
@@ -51,6 +52,17 @@ MpResult run_message_passing(const op::BlockOperator& op,
   ASYNCIT_CHECK(options.check_every >= 1);
   ASYNCIT_CHECK(transport.world() == peers_n);
   ASYNCIT_CHECK(transport.local_ranks().size() == peers_n);
+
+  // Observability: arm the global recorder/registry for this run. The
+  // kOff default leaves both untouched (so callers that manage the
+  // recorder themselves — benches, the node runtime — are unaffected).
+  if (options.trace_level != obs::TraceLevel::kOff) {
+    obs::TraceConfig tc;
+    tc.level = options.trace_level;
+    tc.ring_capacity = options.trace_ring_capacity;
+    obs::TraceRecorder::instance().enable(tc);
+    obs::MetricsRegistry::instance().reset();
+  }
 
   const auto owned = la::assign_blocks_contiguous(m, peers_n);
   rt::SharedIterate monitor(x0);
@@ -115,12 +127,21 @@ MpResult run_message_passing(const op::BlockOperator& op,
     std::uint64_t total = 0;
     for (const auto& u : updates) total += u.load(std::memory_order_relaxed);
     if (t > options.max_seconds || total >= options.max_updates) {
+      obs::record(obs::EventType::kStopDecision, 0,
+                  static_cast<std::uint32_t>(
+                      t > options.max_seconds
+                          ? obs::StopReason::kWallBudget
+                          : obs::StopReason::kUpdateBudget),
+                  total, t);
       stop.store(true, std::memory_order_relaxed);
       break;
     }
     if (oracle) {
       monitor.snapshot_into(snap);
       if (norm.distance(snap, *options.x_star) < options.tol) {
+        obs::record(obs::EventType::kStopDecision, 0,
+                    static_cast<std::uint32_t>(obs::StopReason::kOracle),
+                    total, t);
         stop.store(true, std::memory_order_relaxed);
         break;
       }
@@ -130,6 +151,9 @@ MpResult run_message_passing(const op::BlockOperator& op,
             last_displacement, op, options.displacement_tol,
             [&](std::span<double> s) { monitor.snapshot_into(s); },
             monitor_ws)) {
+      obs::record(obs::EventType::kStopDecision, 0,
+                  static_cast<std::uint32_t>(obs::StopReason::kDisplacement),
+                  total, t);
       stop.store(true, std::memory_order_relaxed);
       break;
     }
@@ -140,6 +164,12 @@ MpResult run_message_passing(const op::BlockOperator& op,
   // ---- assemble the result ----
   MpResult result;
   result.wall_seconds = timer.seconds();
+  if (options.trace_level != obs::TraceLevel::kOff) {
+    obs::TraceRecorder::instance().disable();
+    const obs::RecorderStats os = obs::TraceRecorder::instance().stats();
+    result.obs_events_recorded = os.recorded;
+    result.obs_events_dropped = os.dropped;
+  }
   result.x = monitor.snapshot();
   result.updates_per_worker.reserve(peers_n);
   for (const auto& u : updates) {
@@ -159,6 +189,19 @@ MpResult run_message_passing(const op::BlockOperator& op,
     result.snapshot_blocks_sent += p->snapshot_blocks_sent();
   }
   result.bad_frames = transport.bad_frames();
+  for (std::size_t pi = 0; pi < peers.size(); ++pi) {
+    const auto& links = peers[pi]->link_delays();
+    for (std::uint32_t src = 0; src < links.size(); ++src) {
+      if (links[src].count() == 0) continue;
+      MpResult::LinkDelay link;
+      link.src = src;
+      link.dst = static_cast<std::uint32_t>(pi);
+      link.delays = links[src];
+      result.link_delays.push_back(std::move(link));
+    }
+    if (peers[pi]->auditor() != nullptr)
+      result.admissibility.push_back(peers[pi]->auditor()->report());
+  }
   for (const auto& a : agents) result.membership += a->stats();
   for (std::size_t p = 0; p < peers_n; ++p) {
     const transport::Endpoint& ep =

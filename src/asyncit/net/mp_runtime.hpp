@@ -31,6 +31,8 @@
 #include "asyncit/linalg/norms.hpp"
 #include "asyncit/membership/membership.hpp"
 #include "asyncit/net/channel.hpp"
+#include "asyncit/obs/auditor.hpp"
+#include "asyncit/obs/trace_recorder.hpp"
 #include "asyncit/operators/operator.hpp"
 #include "asyncit/trace/event_log.hpp"
 
@@ -82,6 +84,19 @@ struct MpOptions {
 
   bool record_trace = false;          ///< fill the EventLog (Gantt)
   std::size_t max_trace_events = 20000;
+
+  // ---- observability (obs/, DESIGN.md §8) ----
+  /// Event-tracing level for this run. kOff leaves the global recorder
+  /// untouched; kMetrics/kFull enable it at run entry (resetting rings
+  /// and the metrics registry) and disable it at exit, leaving the
+  /// recorded events snapshot-able by the caller (exporters, node JSON).
+  obs::TraceLevel trace_level = obs::TraceLevel::kOff;
+  /// Per-thread event-ring capacity (events; power of two).
+  std::size_t trace_ring_capacity = 4096;
+  /// Online admissibility auditor: every peer streams its local
+  /// (S_j, l(j)) schedule through the condition a–d checks while the
+  /// run executes (MpResult::admissibility). Independent of tracing.
+  bool audit = false;
 
   std::uint64_t seed = 1;
 
@@ -140,6 +155,22 @@ struct MpResult {
 
   /// Measured post-to-drain delay of every delivered message.
   DelayHistogram delays;
+
+  // ---- observability (obs/) ----
+  /// Per-link measured delay breakdown: messages from `src` drained by
+  /// receiving peer `dst` (schema asyncit-node/2 `links`).
+  struct LinkDelay {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    DelayHistogram delays;
+  };
+  std::vector<LinkDelay> link_delays;
+  /// Per-peer online admissibility reports (MpOptions::audit); run_node
+  /// fills exactly one entry (the local rank's view of the schedule).
+  std::vector<obs::AdmissibilityReport> admissibility;
+  /// Global recorder accounting for the run (MpOptions::trace_level).
+  std::uint64_t obs_events_recorded = 0;
+  std::uint64_t obs_events_dropped = 0;
 
   trace::EventLog log;
 };

@@ -5,6 +5,7 @@
 
 #include "asyncit/membership/swim.hpp"
 #include "asyncit/net/peer.hpp"
+#include "asyncit/obs/metrics.hpp"
 #include "asyncit/runtime/shared_iterate.hpp"
 #include "asyncit/support/check.hpp"
 #include "asyncit/support/timer.hpp"
@@ -31,6 +32,18 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
   std::vector<std::atomic<std::uint64_t>> updates(world);
   std::atomic<bool> stop{false};
   la::WeightedMaxNorm norm{partition};
+
+  // Observability: arm the global recorder for this rank's run. The
+  // caller (tools/asyncit_node) snapshots/exports after return; the
+  // recorder's realtime anchor is what trace_merge.py aligns on.
+  if (options.trace_level != obs::TraceLevel::kOff) {
+    obs::TraceConfig tc;
+    tc.level = options.trace_level;
+    tc.ring_capacity = options.trace_ring_capacity;
+    tc.rank = static_cast<std::uint16_t>(rank);
+    obs::TraceRecorder::instance().enable(tc);
+    obs::MetricsRegistry::instance().reset();
+  }
 
   WallTimer timer;
   PeerContext ctx;
@@ -61,6 +74,12 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
 
   MpResult result;
   result.wall_seconds = timer.seconds();
+  if (options.trace_level != obs::TraceLevel::kOff) {
+    obs::TraceRecorder::instance().disable();
+    const obs::RecorderStats os = obs::TraceRecorder::instance().stats();
+    result.obs_events_recorded = os.recorded;
+    result.obs_events_dropped = os.dropped;
+  }
   result.x = peer.view().x;  // the rank's full private iterate
   result.updates_per_worker.assign(world, 0);
   result.updates_per_worker[rank] = updates[rank].load();
@@ -81,6 +100,17 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
   result.messages_dropped = endpoint.dropped();
   result.messages_delivered = endpoint.delivered();
   result.delays.merge(endpoint.delays());
+  const auto& links = peer.link_delays();
+  for (std::uint32_t src = 0; src < links.size(); ++src) {
+    if (links[src].count() == 0) continue;
+    MpResult::LinkDelay link;
+    link.src = src;
+    link.dst = rank;
+    link.delays = links[src];
+    result.link_delays.push_back(std::move(link));
+  }
+  if (peer.auditor() != nullptr)
+    result.admissibility.push_back(peer.auditor()->report());
   if (options.record_trace) {
     for (const auto& e : peer.log().phases()) result.log.add_phase(e);
     for (const auto& e : peer.log().messages()) result.log.add_message(e);

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "asyncit/linalg/vector_ops.hpp"
+#include "asyncit/obs/trace_recorder.hpp"
 #include "asyncit/runtime/pacing.hpp"
 #include "asyncit/support/check.hpp"
 
@@ -46,8 +47,16 @@ Peer::Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
       round_(0),
       production_(ctx.op->partition().num_blocks(), 0),
       complete_rounds_(ctx.options->workers, 0),
-      arrivals_(ctx.options->workers) {
+      arrivals_(ctx.options->workers),
+      link_delays_(ctx.options->workers) {
   ASYNCIT_CHECK(endpoint_->rank() == id_);
+  if (ctx_.options->audit) {
+    const std::size_t m = ctx_.op->partition().num_blocks();
+    auditor_ = std::make_unique<obs::OnlineAuditor>(m);
+    audit_last_changed_.assign(m, 0);
+    audit_pending_.assign(m, 0);
+    audit_updated_.reserve(m);
+  }
   if (ctx_.membership != nullptr) {
     // Elastic ranks only make sense in the totally asynchronous regime:
     // SSP/BSP round gates would wait forever for a rank that left.
@@ -61,9 +70,35 @@ Peer::Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
         ctx_.options->max_trace_events / std::max<std::size_t>(1, ctx_.options->workers);
 }
 
+void Peer::incorporate_tracked(const la::Partition& partition,
+                               OverwritePolicy policy, const Message& m) {
+  const bool inversion = m.tag < view_.max_tag[m.block];
+  const bool filtered = policy == OverwritePolicy::kNewestTagWins &&
+                        m.tag <= view_.tags[m.block];
+  if (inversion)
+    obs::record(obs::EventType::kInversion, filtered ? 1 : 0,
+                static_cast<std::uint32_t>(m.block),
+                view_.max_tag[m.block] - m.tag, 0.0);
+  incorporate(partition, policy, m, view_);
+  // Audit bridge: an accepted remote value changes the component as of
+  // the CURRENT local step — it joins the next own step's S_j.
+  if (!filtered && auditor_ != nullptr) audit_pending_[m.block] = 1;
+}
+
+void Peer::trip_stop(obs::StopReason reason) {
+  obs::record(obs::EventType::kStopDecision, 0,
+              static_cast<std::uint32_t>(reason), local_step_, now());
+  ctx_.stop->store(true, std::memory_order_relaxed);
+}
+
 void Peer::receive() {
   inbox_.clear();
-  endpoint_->receive(now(), inbox_);
+  const double tnow = now();
+  endpoint_->receive(tnow, inbox_);
+  if (!inbox_.empty())
+    obs::record(obs::EventType::kQueueDepth,
+                static_cast<std::uint8_t>(obs::QueueKind::kInbox), id_,
+                inbox_.size(), 0.0);
   // BSP keeps exact Jacobi rounds: a message from a round this peer has
   // not yet finished must not leak into the current snapshot, so it is
   // held back until round_ advances past it. (Fast peers can legally be
@@ -78,7 +113,7 @@ void Peer::receive() {
   if (bsp && !holdback_.empty()) {
     for (Message& m : holdback_) {
       if (m.round < round_) {
-        incorporate(partition, policy, m, view_);
+        incorporate_tracked(partition, policy, m);
         recycle_scratch_.push_back(std::move(m));
       } else {
         holdback_keep_.push_back(std::move(m));
@@ -95,6 +130,8 @@ void Peer::receive() {
     // discarded with a counter, not abort the rank via a failed CHECK.
     if (m.src >= ctx_.options->workers || m.src == id_) {
       ++frames_rejected_;
+      obs::record(obs::EventType::kFrameReject,
+                  static_cast<std::uint8_t>(m.kind), m.src, m.block, 0.0);
       continue;
     }
     if (m.kind == MsgKind::kStop) {
@@ -117,13 +154,15 @@ void Peer::receive() {
         // spare slot that never joined must not keep us running.
         stopped_ranks_[m.src] = true;
         ctx_.membership->table().leave(m.src, now());
-        if (ctx_.options->mode != Mode::kAsync ||
-            (!has_local_criterion && all_others_inactive()))
-          ctx_.stop->store(true, std::memory_order_relaxed);
-      } else if (ctx_.options->mode != Mode::kAsync ||
-                 (!has_local_criterion &&
-                  peers_stopped_ + 1 >= ctx_.options->workers)) {
-        ctx_.stop->store(true, std::memory_order_relaxed);
+        if (ctx_.options->mode != Mode::kAsync)
+          trip_stop(obs::StopReason::kPeerStop);
+        else if (!has_local_criterion && all_others_inactive())
+          trip_stop(obs::StopReason::kLiveViewDone);
+      } else if (ctx_.options->mode != Mode::kAsync) {
+        trip_stop(obs::StopReason::kPeerStop);
+      } else if (!has_local_criterion &&
+                 peers_stopped_ + 1 >= ctx_.options->workers) {
+        trip_stop(obs::StopReason::kLiveViewDone);
       }
       continue;
     }
@@ -131,10 +170,15 @@ void Peer::receive() {
       // SWIM failure-detector traffic (membership/swim.hpp). Without an
       // agent these frames describe a protocol this run does not speak —
       // discard with the same counter as any config mismatch.
-      if (ctx_.membership == nullptr)
+      if (ctx_.membership == nullptr) {
         ++frames_rejected_;
-      else
+        obs::record(obs::EventType::kFrameReject,
+                    static_cast<std::uint8_t>(m.kind), m.src, m.block, 0.0);
+      } else {
+        obs::record(obs::EventType::kProbe, static_cast<std::uint8_t>(m.kind),
+                    m.src, m.tag, 0.0);
         ctx_.membership->on_frame(m, now());
+      }
       continue;
     }
     // A non-partial value frame must carry EXACTLY its block (a shorter
@@ -149,8 +193,17 @@ void Peer::receive() {
     }
     if (reject) {
       ++frames_rejected_;
+      obs::record(obs::EventType::kFrameReject,
+                  static_cast<std::uint8_t>(m.kind), m.src, m.block, 0.0);
       continue;
     }
+    // Per-link measured staleness: the drain-time delay of this frame,
+    // attributed to its source rank (the (src, dst=this) breakdown that
+    // MpResult::link_delays / schema asyncit-node/2 export).
+    const double link_delay = std::max(0.0, tnow - m.t_send);
+    link_delays_[m.src].add(link_delay);
+    obs::record(obs::EventType::kFrameRecv, static_cast<std::uint8_t>(m.kind),
+                m.src, m.tag, link_delay);
     if (ctx_.membership != nullptr)
       ctx_.membership->heard_from(m.src, now());
     // Round-completion tracking (counts at drain time, independent of any
@@ -172,7 +225,7 @@ void Peer::receive() {
       holdback_.push_back(std::move(m));
       continue;
     }
-    incorporate(partition, policy, m, view_);
+    incorporate_tracked(partition, policy, m);
   }
   // Return every consumed payload buffer to the endpoint's pool (the
   // shells whose value moved into holdback_ are skipped by the pool).
@@ -203,6 +256,15 @@ void Peer::send_block(la::BlockId b, bool partial) {
   auto send_one = [&](std::uint32_t dst) {
     const transport::SendReceipt receipt =
         endpoint_->send(dst, header, value, t, allow_drop);
+    if (obs::tracing_full()) {
+      if (receipt.sent)
+        obs::record(obs::EventType::kFrameSend,
+                    static_cast<std::uint8_t>(header.kind), dst, tag,
+                    double(value.size() * sizeof(double)));
+      else
+        obs::record(obs::EventType::kFrameDrop,
+                    static_cast<std::uint8_t>(header.kind), dst, tag, 0.0);
+    }
     if (trace_budget_ > 0) {
       --trace_budget_;
       log_.add_message({id_, dst, b, partial, !receipt.sent, receipt.t_send,
@@ -290,9 +352,12 @@ void Peer::send_snapshot_to(std::uint32_t dst) {
     header.block = b;
     header.tag = production_[b];
     header.round = round_;
-    endpoint_->send(dst, header,
-                    partition.block_span(std::span<const double>(view_.x), b),
-                    t, /*allow_drop=*/false);
+    const auto value =
+        partition.block_span(std::span<const double>(view_.x), b);
+    endpoint_->send(dst, header, value, t, /*allow_drop=*/false);
+    obs::record(obs::EventType::kFrameSend,
+                static_cast<std::uint8_t>(header.kind), dst, header.tag,
+                double(value.size() * sizeof(double)));
     ++snapshot_blocks_sent_;
   }
 }
@@ -308,6 +373,8 @@ void Peer::service_membership() {
       header.kind = f.kind;
       header.block = f.target;
       header.tag = f.seq;
+      obs::record(obs::EventType::kProbe, static_cast<std::uint8_t>(f.kind),
+                  f.dst, f.seq, 0.0);
       // allow_drop=true: the DEFAULT DeliveryPolicy spares control
       // frames anyway (drop_control=false); flipping the flag turns the
       // chaos loss model into a failure-detector stress test.
@@ -318,6 +385,9 @@ void Peer::service_membership() {
   events_scratch_.clear();
   agent->drain_events(events_scratch_);
   for (const membership::Event& e : events_scratch_) {
+    obs::record(obs::EventType::kMembership,
+                static_cast<std::uint8_t>(e.kind), e.rank, e.incarnation,
+                0.0);
     if (e.kind == membership::EventKind::kJoined && e.rank != id_)
       send_snapshot_to(e.rank);  // pre-re-assignment owned set: the
                                  // established ranks jointly cover x
@@ -332,7 +402,7 @@ void Peer::service_membership() {
         ctx_.options->x_star.has_value() ||
         ctx_.options->displacement_tol > 0.0;
     if (ctx_.node_mode && !has_local_criterion && all_others_inactive())
-      ctx_.stop->store(true, std::memory_order_relaxed);
+      trip_stop(obs::StopReason::kLiveViewDone);
   }
 }
 
@@ -370,6 +440,26 @@ void Peer::update_block(la::BlockId b, std::size_t reps,
       .store(la::dist2(phase_out_, phase_prev_), std::memory_order_relaxed);
 
   ++local_step_;
+  obs::record(obs::EventType::kBlockUpdate, flexible ? 1 : 0,
+              static_cast<std::uint32_t>(b), local_step_, now() - t_start);
+  if (auditor_ != nullptr) {
+    // Audit bridge: own step j updates S_j = {b} ∪ {blocks a remote
+    // incorporation changed since step j-1}; every component was last
+    // changed at a step <= j-1, so l(j) = min over last_changed_ gives
+    // the condition a–d auditors the measured local schedule.
+    const model::Step j = local_step_;
+    model::Step l_min = audit_last_changed_[0];
+    for (const model::Step s : audit_last_changed_) l_min = std::min(l_min, s);
+    audit_updated_.clear();
+    audit_pending_[b] = 1;
+    for (std::size_t i = 0; i < audit_pending_.size(); ++i) {
+      if (!audit_pending_[i]) continue;
+      audit_pending_[i] = 0;
+      audit_updated_.push_back(static_cast<la::BlockId>(i));
+      audit_last_changed_[i] = j;
+    }
+    auditor_->record_step(audit_updated_, l_min);
+  }
   if (trace_budget_ > 0) {
     --trace_budget_;
     log_.add_phase({id_, b, t_start, now(), local_step_});
@@ -386,7 +476,7 @@ bool Peer::wait_for_rounds(std::uint64_t needed) {
     // no monitor thread to trip the flag (the threaded orchestrator
     // does, but checking here keeps both paths honest).
     if (now() > ctx_.options->max_seconds) {
-      ctx_.stop->store(true, std::memory_order_relaxed);
+      trip_stop(obs::StopReason::kWallBudget);
       return false;
     }
     const std::uint64_t seen = endpoint_->activity();
@@ -415,7 +505,7 @@ void Peer::maybe_check(std::uint64_t own_updates) {
   const MpOptions& opt = *ctx_.options;
   if (own_updates % opt.check_every != 0) return;
   if (now() > opt.max_seconds) {
-    ctx_.stop->store(true, std::memory_order_relaxed);
+    trip_stop(obs::StopReason::kWallBudget);
     return;
   }
   // In node mode only this rank's counter is visible here, so the update
@@ -424,7 +514,7 @@ void Peer::maybe_check(std::uint64_t own_updates) {
   for (const auto& u : *ctx_.updates)
     total += u.load(std::memory_order_relaxed);
   if (total >= opt.max_updates) {
-    ctx_.stop->store(true, std::memory_order_relaxed);
+    trip_stop(obs::StopReason::kUpdateBudget);
     return;
   }
   if (ctx_.node_mode && !stopped() &&
@@ -443,7 +533,8 @@ void Peer::maybe_check(std::uint64_t own_updates) {
     }
     if (hit) {
       broadcast_stop();
-      ctx_.stop->store(true, std::memory_order_relaxed);
+      trip_stop(opt.x_star.has_value() ? obs::StopReason::kOracle
+                                       : obs::StopReason::kDisplacement);
       return;
     }
   }

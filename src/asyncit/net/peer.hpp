@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -127,6 +128,12 @@ class Peer {
   /// Elastic mode: blocks sent as welcome snapshots to joining ranks.
   std::uint64_t snapshot_blocks_sent() const { return snapshot_blocks_sent_; }
   const trace::EventLog& log() const { return log_; }
+  /// Measured drain delay per source rank (always on; index = src).
+  const std::vector<DelayHistogram>& link_delays() const {
+    return link_delays_;
+  }
+  /// Online admissibility auditor (null unless MpOptions::audit).
+  const obs::OnlineAuditor* auditor() const { return auditor_.get(); }
 
  private:
   double now() const { return ctx_.clock->seconds(); }
@@ -168,6 +175,12 @@ class Peer {
   /// Budget checks + CPU-sliced voluntary yield (see rt::executors);
   /// node mode adds the local stopping-criterion check.
   void maybe_check(std::uint64_t own_updates);
+  /// incorporate() plus the observability taps: inversion events, the
+  /// audit bridge's changed-block mask, per-link delay bookkeeping.
+  void incorporate_tracked(const la::Partition& partition,
+                           OverwritePolicy policy, const Message& m);
+  /// Records the stop decision and trips the shared flag.
+  void trip_stop(obs::StopReason reason);
 
   PeerContext ctx_;
   const std::uint32_t id_;
@@ -215,6 +228,17 @@ class Peer {
 
   trace::EventLog log_;
   std::size_t trace_budget_ = 0;      ///< remaining events this peer may log
+
+  // ---- observability (obs/) ----
+  std::vector<DelayHistogram> link_delays_;  ///< by source rank
+  std::unique_ptr<obs::OnlineAuditor> auditor_;
+  /// Audit bridge (see update_block): step j = own completed phases;
+  /// last_changed_[i] = audit step at which component i last changed,
+  /// pending_[i] = changed by a remote incorporation since the last own
+  /// step (those blocks join the next step's S_j).
+  std::vector<model::Step> audit_last_changed_;
+  std::vector<std::uint8_t> audit_pending_;
+  std::vector<la::BlockId> audit_updated_;   ///< S_j assembly scratch
 };
 
 }  // namespace asyncit::net

@@ -1,0 +1,119 @@
+#include "asyncit/obs/auditor.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <sstream>
+
+namespace asyncit::obs {
+
+using model::Step;
+
+std::string AdmissibilityReport::summary() const {
+  std::ostringstream os;
+  os << "condition a) " << (a_holds ? "holds" : "VIOLATED")
+     << "; condition b) labels "
+     << (b_diverging ? "diverging" : "NOT diverging") << " (quarter minima:";
+  for (Step q : quarter_min_labels) os << ' ' << q;
+  os << "); condition c) " << (c_fair ? "fair" : "UNFAIR")
+     << " (worst update gap " << c_worst_gap << ")"
+     << "; condition d) max delay " << d_bound << " (mean " << d_mean
+     << ") over " << steps << " steps";
+  return os.str();
+}
+
+OnlineAuditor::OnlineAuditor(std::size_t num_blocks,
+                             std::size_t series_capacity)
+    : series_capacity_(
+          std::bit_ceil(series_capacity < 4 ? std::size_t{4} : series_capacity)),
+      occurrences_(num_blocks, 0),
+      last_seen_(num_blocks, 0),
+      max_gap_(num_blocks, 0) {
+  series_.reserve(series_capacity_);  // steady state never reallocates
+}
+
+void OnlineAuditor::record_step(std::span<const la::BlockId> updated,
+                                Step l_min) {
+  const Step j = ++steps_;
+  if (l_min > j - 1) a_holds_ = false;
+
+  // b) fold into the series (bucket = `stride_` consecutive steps).
+  if (in_bucket_ == 0) {
+    series_.push_back(l_min);
+  } else {
+    series_.back() = std::min(series_.back(), l_min);
+  }
+  if (++in_bucket_ == stride_) in_bucket_ = 0;
+  if (series_.size() == series_capacity_ && in_bucket_ == 0) {
+    // Pairwise-min compaction: halves the series, doubles the stride,
+    // preserves every window minimum up to pair granularity.
+    for (std::size_t k = 0; k < series_.size() / 2; ++k)
+      series_[k] = std::min(series_[2 * k], series_[2 * k + 1]);
+    series_.resize(series_.size() / 2);
+    stride_ *= 2;
+  }
+
+  // c)
+  for (la::BlockId b : updated) {
+    ++occurrences_[b];
+    max_gap_[b] = std::max(max_gap_[b], j - last_seen_[b]);
+    last_seen_[b] = j;
+  }
+
+  // d)
+  const Step d = l_min <= j ? j - l_min : 0;
+  if (d > d_bound_) {
+    d_bound_ = d;
+    d_at_step_ = j;
+  }
+  d_sum_ += static_cast<double>(d);
+}
+
+AdmissibilityReport OnlineAuditor::report() const {
+  AdmissibilityReport rep;
+  rep.steps = steps_;
+  rep.a_holds = a_holds_;
+
+  // b) quarter minima over the (possibly compacted) series. With
+  // stride_ == 1 this reproduces model::audit_condition_b exactly.
+  const Step n = steps_;
+  if (n >= 4) {
+    const Step quarter = n / 4;
+    for (int q = 0; q < 4; ++q) {
+      const Step begin = 1 + static_cast<Step>(q) * quarter;
+      const Step end = (q == 3) ? n : begin + quarter - 1;
+      const std::size_t k_begin = static_cast<std::size_t>((begin - 1) / stride_);
+      const std::size_t k_end =
+          std::min(static_cast<std::size_t>((end - 1) / stride_),
+                   series_.size() - 1);
+      Step lo = std::numeric_limits<Step>::max();
+      for (std::size_t k = k_begin; k <= k_end; ++k)
+        lo = std::min(lo, series_[k]);
+      rep.quarter_min_labels.push_back(lo);
+    }
+    rep.b_diverging = true;
+    for (std::size_t q = 1; q < rep.quarter_min_labels.size(); ++q)
+      if (rep.quarter_min_labels[q] <= rep.quarter_min_labels[q - 1])
+        rep.b_diverging = false;
+    rep.b_final_min_label = rep.quarter_min_labels.back();
+  }
+
+  // c) incremental gaps plus the trailing gap, as the offline auditor.
+  rep.c_min_occurrences = std::numeric_limits<std::size_t>::max();
+  for (std::size_t b = 0; b < occurrences_.size(); ++b) {
+    const Step gap = std::max(max_gap_[b], steps_ - last_seen_[b]);
+    rep.c_worst_gap = std::max(rep.c_worst_gap, gap);
+    rep.c_min_occurrences = std::min(rep.c_min_occurrences, occurrences_[b]);
+  }
+  if (occurrences_.empty()) rep.c_min_occurrences = 0;
+  rep.c_fair = std::all_of(occurrences_.begin(), occurrences_.end(),
+                           [](std::size_t c) { return c >= 2; });
+
+  // d)
+  rep.d_bound = d_bound_;
+  rep.d_at_step = d_at_step_;
+  rep.d_mean = steps_ ? d_sum_ / static_cast<double>(steps_) : 0.0;
+  return rep;
+}
+
+}  // namespace asyncit::obs

@@ -1,0 +1,95 @@
+// Typed POD event taxonomy of the observability layer (DESIGN.md §8).
+//
+// One fixed 32-byte record describes every occurrence the stack can
+// report: block updates, frame traffic, membership transitions, probe
+// rounds, stop decisions, queue-depth samples, transport link repair.
+// The record is deliberately *untyped at the field level* — four 64-bit
+// words whose meaning depends on `type` — so a single lock-free ring
+// (obs/trace_recorder.hpp) can carry all of them with relaxed atomic
+// word writes and zero steady-state allocations.
+//
+// Field conventions per type (a/b/v are the payload words; `sub` is a
+// per-type discriminator; `rank` is the recording world rank):
+//
+//   kBlockUpdate     a=block        b=tag (production step)
+//                    sub=0 full phase, 1 partial (flexible communication)
+//                    v=phase duration seconds
+//   kFrameSend       a=dst          b=tag  sub=MsgKind
+//                    v=payload bytes (doubles * 8)
+//   kFrameRecv       a=src          b=tag  sub=MsgKind
+//                    v=measured delay seconds (post/arrival -> drain)
+//   kFrameReject     a=src          b=block  sub=MsgKind  v=0
+//                    (sub=0xFF: wire-invalid frame at a transport reader)
+//   kFrameDrop       a=dst          b=queue depth at drop  sub=MsgKind
+//                    v=0 (loss model / dead link / elastic overflow)
+//   kInversion       a=block        b=tag lag (newest seen - arrived)
+//                    sub=1 when the stale value was filtered  v=0
+//   kMembership      a=subject rank b=incarnation
+//                    sub=membership::EventKind  v=0
+//   kProbe           a=target       b=sequence  sub=MsgKind (kPing /
+//                    kPingReq / kAck)  v=0
+//   kStopDecision    a=StopReason   b=own updates at decision  v=seconds
+//   kQueueDepth      a=link peer    b=depth  sub=QueueKind  v=bytes
+//   kRedial          a=dst          b=attempt outcome (1 ok, 0 fail)
+//                    v=seconds (run clock at the attempt)
+//   kMarker          free-form breadcrumb (watchdog arm/disarm, node
+//                    start): a/b/v site-defined.
+#pragma once
+
+#include <cstdint>
+
+namespace asyncit::obs {
+
+enum class EventType : std::uint8_t {
+  kNone = 0,  ///< an unwritten ring slot (never recorded explicitly)
+  kBlockUpdate,
+  kFrameSend,
+  kFrameRecv,
+  kFrameReject,
+  kFrameDrop,
+  kInversion,
+  kMembership,
+  kProbe,
+  kStopDecision,
+  kQueueDepth,
+  kRedial,
+  kMarker,
+};
+inline constexpr std::uint8_t kNumEventTypes = 13;
+
+/// kStopDecision::a — why a rank (or the orchestrator) tripped the stop
+/// flag. Mirrors every stop->store site in net:: so a trace shows not
+/// just *when* a run ended but *whose* criterion ended it.
+enum class StopReason : std::uint32_t {
+  kWallBudget = 0,     ///< max_seconds exceeded
+  kUpdateBudget = 1,   ///< max_updates exhausted
+  kOracle = 2,         ///< weighted-max-norm distance below tol
+  kDisplacement = 3,   ///< displacement rule + residual confirmation
+  kPeerStop = 4,       ///< another rank's kStop frame ended a gated run
+  kLiveViewDone = 5,   ///< everyone else stopped/died/never joined
+};
+
+/// kQueueDepth::sub — which queue the sample describes.
+enum class QueueKind : std::uint8_t {
+  kTcpWriter = 0,   ///< per-link TCP send queue (frames)
+  kChaosHeld = 1,   ///< chaos receive-side maturity queue
+  kInbox = 2,       ///< drained batch size at the peer
+};
+
+/// The 32-byte POD record. Stored in rings as four relaxed atomic words;
+/// this is the decoded, reader-facing form.
+struct Event {
+  std::uint64_t t_ns = 0;   ///< monotonic ns since recorder enable
+  EventType type = EventType::kNone;
+  std::uint8_t sub = 0;     ///< per-type discriminator (see taxonomy)
+  std::uint16_t rank = 0;   ///< recording world rank
+  std::uint32_t a = 0;      ///< payload word (see taxonomy)
+  std::uint64_t b = 0;
+  double v = 0.0;
+};
+
+/// Human-readable event-type name (exporter phase names, watchdog dumps).
+const char* to_string(EventType t);
+const char* to_string(StopReason r);
+
+}  // namespace asyncit::obs

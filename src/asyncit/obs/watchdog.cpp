@@ -1,0 +1,47 @@
+#include "asyncit/obs/watchdog.hpp"
+
+#include <chrono>
+#include <iostream>
+
+#include "asyncit/obs/metrics.hpp"
+#include "asyncit/obs/trace_recorder.hpp"
+
+namespace asyncit::obs {
+
+Watchdog::Watchdog(double deadline_seconds, std::string label,
+                   std::ostream* os)
+    : label_(std::move(label)), os_(os ? os : &std::cerr) {
+  record(EventType::kMarker, /*sub=*/1, /*a=*/0, /*b=*/0, deadline_seconds);
+  thread_ = std::thread([this, deadline_seconds] {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool disarmed = cv_.wait_for(
+        lock, std::chrono::duration<double>(deadline_seconds),
+        [this] { return disarmed_; });
+    if (disarmed) return;
+    fired_ = true;
+    lock.unlock();
+    std::ostream& os = *os_;
+    os << "\n==== obs::Watchdog [" << label_ << "] deadline ("
+       << deadline_seconds << "s) overrun — flight recorder dump ====\n";
+    TraceRecorder::instance().dump(os, /*max_per_ring=*/48);
+    os << "---- metrics ----\n"
+       << MetricsRegistry::instance().to_json() << '\n'
+       << "==== end watchdog dump [" << label_ << "] ====\n";
+    os.flush();
+  });
+}
+
+Watchdog::~Watchdog() { disarm(); }
+
+void Watchdog::disarm() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (disarmed_) return;
+    disarmed_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  record(EventType::kMarker, /*sub=*/2, /*a=*/fired_ ? 1u : 0u, 0, 0.0);
+}
+
+}  // namespace asyncit::obs

@@ -1,0 +1,46 @@
+// Deadline watchdog with a flight-recorder dump (DESIGN.md §8).
+//
+// Arms a background thread that waits `deadline_seconds`; if disarm()
+// (or destruction) doesn't happen first, it fires ONCE: prints a
+// banner, dumps every TraceRecorder ring (newest events per thread,
+// with drop counters) plus the metrics registry to the given stream,
+// and keeps the process running so the enclosing test still fails with
+// its own assertion — the dump turns a silent wall-budget overrun into
+// a diagnosable timeline. Built for the pre-existing ChaosOverTcp
+// wall-budget flake in net_test/transport_test (ROADMAP).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace asyncit::obs {
+
+class Watchdog {
+ public:
+  /// Arms immediately. `label` names the guarded section in the banner;
+  /// `os` defaults to std::cerr when null.
+  Watchdog(double deadline_seconds, std::string label,
+           std::ostream* os = nullptr);
+  ~Watchdog();  ///< disarms and joins
+
+  void disarm();
+  bool fired() const { return fired_; }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+ private:
+  std::string label_;
+  std::ostream* os_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::atomic<bool> fired_{false};
+  std::thread thread_;
+};
+
+}  // namespace asyncit::obs

@@ -4,6 +4,7 @@
 #include <barrier>
 #include <thread>
 
+#include "asyncit/obs/trace_recorder.hpp"
 #include "asyncit/runtime/pacing.hpp"
 #include "asyncit/runtime/shared_iterate.hpp"
 #include "asyncit/support/check.hpp"
@@ -48,16 +49,23 @@ RuntimeResult run_async_threads_seqlock(const op::BlockOperator& op,
       cursor = (cursor + 1) % owned[w].size();
       const la::BlockRange r = partition.range(b);
       out.resize(r.size());
+      const bool traced = obs::tracing_full();
+      const std::uint64_t t_phase_ns = traced ? obs::phase_start_ns() : 0;
       store.read_all(local, tags);  // consistent per-block snapshot
       for (std::size_t t = 0; t < options.inner_steps; ++t) {
         for (std::size_t rep = 0; rep < reps; ++rep)
           op.apply_block(b, local, out, ws);
         std::copy(out.begin(), out.end(),
                   local.begin() + static_cast<std::ptrdiff_t>(r.begin));
-        if (options.publish_partials && t + 1 < options.inner_steps)
+        if (options.publish_partials && t + 1 < options.inner_steps) {
           store.write_block(b, out, ++my_step);
+          obs::record(obs::EventType::kBlockUpdate, 1, b, my_step, 0.0);
+        }
       }
       store.write_block(b, out, ++my_step);
+      if (traced)
+        obs::record_phase_end(obs::EventType::kBlockUpdate, 0, b, my_step,
+                              t_phase_ns);
       ++own_updates;
       total_updates.fetch_add(1, std::memory_order_relaxed);
 
@@ -66,13 +74,23 @@ RuntimeResult run_async_threads_seqlock(const op::BlockOperator& op,
         if (now > options.max_seconds ||
             total_updates.load(std::memory_order_relaxed) >=
                 options.max_updates) {
+          obs::record(obs::EventType::kStopDecision, 0,
+                      static_cast<std::uint32_t>(
+                          now > options.max_seconds
+                              ? obs::StopReason::kWallBudget
+                              : obs::StopReason::kUpdateBudget),
+                      own_updates, now);
           stop.store(true, std::memory_order_relaxed);
           break;
         }
         if (oracle && w == 0) {
           store.read_all(local, tags);
-          if (norm.distance(local, *options.x_star) < options.tol)
+          if (norm.distance(local, *options.x_star) < options.tol) {
+            obs::record(obs::EventType::kStopDecision, 0,
+                        static_cast<std::uint32_t>(obs::StopReason::kOracle),
+                        own_updates, now);
             stop.store(true, std::memory_order_relaxed);
+          }
         }
         // On oversubscribed machines (fewer cores than workers) a worker
         // otherwise burns its whole OS quantum re-iterating against the
@@ -154,6 +172,8 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
       cursor = (cursor + 1) % owned[w].size();
       const la::BlockRange r = partition.range(b);
       out.resize(r.size());
+      const bool traced = obs::tracing_full();
+      const std::uint64_t t_phase_ns = traced ? obs::phase_start_ns() : 0;
       // Hogwild read: the raw view; element loads are never torn on the
       // supported targets (see shared_iterate.hpp).
       const std::span<const double> view = shared.raw_view();
@@ -172,6 +192,9 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
           for (std::size_t rep = 0; rep < reps; ++rep)
             op.apply_block(b, view, out, ws);
           shared.store_block(r.begin, out);
+          if (t + 1 < options.inner_steps)
+            obs::record(obs::EventType::kBlockUpdate, 1, b, own_updates + 1,
+                        0.0);
         }
       } else {
         // Plain asynchronous phase: inner iterates stay private; only the
@@ -190,6 +213,9 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
             .store(la::dist2(out, prev_block), std::memory_order_relaxed);
       }
       ++own_updates;
+      if (traced)
+        obs::record_phase_end(obs::EventType::kBlockUpdate, 0, b, own_updates,
+                              t_phase_ns);
       total_updates.fetch_add(1, std::memory_order_relaxed);
 
       if (own_updates % options.check_every == 0) {
@@ -197,6 +223,12 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
         if (now > options.max_seconds ||
             total_updates.load(std::memory_order_relaxed) >=
                 options.max_updates) {
+          obs::record(obs::EventType::kStopDecision, 0,
+                      static_cast<std::uint32_t>(
+                          now > options.max_seconds
+                              ? obs::StopReason::kWallBudget
+                              : obs::StopReason::kUpdateBudget),
+                      own_updates, now);
           stop.store(true, std::memory_order_relaxed);
           break;
         }
@@ -205,14 +237,23 @@ RuntimeResult run_async_threads(const op::BlockOperator& op,
           if (oracle) {
             op::Scratch snap(ws, partition.dim());
             shared.snapshot_into(snap.span());
-            if (norm.distance(snap, *options.x_star) < options.tol)
+            if (norm.distance(snap, *options.x_star) < options.tol) {
+              obs::record(obs::EventType::kStopDecision, 0,
+                          static_cast<std::uint32_t>(obs::StopReason::kOracle),
+                          own_updates, now);
               stop.store(true, std::memory_order_relaxed);
+            }
           }
           if (displacement_stop &&
               stop_rule.should_stop(
                   last_displacement, op, options.displacement_tol,
-                  [&](std::span<double> s) { shared.snapshot_into(s); }, ws))
+                  [&](std::span<double> s) { shared.snapshot_into(s); }, ws)) {
+            obs::record(
+                obs::EventType::kStopDecision, 0,
+                static_cast<std::uint32_t>(obs::StopReason::kDisplacement),
+                own_updates, now);
             stop.store(true, std::memory_order_relaxed);
+          }
         }
         // See the seqlock executor: CPU-time-sliced yield keeps
         // interleaving fine-grained when workers outnumber cores.
@@ -269,12 +310,30 @@ RuntimeResult run_sync_threads(const op::BlockOperator& op,
                          const std::uint64_t r =
                              rounds.fetch_add(1, std::memory_order_relaxed) +
                              1;
-                         if (timer.seconds() > options.max_seconds ||
-                             r * m >= options.max_updates)
+                         const double now = timer.seconds();
+                         // One phase event per BSP round (all m blocks).
+                         obs::record(obs::EventType::kBlockUpdate, 0,
+                                     static_cast<std::uint32_t>(m), r, now);
+                         if (now > options.max_seconds ||
+                             r * m >= options.max_updates) {
+                           obs::record(
+                               obs::EventType::kStopDecision, 0,
+                               static_cast<std::uint32_t>(
+                                   now > options.max_seconds
+                                       ? obs::StopReason::kWallBudget
+                                       : obs::StopReason::kUpdateBudget),
+                               r, now);
                            stop.store(true, std::memory_order_relaxed);
+                         }
                          if (oracle &&
-                             norm.distance(x, *options.x_star) < options.tol)
+                             norm.distance(x, *options.x_star) < options.tol) {
+                           obs::record(
+                               obs::EventType::kStopDecision, 0,
+                               static_cast<std::uint32_t>(
+                                   obs::StopReason::kOracle),
+                               r, now);
                            stop.store(true, std::memory_order_relaxed);
+                         }
                        });
 
   auto worker_fn = [&](std::size_t w) {

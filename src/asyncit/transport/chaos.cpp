@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "asyncit/obs/trace_recorder.hpp"
 #include "asyncit/support/check.hpp"
 #include "asyncit/support/rng.hpp"
 
@@ -64,7 +65,14 @@ SendReceipt ChaosEndpoint::send(std::uint32_t dst,
   const bool droppable =
       allow_drop && (!net::is_control(header.kind) || drop_control_);
   const bool kept = links_[dst].stamp(probe, now, droppable);
-  if (!kept) return {false, probe.t_send, probe.deliver_at};
+  if (!kept) {
+    // The loss model decided here (sender-side draw): the trace's
+    // injected-drop signature, distinct from dead-link TCP drops.
+    obs::record(obs::EventType::kFrameDrop,
+                static_cast<std::uint8_t>(header.kind), dst, 0,
+                probe.deliver_at - now);
+    return {false, probe.t_send, probe.deliver_at};
+  }
   MessageHeader h = header;
   h.injected_delay = probe.deliver_at - now;  // this link's latency draw
   // Drops were decided here; the inner backend must not drop again.
@@ -109,6 +117,10 @@ std::size_t ChaosEndpoint::receive(double now,
     out.push_back(std::move(m));
   }
   held_head_ += n;
+  if (n > 0 || held_.size() > held_head_)
+    obs::record(obs::EventType::kQueueDepth,
+                static_cast<std::uint8_t>(obs::QueueKind::kChaosHeld),
+                rank(), held_.size() - held_head_, double(n));
   if (held_head_ >= 64 && held_head_ * 2 >= held_.size()) {
     held_.erase(held_.begin(),
                 held_.begin() + static_cast<std::ptrdiff_t>(held_head_));

@@ -19,6 +19,8 @@
 #include <mutex>
 #include <thread>
 
+#include "asyncit/obs/metrics.hpp"
+#include "asyncit/obs/trace_recorder.hpp"
 #include "asyncit/support/check.hpp"
 #include "asyncit/support/timer.hpp"
 #include "asyncit/transport/pool.hpp"
@@ -168,6 +170,16 @@ struct TcpTransport::Impl {
   std::condition_variable reg_cv;
   std::size_t pending_incoming = 0;  ///< rendezvous countdown, guarded by reg_mu
 
+  /// Metrics handles, registered once at start(); hot paths update them
+  /// only while a run has observability on (obs::tracing_on()).
+  obs::Counter* m_tx_frames = nullptr;
+  obs::Counter* m_tx_bytes = nullptr;
+  obs::Counter* m_rx_frames = nullptr;
+  obs::Counter* m_rx_bytes = nullptr;
+  obs::Counter* m_tx_drops = nullptr;
+  obs::Counter* m_redials = nullptr;
+  obs::Counter* m_bad_frames = nullptr;
+
   ~Impl() { shutdown(); }
 
   void shutdown();
@@ -213,6 +225,15 @@ void TcpTransport::Impl::start(TcpOptions opts) {
       expected[r] = true;
     }
   }
+  auto& registry = obs::MetricsRegistry::instance();
+  m_tx_frames = &registry.counter("tcp.tx_frames");
+  m_tx_bytes = &registry.counter("tcp.tx_bytes");
+  m_rx_frames = &registry.counter("tcp.rx_frames");
+  m_rx_bytes = &registry.counter("tcp.rx_bytes");
+  m_tx_drops = &registry.counter("tcp.tx_drops");
+  m_redials = &registry.counter("tcp.redials");
+  m_bad_frames = &registry.counter("tcp.bad_frames");
+
   ASYNCIT_CHECK(::pipe(stop_pipe_) == 0);
   set_nonblocking(stop_pipe_[0]);
 
@@ -390,6 +411,8 @@ bool TcpTransport::Impl::ensure_connected(TcpEndpoint* ep,
   if (t < link->next_dial_at) return false;
   link->next_dial_at = t + kRedialBackoffSeconds;
   const int nfd = try_dial(ep->rank_, link->dst, kDialAttemptSeconds);
+  if (obs::tracing_on()) m_redials->add();
+  obs::record(obs::EventType::kRedial, 0, link->dst, nfd >= 0 ? 1 : 0, t);
   if (nfd < 0) return false;
   if (fd >= 0) ::close(fd);
   link->fd.store(nfd, std::memory_order_relaxed);
@@ -518,6 +541,10 @@ void TcpTransport::Impl::reader_loop(TcpEndpoint* ep,
           consumed, m);
       if (st == DecodeStatus::kOk) {
         off += consumed;
+        if (obs::tracing_on()) {
+          m_rx_frames->add();
+          m_rx_bytes->add(consumed);
+        }
         m.deliver_at = clock.seconds();  // arrival stamp (transport clock)
         {
           std::lock_guard<std::mutex> lock(ep->rx_mu_);
@@ -534,6 +561,10 @@ void TcpTransport::Impl::reader_loop(TcpEndpoint* ep,
         // so its writer marks the link closed instead of blocking
         // forever against a kernel buffer nobody drains.
         bad_frames.fetch_add(1, std::memory_order_relaxed);
+        if (obs::tracing_on()) m_bad_frames->add();
+        // sub=0xFF: wire-invalid (transport reader), vs. the peer-level
+        // semantic rejects which carry the MsgKind.
+        obs::record(obs::EventType::kFrameReject, 0xFF, link->src, 0, 0.0);
         ::shutdown(link->fd, SHUT_RDWR);
         if (notify) ep->rx_cv_.notify_one();
         return;
@@ -582,15 +613,32 @@ void TcpTransport::Impl::writer_loop(TcpEndpoint* ep,
       batch.swap(link->queue);
       link->writing = true;
     }
+    if (obs::tracing_full()) {
+      // Per-link send-queue depth at drain time: the live backpressure
+      // signal of the wire (counter track in the exported trace).
+      std::size_t bytes = 0;
+      for (const auto& f : batch) bytes += f.size();
+      obs::record(obs::EventType::kQueueDepth,
+                  static_cast<std::uint8_t>(obs::QueueKind::kTcpWriter),
+                  link->dst, batch.size(), double(bytes));
+    }
     // Elastic links own their connection: (re)dial before draining. A
     // batch for an unreachable destination is discarded — the medium is
     // down, and the totally asynchronous regime treats that as loss.
     const bool usable = ensure_connected(ep, link);
     for (auto& frame : batch) {
-      if (usable && !link->closed.load(std::memory_order_relaxed))
+      if (usable && !link->closed.load(std::memory_order_relaxed)) {
         write_all(link, frame);
-      else
+        if (obs::tracing_on()) {
+          m_tx_frames->add();
+          m_tx_bytes->add(frame.size());
+        }
+      } else {
         link->tx_dropped.fetch_add(1, std::memory_order_relaxed);
+        if (obs::tracing_on()) m_tx_drops->add();
+        obs::record(obs::EventType::kFrameDrop, 0, link->dst, batch.size(),
+                    0.0);
+      }
       ep->frame_pool_.recycle(std::move(frame));
     }
     batch.clear();
@@ -651,6 +699,8 @@ SendReceipt TcpEndpoint::send(std::uint32_t dst, const MessageHeader& header,
   // destination may be rejoining) and discards what it cannot deliver.
   if (!elastic && link->closed.load(std::memory_order_relaxed)) {
     ++dropped_;
+    obs::record(obs::EventType::kFrameDrop,
+                static_cast<std::uint8_t>(header.kind), dst, 0, 0.0);
     return {false, now, now};
   }
   // A block broadcast encodes once PER DESTINATION even though the bytes
@@ -668,6 +718,7 @@ SendReceipt TcpEndpoint::send(std::uint32_t dst, const MessageHeader& header,
       frame_pool_.recycle(std::move(link->queue.front()));
       link->queue.erase(link->queue.begin());
       ++dropped_;
+      obs::record(obs::EventType::kFrameDrop, 0, dst, kMaxElasticQueue, 0.0);
     }
     link->queue.push_back(std::move(frame));
   }

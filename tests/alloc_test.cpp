@@ -18,6 +18,8 @@
 
 #include "asyncit/linalg/simd_dispatch.hpp"
 #include "asyncit/net/peer.hpp"
+#include "asyncit/obs/metrics.hpp"
+#include "asyncit/obs/trace_recorder.hpp"
 #include "asyncit/operators/jacobi.hpp"
 #include "asyncit/operators/krasnoselskii.hpp"
 #include "asyncit/operators/operator.hpp"
@@ -252,6 +254,60 @@ TEST(AllocationRegression, InprocMessagingRoundTripAllocatesNothing) {
   round_trip(200);
   const std::uint64_t during = allocations() - before;
   EXPECT_EQ(during, 0u) << "steady-state messaging round trip allocated";
+}
+
+TEST(AllocationRegression, MessagingWithFullTracingStillAllocatesNothing) {
+  // The PR-6 contract: the observability layer rides the hot path for
+  // free. With the recorder at kFull and events recorded per round trip
+  // — including ring WRAPS, which must recycle slots, never grow — the
+  // steady state stays at zero allocations. The only alloc the recorder
+  // ever makes is the one-time per-thread ring claim, which the warm-up
+  // absorbs; cached metric handles keep the registry off the path too.
+  obs::TraceConfig tc;
+  tc.level = obs::TraceLevel::kFull;
+  tc.ring_capacity = 128;  // small: the measured loop wraps many times
+  obs::TraceRecorder::instance().enable(tc);
+  obs::Counter& frames = obs::MetricsRegistry::instance().counter(
+      "alloc_test.frames");
+  obs::Histogram& delays = obs::MetricsRegistry::instance().histogram(
+      "alloc_test.delay");
+
+  const la::Partition partition = la::Partition::from_sizes({6, 6});
+  transport::InprocTransport tx(2, net::DeliveryPolicy{}, 3);
+  transport::Endpoint& e0 = tx.endpoint(0);
+  transport::Endpoint& e1 = tx.endpoint(1);
+  net::LocalView view(la::Vector(12, 0.0), 2);
+  la::Vector payload(6, 1.25);
+  std::vector<net::Message> inbox;
+  transport::MessageHeader header;
+  header.block = 0;
+
+  auto round_trip = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      header.tag = static_cast<model::Step>(i + 1);
+      e0.send(1, header, payload, 1e-4 * i, /*allow_drop=*/false);
+      obs::record(obs::EventType::kFrameSend, 0, 1, header.tag, 48.0);
+      e1.receive(1e9, inbox);
+      for (const net::Message& m : inbox) {
+        net::incorporate(partition, net::OverwritePolicy::kLastArrivalWins,
+                         m, view);
+        obs::record(obs::EventType::kFrameRecv, 0, 0, m.tag, 1e-4);
+        frames.add(1);
+        delays.observe(1e-4);
+      }
+      e1.recycle(inbox);
+    }
+  };
+
+  round_trip(200);  // warm-up: pools, inbox, ring claim, metric buckets
+
+  const std::uint64_t before = allocations();
+  round_trip(400);  // 800 events through a 128-slot ring: 6+ wraps
+  const std::uint64_t during = allocations() - before;
+  EXPECT_EQ(during, 0u) << "full-tracing messaging round trip allocated";
+  EXPECT_GT(obs::TraceRecorder::instance().stats().dropped, 0u)
+      << "the measured loop was supposed to wrap the ring";
+  obs::TraceRecorder::instance().disable();
 }
 
 TEST(AllocationRegression, ChaosWireFramingSteadyStateAllocatesNothing) {

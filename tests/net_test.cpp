@@ -9,6 +9,7 @@
 #include "asyncit/net/channel.hpp"
 #include "asyncit/net/mp_runtime.hpp"
 #include "asyncit/net/peer.hpp"
+#include "asyncit/obs/watchdog.hpp"
 #include "asyncit/operators/gradient.hpp"
 #include "asyncit/operators/jacobi.hpp"
 #include "asyncit/problems/linear_system.hpp"
@@ -195,8 +196,17 @@ TEST_F(MpRuntimeFixture, AllThreeModesConverge) {
     MpOptions opt = base_options();
     opt.mode = mode;
     opt.staleness = 2;
+    // Shares the ChaosOverTcp wall-budget flake history (ROADMAP): run
+    // fully traced under a watchdog 2s inside the 20s budget so an
+    // overrun dumps the per-thread event rings instead of timing out
+    // with no diagnostic.
+    opt.trace_level = obs::TraceLevel::kFull;
+    obs::Watchdog dog(18.0, std::string("AllThreeModesConverge mode ") +
+                                std::to_string(static_cast<int>(mode)));
     auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
                                            opt);
+    dog.disarm();
+    EXPECT_FALSE(dog.fired()) << "solve overran the 18s watchdog";
     EXPECT_TRUE(result.converged) << "mode " << static_cast<int>(mode)
                                   << " error " << result.final_error;
     EXPECT_GT(result.total_updates, 0u);

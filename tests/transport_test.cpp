@@ -19,6 +19,7 @@
 #include "asyncit/net/mp_runtime.hpp"
 #include "asyncit/net/node_runtime.hpp"
 #include "asyncit/net/peer.hpp"
+#include "asyncit/obs/watchdog.hpp"
 #include "asyncit/operators/jacobi.hpp"
 #include "asyncit/problems/linear_system.hpp"
 #include "asyncit/support/rng.hpp"
@@ -853,6 +854,13 @@ TEST_F(BackendParityFixture, InprocAndTcpLoopbackReachTheSameIterate) {
 TEST_F(BackendParityFixture, ChaosOverTcpRunsTheDelayModelOnRealSockets) {
   net::MpOptions opt = base_options();
   opt.tol = 1e-8;
+  // This test has a history of rare wall-budget overruns (ROADMAP —
+  // chaos hold queues over real sockets under CI contention). Run it
+  // fully traced with a watchdog 2s inside the 20s budget: an overrun
+  // now dumps every thread's event ring + per-link queue metrics to
+  // stderr instead of timing out silently.
+  opt.trace_level = obs::TraceLevel::kFull;
+  obs::Watchdog dog(18.0, "ChaosOverTcpRunsTheDelayModelOnRealSockets");
   TcpOptions topts;
   topts.nodes.assign(4, {"127.0.0.1", 0});
   TcpTransport tcp(std::move(topts));
@@ -862,6 +870,8 @@ TEST_F(BackendParityFixture, ChaosOverTcpRunsTheDelayModelOnRealSockets) {
   ChaosTransport chaos(tcp, policy, opt.seed);
   const auto r =
       net::run_message_passing(*jacobi_, la::zeros(sys_.dim()), opt, chaos);
+  dog.disarm();
+  EXPECT_FALSE(dog.fired()) << "solve overran the 18s watchdog";
   EXPECT_TRUE(r.converged) << "error " << r.final_error;
   EXPECT_GT(r.delays.count(), 0u);
   // Every measured delay includes the injected hold: the floor of the

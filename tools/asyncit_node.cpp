@@ -42,23 +42,41 @@
 //   late 4                   # slot absent at launch (repeatable): it is
 //                            # excluded from rendezvous + initial view
 //                            # and joins whenever the launcher starts it
+//   trace none               # observability: none | metrics | full
+//   trace_dir /tmp/run       # where rank_<r>.trace.json (Chrome/Perfetto
+//                            # trace events) and rank_<r>.metrics.json
+//                            # land; requires trace != none
+//   audit 0                  # 1: online admissibility auditor (live
+//                            # conditions a-d report in the JSON below)
 //
 // Exit status 0 when this rank's final oracle error is below tol (or the
 // 10x band when the run was ended by another rank's stop frame — gated
 // modes stop on the first announcement, in-flight staleness allowed).
 //
 // Output: one `ASYNCIT_NODE_JSON {...}` line per rank (schema
-// asyncit-node/1), the machine-readable contract launch_cluster.py
+// asyncit-node/2), the machine-readable contract launch_cluster.py
 // aggregates and asserts on. Fields: schema, rank, ok, converged, error,
 // tol, wall_seconds, updates, rounds, sent, delivered, dropped,
 // inversions, stale_filtered, partials_sent, peers_stopped,
-// frames_rejected, bad_frames, and a membership object (enabled,
+// frames_rejected, bad_frames, a membership object (enabled,
 // pings_sent, acks_sent, acks_received, ping_reqs_sent,
 // gossip_frames_sent, suspicions, deaths_observed, joins_observed,
 // refutations, control_rejected, reassignments, snapshot_blocks_sent,
-// live_at_exit[]). The older ASYNCIT_NODE_RESULT key=value line is kept
-// for humans and old scripts.
+// live_at_exit[]), and — new in /2 —
+//   delay_quantiles {count,p50,p95,p99,max}   endpoint delay summary
+//   links [{src,dst,count,p50,p95,p99,max}]   per-link (src,dst) delay
+//       breakdown measured at incorporate (this rank is always dst)
+//   admissibility {steps,a_holds,b_diverging,b_final_min_label,c_fair,
+//       c_min_occurrences,c_worst_gap,d_bound,d_at_step,d_mean} | null
+//       (the online auditor's live conditions a-d report; null unless
+//       `audit 1`)
+//   obs {recorded,dropped}                    trace-ring accounting
+// The older ASYNCIT_NODE_RESULT key=value line is kept for humans and
+// old scripts. The ASYNCIT_NODE_START marker carries epoch_ns (realtime
+// clock at solve start) so tools/trace_merge.py can cross-check its
+// per-rank clock alignment.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +87,8 @@
 #include <vector>
 
 #include "asyncit/asyncit.hpp"
+#include "asyncit/obs/exporter.hpp"
+#include "asyncit/obs/metrics.hpp"
 
 namespace {
 
@@ -95,6 +115,9 @@ struct NodeConfig {
                                    ///< from the `late` lines below)
   std::vector<std::uint32_t> late;  ///< slots absent at launch
   std::vector<transport::TcpPeerAddress> nodes;
+  obs::TraceLevel trace = obs::TraceLevel::kOff;
+  std::string trace_dir;  ///< rank_<r>.trace.json / .metrics.json target
+  bool audit = false;     ///< online admissibility auditor
 };
 
 [[noreturn]] void die(const std::string& msg) {
@@ -210,6 +233,17 @@ NodeConfig parse_config(const std::string& path) {
       std::uint32_t r = 0;
       want(r);
       cfg.late.push_back(r);
+    } else if (key == "trace") {
+      std::string level;
+      want(level);
+      if (!obs::parse_trace_level(level.c_str(), &cfg.trace))
+        die("unknown trace level " + level);
+    } else if (key == "trace_dir") {
+      want(cfg.trace_dir);
+    } else if (key == "audit") {
+      int v = 0;
+      want(v);
+      cfg.audit = v != 0;
     } else {
       die(path + ":" + std::to_string(lineno) + ": unknown key " + key);
     }
@@ -307,7 +341,14 @@ int main(int argc, char** argv) {
   // Rendezvous done, solve starting: the marker scripts/launch_cluster.py
   // anchors its churn schedule on (a kill scheduled from process spawn
   // could land inside setup/rendezvous on a slow or sanitized build).
-  std::printf("ASYNCIT_NODE_START rank=%u\n", rank);
+  // epoch_ns (CLOCK_REALTIME) lets tools/trace_merge.py cross-check the
+  // per-rank clock anchors it aligns the merged timeline with.
+  const std::uint64_t start_epoch_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::printf("ASYNCIT_NODE_START rank=%u epoch_ns=%llu\n", rank,
+              static_cast<unsigned long long>(start_epoch_ns));
   std::fflush(stdout);
 
   net::MpOptions opt;
@@ -323,6 +364,8 @@ int main(int argc, char** argv) {
   opt.max_updates = cfg.max_updates;
   opt.seed = cfg.seed;
   opt.membership = cfg.membership;
+  opt.trace_level = cfg.trace;
+  opt.audit = cfg.audit;
 
   const net::MpResult result =
       net::run_node(jacobi, la::zeros(cfg.dim), opt, fabric.endpoint(rank));
@@ -330,6 +373,30 @@ int main(int argc, char** argv) {
   // Let the final frames (stop announcement, last block values) reach
   // the wire before the sockets close under the other ranks.
   fabric.flush(2.0);
+
+  // Per-rank trace + metrics artifacts (trace_merge.py consumes the
+  // former; launch_cluster.py archives both).
+  if (cfg.trace != obs::TraceLevel::kOff && !cfg.trace_dir.empty()) {
+    const std::string base =
+        cfg.trace_dir + "/rank_" + std::to_string(rank);
+    if (cfg.trace == obs::TraceLevel::kFull) {
+      obs::ExportMeta meta;
+      meta.rank = static_cast<std::uint16_t>(rank);
+      meta.epoch_realtime_ns =
+          obs::TraceRecorder::instance().epoch_realtime_ns();
+      meta.events_dropped = result.obs_events_dropped;
+      meta.label = "asyncit_node";
+      if (!obs::export_chrome_trace_file(base + ".trace.json", meta))
+        std::fprintf(stderr, "[rank %u] trace export failed: %s\n", rank,
+                     (base + ".trace.json").c_str());
+    }
+    std::ofstream mf(base + ".metrics.json");
+    if (mf)
+      mf << obs::MetricsRegistry::instance().to_json() << "\n";
+    else
+      std::fprintf(stderr, "[rank %u] metrics export failed: %s\n", rank,
+                   (base + ".metrics.json").c_str());
+  }
 
   // A rank that was stopped by another rank's announcement (gated modes
   // stop on the first kStop) may sit within in-flight staleness of the
@@ -375,8 +442,48 @@ int main(int argc, char** argv) {
     live += std::to_string(result.live_at_exit[i]);
   }
   live += "]";
+  // asyncit-node/2 additions, built as strings (the printf below is
+  // already at the edge of readability).
+  char qb[192];
+  const auto quantiles_json = [&qb](const net::DelayHistogram& h) {
+    std::snprintf(qb, sizeof qb,
+                  "{\"count\":%llu,\"p50\":%.9g,\"p95\":%.9g,"
+                  "\"p99\":%.9g,\"max\":%.9g}",
+                  static_cast<unsigned long long>(h.count()), h.p50(),
+                  h.p95(), h.p99(), h.max());
+    return std::string(qb);
+  };
+  std::string links = "[";
+  for (std::size_t i = 0; i < result.link_delays.size(); ++i) {
+    const net::MpResult::LinkDelay& l = result.link_delays[i];
+    if (i > 0) links += ",";
+    links += "{\"src\":" + std::to_string(l.src) +
+             ",\"dst\":" + std::to_string(l.dst) +
+             ",\"quantiles\":" + quantiles_json(l.delays) + "}";
+  }
+  links += "]";
+  std::string audit_json = "null";
+  if (!result.admissibility.empty()) {
+    const obs::AdmissibilityReport& ar = result.admissibility.front();
+    char ab[384];
+    std::snprintf(
+        ab, sizeof ab,
+        "{\"steps\":%llu,\"a_holds\":%s,\"b_diverging\":%s,"
+        "\"b_final_min_label\":%llu,\"c_fair\":%s,"
+        "\"c_min_occurrences\":%llu,\"c_worst_gap\":%llu,"
+        "\"d_bound\":%llu,\"d_at_step\":%llu,\"d_mean\":%.9g}",
+        static_cast<unsigned long long>(ar.steps),
+        ar.a_holds ? "true" : "false", ar.b_diverging ? "true" : "false",
+        static_cast<unsigned long long>(ar.b_final_min_label),
+        ar.c_fair ? "true" : "false",
+        static_cast<unsigned long long>(ar.c_min_occurrences),
+        static_cast<unsigned long long>(ar.c_worst_gap),
+        static_cast<unsigned long long>(ar.d_bound),
+        static_cast<unsigned long long>(ar.d_at_step), ar.d_mean);
+    audit_json = ab;
+  }
   std::printf(
-      "ASYNCIT_NODE_JSON {\"schema\":\"asyncit-node/1\",\"rank\":%u,"
+      "ASYNCIT_NODE_JSON {\"schema\":\"asyncit-node/2\",\"rank\":%u,"
       "\"ok\":%s,\"converged\":%s,\"error\":%.17g,\"tol\":%.17g,"
       "\"wall_seconds\":%.6f,\"updates\":%llu,\"rounds\":%llu,"
       "\"sent\":%llu,\"delivered\":%llu,\"dropped\":%llu,"
@@ -388,7 +495,9 @@ int main(int argc, char** argv) {
       "\"deaths_observed\":%llu,\"joins_observed\":%llu,"
       "\"refutations\":%llu,\"control_rejected\":%llu,"
       "\"reassignments\":%llu,\"snapshot_blocks_sent\":%llu,"
-      "\"live_at_exit\":%s}}\n",
+      "\"live_at_exit\":%s},\"delay_quantiles\":%s,\"links\":%s,"
+      "\"admissibility\":%s,\"obs\":{\"recorded\":%llu,"
+      "\"dropped\":%llu}}\n",
       rank, ok ? "true" : "false", result.converged ? "true" : "false",
       result.final_error, cfg.tol, result.wall_seconds,
       static_cast<unsigned long long>(result.total_updates),
@@ -415,6 +524,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ms.control_rejected),
       static_cast<unsigned long long>(result.reassignments),
       static_cast<unsigned long long>(result.snapshot_blocks_sent),
-      live.c_str());
+      live.c_str(), quantiles_json(result.delays).c_str(), links.c_str(),
+      audit_json.c_str(),
+      static_cast<unsigned long long>(result.obs_events_recorded),
+      static_cast<unsigned long long>(result.obs_events_dropped));
   return ok ? 0 : 1;
 }

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Merge per-rank asyncit Chrome trace files onto one cluster timeline.
+
+Each asyncit_node rank exports `rank_<r>.trace.json` (schema
+asyncit-trace/1, written by obs/exporter.cpp): event timestamps are
+MICROseconds on the rank's own monotonic clock, zeroed at its recorder
+enable, and `otherData.epoch_realtime_ns` records where that zero sits
+on CLOCK_REALTIME. Ranks on one machine (the launch_cluster.py case)
+share CLOCK_REALTIME, so shifting every rank's events by
+
+    (epoch_realtime_ns[rank] - min over ranks) / 1000   [us]
+
+puts all of them on a single timeline anchored at the earliest rank's
+enable instant. The merged document loads directly in Perfetto /
+chrome://tracing; each rank keeps its own process group (pid = rank).
+
+Cross-check: pass the launcher log (or any file containing the
+`ASYNCIT_NODE_START rank=R epoch_ns=E` markers asyncit_node prints at
+solve start) via --log and the merge verifies each rank's trace anchor
+sits within --skew-tolerance seconds of its start marker — a torn
+config (mixed runs in one directory) fails loudly instead of producing
+a silently misaligned timeline.
+
+Usage:
+    tools/trace_merge.py --out merged.json rank_0.trace.json rank_1...
+    tools/trace_merge.py --dir /tmp/run --out merged.json [--log run.log]
+
+Exit status: 0 on success, 1 on malformed input or failed cross-check.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+START_RE = re.compile(r"ASYNCIT_NODE_START\s+rank=(\d+)\s+epoch_ns=(\d+)")
+
+
+def load_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    other = doc.get("otherData", {})
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: no traceEvents array")
+    if "epoch_realtime_ns" not in other:
+        raise ValueError(f"{path}: otherData.epoch_realtime_ns missing "
+                         "(not an asyncit-trace/1 document?)")
+    return {
+        "path": path,
+        "rank": int(other.get("rank", -1)),
+        "epoch_ns": int(other["epoch_realtime_ns"]),
+        "dropped": int(other.get("events_dropped", 0)),
+        "events": events,
+    }
+
+
+def parse_start_markers(path):
+    markers = {}
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        for line in f:
+            m = START_RE.search(line)
+            if m:
+                markers[int(m.group(1))] = int(m.group(2))
+    return markers
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="*", help="per-rank trace JSON files")
+    ap.add_argument("--dir", default=None,
+                    help="glob rank_*.trace.json from this directory")
+    ap.add_argument("--out", required=True, help="merged trace output path")
+    ap.add_argument("--log", default=None,
+                    help="launcher log with ASYNCIT_NODE_START markers "
+                         "(clock-alignment cross-check)")
+    ap.add_argument("--skew-tolerance", type=float, default=30.0,
+                    help="max |trace anchor - start marker| seconds "
+                         "(anchor precedes the marker by the rendezvous "
+                         "time; default 30)")
+    args = ap.parse_args()
+
+    paths = list(args.traces)
+    if args.dir:
+        paths += sorted(glob.glob(os.path.join(args.dir,
+                                               "rank_*.trace.json")))
+    if not paths:
+        print("trace_merge: no input traces", file=sys.stderr)
+        return 1
+
+    try:
+        traces = [load_trace(p) for p in paths]
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"trace_merge: {e}", file=sys.stderr)
+        return 1
+
+    ranks = [t["rank"] for t in traces]
+    if len(set(ranks)) != len(ranks):
+        print(f"trace_merge: duplicate ranks in inputs: {sorted(ranks)}",
+              file=sys.stderr)
+        return 1
+
+    epoch0 = min(t["epoch_ns"] for t in traces)
+
+    if args.log:
+        markers = parse_start_markers(args.log)
+        for t in traces:
+            if t["rank"] not in markers:
+                continue  # marker from an old binary / killed before start
+            skew_s = abs(t["epoch_ns"] - markers[t["rank"]]) / 1e9
+            if skew_s > args.skew_tolerance:
+                print(f"trace_merge: rank {t['rank']} trace anchor is "
+                      f"{skew_s:.3f}s from its ASYNCIT_NODE_START marker "
+                      f"(> {args.skew_tolerance}s) — mixed runs in one "
+                      "directory?", file=sys.stderr)
+                return 1
+
+    merged = []
+    offsets_us = {}
+    for t in traces:
+        shift_us = (t["epoch_ns"] - epoch0) / 1e3
+        offsets_us[str(t["rank"])] = shift_us
+        for ev in t["events"]:
+            if "ts" in ev:
+                ev = dict(ev)
+                ev["ts"] = ev["ts"] + shift_us
+            merged.append(ev)
+    # Stable chronological order (metadata events carry no ts; sort them
+    # first so Perfetto names the tracks before their samples arrive).
+    merged.sort(key=lambda ev: ev.get("ts", -1.0))
+
+    doc = {
+        "traceEvents": merged,
+        "otherData": {
+            "schema": "asyncit-trace-merged/1",
+            "ranks": sorted(ranks),
+            "epoch_realtime_ns": epoch0,
+            "rank_offsets_us": offsets_us,
+            "events_dropped": sum(t["dropped"] for t in traces),
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    print(f"trace_merge: {len(merged)} events from {len(traces)} ranks "
+          f"-> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
