@@ -87,13 +87,13 @@ int main() {
   auto base = [&] {
     net::MpOptions opt;
     opt.workers = 4;
-    opt.delivery.min_latency = 2e-4;
-    opt.delivery.max_latency = 2e-3;
-    opt.staleness = 2;
-    opt.tol = 1e-8;
-    opt.x_star = x_star;
-    opt.max_seconds = 30.0;
-    opt.max_updates = 100000000;
+    opt.chaos.delivery.min_latency = 2e-4;
+    opt.chaos.delivery.max_latency = 2e-3;
+    opt.solve.staleness = 2;
+    opt.solve.tol = 1e-8;
+    opt.solve.x_star = x_star;
+    opt.solve.max_seconds = 30.0;
+    opt.solve.max_updates = 100000000;
     opt.seed = 7;
     return opt;
   };
@@ -108,7 +108,7 @@ int main() {
     for (const net::Mode mode :
          {net::Mode::kBsp, net::Mode::kSsp, net::Mode::kAsync}) {
       net::MpOptions opt = base();
-      opt.mode = mode;
+      opt.solve.mode = mode;
       opt.worker_slowdown = {slow, 1.0, 1.0, 1.0};
       const net::MpResult r =
           net::run_message_passing(jac, la::zeros(256), opt);
@@ -143,10 +143,10 @@ int main() {
          {net::OverwritePolicy::kLastArrivalWins,
           net::OverwritePolicy::kNewestTagWins}) {
       net::MpOptions opt = base();
-      opt.mode = net::Mode::kAsync;
-      opt.delivery.min_latency = spread.lo;
-      opt.delivery.max_latency = spread.hi;
-      opt.overwrite = policy;
+      opt.solve.mode = net::Mode::kAsync;
+      opt.chaos.delivery.min_latency = spread.lo;
+      opt.chaos.delivery.max_latency = spread.hi;
+      opt.solve.overwrite = policy;
       const char* policy_name =
           policy == net::OverwritePolicy::kNewestTagWins ? "newest_tag"
                                                          : "last_arrival";

@@ -59,13 +59,13 @@ int main() {
 
   net::MpOptions opt;
   opt.workers = 4;
-  opt.mode = net::Mode::kAsync;
-  opt.delivery.min_latency = 2e-4;  // inproc backend only
-  opt.delivery.max_latency = 2e-3;
-  opt.tol = 1e-8;
-  opt.x_star = x_star;
-  opt.max_seconds = 30.0;
-  opt.max_updates = 100000000;
+  opt.solve.mode = net::Mode::kAsync;
+  opt.chaos.delivery.min_latency = 2e-4;  // inproc backend only
+  opt.chaos.delivery.max_latency = 2e-3;
+  opt.solve.tol = 1e-8;
+  opt.solve.x_star = x_star;
+  opt.solve.max_seconds = 30.0;
+  opt.solve.max_updates = 100000000;
   opt.seed = 7;
 
   TextTable table({"backend", "conv", "wall(s)", "updates", "sent",
@@ -106,7 +106,7 @@ int main() {
     transport::TcpOptions topts;
     topts.nodes.assign(4, {"127.0.0.1", 0});
     transport::TcpTransport tcp(std::move(topts));
-    transport::ChaosTransport chaos(tcp, opt.delivery, opt.seed);
+    transport::ChaosTransport chaos(tcp, opt.chaos.delivery, opt.seed);
     const net::MpResult r =
         net::run_message_passing(jac, la::zeros(192), opt, chaos);
     const double parity = la::dist_inf(r.x, inproc.x);

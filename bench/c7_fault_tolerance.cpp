@@ -98,14 +98,14 @@ int main() {
   for (const double p : {0.0, 0.1, 0.3}) {
     net::MpOptions opt;
     opt.workers = 4;
-    opt.mode = net::Mode::kAsync;
-    opt.tol = 1e-8;
-    opt.x_star = x_star2;
-    opt.max_seconds = 20.0;
+    opt.solve.mode = net::Mode::kAsync;
+    opt.solve.tol = 1e-8;
+    opt.solve.x_star = x_star2;
+    opt.solve.max_seconds = 20.0;
     opt.seed = 7;
-    opt.delivery.min_latency = 1e-4;
-    opt.delivery.max_latency = 2e-3;
-    opt.delivery.drop_prob = p;
+    opt.chaos.delivery.min_latency = 1e-4;
+    opt.chaos.delivery.max_latency = 2e-3;
+    opt.chaos.delivery.drop_prob = p;
     const net::MpResult r =
         net::run_message_passing(jac2, la::zeros(64), opt);
     mtable.add_row({TextTable::num(p, 3), r.converged ? "yes" : "NO",
@@ -127,13 +127,13 @@ int main() {
   {
     net::MpOptions opt;
     opt.workers = 4;
-    opt.mode = net::Mode::kAsync;
-    opt.tol = 1e-8;
-    opt.x_star = x_star2;
-    opt.max_seconds = 20.0;
+    opt.solve.mode = net::Mode::kAsync;
+    opt.solve.tol = 1e-8;
+    opt.solve.x_star = x_star2;
+    opt.solve.max_seconds = 20.0;
     opt.seed = 7;
-    opt.delivery.min_latency = 1e-3;
-    opt.delivery.max_latency = 1e-2;
+    opt.chaos.delivery.min_latency = 1e-3;
+    opt.chaos.delivery.max_latency = 1e-2;
     opt.membership.enabled = true;
     opt.membership.probe_busy_members = true;
     opt.membership.ping_period = 0.02;

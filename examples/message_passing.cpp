@@ -40,14 +40,14 @@ int main() {
     net::MpOptions opt;
     opt.workers = 4;
     opt.worker_slowdown = {4.0, 1.0, 1.0, 1.0};
-    opt.mode = mode;
-    opt.staleness = 2;
-    opt.delivery.min_latency = 5e-4;
-    opt.delivery.max_latency = 3e-3;
-    opt.tol = 1e-8;
-    opt.x_star = x_star;
-    opt.max_seconds = 20.0;
-    opt.max_updates = 10000000;
+    opt.solve.mode = mode;
+    opt.solve.staleness = 2;
+    opt.chaos.delivery.min_latency = 5e-4;
+    opt.chaos.delivery.max_latency = 3e-3;
+    opt.solve.tol = 1e-8;
+    opt.solve.x_star = x_star;
+    opt.solve.max_seconds = 20.0;
+    opt.solve.max_updates = 10000000;
     return opt;
   };
 
@@ -80,7 +80,7 @@ int main() {
     transport::TcpOptions topts;
     topts.nodes.assign(4, {"127.0.0.1", 0});
     transport::TcpTransport tcp(std::move(topts));
-    transport::ChaosTransport chaos(tcp, opt.delivery, opt.seed);
+    transport::ChaosTransport chaos(tcp, opt.chaos.delivery, opt.seed);
     auto over_tcp = net::run_message_passing(jacobi, la::zeros(128), opt,
                                              chaos);
     std::printf("\nsame async solve over TCP loopback + chaos delays: "
@@ -97,10 +97,10 @@ int main() {
   //    ratio) so each phase spans a visible fraction of the chart, and
   //    the wall-clock times are rescaled to milliseconds for rendering.
   net::MpOptions opt = options_for(net::Mode::kAsync);
-  opt.record_trace = true;
+  opt.obs.record_trace = true;
   opt.worker_slowdown = {8000.0, 2000.0, 2000.0, 2000.0};
-  opt.max_seconds = 0.05;  // a 50 ms observation window
-  opt.x_star.reset();
+  opt.solve.max_seconds = 0.05;  // a 50 ms observation window
+  opt.solve.x_star.reset();
   auto traced = net::run_message_passing(jacobi, la::zeros(128), opt);
 
   trace::EventLog ms_log;  // same schedule, times in milliseconds

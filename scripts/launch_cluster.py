@@ -4,19 +4,43 @@
 Picks one free loopback port per rank, writes the asyncit_node config
 file, spawns one asyncit_node process per rank, streams their output with
 a [rank k] prefix, and aggregates the per-rank results (the
-`ASYNCIT_NODE_JSON` asyncit-node/1 line each rank prints). Exit status 0
+`ASYNCIT_NODE_JSON` asyncit-node/3 line each rank prints). Exit status 0
 only when EVERY rank that was supposed to finish exits 0 (its local
-oracle error met the tolerance).
+oracle error met the tolerance / the training target was reached).
 
-Churn mode (--churn) exercises the elastic-membership runtime: the world
-gets --spares extra slots marked `late`, the initial ranks start solving,
-one rank is SIGKILLed mid-solve (--kill-rank / --kill-after) and one
-spare is started (--join-after). The killed rank is an EXPECTED casualty;
-every other rank — survivors and the joiner — must still converge to the
-same tolerance as a static run, which is the acceptance criterion of the
-membership subsystem. The aggregate asserts that the survivors actually
-observed the death and the join (membership counters), and that no rank
-saw corrupt frames (bad_frames) or foreign geometry (frames_rejected).
+Every key this launcher writes is validated against the table
+`asyncit_node --schema` dumps (asyncit-node-config/1) before any process
+starts — the node's parser and this script share ONE schema
+(src/asyncit/net/node_config.cpp), so a drifted launcher fails fast with
+the offending key instead of a per-rank parse error storm.
+
+Workloads (--workload):
+  solve   (default) net::run_node over the seeded Jacobi system.
+  train   parameter-server SGD: rank 0 is the server, ranks 1..world-1
+          are minibatch workers over the seeded synthetic logistic
+          dataset (--samples/--features/..., --discipline bsp|tap|ssp).
+          Success means the server's train accuracy reached
+          --target-accuracy before the epoch/wall budgets ran out.
+
+Churn mode (--churn) exercises the elastic runtimes:
+
+* solve: the world gets --spares extra slots marked `late`, the initial
+  ranks start solving, one rank is SIGKILLed mid-solve (--kill-rank /
+  --kill-after) and one spare is started (--join-after). The killed rank
+  is an EXPECTED casualty; every other rank — survivors and the joiner —
+  must still converge to the same tolerance as a static run, which is
+  the acceptance criterion of the membership subsystem. The aggregate
+  asserts that the survivors actually observed the death and the join
+  (membership counters), and that no rank saw corrupt frames
+  (bad_frames) or foreign geometry (frames_rejected).
+* train: one WORKER rank is SIGKILLed mid-run over plain elastic TCP
+  (`elastic 1`, no SWIM detector — membership rides the solve runtime).
+  Only the TAP discipline is eligible: its server takes any delta from
+  any worker, so losing a worker merely thins the delta stream; BSP/SSP
+  would gate on the dead worker's clock forever. No spares/late joins —
+  plain elastic rendezvous needs every slot present at launch. The
+  acceptance criterion is the surviving ranks still reaching
+  --target-accuracy.
 
 Observability (--trace-dir DIR): every rank runs with full tracing and
 the online admissibility auditor. Per-rank Chrome trace + metrics
@@ -33,6 +57,13 @@ Usage:
     scripts/launch_cluster.py [--binary PATH] [--workers N] [--dim N]
                               [--blocks N] [--mode async|ssp|bsp]
                               [--tol T] [--seed S] [--max-seconds S]
+                              [--workload solve|train]
+                              [--samples N] [--features N] [--density D]
+                              [--separation S] [--label-noise P]
+                              [--ridge R] [--discipline bsp|tap|ssp]
+                              [--learning-rate LR] [--batch-size N]
+                              [--max-epochs N] [--target-accuracy A]
+                              [--eval-every N]
                               [--chaos] [--min-latency S] [--max-latency S]
                               [--drop-prob P] [--keep-config]
                               [--membership] [--ping-period S]
@@ -88,36 +119,73 @@ def pick_free_ports(n):
             s.close()
 
 
-def write_config(path, args, world, late_ranks, ports):
+def load_schema_keys(binary):
+    """The key table the node's own parser is built from
+    (`asyncit_node --schema`, schema asyncit-node-config/1). Returns the
+    set of valid config keys, or None when the binary cannot dump it
+    (old binary — validation is then skipped with a warning)."""
+    try:
+        out = subprocess.run([binary, "--schema"], capture_output=True,
+                             text=True, timeout=30)
+        doc = json.loads(out.stdout)
+        if out.returncode == 0 and doc.get("schema") == \
+                "asyncit-node-config/1":
+            return {k["key"] for k in doc["keys"]}
+    except (OSError, subprocess.TimeoutExpired, json.JSONDecodeError,
+            KeyError, TypeError):
+        pass
+    return None
+
+
+def config_lines(args, world, late_ranks, ports):
+    """The config as (key, value) pairs — workload-specific knobs only,
+    so the file documents the run instead of echoing every default."""
+    lines = [("world", world), ("seed", args.seed),
+             ("workload", args.workload)]
+    if args.workload == "solve":
+        lines += [("dim", args.dim), ("blocks", args.blocks),
+                  ("nnz", args.nnz), ("dominance", args.dominance),
+                  ("mode", args.mode), ("staleness", args.staleness),
+                  ("tol", args.tol), ("max_seconds", args.max_seconds)]
+    else:
+        lines += [("samples", args.samples), ("features", args.features),
+                  ("density", args.density),
+                  ("separation", args.separation),
+                  ("label_noise", args.label_noise), ("ridge", args.ridge),
+                  ("discipline", args.discipline),
+                  ("learning_rate", args.learning_rate),
+                  ("batch_size", args.batch_size),
+                  ("max_epochs", args.max_epochs),
+                  ("target_accuracy", args.target_accuracy),
+                  ("eval_every", args.eval_every),
+                  ("staleness", args.staleness),
+                  ("max_seconds", args.max_seconds)]
+    lines += [("chaos", 1 if args.chaos else 0),
+              ("min_latency", args.min_latency),
+              ("max_latency", args.max_latency),
+              ("drop_prob", args.drop_prob)]
+    if args.membership:
+        lines += [("membership", 1), ("ping_period", args.ping_period),
+                  ("ping_timeout", args.ping_timeout),
+                  ("suspicion_timeout", args.suspicion_timeout)]
+    elif args.churn:
+        lines.append(("elastic", 1))  # train churn: elastic, no SWIM
+    if args.trace_dir:
+        lines += [("trace", "full"), ("trace_dir", args.trace_dir)]
+        if args.workload == "solve":
+            lines.append(("audit", 1))  # auditor hooks the solve runtime
+    for rank in late_ranks:
+        lines.append(("late", rank))
+    for rank, port in enumerate(ports):
+        lines.append(("node", f"{rank} 127.0.0.1 {port}"))
+    return lines
+
+
+def write_config(path, lines):
     with open(path, "w", encoding="utf-8") as f:
         f.write("# generated by scripts/launch_cluster.py\n")
-        f.write(f"world {world}\n")
-        f.write(f"seed {args.seed}\n")
-        f.write(f"dim {args.dim}\n")
-        f.write(f"blocks {args.blocks}\n")
-        f.write(f"nnz {args.nnz}\n")
-        f.write(f"dominance {args.dominance}\n")
-        f.write(f"mode {args.mode}\n")
-        f.write(f"staleness {args.staleness}\n")
-        f.write(f"tol {args.tol}\n")
-        f.write(f"max_seconds {args.max_seconds}\n")
-        f.write(f"chaos {1 if args.chaos else 0}\n")
-        f.write(f"min_latency {args.min_latency}\n")
-        f.write(f"max_latency {args.max_latency}\n")
-        f.write(f"drop_prob {args.drop_prob}\n")
-        if args.membership:
-            f.write("membership 1\n")
-            f.write(f"ping_period {args.ping_period}\n")
-            f.write(f"ping_timeout {args.ping_timeout}\n")
-            f.write(f"suspicion_timeout {args.suspicion_timeout}\n")
-        if args.trace_dir:
-            f.write("trace full\n")
-            f.write(f"trace_dir {args.trace_dir}\n")
-            f.write("audit 1\n")
-        for rank in late_ranks:
-            f.write(f"late {rank}\n")
-        for rank, port in enumerate(ports):
-            f.write(f"node {rank} 127.0.0.1 {port}\n")
+        for key, value in lines:
+            f.write(f"{key} {value}\n")
 
 
 def pump(rank, proc, results, started, start_epochs, lock):
@@ -157,14 +225,19 @@ def spawn(binary, cfg_path, rank, results, started, start_epochs, lock,
     return p
 
 
-def aggregate(results, counted_ranks):
-    """Sums the counters of the uniform asyncit-node/2 schema over the
+def aggregate(results, counted_ranks, workload):
+    """Sums the counters of the uniform asyncit-node/3 schema over the
     ranks that finished (the killed rank never reports), and rolls up
-    the /2 observability additions: a cluster-wide delay summary (count
+    the observability additions: a cluster-wide delay summary (count
     sum, max of each per-rank quantile) and the online admissibility
-    verdicts (AND of boolean conditions, max of the measured bounds)."""
+    verdicts (AND of boolean conditions, max of the measured bounds).
+    Train runs add a `train` roll-up: the server's final loss/accuracy/
+    epoch plus worker-step and throughput sums; solve runs report it
+    null (mirroring the per-rank schema)."""
     total = {
-        "schema": "asyncit-cluster/2",
+        "schema": "asyncit-cluster/3",
+        "workload": workload,
+        "train": None,
         "ranks_reporting": len(counted_ranks),
         "updates": 0, "sent": 0, "delivered": 0, "dropped": 0,
         "inversions": 0, "stale_filtered": 0, "partials_sent": 0,
@@ -206,6 +279,24 @@ def aggregate(results, counted_ranks):
         total["obs"]["dropped"] += int(ob.get("dropped", 0))
         if r.get("admissibility"):
             audited.append(r["admissibility"])
+        tr = r.get("train")
+        if tr:
+            if total["train"] is None:
+                total["train"] = {"loss": None, "accuracy": None,
+                                  "epoch": 0, "steps": 0,
+                                  "deltas_applied": 0, "examples": 0,
+                                  "examples_per_sec": 0.0}
+            agg_tr = total["train"]
+            if rank == 0:  # the server's eval is the authoritative one
+                agg_tr["loss"] = tr.get("loss")
+                agg_tr["accuracy"] = tr.get("accuracy")
+                agg_tr["epoch"] = int(tr.get("epoch", 0))
+            agg_tr["steps"] += int(tr.get("steps", 0))
+            agg_tr["deltas_applied"] += int(tr.get("deltas_applied", 0))
+            agg_tr["examples"] += int(tr.get("examples", 0))
+            if rank != 0:  # worker throughputs add; the server's echoes
+                agg_tr["examples_per_sec"] += \
+                    float(tr.get("examples_per_sec", 0.0))
         total["per_rank"][str(rank)] = r
     if audited:
         total["admissibility"] = {
@@ -237,6 +328,23 @@ def main():
     ap.add_argument("--tol", type=float, default=1e-8)
     ap.add_argument("--seed", type=int, default=42)
     ap.add_argument("--max-seconds", type=float, default=30.0)
+    ap.add_argument("--workload", choices=["solve", "train"],
+                    default="solve")
+    # train workload: dataset shape + SGD discipline (defaults mirror
+    # src/asyncit/net/node_config.cpp)
+    ap.add_argument("--samples", type=int, default=400)
+    ap.add_argument("--features", type=int, default=80)
+    ap.add_argument("--density", type=float, default=0.25)
+    ap.add_argument("--separation", type=float, default=2.0)
+    ap.add_argument("--label-noise", type=float, default=0.05)
+    ap.add_argument("--ridge", type=float, default=0.1)
+    ap.add_argument("--discipline", choices=["bsp", "tap", "ssp"],
+                    default="tap")
+    ap.add_argument("--learning-rate", type=float, default=0.5)
+    ap.add_argument("--batch-size", type=int, default=16)
+    ap.add_argument("--max-epochs", type=int, default=50)
+    ap.add_argument("--target-accuracy", type=float, default=0.0)
+    ap.add_argument("--eval-every", type=int, default=8)
     ap.add_argument("--chaos", action="store_true",
                     help="inject the chaos delay model over TCP")
     ap.add_argument("--min-latency", type=float, default=0.0)
@@ -266,22 +374,46 @@ def main():
                          "merged.trace.json via tools/trace_merge.py")
     args = ap.parse_args()
 
-    if args.churn:
-        args.membership = True
+    train = args.workload == "train"
+    if args.churn and not train:
+        args.membership = True  # solve churn rides the SWIM detector
+    if args.membership and train:
+        print("launch_cluster: membership rides the solve runtime; train "
+              "churn uses plain elastic TCP (drop --membership)",
+              file=sys.stderr)
+        return 2
     binary = args.binary or find_default_binary()
     if not binary or not os.path.isfile(binary):
         print("launch_cluster: asyncit_node binary not found "
               "(build it, or pass --binary)", file=sys.stderr)
         return 2
 
-    spares = args.spares if args.churn else 0
+    # Plain elastic rendezvous needs every slot present at launch, so
+    # train churn has no spares/late joins — just the kill.
+    spares = args.spares if args.churn and not train else 0
     world = args.workers + spares
     late_ranks = list(range(args.workers, world))
     if args.churn and not (0 <= args.kill_rank < args.workers):
         print("launch_cluster: --kill-rank must be an initial rank",
               file=sys.stderr)
         return 2
-    if world > args.blocks:
+    if train:
+        if args.workers < 3:
+            print("launch_cluster: train needs --workers >= 3 (server + "
+                  "two workers)", file=sys.stderr)
+            return 2
+        if args.churn:
+            if args.discipline != "tap":
+                print("launch_cluster: train churn requires --discipline "
+                      "tap (BSP/SSP gate on the dead worker's clock)",
+                      file=sys.stderr)
+                return 2
+            if args.kill_rank == 0:
+                print("launch_cluster: cannot kill rank 0 (the parameter "
+                      "server is not replicated; see DESIGN.md §9)",
+                      file=sys.stderr)
+                return 2
+    elif world > args.blocks:
         print("launch_cluster: world (incl. spares) must be <= blocks",
               file=sys.stderr)
         return 2
@@ -290,12 +422,24 @@ def main():
         os.makedirs(args.trace_dir, exist_ok=True)
 
     ports = pick_free_ports(world)
+    lines = config_lines(args, world, late_ranks, ports)
+    schema_keys = load_schema_keys(binary)
+    if schema_keys is None:
+        print("launch_cluster: WARNING: binary cannot dump its config "
+              "schema (--schema) — key validation skipped", flush=True)
+    else:
+        unknown = sorted({k for k, _ in lines} - schema_keys)
+        if unknown:
+            print("launch_cluster: config keys not in the node's schema: "
+                  f"{unknown} (launcher/node drift — see "
+                  "src/asyncit/net/node_config.cpp)", file=sys.stderr)
+            return 2
     cfg_fd, cfg_path = tempfile.mkstemp(prefix="asyncit_cluster_",
                                         suffix=".cfg")
     os.close(cfg_fd)
-    write_config(cfg_path, args, world, late_ranks, ports)
-    print(f"launch_cluster: {args.workers} ranks (+{spares} late), "
-          f"ports {ports}, config {cfg_path}")
+    write_config(cfg_path, lines)
+    print(f"launch_cluster: {args.workload}, {args.workers} ranks "
+          f"(+{spares} late), ports {ports}, config {cfg_path}")
 
     procs = {}
     results = {}
@@ -348,8 +492,9 @@ def main():
                 print(f"launch_cluster: rank {args.kill_rank} already "
                       "finished before the kill (solve too fast — churn "
                       "NOT exercised)", flush=True)
-            time.sleep(max(0.0, args.join_after -
-                           (time.monotonic() - start_t)))
+            if late_ranks:  # train churn has none — kill only
+                time.sleep(max(0.0, args.join_after -
+                               (time.monotonic() - start_t)))
             for rank in late_ranks:
                 print(f"launch_cluster: starting late rank {rank} "
                       f"at t={time.monotonic() - start_t:.2f}s", flush=True)
@@ -383,6 +528,12 @@ def main():
         r = results.get(rank)
         if r is None:
             print(f"  rank {rank}: NO RESULT LINE")
+        elif train:
+            tr = r.get("train") or {}
+            print(f"  rank {rank}: ok={r.get('ok')} "
+                  f"accuracy={tr.get('accuracy')} loss={tr.get('loss')} "
+                  f"epoch={tr.get('epoch')} updates={r.get('updates')} "
+                  f"sent={r.get('sent')} delivered={r.get('delivered')}")
         else:
             ms = r.get("membership", {})
             print(f"  rank {rank}: ok={r.get('ok')} "
@@ -422,7 +573,7 @@ def main():
         print("launch_cluster: missing result lines", file=sys.stderr)
         return 1
 
-    agg = aggregate(results, counted)
+    agg = aggregate(results, counted, args.workload)
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as f:
             json.dump(agg, f, indent=2)
@@ -440,22 +591,32 @@ def main():
     if args.churn:
         if not killed:
             print("launch_cluster: churn requested but the kill never "
-                  "landed (solve finished first) — the scenario was NOT "
-                  "exercised; lengthen the solve", file=sys.stderr)
+                  "landed (run finished first) — the scenario was NOT "
+                  "exercised; lengthen the run", file=sys.stderr)
             return 1
-        ms = agg["membership"]
-        if ms["deaths_observed"] == 0:
-            print("launch_cluster: churn ran but nobody observed the "
-                  "death", file=sys.stderr)
-            return 1
-        if ms["joins_observed"] == 0:
-            print("launch_cluster: churn ran but nobody observed the "
-                  "join", file=sys.stderr)
-            return 1
-        if agg["reassignments"] == 0:
-            print("launch_cluster: churn ran but blocks were never "
-                  "re-assigned", file=sys.stderr)
-            return 1
+        if train:
+            # No SWIM counters here — the acceptance criterion is the
+            # survivors converging, which the failed-ranks check above
+            # enforced. Assert the post-kill run still made progress.
+            tr = agg.get("train") or {}
+            if int(tr.get("deltas_applied", 0)) == 0:
+                print("launch_cluster: train churn ran but the server "
+                      "applied no deltas", file=sys.stderr)
+                return 1
+        else:
+            ms = agg["membership"]
+            if ms["deaths_observed"] == 0:
+                print("launch_cluster: churn ran but nobody observed the "
+                      "death", file=sys.stderr)
+                return 1
+            if ms["joins_observed"] == 0:
+                print("launch_cluster: churn ran but nobody observed the "
+                      "join", file=sys.stderr)
+                return 1
+            if agg["reassignments"] == 0:
+                print("launch_cluster: churn ran but blocks were never "
+                      "re-assigned", file=sys.stderr)
+                return 1
 
     print(f"launch_cluster: all {len(counted)} counted ranks converged"
           + (f" (rank {sorted(killed)} killed by schedule)" if killed

@@ -12,9 +12,12 @@
 # .github/workflows/ci.yml runs, so `scripts/verify.sh --preset asan`
 # reproduces the CI sanitizer leg locally and `--preset tsan` the
 # ThreadSanitizer leg (its test preset filters to kernels_test, net_test,
-# transport_test, membership_test, obs_test — the trace rings are
-# concurrent single-writer/multi-reader structures tsan must bless — and
-# the multi-process churn_smoke).
+# transport_test, membership_test, obs_test, train_test — the trace rings
+# and the threaded PSGD server/worker pumps are concurrent structures
+# tsan must bless — and the multi-process churn_smoke).
+# The release/debug/asan presets run the FULL suite, which includes the
+# train_test unit suite plus the multi-process train_smoke_{bsp,tap,ssp}
+# and train_churn_smoke cluster tests.
 # Extra arguments after the preset name are forwarded to the configure
 # step (e.g. -DCMAKE_CXX_COMPILER_LAUNCHER=ccache).
 #

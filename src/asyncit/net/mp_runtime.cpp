@@ -28,14 +28,14 @@ constexpr double kMonitorPeriod = 2e-4;
 MpResult run_message_passing(const op::BlockOperator& op,
                              const la::Vector& x0,
                              const MpOptions& options) {
-  ASYNCIT_CHECK(options.delivery.min_latency >= 0.0 &&
-                options.delivery.max_latency >= options.delivery.min_latency);
-  ASYNCIT_CHECK(options.delivery.drop_prob >= 0.0 &&
-                options.delivery.drop_prob < 1.0);
+  ASYNCIT_CHECK(options.chaos.delivery.min_latency >= 0.0 &&
+                options.chaos.delivery.max_latency >= options.chaos.delivery.min_latency);
+  ASYNCIT_CHECK(options.chaos.delivery.drop_prob >= 0.0 &&
+                options.chaos.delivery.drop_prob < 1.0);
   // The in-process backend derives one RNG stream per directed link from
   // options.seed in the fixed pre-transport order: replays are
   // deterministic however the OS schedules the threads.
-  transport::InprocTransport transport(options.workers, options.delivery,
+  transport::InprocTransport transport(options.workers, options.chaos.delivery,
                                        options.seed);
   return run_message_passing(op, x0, options, transport);
 }
@@ -48,18 +48,18 @@ MpResult run_message_passing(const op::BlockOperator& op,
   const std::size_t peers_n = options.workers;
   ASYNCIT_CHECK(peers_n >= 1 && peers_n <= m);
   ASYNCIT_CHECK(x0.size() == partition.dim());
-  ASYNCIT_CHECK(options.inner_steps >= 1);
-  ASYNCIT_CHECK(options.check_every >= 1);
+  ASYNCIT_CHECK(options.solve.inner_steps >= 1);
+  ASYNCIT_CHECK(options.solve.check_every >= 1);
   ASYNCIT_CHECK(transport.world() == peers_n);
   ASYNCIT_CHECK(transport.local_ranks().size() == peers_n);
 
   // Observability: arm the global recorder/registry for this run. The
   // kOff default leaves both untouched (so callers that manage the
   // recorder themselves — benches, the node runtime — are unaffected).
-  if (options.trace_level != obs::TraceLevel::kOff) {
+  if (options.obs.trace_level != obs::TraceLevel::kOff) {
     obs::TraceConfig tc;
-    tc.level = options.trace_level;
-    tc.ring_capacity = options.trace_ring_capacity;
+    tc.level = options.obs.trace_level;
+    tc.ring_capacity = options.obs.trace_ring_capacity;
     obs::TraceRecorder::instance().enable(tc);
     obs::MetricsRegistry::instance().reset();
   }
@@ -70,8 +70,8 @@ MpResult run_message_passing(const op::BlockOperator& op,
   std::vector<std::atomic<std::uint64_t>> updates(peers_n);
   std::atomic<bool> stop{false};
   la::WeightedMaxNorm norm{partition};
-  const bool oracle = options.x_star.has_value();
-  const bool displacement_stop = options.displacement_tol > 0.0;
+  const bool oracle = options.solve.x_star.has_value();
+  const bool displacement_stop = options.solve.displacement_tol > 0.0;
 
   WallTimer timer;
   PeerContext ctx;
@@ -90,7 +90,7 @@ MpResult run_message_passing(const op::BlockOperator& op,
   // under load: the false-positive testbed (tests/membership_test.cpp).
   std::vector<std::unique_ptr<membership::SwimAgent>> agents;
   if (options.membership.enabled) {
-    ASYNCIT_CHECK(options.mode == Mode::kAsync);
+    ASYNCIT_CHECK(options.solve.mode == Mode::kAsync);
     agents.reserve(peers_n);
     for (std::size_t p = 0; p < peers_n; ++p)
       agents.push_back(std::make_unique<membership::SwimAgent>(
@@ -126,10 +126,10 @@ MpResult run_message_passing(const op::BlockOperator& op,
     const double t = timer.seconds();
     std::uint64_t total = 0;
     for (const auto& u : updates) total += u.load(std::memory_order_relaxed);
-    if (t > options.max_seconds || total >= options.max_updates) {
+    if (t > options.solve.max_seconds || total >= options.solve.max_updates) {
       obs::record(obs::EventType::kStopDecision, 0,
                   static_cast<std::uint32_t>(
-                      t > options.max_seconds
+                      t > options.solve.max_seconds
                           ? obs::StopReason::kWallBudget
                           : obs::StopReason::kUpdateBudget),
                   total, t);
@@ -138,7 +138,7 @@ MpResult run_message_passing(const op::BlockOperator& op,
     }
     if (oracle) {
       monitor.snapshot_into(snap);
-      if (norm.distance(snap, *options.x_star) < options.tol) {
+      if (norm.distance(snap, *options.solve.x_star) < options.solve.tol) {
         obs::record(obs::EventType::kStopDecision, 0,
                     static_cast<std::uint32_t>(obs::StopReason::kOracle),
                     total, t);
@@ -148,7 +148,7 @@ MpResult run_message_passing(const op::BlockOperator& op,
     }
     if (displacement_stop &&
         stop_rule.should_stop(
-            last_displacement, op, options.displacement_tol,
+            last_displacement, op, options.solve.displacement_tol,
             [&](std::span<double> s) { monitor.snapshot_into(s); },
             monitor_ws)) {
       obs::record(obs::EventType::kStopDecision, 0,
@@ -164,7 +164,7 @@ MpResult run_message_passing(const op::BlockOperator& op,
   // ---- assemble the result ----
   MpResult result;
   result.wall_seconds = timer.seconds();
-  if (options.trace_level != obs::TraceLevel::kOff) {
+  if (options.obs.trace_level != obs::TraceLevel::kOff) {
     obs::TraceRecorder::instance().disable();
     const obs::RecorderStats os = obs::TraceRecorder::instance().stats();
     result.obs_events_recorded = os.recorded;
@@ -211,7 +211,7 @@ MpResult run_message_passing(const op::BlockOperator& op,
     result.messages_delivered += ep.delivered();
     result.delays.merge(ep.delays());
   }
-  if (options.record_trace) {
+  if (options.obs.record_trace) {
     std::vector<trace::PhaseEvent> phases;
     std::vector<trace::MessageEvent> messages;
     for (const auto& p : peers) {
@@ -232,8 +232,8 @@ MpResult run_message_passing(const op::BlockOperator& op,
     for (auto& e : messages) result.log.add_message(e);
   }
   if (oracle) {
-    result.final_error = norm.distance(result.x, *options.x_star);
-    result.converged = result.final_error < options.tol;
+    result.final_error = norm.distance(result.x, *options.solve.x_star);
+    result.converged = result.final_error < options.solve.tol;
   }
   return result;
 }

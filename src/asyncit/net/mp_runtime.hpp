@@ -49,12 +49,10 @@ enum class Mode {
   kBsp,    ///< bulk synchronous baseline (barrier every round)
 };
 
-struct MpOptions {
-  std::size_t workers = 2;
-  /// Per-worker compute repetition factors (heterogeneity injection), as
-  /// in rt::RuntimeOptions: empty = all 1.0.
-  std::vector<double> worker_slowdown;
-
+/// What to solve and when to stop — the discipline, flexible
+/// communication, and budget knobs. Aggregate-initializable; nested in
+/// MpOptions (and mirrored by train::TrainOptions for the PSGD mode).
+struct SolveOptions {
   Mode mode = Mode::kAsync;
   /// SSP clock-gap cap in rounds (ignored by kAsync; kBsp behaves as 0).
   std::uint64_t staleness = 1;
@@ -65,9 +63,6 @@ struct MpOptions {
   /// Honoured by kAsync and kSsp; kBsp keeps its frozen-snapshot rounds.
   bool publish_partials = false;
 
-  /// Channel behaviour for every directed link. drop_prob is honoured
-  /// only in kAsync (see DeliveryPolicy).
-  DeliveryPolicy delivery;
   OverwritePolicy overwrite = OverwritePolicy::kLastArrivalWins;
 
   double tol = 1e-9;
@@ -81,11 +76,22 @@ struct MpOptions {
   std::uint64_t max_updates = 1000000;  ///< total block-update budget
   double max_seconds = 30.0;
   std::uint64_t check_every = 16;  ///< per-peer budget check cadence
+};
 
+/// Fault/latency injection for the in-process backend.
+struct ChaosOptions {
+  /// Channel behaviour for every directed link. drop_prob is honoured
+  /// only in kAsync (see DeliveryPolicy). Ignored by the Transport
+  /// overloads (the backend's own delivery behaviour applies there —
+  /// stack transport::ChaosTransport for injection over real sockets).
+  DeliveryPolicy delivery;
+};
+
+/// Observability (obs/, DESIGN.md §8) + the legacy Gantt EventLog.
+struct ObsOptions {
   bool record_trace = false;          ///< fill the EventLog (Gantt)
   std::size_t max_trace_events = 20000;
 
-  // ---- observability (obs/, DESIGN.md §8) ----
   /// Event-tracing level for this run. kOff leaves the global recorder
   /// untouched; kMetrics/kFull enable it at run entry (resetting rings
   /// and the metrics registry) and disable it at exit, leaving the
@@ -97,8 +103,21 @@ struct MpOptions {
   /// (S_j, l(j)) schedule through the condition a–d checks while the
   /// run executes (MpResult::admissibility). Independent of tracing.
   bool audit = false;
+};
 
+/// Options for run_message_passing / run_node: topology at the top,
+/// everything else grouped by concern into aggregate-initializable
+/// sub-structs — `{.workers = 4, .solve = {.mode = Mode::kSsp}}` works.
+struct MpOptions {
+  std::size_t workers = 2;
+  /// Per-worker compute repetition factors (heterogeneity injection), as
+  /// in rt::RuntimeOptions: empty = all 1.0.
+  std::vector<double> worker_slowdown;
   std::uint64_t seed = 1;
+
+  SolveOptions solve;
+  ChaosOptions chaos;
+  ObsOptions obs;
 
   /// Elastic ranks (membership/): when enabled, every peer runs a SWIM
   /// failure detector over the control-frame path, block ownership
@@ -165,10 +184,10 @@ struct MpResult {
     DelayHistogram delays;
   };
   std::vector<LinkDelay> link_delays;
-  /// Per-peer online admissibility reports (MpOptions::audit); run_node
+  /// Per-peer online admissibility reports (ObsOptions::audit); run_node
   /// fills exactly one entry (the local rank's view of the schedule).
   std::vector<obs::AdmissibilityReport> admissibility;
-  /// Global recorder accounting for the run (MpOptions::trace_level).
+  /// Global recorder accounting for the run (ObsOptions::trace_level).
   std::uint64_t obs_events_recorded = 0;
   std::uint64_t obs_events_dropped = 0;
 
@@ -176,8 +195,8 @@ struct MpResult {
 };
 
 /// Runs P = options.workers peer threads until convergence or budget
-/// exhaustion over the in-process mailbox backend (options.delivery and
-/// options.seed configure its channels). Requires workers <= num_blocks
+/// exhaustion over the in-process mailbox backend (options.chaos.delivery
+/// and options.seed configure its channels). Requires workers <= num_blocks
 /// and x0.size() == dim.
 MpResult run_message_passing(const op::BlockOperator& op,
                              const la::Vector& x0, const MpOptions& options);
@@ -185,7 +204,7 @@ MpResult run_message_passing(const op::BlockOperator& op,
 /// Same, over a caller-supplied transport backend. The transport must
 /// host every rank of the run in this process (transport.world() ==
 /// options.workers, all ranks local); its own delivery behaviour applies
-/// — options.delivery is ignored in this overload.
+/// — options.chaos.delivery is ignored in this overload.
 MpResult run_message_passing(const op::BlockOperator& op,
                              const la::Vector& x0, const MpOptions& options,
                              transport::Transport& transport);

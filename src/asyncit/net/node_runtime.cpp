@@ -22,8 +22,8 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
   ASYNCIT_CHECK(world >= 1 && world <= m);
   ASYNCIT_CHECK(rank < world);
   ASYNCIT_CHECK(x0.size() == partition.dim());
-  ASYNCIT_CHECK(options.inner_steps >= 1);
-  ASYNCIT_CHECK(options.check_every >= 1);
+  ASYNCIT_CHECK(options.solve.inner_steps >= 1);
+  ASYNCIT_CHECK(options.solve.check_every >= 1);
 
   const auto owned = la::assign_blocks_contiguous(m, world);
   rt::SharedIterate monitor(x0);  // publish plane (unused without an
@@ -36,10 +36,10 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
   // Observability: arm the global recorder for this rank's run. The
   // caller (tools/asyncit_node) snapshots/exports after return; the
   // recorder's realtime anchor is what trace_merge.py aligns on.
-  if (options.trace_level != obs::TraceLevel::kOff) {
+  if (options.obs.trace_level != obs::TraceLevel::kOff) {
     obs::TraceConfig tc;
-    tc.level = options.trace_level;
-    tc.ring_capacity = options.trace_ring_capacity;
+    tc.level = options.obs.trace_level;
+    tc.ring_capacity = options.obs.trace_ring_capacity;
     tc.rank = static_cast<std::uint16_t>(rank);
     obs::TraceRecorder::instance().enable(tc);
     obs::MetricsRegistry::instance().reset();
@@ -63,7 +63,7 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
   // peer re-assigns blocks over the live view as it changes.
   std::unique_ptr<membership::SwimAgent> agent;
   if (options.membership.enabled) {
-    ASYNCIT_CHECK(options.mode == Mode::kAsync);
+    ASYNCIT_CHECK(options.solve.mode == Mode::kAsync);
     agent = std::make_unique<membership::SwimAgent>(
         rank, world, options.membership, options.seed);
     ctx.membership = agent.get();
@@ -74,7 +74,7 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
 
   MpResult result;
   result.wall_seconds = timer.seconds();
-  if (options.trace_level != obs::TraceLevel::kOff) {
+  if (options.obs.trace_level != obs::TraceLevel::kOff) {
     obs::TraceRecorder::instance().disable();
     const obs::RecorderStats os = obs::TraceRecorder::instance().stats();
     result.obs_events_recorded = os.recorded;
@@ -111,13 +111,13 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
   }
   if (peer.auditor() != nullptr)
     result.admissibility.push_back(peer.auditor()->report());
-  if (options.record_trace) {
+  if (options.obs.record_trace) {
     for (const auto& e : peer.log().phases()) result.log.add_phase(e);
     for (const auto& e : peer.log().messages()) result.log.add_message(e);
   }
-  if (options.x_star.has_value()) {
-    result.final_error = norm.distance(result.x, *options.x_star);
-    result.converged = result.final_error < options.tol;
+  if (options.solve.x_star.has_value()) {
+    result.final_error = norm.distance(result.x, *options.solve.x_star);
+    result.converged = result.final_error < options.solve.tol;
   }
   return result;
 }

@@ -18,7 +18,7 @@
 //              tolerance, so the survivors still converge); SSP/BSP ranks
 //              stop on the first kStop — the departed rank would deadlock
 //              their round gate.
-//   budgets    options.max_updates counts THIS rank's updates (no global
+//   budgets    options.solve.max_updates counts THIS rank's updates (no global
 //              counter exists); max_seconds is per-process wall time.
 //   elasticity with options.membership.enabled the world is a set of
 //              SLOTS, not a frozen roster: a SWIM failure detector

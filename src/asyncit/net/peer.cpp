@@ -50,7 +50,7 @@ Peer::Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
       arrivals_(ctx.options->workers),
       link_delays_(ctx.options->workers) {
   ASYNCIT_CHECK(endpoint_->rank() == id_);
-  if (ctx_.options->audit) {
+  if (ctx_.options->obs.audit) {
     const std::size_t m = ctx_.op->partition().num_blocks();
     auditor_ = std::make_unique<obs::OnlineAuditor>(m);
     audit_last_changed_.assign(m, 0);
@@ -60,14 +60,14 @@ Peer::Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
   if (ctx_.membership != nullptr) {
     // Elastic ranks only make sense in the totally asynchronous regime:
     // SSP/BSP round gates would wait forever for a rank that left.
-    ASYNCIT_CHECK(ctx_.options->mode == Mode::kAsync);
+    ASYNCIT_CHECK(ctx_.options->solve.mode == Mode::kAsync);
     stopped_ranks_.assign(ctx_.options->workers, false);
     owned_epoch_ = ctx_.membership->table().epoch();
     recompute_owned();
   }
-  if (ctx_.options->record_trace)
+  if (ctx_.options->obs.record_trace)
     trace_budget_ =
-        ctx_.options->max_trace_events / std::max<std::size_t>(1, ctx_.options->workers);
+        ctx_.options->obs.max_trace_events / std::max<std::size_t>(1, ctx_.options->workers);
 }
 
 void Peer::incorporate_tracked(const la::Partition& partition,
@@ -105,9 +105,9 @@ void Peer::receive() {
   // one round ahead: they got our round-r values and completed round r+1
   // while we are still sweeping round r.) Held-back messages rejoin
   // through holdback_ at the next receive() after round_ advances.
-  const bool bsp = ctx_.options->mode == Mode::kBsp;
+  const bool bsp = ctx_.options->solve.mode == Mode::kBsp;
   const OverwritePolicy policy =
-      bsp ? OverwritePolicy::kNewestTagWins : ctx_.options->overwrite;
+      bsp ? OverwritePolicy::kNewestTagWins : ctx_.options->solve.overwrite;
   const la::Partition& partition = ctx_.op->partition();
 
   if (bsp && !holdback_.empty()) {
@@ -144,8 +144,8 @@ void Peer::receive() {
       // criterion at all stops once everyone else has left.
       ++peers_stopped_;
       const bool has_local_criterion =
-          ctx_.options->x_star.has_value() ||
-          ctx_.options->displacement_tol > 0.0;
+          ctx_.options->solve.x_star.has_value() ||
+          ctx_.options->solve.displacement_tol > 0.0;
       if (ctx_.membership != nullptr) {
         // A deliberate leave: straight to dead in the table (no point
         // probing a rank that said goodbye), and its blocks are adopted
@@ -154,11 +154,11 @@ void Peer::receive() {
         // spare slot that never joined must not keep us running.
         stopped_ranks_[m.src] = true;
         ctx_.membership->table().leave(m.src, now());
-        if (ctx_.options->mode != Mode::kAsync)
+        if (ctx_.options->solve.mode != Mode::kAsync)
           trip_stop(obs::StopReason::kPeerStop);
         else if (!has_local_criterion && all_others_inactive())
           trip_stop(obs::StopReason::kLiveViewDone);
-      } else if (ctx_.options->mode != Mode::kAsync) {
+      } else if (ctx_.options->solve.mode != Mode::kAsync) {
         trip_stop(obs::StopReason::kPeerStop);
       } else if (!has_local_criterion &&
                  peers_stopped_ + 1 >= ctx_.options->workers) {
@@ -210,7 +210,7 @@ void Peer::receive() {
     // BSP holdback). Only SSP/BSP gates consult it — and with message
     // loss (kAsync) an incomplete round would leave its map entry behind
     // forever — so skip the bookkeeping entirely in async mode.
-    if (!m.partial && ctx_.options->mode != Mode::kAsync) {
+    if (!m.partial && ctx_.options->solve.mode != Mode::kAsync) {
       const std::size_t need = (*ctx_.owned)[m.src].size();
       auto& per_round = arrivals_[m.src];
       ++per_round[m.round];
@@ -247,7 +247,7 @@ void Peer::send_block(la::BlockId b, bool partial) {
   const auto value =
       partition.block_span(std::span<const double>(view_.x), b);
   const double t = now();
-  const bool allow_drop = ctx_.options->mode == Mode::kAsync;
+  const bool allow_drop = ctx_.options->solve.mode == Mode::kAsync;
   transport::MessageHeader header;
   header.block = b;
   header.tag = tag;
@@ -399,8 +399,8 @@ void Peer::service_membership() {
     // A death may complete the live-view termination condition for a
     // rank with no local criterion (everyone else stopped or died).
     const bool has_local_criterion =
-        ctx_.options->x_star.has_value() ||
-        ctx_.options->displacement_tol > 0.0;
+        ctx_.options->solve.x_star.has_value() ||
+        ctx_.options->solve.displacement_tol > 0.0;
     if (ctx_.node_mode && !has_local_criterion && all_others_inactive())
       trip_stop(obs::StopReason::kLiveViewDone);
   }
@@ -415,8 +415,8 @@ void Peer::update_block(la::BlockId b, std::size_t reps,
   const double t_start = now();
 
   const bool flexible =
-      opt.publish_partials && opt.mode != Mode::kBsp && opt.inner_steps > 1;
-  const std::size_t inner = opt.mode == Mode::kBsp ? 1 : opt.inner_steps;
+      opt.solve.publish_partials && opt.solve.mode != Mode::kBsp && opt.solve.inner_steps > 1;
+  const std::size_t inner = opt.solve.mode == Mode::kBsp ? 1 : opt.solve.inner_steps;
 
   // Displacement of this phase = movement of the block across the phase.
   phase_prev_.assign(view_.x.begin() + static_cast<std::ptrdiff_t>(r.begin),
@@ -475,7 +475,7 @@ bool Peer::wait_for_rounds(std::uint64_t needed) {
     // maybe_check only runs between updates, and in node mode there is
     // no monitor thread to trip the flag (the threaded orchestrator
     // does, but checking here keeps both paths honest).
-    if (now() > ctx_.options->max_seconds) {
+    if (now() > ctx_.options->solve.max_seconds) {
       trip_stop(obs::StopReason::kWallBudget);
       return false;
     }
@@ -503,8 +503,8 @@ bool Peer::wait_for_rounds(std::uint64_t needed) {
 
 void Peer::maybe_check(std::uint64_t own_updates) {
   const MpOptions& opt = *ctx_.options;
-  if (own_updates % opt.check_every != 0) return;
-  if (now() > opt.max_seconds) {
+  if (own_updates % opt.solve.check_every != 0) return;
+  if (now() > opt.solve.max_seconds) {
     trip_stop(obs::StopReason::kWallBudget);
     return;
   }
@@ -513,27 +513,27 @@ void Peer::maybe_check(std::uint64_t own_updates) {
   std::uint64_t total = 0;
   for (const auto& u : *ctx_.updates)
     total += u.load(std::memory_order_relaxed);
-  if (total >= opt.max_updates) {
+  if (total >= opt.solve.max_updates) {
     trip_stop(obs::StopReason::kUpdateBudget);
     return;
   }
   if (ctx_.node_mode && !stopped() &&
-      own_updates % (opt.check_every * kNodeStopCheckFactor) == 0) {
+      own_updates % (opt.solve.check_every * kNodeStopCheckFactor) == 0) {
     // The peer's private view is the only full iterate this process has;
     // evaluate the stopping criterion on it directly. With an oracle,
     // stop below tol in the weighted max norm; without one, fall back to
     // the residual certificate of the displacement rule.
     bool hit = false;
-    if (opt.x_star.has_value()) {
+    if (opt.solve.x_star.has_value()) {
       hit = ctx_.norm != nullptr &&
-            ctx_.norm->distance(view_.x, *opt.x_star) < opt.tol;
-    } else if (opt.displacement_tol > 0.0) {
+            ctx_.norm->distance(view_.x, *opt.solve.x_star) < opt.solve.tol;
+    } else if (opt.solve.displacement_tol > 0.0) {
       hit = op::max_block_residual(*ctx_.op, view_.x, ws_) <
-            opt.displacement_tol;
+            opt.solve.displacement_tol;
     }
     if (hit) {
       broadcast_stop();
-      trip_stop(opt.x_star.has_value() ? obs::StopReason::kOracle
+      trip_stop(opt.solve.x_star.has_value() ? obs::StopReason::kOracle
                                        : obs::StopReason::kDisplacement);
       return;
     }
@@ -552,11 +552,11 @@ void Peer::run() {
   const bool elastic = ctx_.membership != nullptr;
   const std::size_t reps = rt::slowdown_repetitions(opt.worker_slowdown, id_);
   const std::uint64_t slack =
-      opt.mode == Mode::kBsp ? 0 : opt.staleness;
+      opt.solve.mode == Mode::kBsp ? 0 : opt.solve.staleness;
   std::uint64_t own_updates = 0;
 
   while (!stopped()) {
-    if (opt.mode != Mode::kAsync && round_ > 0) {
+    if (opt.solve.mode != Mode::kAsync && round_ > 0) {
       const std::uint64_t needed = round_ > slack ? round_ - slack : 0;
       if (!wait_for_rounds(needed)) break;
     }
@@ -576,7 +576,7 @@ void Peer::run() {
       continue;
     }
     std::span<const double> compute_view(view_.x);
-    if (opt.mode == Mode::kBsp) {
+    if (opt.solve.mode == Mode::kBsp) {
       snapshot_ = view_.x;  // frozen per-round view: exact Jacobi
       compute_view = snapshot_;
     }
@@ -586,7 +586,7 @@ void Peer::run() {
       (*ctx_.updates)[id_].fetch_add(1, std::memory_order_relaxed);
       maybe_check(own_updates);
       if (stopped()) break;
-      if (opt.mode != Mode::kBsp) receive();
+      if (opt.solve.mode != Mode::kBsp) receive();
     }
     ++round_;
   }

@@ -34,6 +34,13 @@
 //                    v=seconds (run clock at the attempt)
 //   kMarker          free-form breadcrumb (watchdog arm/disarm, node
 //                    start): a/b/v site-defined.
+//   kTrainStep       PSGD training phases (train/):
+//                    sub=0 worker minibatch step: a=worker clock,
+//                          b=batch size, v=step duration seconds
+//                    sub=1 server delta apply: a=source rank,
+//                          b=parameter version after apply, v=factorDelta
+//                    sub=2 server eval: a=server round (min worker
+//                          clock), b=deltas applied, v=train accuracy
 #pragma once
 
 #include <cstdint>
@@ -54,8 +61,9 @@ enum class EventType : std::uint8_t {
   kQueueDepth,
   kRedial,
   kMarker,
+  kTrainStep,
 };
-inline constexpr std::uint8_t kNumEventTypes = 13;
+inline constexpr std::uint8_t kNumEventTypes = 14;
 
 /// kStopDecision::a — why a rank (or the orchestrator) tripped the stop
 /// flag. Mirrors every stop->store site in net:: so a trace shows not

@@ -25,6 +25,7 @@ const char* to_string(EventType t) {
     case EventType::kQueueDepth: return "queue_depth";
     case EventType::kRedial: return "redial";
     case EventType::kMarker: return "marker";
+    case EventType::kTrainStep: return "train_step";
   }
   return "unknown";
 }

@@ -31,6 +31,8 @@
 #include "asyncit/runtime/shared_iterate.hpp"
 #include "asyncit/support/rng.hpp"
 #include "asyncit/support/timer.hpp"
+#include "asyncit/train/dataset.hpp"
+#include "asyncit/train/psgd.hpp"
 #include "asyncit/transport/chaos.hpp"
 #include "asyncit/transport/inproc.hpp"
 #include "asyncit/transport/wire.hpp"
@@ -350,6 +352,66 @@ TEST(AllocationRegression, ChaosWireFramingSteadyStateAllocatesNothing) {
   cycle(200, 1.0);
   const std::uint64_t during = allocations() - before;
   EXPECT_EQ(during, 0u) << "chaos/wire steady state allocated";
+}
+
+TEST(AllocationRegression, PsgdDeltaRoundTripSteadyStateAllocatesNothing) {
+  // The PR-7 contract: the training delta path is as allocation-free as
+  // the solve messaging path. One TAP server + one worker co-driven
+  // single-threaded over inproc: every worker pump samples a minibatch,
+  // computes the scaled delta into construction-sized scratch, ships it
+  // as a pooled partial frame; every server pump drains, folds the delta
+  // into the model, replies with a pooled full-params frame, and every
+  // eval_every deltas runs the full-train loss/accuracy sweep. Once the
+  // pools, inboxes and scratch are warm, NONE of that may allocate.
+  problems::LogisticConfig dcfg;
+  dcfg.samples = 64;
+  dcfg.features = 16;
+  dcfg.density = 0.3;
+  dcfg.separation = 3.0;
+  dcfg.label_noise = 0.0;
+  dcfg.ridge = 0.01;
+  const train::Dataset data = train::make_synthetic_dataset(dcfg, 21);
+
+  train::TrainOptions options;
+  options.workers = 1;
+  options.seed = 21;
+  options.sgd.discipline = train::Discipline::kTap;
+  options.sgd.learning_rate = 0.3;
+  options.sgd.batch_size = 8;
+  options.sgd.max_epochs = 1000000;  // the measured loop must not finish
+  options.sgd.max_seconds = 1e9;
+  options.sgd.target_accuracy = 0.0;  // nor the server stop
+  options.sgd.eval_every = 8;         // evals INSIDE the measured window
+
+  WallTimer timer;
+  train::PsgdContext ctx;
+  ctx.data = &data;
+  ctx.options = &options;
+  ctx.clock = &timer;
+
+  transport::InprocTransport tx(2, net::DeliveryPolicy{}, options.seed);
+  train::PsgdServer server(ctx, la::zeros(data.features()),
+                           tx.endpoint(0));
+  train::PsgdWorker worker(ctx, 0, la::zeros(data.features()),
+                           tx.endpoint(1));
+
+  auto co_drive = [&](int slices) {
+    for (int i = 0; i < slices; ++i) {
+      worker.pump();  // step + send delta, drain params
+      server.pump();  // fold delta, reply params, periodic eval
+    }
+  };
+
+  co_drive(200);  // warm-up: frame pools, inboxes, eval scratch
+
+  const std::uint64_t before = allocations();
+  co_drive(400);
+  const std::uint64_t during = allocations() - before;
+  EXPECT_EQ(during, 0u) << "PSGD delta round trip allocated";
+  EXPECT_FALSE(server.finished());
+  EXPECT_FALSE(worker.finished());
+  EXPECT_GE(server.deltas_applied(), 400u);
+  EXPECT_GE(server.last_accuracy(), 0.0) << "eval never ran in the window";
 }
 
 TEST(AllocationRegression, ThreadWorkspaceConvenienceWarmsUpToo) {

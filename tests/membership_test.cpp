@@ -432,7 +432,7 @@ std::vector<std::uint16_t> grab_free_ports(std::size_t n) {
 net::MpOptions detector_run_options(double seconds) {
   net::MpOptions opt;
   opt.workers = 3;
-  opt.mode = net::Mode::kAsync;
+  opt.solve.mode = net::Mode::kAsync;
   // No stopping criterion at all: the run lasts exactly `seconds`, which
   // is the measurement window for the detector. The slowdown keeps the
   // value traffic at a realistic rate — an UNTHROTTLED microbenchmark
@@ -440,8 +440,8 @@ net::MpOptions detector_run_options(double seconds) {
   // behind megabytes of block values and every rank looks dead, which
   // is a genuine overload condition, not a detector false positive.
   opt.worker_slowdown = {300.0, 300.0, 300.0};
-  opt.max_seconds = seconds;
-  opt.max_updates = ~0ull;
+  opt.solve.max_seconds = seconds;
+  opt.solve.max_updates = ~0ull;
   opt.seed = 5;
   opt.membership.enabled = true;
   opt.membership.probe_busy_members = true;
@@ -519,10 +519,10 @@ TEST(MembershipRuntime, ThreadedSolveConvergesWithDetectorRunning) {
 
   net::MpOptions opt;
   opt.workers = 4;
-  opt.mode = net::Mode::kAsync;
-  opt.tol = 1e-9;
-  opt.x_star = x_star;
-  opt.max_seconds = 20.0;
+  opt.solve.mode = net::Mode::kAsync;
+  opt.solve.tol = 1e-9;
+  opt.solve.x_star = x_star;
+  opt.solve.max_seconds = 20.0;
   opt.seed = 7;
   opt.membership.enabled = true;
   opt.membership.ping_period = 0.02;

@@ -175,12 +175,12 @@ class MpRuntimeFixture : public ::testing::Test {
   MpOptions base_options() const {
     MpOptions opt;
     opt.workers = 4;
-    opt.delivery.min_latency = 1e-4;
-    opt.delivery.max_latency = 1e-3;
-    opt.tol = 1e-9;
-    opt.x_star = x_star_;
-    opt.max_seconds = 20.0;
-    opt.max_updates = 100000000;
+    opt.chaos.delivery.min_latency = 1e-4;
+    opt.chaos.delivery.max_latency = 1e-3;
+    opt.solve.tol = 1e-9;
+    opt.solve.x_star = x_star_;
+    opt.solve.max_seconds = 20.0;
+    opt.solve.max_updates = 100000000;
     return opt;
   }
 
@@ -194,13 +194,13 @@ class MpRuntimeFixture : public ::testing::Test {
 TEST_F(MpRuntimeFixture, AllThreeModesConverge) {
   for (const Mode mode : {Mode::kAsync, Mode::kSsp, Mode::kBsp}) {
     MpOptions opt = base_options();
-    opt.mode = mode;
-    opt.staleness = 2;
+    opt.solve.mode = mode;
+    opt.solve.staleness = 2;
     // Shares the ChaosOverTcp wall-budget flake history (ROADMAP): run
     // fully traced under a watchdog 2s inside the 20s budget so an
     // overrun dumps the per-thread event rings instead of timing out
     // with no diagnostic.
-    opt.trace_level = obs::TraceLevel::kFull;
+    opt.obs.trace_level = obs::TraceLevel::kFull;
     obs::Watchdog dog(18.0, std::string("AllThreeModesConverge mode ") +
                                 std::to_string(static_cast<int>(mode)));
     auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
@@ -254,8 +254,8 @@ TEST_F(MpRuntimeFixture, QuadraticParityWithSharedMemoryRuntime) {
   for (const Mode mode : {Mode::kAsync, Mode::kSsp, Mode::kBsp}) {
     MpOptions opt = base_options();
     opt.workers = 4;
-    opt.mode = mode;
-    opt.x_star = x_bar;
+    opt.solve.mode = mode;
+    opt.solve.x_star = x_bar;
     auto mp = net::run_message_passing(grad, la::zeros(64), opt);
     ASSERT_TRUE(mp.converged) << "mode " << static_cast<int>(mode)
                               << " error " << mp.final_error;
@@ -267,16 +267,16 @@ TEST_F(MpRuntimeFixture, NonFifoChannelsProduceLabelInversions) {
   // wide latency spread + non-FIFO links: later messages overtake earlier
   // ones, so receivers observe out-of-order tags on real threads
   MpOptions opt = base_options();
-  opt.mode = Mode::kAsync;
-  opt.delivery.min_latency = 1e-4;
-  opt.delivery.max_latency = 5e-3;
-  opt.overwrite = OverwritePolicy::kLastArrivalWins;
+  opt.solve.mode = Mode::kAsync;
+  opt.chaos.delivery.min_latency = 1e-4;
+  opt.chaos.delivery.max_latency = 5e-3;
+  opt.solve.overwrite = OverwritePolicy::kLastArrivalWins;
   auto raw = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()), opt);
   EXPECT_TRUE(raw.converged);  // paper: convergence despite inversions
   EXPECT_GT(raw.inversions_observed, 0u);
   EXPECT_EQ(raw.stale_filtered, 0u);  // last-arrival-wins filters nothing
 
-  opt.overwrite = OverwritePolicy::kNewestTagWins;
+  opt.solve.overwrite = OverwritePolicy::kNewestTagWins;
   auto filtered = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
                                            opt);
   EXPECT_TRUE(filtered.converged);
@@ -286,9 +286,9 @@ TEST_F(MpRuntimeFixture, NonFifoChannelsProduceLabelInversions) {
 
 TEST_F(MpRuntimeFixture, FifoChannelsDeliverInOrder) {
   MpOptions opt = base_options();
-  opt.delivery.fifo = true;
-  opt.delivery.min_latency = 1e-4;
-  opt.delivery.max_latency = 5e-3;
+  opt.chaos.delivery.fifo = true;
+  opt.chaos.delivery.min_latency = 1e-4;
+  opt.chaos.delivery.max_latency = 5e-3;
   auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
                                          opt);
   EXPECT_TRUE(result.converged);
@@ -298,8 +298,8 @@ TEST_F(MpRuntimeFixture, FifoChannelsDeliverInOrder) {
 
 TEST_F(MpRuntimeFixture, SurvivesMessageLoss) {
   MpOptions opt = base_options();
-  opt.mode = Mode::kAsync;
-  opt.delivery.drop_prob = 0.3;
+  opt.solve.mode = Mode::kAsync;
+  opt.chaos.delivery.drop_prob = 0.3;
   auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
                                          opt);
   EXPECT_TRUE(result.converged) << "error " << result.final_error;
@@ -308,8 +308,8 @@ TEST_F(MpRuntimeFixture, SurvivesMessageLoss) {
 
 TEST_F(MpRuntimeFixture, FlexibleCommunicationSendsPartials) {
   MpOptions opt = base_options();
-  opt.inner_steps = 4;
-  opt.publish_partials = true;
+  opt.solve.inner_steps = 4;
+  opt.solve.publish_partials = true;
   auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
                                          opt);
   EXPECT_TRUE(result.converged);
@@ -318,24 +318,24 @@ TEST_F(MpRuntimeFixture, FlexibleCommunicationSendsPartials) {
 
 TEST_F(MpRuntimeFixture, DisplacementStoppingWithoutOracle) {
   MpOptions opt = base_options();
-  opt.x_star.reset();
-  opt.displacement_tol = 1e-10;
+  opt.solve.x_star.reset();
+  opt.solve.displacement_tol = 1e-10;
   auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
                                          opt);
-  EXPECT_LT(result.total_updates, opt.max_updates);
+  EXPECT_LT(result.total_updates, opt.solve.max_updates);
   EXPECT_LT(la::dist_inf(result.x, x_star_), 1e-7);
 }
 
 TEST_F(MpRuntimeFixture, RecordsTraceEvents) {
   MpOptions opt = base_options();
-  opt.record_trace = true;
+  opt.obs.record_trace = true;
   auto result = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
                                          opt);
   ASSERT_TRUE(result.converged);
   EXPECT_GT(result.log.phases().size(), 0u);
   EXPECT_GT(result.log.messages().size(), 0u);
   EXPECT_LE(result.log.phases().size() + result.log.messages().size(),
-            opt.max_trace_events);
+            opt.obs.max_trace_events);
 }
 
 TEST(MpRuntimeValidation, RejectsBadConfigurations) {
@@ -346,8 +346,8 @@ TEST(MpRuntimeValidation, RejectsBadConfigurations) {
   opt.workers = 5;  // only 4 blocks
   EXPECT_THROW(net::run_message_passing(jac, la::zeros(8), opt), asyncit::CheckError);
   opt.workers = 2;
-  opt.delivery.min_latency = 2.0;
-  opt.delivery.max_latency = 1.0;  // inverted range
+  opt.chaos.delivery.min_latency = 2.0;
+  opt.chaos.delivery.max_latency = 1.0;  // inverted range
   EXPECT_THROW(net::run_message_passing(jac, la::zeros(8), opt), asyncit::CheckError);
 }
 

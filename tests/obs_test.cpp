@@ -399,13 +399,13 @@ TEST(EndToEnd, MessagePassingRunWithTracingAndAudit) {
 
   net::MpOptions opt;
   opt.workers = 3;
-  opt.mode = net::Mode::kAsync;
-  opt.tol = 1e-9;
-  opt.x_star = op::picard_solve(jacobi, la::zeros(48), 20000, 1e-13);
-  opt.max_seconds = 20.0;
+  opt.solve.mode = net::Mode::kAsync;
+  opt.solve.tol = 1e-9;
+  opt.solve.x_star = op::picard_solve(jacobi, la::zeros(48), 20000, 1e-13);
+  opt.solve.max_seconds = 20.0;
   opt.seed = 7;
-  opt.trace_level = obs::TraceLevel::kFull;
-  opt.audit = true;
+  opt.obs.trace_level = obs::TraceLevel::kFull;
+  opt.obs.audit = true;
 
   const net::MpResult result =
       net::run_message_passing(jacobi, la::zeros(48), opt);

@@ -277,6 +277,84 @@ TEST(WireFuzz, MutatedFramesNeverCrashNorOverreadAndClassifyDeterministically) {
   EXPECT_EQ(statuses[0], statuses[1]) << "fuzz classification not replayable";
 }
 
+TEST(WireFuzz, TrainingFrameCorpusSurvivesEveryMutationClass) {
+  // The PSGD layer's frame shapes as a dedicated fuzz corpus: a worker
+  // delta (kValue, partial, offset/count = gradient support, round =
+  // worker clock, tag = send sequence), a server parameter publication
+  // (kValue, full block, round = server round, tag = version) and the
+  // zero-payload kStop both directions. They ride the solve wire format
+  // unchanged, so the decoder must give them the same guarantees: no
+  // crash or overread under mutation, replayable classification, and
+  // consistent consumed/payload accounting on survivors.
+  constexpr int kMutationsPerFrame = 4000;
+  std::vector<std::uint8_t> statuses[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    Rng rng(777);
+    std::vector<net::Message> corpus;
+    {  // worker -> server delta
+      net::Message d;
+      d.src = 2;
+      d.block = 0;
+      d.kind = net::MsgKind::kValue;
+      d.partial = true;
+      d.offset = 17;
+      d.tag = 91;     // send sequence
+      d.round = 340;  // worker clock
+      d.value.resize(23);
+      for (double& v : d.value) v = rng.normal();
+      corpus.push_back(std::move(d));
+    }
+    {  // server -> worker parameter version
+      net::Message p;
+      p.src = 0;
+      p.block = 0;
+      p.kind = net::MsgKind::kValue;
+      p.partial = false;
+      p.offset = 0;
+      p.tag = 57;    // version (newest wins at the worker)
+      p.round = 12;  // server round
+      p.value.resize(48);
+      for (double& v : p.value) v = rng.normal();
+      corpus.push_back(std::move(p));
+    }
+    for (const std::uint32_t src : {std::uint32_t{0}, std::uint32_t{3}}) {
+      net::Message s;  // stop frames are payload-free control traffic
+      s.src = src;
+      s.kind = net::MsgKind::kStop;
+      corpus.push_back(std::move(s));
+    }
+    std::vector<std::uint8_t> frame;
+    net::Message out;
+    for (const net::Message& m : corpus) {
+      encode_frame(m, frame);
+      {  // the unmutated frame must round-trip bit-exactly
+        std::size_t consumed = 0;
+        ASSERT_EQ(decode_frame(frame, consumed, out), DecodeStatus::kOk);
+        expect_equal(m, out);
+      }
+      for (int iter = 0; iter < kMutationsPerFrame; ++iter) {
+        const std::vector<std::uint8_t> fuzzed =
+            mutate_frame(rng, frame, static_cast<int>(rng.uniform_index(5)));
+        auto exact = std::make_unique<std::uint8_t[]>(fuzzed.size());
+        std::copy(fuzzed.begin(), fuzzed.end(), exact.get());
+        std::size_t consumed = 0;
+        const DecodeStatus st = decode_frame(
+            std::span<const std::uint8_t>(exact.get(), fuzzed.size()),
+            consumed, out);
+        statuses[pass].push_back(static_cast<std::uint8_t>(st));
+        if (st == DecodeStatus::kOk) {
+          ASSERT_LE(consumed, fuzzed.size());
+          ASSERT_EQ(consumed, frame_bytes(out.value.size()));
+        } else {
+          ASSERT_EQ(consumed, 0u);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(statuses[0], statuses[1])
+      << "training-frame fuzz classification not replayable";
+}
+
 TEST(WireFuzz, TcpReaderCountsEveryCorruptStreamInBadFrames) {
   // The counter half of the fuzz contract: every wire-level rejection
   // lands in Transport::bad_frames (and kills exactly its own
@@ -773,9 +851,9 @@ TEST(WireFuzz, SemanticallyInvalidFramesLandInFramesRejected) {
 
   net::MpOptions opt;
   opt.workers = 2;
-  opt.tol = 1e-8;
-  opt.x_star = x_star;
-  opt.max_seconds = 20.0;
+  opt.solve.tol = 1e-8;
+  opt.solve.x_star = x_star;
+  opt.solve.max_seconds = 20.0;
   InprocTransport tx(2, net::DeliveryPolicy{}, opt.seed);
 
   const la::Vector block(8, 0.25);
@@ -815,12 +893,12 @@ class BackendParityFixture : public ::testing::Test {
   net::MpOptions base_options() const {
     net::MpOptions opt;
     opt.workers = 4;
-    opt.delivery.min_latency = 1e-4;
-    opt.delivery.max_latency = 1e-3;
-    opt.tol = 1e-9;
-    opt.x_star = x_star_;
-    opt.max_seconds = 20.0;
-    opt.max_updates = 100000000;
+    opt.chaos.delivery.min_latency = 1e-4;
+    opt.chaos.delivery.max_latency = 1e-3;
+    opt.solve.tol = 1e-9;
+    opt.solve.x_star = x_star_;
+    opt.solve.max_seconds = 20.0;
+    opt.solve.max_updates = 100000000;
     return opt;
   }
 
@@ -853,13 +931,13 @@ TEST_F(BackendParityFixture, InprocAndTcpLoopbackReachTheSameIterate) {
 
 TEST_F(BackendParityFixture, ChaosOverTcpRunsTheDelayModelOnRealSockets) {
   net::MpOptions opt = base_options();
-  opt.tol = 1e-8;
+  opt.solve.tol = 1e-8;
   // This test has a history of rare wall-budget overruns (ROADMAP —
   // chaos hold queues over real sockets under CI contention). Run it
   // fully traced with a watchdog 2s inside the 20s budget: an overrun
   // now dumps every thread's event ring + per-link queue metrics to
   // stderr instead of timing out silently.
-  opt.trace_level = obs::TraceLevel::kFull;
+  opt.obs.trace_level = obs::TraceLevel::kFull;
   obs::Watchdog dog(18.0, "ChaosOverTcpRunsTheDelayModelOnRealSockets");
   TcpOptions topts;
   topts.nodes.assign(4, {"127.0.0.1", 0});
@@ -884,7 +962,7 @@ TEST_F(BackendParityFixture, ChaosOverTcpRunsTheDelayModelOnRealSockets) {
 TEST_F(BackendParityFixture, RunNodeRanksOverTcpAllConverge) {
   net::MpOptions opt = base_options();
   opt.workers = 2;
-  opt.tol = 1e-8;
+  opt.solve.tol = 1e-8;
   TcpOptions topts;
   topts.nodes.assign(2, {"127.0.0.1", 0});
   TcpTransport tcp(std::move(topts));

@@ -1,80 +1,47 @@
-// asyncit_node — one rank of a multi-process message-passing run.
+// asyncit_node — one rank of a multi-process run (solve or train).
 //
 // Every process builds the SAME seeded problem (the generators are pure
 // functions of the config's seed), connects to the other ranks over TCP
-// using the address table in the config file, and runs net::run_node for
-// its own rank. scripts/launch_cluster.py writes the config, picks free
-// ports, and spawns one asyncit_node per rank:
+// using the address table in the config file, and runs its own rank's
+// role. scripts/launch_cluster.py writes the config, picks free ports,
+// and spawns one asyncit_node per rank:
 //
 //   scripts/launch_cluster.py --workers 4 --dim 128 --blocks 8
+//   scripts/launch_cluster.py --workload train --workers 4 \
+//       --target-accuracy 0.95
 //
 // Manual use:
 //   asyncit_node --config cluster.cfg --rank 2
+//   asyncit_node --schema          # dump the config key table as JSON
 //
-// Config format (order-free "key value" lines; '#' starts a comment):
+// The config format and the full key table live in ONE place:
+// src/asyncit/net/node_config.{hpp,cpp}. `--schema` prints that table
+// (schema asyncit-node-config/1) so launchers can validate the keys they
+// write without parsing C++.
 //
-//   world 4                  # number of ranks (required)
-//   node 0 127.0.0.1 5000    # one line per rank: rank host port (required)
-//   seed 42                  # problem + chaos seed
-//   dim 128                  # Jacobi system size
-//   blocks 8                 # partition blocks
-//   nnz 4                    # off-diagonal entries per row
-//   dominance 2.0            # diagonal dominance factor
-//   mode async               # async | ssp | bsp
-//   staleness 2              # SSP clock-gap cap
-//   inner_steps 1            # applications per phase
-//   publish_partials 0       # flexible communication (Definition 3)
-//   overwrite last_arrival   # last_arrival | newest_tag
-//   tol 1e-8                 # oracle stopping tolerance
-//   max_seconds 30           # per-process wall budget
-//   max_updates 100000000    # per-rank update budget
-//   chaos 0                  # 1: wrap TCP in the chaos decorator
-//   min_latency 0            # chaos injected latency bounds (seconds)
-//   max_latency 0
-//   fifo 0                   # chaos in-order delivery floor
-//   drop_prob 0              # chaos loss probability (async only)
-//   drop_control 0           # 1: chaos loss also drops CONTROL frames
-//   membership 0             # 1: elastic ranks (SWIM detector, async only)
-//   ping_period 0.05         # membership probe cadence (seconds)
-//   ping_timeout 0.15        # direct-ack window (suspect at 2x)
-//   suspicion_timeout 1.0    # suspect -> dead grace period
-//   ping_req_fanout 2        # indirect probe helpers
-//   late 4                   # slot absent at launch (repeatable): it is
-//                            # excluded from rendezvous + initial view
-//                            # and joins whenever the launcher starts it
-//   trace none               # observability: none | metrics | full
-//   trace_dir /tmp/run       # where rank_<r>.trace.json (Chrome/Perfetto
-//                            # trace events) and rank_<r>.metrics.json
-//                            # land; requires trace != none
-//   audit 0                  # 1: online admissibility auditor (live
-//                            # conditions a-d report in the JSON below)
-//
-// Exit status 0 when this rank's final oracle error is below tol (or the
-// 10x band when the run was ended by another rank's stop frame — gated
-// modes stop on the first announcement, in-flight staleness allowed).
+// Workloads (config key `workload`):
+//   solve   net::run_node over the seeded Jacobi system — rank r owns
+//           its partition blocks, exit 0 when the final oracle error is
+//           below tol (or the 10x band when another rank announced).
+//   train   train::run_training_node — rank 0 is the parameter server,
+//           ranks 1..world-1 are minibatch-SGD workers over the seeded
+//           synthetic logistic dataset (every rank rebuilds it from the
+//           config; nothing dataset-sized crosses the wire). Exit 0 when
+//           the target accuracy was reached (or, with target_accuracy 0,
+//           when the budgeted run completed).
 //
 // Output: one `ASYNCIT_NODE_JSON {...}` line per rank (schema
-// asyncit-node/2), the machine-readable contract launch_cluster.py
-// aggregates and asserts on. Fields: schema, rank, ok, converged, error,
-// tol, wall_seconds, updates, rounds, sent, delivered, dropped,
-// inversions, stale_filtered, partials_sent, peers_stopped,
-// frames_rejected, bad_frames, a membership object (enabled,
-// pings_sent, acks_sent, acks_received, ping_reqs_sent,
-// gossip_frames_sent, suspicions, deaths_observed, joins_observed,
-// refutations, control_rejected, reassignments, snapshot_blocks_sent,
-// live_at_exit[]), and — new in /2 —
-//   delay_quantiles {count,p50,p95,p99,max}   endpoint delay summary
-//   links [{src,dst,count,p50,p95,p99,max}]   per-link (src,dst) delay
-//       breakdown measured at incorporate (this rank is always dst)
-//   admissibility {steps,a_holds,b_diverging,b_final_min_label,c_fair,
-//       c_min_occurrences,c_worst_gap,d_bound,d_at_step,d_mean} | null
-//       (the online auditor's live conditions a-d report; null unless
-//       `audit 1`)
-//   obs {recorded,dropped}                    trace-ring accounting
-// The older ASYNCIT_NODE_RESULT key=value line is kept for humans and
-// old scripts. The ASYNCIT_NODE_START marker carries epoch_ns (realtime
-// clock at solve start) so tools/trace_merge.py can cross-check its
-// per-rank clock alignment.
+// asyncit-node/3), the machine-readable contract launch_cluster.py
+// aggregates and asserts on. /3 adds to the /2 fields:
+//   workload  "solve" | "train"
+//   train     {epoch, examples_per_sec, loss, accuracy, steps,
+//             deltas_applied, examples} — null for solve-only ranks
+// Solve-specific fields (error, inversions, membership, links, ...)
+// keep their /2 meaning and are simply absent from train-workload
+// lines. The older ASYNCIT_NODE_RESULT key=value line is kept for
+// humans and old scripts. The ASYNCIT_NODE_START marker carries
+// epoch_ns (realtime clock at solve start) so tools/trace_merge.py can
+// cross-check its per-rank clock alignment.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -82,227 +49,63 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "asyncit/asyncit.hpp"
+#include "asyncit/net/node_config.hpp"
 #include "asyncit/obs/exporter.hpp"
 #include "asyncit/obs/metrics.hpp"
+#include "asyncit/train/psgd.hpp"
 
 namespace {
 
 using namespace asyncit;
-
-struct NodeConfig {
-  std::size_t world = 0;
-  std::uint64_t seed = 42;
-  std::size_t dim = 128;
-  std::size_t blocks = 8;
-  std::size_t nnz = 4;
-  double dominance = 2.0;
-  net::Mode mode = net::Mode::kAsync;
-  std::uint64_t staleness = 2;
-  std::size_t inner_steps = 1;
-  bool publish_partials = false;
-  net::OverwritePolicy overwrite = net::OverwritePolicy::kLastArrivalWins;
-  double tol = 1e-8;
-  double max_seconds = 30.0;
-  std::uint64_t max_updates = 100000000;
-  bool chaos = false;
-  net::DeliveryPolicy chaos_policy;
-  membership::Options membership;  ///< elastic ranks (initial_alive filled
-                                   ///< from the `late` lines below)
-  std::vector<std::uint32_t> late;  ///< slots absent at launch
-  std::vector<transport::TcpPeerAddress> nodes;
-  obs::TraceLevel trace = obs::TraceLevel::kOff;
-  std::string trace_dir;  ///< rank_<r>.trace.json / .metrics.json target
-  bool audit = false;     ///< online admissibility auditor
-};
 
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "asyncit_node: %s\n", msg.c_str());
   std::exit(2);
 }
 
-NodeConfig parse_config(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) die("cannot open config " + path);
-  NodeConfig cfg;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream ls(line);
-    std::string key;
-    if (!(ls >> key)) continue;
-    auto want = [&](auto& v) {
-      if (!(ls >> v))
-        die(path + ":" + std::to_string(lineno) + ": bad value for " + key);
-    };
-    if (key == "world") {
-      want(cfg.world);
-      cfg.nodes.resize(cfg.world);
-    } else if (key == "node") {
-      std::size_t rank = 0;
-      transport::TcpPeerAddress addr;
-      want(rank);
-      want(addr.host);
-      want(addr.port);
-      if (rank >= cfg.nodes.size())
-        die(path + ":" + std::to_string(lineno) +
-            ": node rank out of range (put `world` first)");
-      cfg.nodes[rank] = addr;
-    } else if (key == "seed") {
-      want(cfg.seed);
-    } else if (key == "dim") {
-      want(cfg.dim);
-    } else if (key == "blocks") {
-      want(cfg.blocks);
-    } else if (key == "nnz") {
-      want(cfg.nnz);
-    } else if (key == "dominance") {
-      want(cfg.dominance);
-    } else if (key == "mode") {
-      std::string m;
-      want(m);
-      if (m == "async")
-        cfg.mode = net::Mode::kAsync;
-      else if (m == "ssp")
-        cfg.mode = net::Mode::kSsp;
-      else if (m == "bsp")
-        cfg.mode = net::Mode::kBsp;
-      else
-        die("unknown mode " + m);
-    } else if (key == "staleness") {
-      want(cfg.staleness);
-    } else if (key == "inner_steps") {
-      want(cfg.inner_steps);
-    } else if (key == "publish_partials") {
-      int v = 0;
-      want(v);
-      cfg.publish_partials = v != 0;
-    } else if (key == "overwrite") {
-      std::string p;
-      want(p);
-      if (p == "last_arrival")
-        cfg.overwrite = net::OverwritePolicy::kLastArrivalWins;
-      else if (p == "newest_tag")
-        cfg.overwrite = net::OverwritePolicy::kNewestTagWins;
-      else
-        die("unknown overwrite policy " + p);
-    } else if (key == "tol") {
-      want(cfg.tol);
-    } else if (key == "max_seconds") {
-      want(cfg.max_seconds);
-    } else if (key == "max_updates") {
-      want(cfg.max_updates);
-    } else if (key == "chaos") {
-      int v = 0;
-      want(v);
-      cfg.chaos = v != 0;
-    } else if (key == "min_latency") {
-      want(cfg.chaos_policy.min_latency);
-    } else if (key == "max_latency") {
-      want(cfg.chaos_policy.max_latency);
-    } else if (key == "fifo") {
-      int v = 0;
-      want(v);
-      cfg.chaos_policy.fifo = v != 0;
-    } else if (key == "drop_prob") {
-      want(cfg.chaos_policy.drop_prob);
-    } else if (key == "drop_control") {
-      int v = 0;
-      want(v);
-      cfg.chaos_policy.drop_control = v != 0;
-    } else if (key == "membership") {
-      int v = 0;
-      want(v);
-      cfg.membership.enabled = v != 0;
-    } else if (key == "ping_period") {
-      want(cfg.membership.ping_period);
-    } else if (key == "ping_timeout") {
-      want(cfg.membership.ping_timeout);
-    } else if (key == "suspicion_timeout") {
-      want(cfg.membership.suspicion_timeout);
-    } else if (key == "ping_req_fanout") {
-      want(cfg.membership.ping_req_fanout);
-    } else if (key == "late") {
-      std::uint32_t r = 0;
-      want(r);
-      cfg.late.push_back(r);
-    } else if (key == "trace") {
-      std::string level;
-      want(level);
-      if (!obs::parse_trace_level(level.c_str(), &cfg.trace))
-        die("unknown trace level " + level);
-    } else if (key == "trace_dir") {
-      want(cfg.trace_dir);
-    } else if (key == "audit") {
-      int v = 0;
-      want(v);
-      cfg.audit = v != 0;
-    } else {
-      die(path + ":" + std::to_string(lineno) + ": unknown key " + key);
-    }
-  }
-  if (cfg.world < 2) die("config needs world >= 2");
-  for (std::size_t r = 0; r < cfg.world; ++r)
-    if (cfg.nodes[r].port == 0)
-      die("config missing node line for rank " + std::to_string(r));
-  for (const std::uint32_t r : cfg.late)
-    if (r >= cfg.world) die("late rank out of range");
-  if (!cfg.late.empty() && !cfg.membership.enabled)
-    die("late ranks require membership 1");
-  if (cfg.membership.enabled && cfg.mode != net::Mode::kAsync)
-    die("membership requires mode async (elastic ranks would deadlock a "
-        "gated round structure)");
-  // The initial live view = every slot not marked late.
-  if (cfg.membership.enabled) {
-    for (std::uint32_t r = 0; r < cfg.world; ++r)
-      if (std::find(cfg.late.begin(), cfg.late.end(), r) == cfg.late.end())
-        cfg.membership.initial_alive.push_back(r);
-  }
-  return cfg;
+/// Prints the solve-start marker (churn anchoring + trace-merge clock
+/// cross-check).
+void print_start_marker(std::uint32_t rank) {
+  const std::uint64_t start_epoch_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::printf("ASYNCIT_NODE_START rank=%u epoch_ns=%llu\n", rank,
+              static_cast<unsigned long long>(start_epoch_ns));
+  std::fflush(stdout);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string config_path;
-  std::uint32_t rank = 0;
-  bool have_rank = false;
-  bool quiet = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--config" && i + 1 < argc) {
-      config_path = argv[++i];
-    } else if (arg == "--rank" && i + 1 < argc) {
-      // strtoul with full-string validation: "--rank x" or "--rank -1"
-      // must die loudly, not silently become rank 0 and fight the real
-      // rank 0 for its port.
-      const char* s = argv[++i];
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(s, &end, 10);
-      if (s[0] == '\0' || s[0] == '-' || end == nullptr || *end != '\0' ||
-          v > 0xFFFFFFFFul)
-        die(std::string("invalid --rank value: ") + s);
-      rank = static_cast<std::uint32_t>(v);
-      have_rank = true;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      die("usage: asyncit_node --config <file> --rank <r> [--quiet]");
-    }
+/// Per-rank trace + metrics artifacts (trace_merge.py consumes the
+/// former; launch_cluster.py archives both).
+void export_obs_artifacts(const net::NodeConfig& cfg, std::uint32_t rank,
+                          std::uint64_t events_dropped) {
+  if (cfg.trace == obs::TraceLevel::kOff || cfg.trace_dir.empty()) return;
+  const std::string base = cfg.trace_dir + "/rank_" + std::to_string(rank);
+  if (cfg.trace == obs::TraceLevel::kFull) {
+    obs::ExportMeta meta;
+    meta.rank = static_cast<std::uint16_t>(rank);
+    meta.epoch_realtime_ns =
+        obs::TraceRecorder::instance().epoch_realtime_ns();
+    meta.events_dropped = events_dropped;
+    meta.label = "asyncit_node";
+    if (!obs::export_chrome_trace_file(base + ".trace.json", meta))
+      std::fprintf(stderr, "[rank %u] trace export failed: %s\n", rank,
+                   (base + ".trace.json").c_str());
   }
-  if (config_path.empty() || !have_rank)
-    die("usage: asyncit_node --config <file> --rank <r> [--quiet]");
+  std::ofstream mf(base + ".metrics.json");
+  if (mf)
+    mf << obs::MetricsRegistry::instance().to_json() << "\n";
+  else
+    std::fprintf(stderr, "[rank %u] metrics export failed: %s\n", rank,
+                 (base + ".metrics.json").c_str());
+}
 
-  const NodeConfig cfg = parse_config(config_path);
-  if (rank >= cfg.world) die("rank out of range");
-
+int run_solve_workload(const net::NodeConfig& cfg, std::uint32_t rank,
+                       transport::Transport& fabric, bool quiet) {
   // Every process derives the identical problem and reference solution
   // from the config seed — nothing problem-sized crosses the wire except
   // the iterate blocks themselves.
@@ -314,58 +117,23 @@ int main(int argc, char** argv) {
   const la::Vector x_star =
       op::picard_solve(jacobi, la::zeros(cfg.dim), 50000, 1e-14);
 
-  transport::TcpOptions topts;
-  topts.nodes = cfg.nodes;
-  topts.local_ranks = {rank};
-  topts.connect_timeout_seconds = 30.0;
-  const bool is_late =
-      std::find(cfg.late.begin(), cfg.late.end(), rank) != cfg.late.end();
-  if (cfg.membership.enabled) {
-    topts.elastic = true;
-    // Launch-time ranks rendezvous with each other as before; a late
-    // joiner rendezvouses with NOBODY — it dials in lazily (some of the
-    // initial ranks may already be dead) and is discovered via gossip.
-    if (!is_late) topts.expected_ranks = cfg.membership.initial_alive;
-  }
-  if (!quiet)
-    std::printf("[rank %u] rendezvous: %zu ranks%s, my port %u\n", rank,
-                cfg.world, is_late ? " (late join)" : "",
-                cfg.nodes[rank].port);
-  transport::TcpTransport tcp(std::move(topts));
-  std::unique_ptr<transport::ChaosTransport> chaos;
-  if (cfg.chaos)
-    chaos = std::make_unique<transport::ChaosTransport>(
-        tcp, cfg.chaos_policy, cfg.seed);
-  transport::Transport& fabric = chaos ? static_cast<transport::Transport&>(*chaos) : tcp;
-
-  // Rendezvous done, solve starting: the marker scripts/launch_cluster.py
-  // anchors its churn schedule on (a kill scheduled from process spawn
-  // could land inside setup/rendezvous on a slow or sanitized build).
-  // epoch_ns (CLOCK_REALTIME) lets tools/trace_merge.py cross-check the
-  // per-rank clock anchors it aligns the merged timeline with.
-  const std::uint64_t start_epoch_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count());
-  std::printf("ASYNCIT_NODE_START rank=%u epoch_ns=%llu\n", rank,
-              static_cast<unsigned long long>(start_epoch_ns));
-  std::fflush(stdout);
+  print_start_marker(rank);
 
   net::MpOptions opt;
   opt.workers = cfg.world;
-  opt.mode = cfg.mode;
-  opt.staleness = cfg.staleness;
-  opt.inner_steps = cfg.inner_steps;
-  opt.publish_partials = cfg.publish_partials;
-  opt.overwrite = cfg.overwrite;
-  opt.tol = cfg.tol;
-  opt.x_star = x_star;
-  opt.max_seconds = cfg.max_seconds;
-  opt.max_updates = cfg.max_updates;
+  opt.solve.mode = cfg.mode;
+  opt.solve.staleness = cfg.staleness;
+  opt.solve.inner_steps = cfg.inner_steps;
+  opt.solve.publish_partials = cfg.publish_partials;
+  opt.solve.overwrite = cfg.overwrite;
+  opt.solve.tol = cfg.tol;
+  opt.solve.x_star = x_star;
+  opt.solve.max_seconds = cfg.max_seconds;
+  opt.solve.max_updates = cfg.max_updates;
   opt.seed = cfg.seed;
   opt.membership = cfg.membership;
-  opt.trace_level = cfg.trace;
-  opt.audit = cfg.audit;
+  opt.obs.trace_level = cfg.trace;
+  opt.obs.audit = cfg.audit;
 
   const net::MpResult result =
       net::run_node(jacobi, la::zeros(cfg.dim), opt, fabric.endpoint(rank));
@@ -373,30 +141,7 @@ int main(int argc, char** argv) {
   // Let the final frames (stop announcement, last block values) reach
   // the wire before the sockets close under the other ranks.
   fabric.flush(2.0);
-
-  // Per-rank trace + metrics artifacts (trace_merge.py consumes the
-  // former; launch_cluster.py archives both).
-  if (cfg.trace != obs::TraceLevel::kOff && !cfg.trace_dir.empty()) {
-    const std::string base =
-        cfg.trace_dir + "/rank_" + std::to_string(rank);
-    if (cfg.trace == obs::TraceLevel::kFull) {
-      obs::ExportMeta meta;
-      meta.rank = static_cast<std::uint16_t>(rank);
-      meta.epoch_realtime_ns =
-          obs::TraceRecorder::instance().epoch_realtime_ns();
-      meta.events_dropped = result.obs_events_dropped;
-      meta.label = "asyncit_node";
-      if (!obs::export_chrome_trace_file(base + ".trace.json", meta))
-        std::fprintf(stderr, "[rank %u] trace export failed: %s\n", rank,
-                     (base + ".trace.json").c_str());
-    }
-    std::ofstream mf(base + ".metrics.json");
-    if (mf)
-      mf << obs::MetricsRegistry::instance().to_json() << "\n";
-    else
-      std::fprintf(stderr, "[rank %u] metrics export failed: %s\n", rank,
-                   (base + ".metrics.json").c_str());
-  }
+  export_obs_artifacts(cfg, rank, result.obs_events_dropped);
 
   // A rank that was stopped by another rank's announcement (gated modes
   // stop on the first kStop) may sit within in-flight staleness of the
@@ -424,7 +169,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(result.inversions_observed));
   // Machine-parseable summaries. The key=value line predates the JSON
   // one and is kept for humans / old scripts; launch_cluster.py reads
-  // the asyncit-node/1 JSON (one line, schema documented in the header
+  // the asyncit-node/3 JSON (one line, schema documented in the header
   // comment above).
   std::printf("ASYNCIT_NODE_RESULT rank=%u ok=%d converged=%d error=%.17g "
               "updates=%llu sent=%llu delivered=%llu dropped=%llu\n",
@@ -483,7 +228,8 @@ int main(int argc, char** argv) {
     audit_json = ab;
   }
   std::printf(
-      "ASYNCIT_NODE_JSON {\"schema\":\"asyncit-node/2\",\"rank\":%u,"
+      "ASYNCIT_NODE_JSON {\"schema\":\"asyncit-node/3\","
+      "\"workload\":\"solve\",\"rank\":%u,"
       "\"ok\":%s,\"converged\":%s,\"error\":%.17g,\"tol\":%.17g,"
       "\"wall_seconds\":%.6f,\"updates\":%llu,\"rounds\":%llu,"
       "\"sent\":%llu,\"delivered\":%llu,\"dropped\":%llu,"
@@ -497,7 +243,7 @@ int main(int argc, char** argv) {
       "\"reassignments\":%llu,\"snapshot_blocks_sent\":%llu,"
       "\"live_at_exit\":%s},\"delay_quantiles\":%s,\"links\":%s,"
       "\"admissibility\":%s,\"obs\":{\"recorded\":%llu,"
-      "\"dropped\":%llu}}\n",
+      "\"dropped\":%llu},\"train\":null}\n",
       rank, ok ? "true" : "false", result.converged ? "true" : "false",
       result.final_error, cfg.tol, result.wall_seconds,
       static_cast<unsigned long long>(result.total_updates),
@@ -529,4 +275,160 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(result.obs_events_recorded),
       static_cast<unsigned long long>(result.obs_events_dropped));
   return ok ? 0 : 1;
+}
+
+int run_train_workload(const net::NodeConfig& cfg, std::uint32_t rank,
+                       transport::Transport& fabric, bool quiet) {
+  // Every rank rebuilds the identical dataset from (config, seed); only
+  // delta and parameter frames cross the wire.
+  const train::Dataset data =
+      train::make_synthetic_dataset(cfg.dataset, cfg.seed);
+
+  print_start_marker(rank);
+
+  train::TrainOptions opt;
+  opt.workers = cfg.world - 1;  // rank 0 is the parameter server
+  opt.seed = cfg.seed;
+  opt.sgd = cfg.sgd;
+  opt.obs.trace_level = cfg.trace;
+
+  const train::TrainResult result = train::run_training_node(
+      data, la::zeros(data.features()), opt, fabric.endpoint(rank));
+  fabric.flush(2.0);
+  export_obs_artifacts(cfg, rank, result.obs_events_dropped);
+
+  // With a target, reaching it (server) / being stopped because the
+  // server reached it (workers) is the acceptance criterion; without
+  // one the budgeted run completing is.
+  const bool ok = cfg.sgd.target_accuracy > 0.0 ? result.converged : true;
+  const std::uint64_t steps =
+      result.steps_per_worker.empty() ? 0 : result.steps_per_worker[0];
+  const std::uint64_t updates = rank == 0 ? result.deltas_applied : steps;
+
+  if (!quiet)
+    std::printf(
+        "[rank %u] %s: accuracy %.4f loss %.4f after %.3f s, epoch %llu, "
+        "%llu updates, %.0f examples/s, sent %llu delivered %llu "
+        "dropped %llu\n",
+        rank, ok ? "trained" : "TARGET NOT REACHED", result.final_accuracy,
+        result.final_loss, result.wall_seconds,
+        static_cast<unsigned long long>(result.epochs),
+        static_cast<unsigned long long>(updates), result.examples_per_sec,
+        static_cast<unsigned long long>(result.messages_sent),
+        static_cast<unsigned long long>(result.messages_delivered),
+        static_cast<unsigned long long>(result.messages_dropped));
+  std::printf("ASYNCIT_NODE_RESULT rank=%u ok=%d converged=%d error=-1 "
+              "updates=%llu sent=%llu delivered=%llu dropped=%llu\n",
+              rank, ok ? 1 : 0, result.converged ? 1 : 0,
+              static_cast<unsigned long long>(updates),
+              static_cast<unsigned long long>(result.messages_sent),
+              static_cast<unsigned long long>(result.messages_delivered),
+              static_cast<unsigned long long>(result.messages_dropped));
+  std::printf(
+      "ASYNCIT_NODE_JSON {\"schema\":\"asyncit-node/3\","
+      "\"workload\":\"train\",\"rank\":%u,\"ok\":%s,\"converged\":%s,"
+      "\"wall_seconds\":%.6f,\"updates\":%llu,\"rounds\":%llu,"
+      "\"sent\":%llu,\"delivered\":%llu,\"dropped\":%llu,"
+      "\"peers_stopped\":%llu,\"frames_rejected\":%llu,"
+      "\"bad_frames\":%llu,\"obs\":{\"recorded\":%llu,\"dropped\":%llu},"
+      "\"train\":{\"epoch\":%llu,\"examples_per_sec\":%.9g,"
+      "\"loss\":%.9g,\"accuracy\":%.9g,\"steps\":%llu,"
+      "\"deltas_applied\":%llu,\"examples\":%llu}}\n",
+      rank, ok ? "true" : "false", result.converged ? "true" : "false",
+      result.wall_seconds, static_cast<unsigned long long>(updates),
+      static_cast<unsigned long long>(result.rounds),
+      static_cast<unsigned long long>(result.messages_sent),
+      static_cast<unsigned long long>(result.messages_delivered),
+      static_cast<unsigned long long>(result.messages_dropped),
+      static_cast<unsigned long long>(result.peers_stopped),
+      static_cast<unsigned long long>(result.frames_rejected),
+      static_cast<unsigned long long>(fabric.bad_frames()),
+      static_cast<unsigned long long>(result.obs_events_recorded),
+      static_cast<unsigned long long>(result.obs_events_dropped),
+      static_cast<unsigned long long>(result.epochs),
+      result.examples_per_sec, result.final_loss, result.final_accuracy,
+      static_cast<unsigned long long>(steps),
+      static_cast<unsigned long long>(result.deltas_applied),
+      static_cast<unsigned long long>(result.examples_processed));
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::uint32_t rank = 0;
+  bool have_rank = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--schema") {
+      std::printf("%s\n", net::node_config_schema_json().c_str());
+      return 0;
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--rank" && i + 1 < argc) {
+      // strtoul with full-string validation: "--rank x" or "--rank -1"
+      // must die loudly, not silently become rank 0 and fight the real
+      // rank 0 for its port.
+      const char* s = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(s, &end, 10);
+      if (s[0] == '\0' || s[0] == '-' || end == nullptr || *end != '\0' ||
+          v > 0xFFFFFFFFul)
+        die(std::string("invalid --rank value: ") + s);
+      rank = static_cast<std::uint32_t>(v);
+      have_rank = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      die("usage: asyncit_node --config <file> --rank <r> [--quiet] | "
+          "asyncit_node --schema");
+    }
+  }
+  if (config_path.empty() || !have_rank)
+    die("usage: asyncit_node --config <file> --rank <r> [--quiet] | "
+        "asyncit_node --schema");
+
+  net::NodeConfig cfg;
+  std::string error;
+  if (!net::load_node_config(config_path, cfg, error)) die(error);
+  if (rank >= cfg.world) die("rank out of range");
+
+  transport::TcpOptions topts;
+  topts.nodes = cfg.nodes;
+  topts.local_ranks = {rank};
+  topts.connect_timeout_seconds = 30.0;
+  const bool is_late =
+      std::find(cfg.late.begin(), cfg.late.end(), rank) != cfg.late.end();
+  if (cfg.elastic) {
+    topts.elastic = true;
+    // With membership, launch-time ranks rendezvous with each other and
+    // a late joiner rendezvouses with NOBODY — it dials in lazily (some
+    // initial ranks may already be dead) and is discovered via gossip.
+    // Plain elastic (the train churn leg) has no late slots: everyone
+    // rendezvouses, and deaths after that simply stop mattering.
+    if (cfg.membership.enabled) {
+      if (!is_late) topts.expected_ranks = cfg.membership.initial_alive;
+    } else {
+      topts.expected_ranks.resize(cfg.world);
+      for (std::uint32_t r = 0; r < cfg.world; ++r)
+        topts.expected_ranks[r] = r;
+    }
+  }
+  if (!quiet)
+    std::printf("[rank %u] rendezvous: %zu ranks%s, my port %u\n", rank,
+                cfg.world, is_late ? " (late join)" : "",
+                cfg.nodes[rank].port);
+  transport::TcpTransport tcp(std::move(topts));
+  std::unique_ptr<transport::ChaosTransport> chaos;
+  if (cfg.chaos)
+    chaos = std::make_unique<transport::ChaosTransport>(
+        tcp, cfg.chaos_policy, cfg.seed);
+  transport::Transport& fabric =
+      chaos ? static_cast<transport::Transport&>(*chaos) : tcp;
+
+  return cfg.workload == net::Workload::kTrain
+             ? run_train_workload(cfg, rank, fabric, quiet)
+             : run_solve_workload(cfg, rank, fabric, quiet);
 }
