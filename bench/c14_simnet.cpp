@@ -1,0 +1,149 @@
+// C14 — simnet scenario sweeps: whole asynchronous worlds on one core.
+//
+// The thread-backed benches top out near the host's core count; the
+// discrete-event engine replaces threads with fibers and the wall clock
+// with virtual time, so world sizes grow three orders of magnitude while
+// every run stays exactly reproducible. This bench sweeps the seeded
+// Jacobi solve at 100 and 1000 ranks (and, opted in, 10000) and checks
+// the two properties the simulator exists for:
+//
+//   determinism  every world runs TWICE; the event-log hashes and final
+//                residuals must match bitwise (hard det gate);
+//   throughput   dispatched events per wall second and the wall cost of
+//                the 1000-rank world (warn-only: host-dependent — the
+//                < 60 s acceptance bar is enforced by the sim_scale_smoke
+//                ctest leg in Release, not here).
+//
+// Communication is the runtime's dense broadcast (every update goes to
+// world-1 peers), so frame count scales O(world^2 * sweeps): the
+// 1000-rank run moves ~10M frames. The 10000-rank leg is a fixed
+// virtual-horizon determinism/throughput probe (~2 sweeps, no
+// convergence target) and only runs with ASYNCIT_BENCH_SIM_10K=1 — it
+// costs minutes and real memory, which is exactly the regime the CI
+// smoke must not enter. Skipping is LOGGED, never silent.
+//
+// BENCH_simnet.json via the shared harness; gated by CI perf-smoke
+// against bench/baselines/simnet.json.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "asyncit/asyncit.hpp"
+#include "asyncit/simnet/world.hpp"
+#include "harness/bench_harness.hpp"
+
+using namespace asyncit;
+
+namespace {
+
+struct SweepResult {
+  simnet::WorldResult first;
+  bool deterministic = false;
+  double wall_total = 0.0;
+};
+
+/// Builds the world-sized seeded Jacobi problem (one block per rank) and
+/// runs it twice through run_world, comparing the determinism witnesses.
+SweepResult sweep(std::size_t world, double tol, double max_virtual) {
+  Rng rng(97);
+  auto sys = problems::make_diagonally_dominant_system(world, 3, 8.0, rng);
+  la::Partition partition = la::Partition::balanced(world, world);
+  op::JacobiOperator jacobi(sys.a, sys.b, partition);
+
+  simnet::WorldOptions o;
+  o.mp.workers = world;
+  o.mp.seed = 97;
+  o.mp.solve.tol = tol;
+  if (tol > 0.0)
+    o.mp.solve.x_star =
+        op::picard_solve(jacobi, la::zeros(world), 50000, 1e-14);
+  o.mp.solve.max_seconds = max_virtual;
+  o.mp.solve.max_updates = 100000000;
+  // Sim updates are cheap; check the oracle often so ranks stop near
+  // tol instead of overshooting by a dense-broadcast round (the stop
+  // check in node mode fires every 4x this cadence).
+  o.mp.solve.check_every = 4;
+  // latency/phase = 0.1 bounds in-flight frames near 0.1 * world^2 —
+  // the knob that keeps the 1000-rank pending heaps in tens of MB.
+  o.sim.compute.phase = 1e-3;
+  o.sim.compute.jitter = 0.3;
+  o.sim.topology.latency = world >= 10000 ? 1e-5 : 1e-4;
+  o.sim.topology.jitter = 0.5;
+
+  SweepResult r;
+  WallTimer wall;
+  r.first = simnet::run_world(jacobi, la::zeros(world), o);
+  const simnet::WorldResult again =
+      simnet::run_world(jacobi, la::zeros(world), o);
+  r.wall_total = wall.seconds();
+  r.deterministic = r.first.log_hash == again.log_hash &&
+                    r.first.events == again.events &&
+                    r.first.final_residual == again.final_residual;
+  return r;
+}
+
+void record(bench::Report& report, const std::string& name,
+            const SweepResult& r, bool expect_converged) {
+  auto& s = report.scenario(name)
+                .det("deterministic", r.deterministic)
+                .metric("events", static_cast<double>(r.first.events))
+                .metric("events_per_sec",
+                        r.wall_total > 0.0
+                            ? 2.0 * static_cast<double>(r.first.events) /
+                                  r.wall_total
+                            : 0.0)
+                .metric("virtual_seconds", r.first.virtual_seconds)
+                .metric("wall_seconds", r.wall_total)
+                .metric("messages_sent",
+                        static_cast<double>(r.first.messages_sent));
+  if (expect_converged)
+    s.det("converged", r.first.all_converged)
+        .det("residual_band", r.first.final_residual < 1e-5);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== C14: simnet virtual-time scenario sweeps ==\n\n");
+  bench::Report report("simnet");
+  TextTable t({"world", "conv", "det", "events", "virt(s)", "wall(s)",
+               "ev/s"});
+
+  for (const std::size_t world : {std::size_t{100}, std::size_t{1000}}) {
+    const SweepResult r = sweep(world, 1e-6, 300.0);
+    t.add_row({std::to_string(world), r.first.all_converged ? "yes" : "NO",
+               r.deterministic ? "yes" : "NO",
+               std::to_string(r.first.events),
+               TextTable::num(r.first.virtual_seconds, 4),
+               TextTable::num(r.wall_total, 3),
+               TextTable::num(2.0 * double(r.first.events) / r.wall_total,
+                              0)});
+    record(report, "sweep_" + std::to_string(world), r,
+           /*expect_converged=*/true);
+  }
+
+  const char* gate = std::getenv("ASYNCIT_BENCH_SIM_10K");
+  if (gate != nullptr && gate[0] == '1') {
+    // Fixed virtual horizon (~2 sweeps): a determinism + throughput
+    // probe at 2e8 frames, not a convergence run.
+    const SweepResult r = sweep(10000, 0.0, 2e-3);
+    t.add_row({"10000", "-", r.deterministic ? "yes" : "NO",
+               std::to_string(r.first.events),
+               TextTable::num(r.first.virtual_seconds, 4),
+               TextTable::num(r.wall_total, 3),
+               TextTable::num(2.0 * double(r.first.events) / r.wall_total,
+                              0)});
+    record(report, "sweep_10000", r, /*expect_converged=*/false);
+  } else {
+    std::printf("sweep_10000 SKIPPED (set ASYNCIT_BENCH_SIM_10K=1 to run "
+                "the ~2e8-frame leg; minutes of wall time)\n");
+  }
+
+  std::printf("%s\n", t.render().c_str());
+  trace::maybe_write_csv(t, "c14_simnet");
+  report.write();
+  std::printf("shape check: every world converges (tol 1e-6) and replays "
+              "bit-identically; events/s is the single-core simulation "
+              "rate.\n");
+  return 0;
+}

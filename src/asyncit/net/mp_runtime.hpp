@@ -103,6 +103,12 @@ struct ObsOptions {
   /// (S_j, l(j)) schedule through the condition a–d checks while the
   /// run executes (MpResult::admissibility). Independent of tracing.
   bool audit = false;
+  /// Per-source-link delay histograms at each receiver
+  /// (MpResult::link_delays). On for the thread-scale runs that always
+  /// had them; simnet::run_world turns it off — one DelayHistogram is
+  /// ~600 B, and world^2 of them at 1000 ranks is ~600 MB of pure
+  /// bookkeeping. The endpoint-level delays() aggregate is unaffected.
+  bool link_delays = true;
 };
 
 /// Options for run_message_passing / run_node: topology at the top,

@@ -134,6 +134,12 @@ const KeyEntry kKeys[] = {
      [](NodeConfig& c, std::istringstream& ls, std::string& e) {
        return read_value(ls, c.max_seconds, e);
      }},
+    {{"check_every", "int", "16",
+      "budget/stop check cadence in own updates (solve; node mode "
+      "evaluates the oracle every 4x this)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.check_every, e);
+     }},
     {{"max_updates", "int", "100000000",
       "per-rank update budget (solve)"},
      [](NodeConfig& c, std::istringstream& ls, std::string& e) {
@@ -209,7 +215,106 @@ const KeyEntry kKeys[] = {
      }},
 
     // -- fabric --
-    {{"chaos", "bool01", "0", "wrap TCP in the chaos decorator"},
+    {{"transport", "enum:tcp|sim", "tcp",
+      "tcp: one process per rank over sockets (asyncit_node); sim: the "
+      "whole world in one process over virtual time (asyncit_sim; node "
+      "lines not required, max_seconds is a virtual budget)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       std::string t;
+       if (!read_value(ls, t, e)) return false;
+       if (t == "tcp") c.sim = false;
+       else if (t == "sim") c.sim = true;
+       else { e = "unknown transport " + t; return false; }
+       return true;
+     }},
+    {{"sim_latency", "float", "1e-3",
+      "sim intra-region base one-way latency, virtual seconds"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.simcfg.topology.latency, e);
+     }},
+    {{"sim_jitter", "float", "0.5",
+      "sim per-frame latency jitter fraction (>= 1: heavy reordering)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.simcfg.topology.jitter, e);
+     }},
+    {{"sim_asymmetry", "float", "0",
+      "sim per-directed-link base skew fraction (asymmetric routes)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.simcfg.topology.asymmetry, e);
+     }},
+    {{"sim_bandwidth", "float", "0",
+      "sim link bandwidth, bytes per virtual second (0 = infinite)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.simcfg.topology.bandwidth, e);
+     }},
+    {{"sim_fifo", "bool01", "0", "sim per-link in-order delivery floor"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_bool01(ls, c.simcfg.topology.fifo, e);
+     }},
+    {{"sim_drop", "float", "0",
+      "sim per-frame loss probability (droppable frames only)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.simcfg.topology.drop_prob, e);
+     }},
+    {{"sim_drop_control", "bool01", "0",
+      "sim loss also drops CONTROL frames"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_bool01(ls, c.simcfg.topology.drop_control, e);
+     }},
+    {{"sim_regions", "int", "1",
+      "sim WAN regions (ranks assigned round-robin)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.simcfg.topology.regions, e);
+     }},
+    {{"sim_cross_region", "float", "4.0",
+      "sim cross-region latency multiplier"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.simcfg.topology.cross_region, e);
+     }},
+    {{"sim_partition", "t0 t1 boundary", "-",
+      "sim partition window (repeatable): while t0 <= t < t1 frames "
+      "crossing the cut {rank < boundary}|{rank >= boundary} drop; the "
+      "window end is the heal"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       simnet::PartitionWindow w;
+       if (!read_value(ls, w.t0, e) || !read_value(ls, w.t1, e) ||
+           !read_value(ls, w.boundary, e))
+         return false;
+       c.simcfg.topology.partitions.push_back(w);
+       return true;
+     }},
+    {{"sim_compute", "float", "1e-3",
+      "sim virtual cost of one update phase, seconds"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.simcfg.compute.phase, e);
+     }},
+    {{"sim_compute_jitter", "float", "0.5",
+      "sim per-phase cost jitter fraction (in [0, 1])"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.simcfg.compute.jitter, e);
+     }},
+    {{"sim_straggler_every", "int", "0",
+      "every N-th rank straggles (0 disables)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.simcfg.compute.straggler_every, e);
+     }},
+    {{"sim_straggler_factor", "float", "10.0",
+      "compute multiplier of a straggling rank"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.simcfg.compute.straggler_factor, e);
+     }},
+    {{"sim_event_log", "bool01", "0",
+      "record the full event log (hash is always kept)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_bool01(ls, c.simcfg.record_log, e);
+     }},
+    {{"sim_runs", "int", "1",
+      "determinism re-runs: all must agree on log hash + residual"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.sim_runs, e);
+     }},
+    {{"chaos", "bool01", "0",
+      "wrap the transport (tcp or sim) in the chaos decorator"},
      [](NodeConfig& c, std::istringstream& ls, std::string& e) {
        return read_bool01(ls, c.chaos, e);
      }},
@@ -310,11 +415,18 @@ bool validate(NodeConfig& cfg, std::string& error) {
     error = "config needs world >= 2";
     return false;
   }
-  for (std::size_t r = 0; r < cfg.world; ++r) {
-    if (cfg.nodes[r].port == 0) {
-      error = "config missing node line for rank " + std::to_string(r);
-      return false;
+  // Simulated worlds live in one process: no address table to check.
+  if (!cfg.sim) {
+    for (std::size_t r = 0; r < cfg.world; ++r) {
+      if (cfg.nodes[r].port == 0) {
+        error = "config missing node line for rank " + std::to_string(r);
+        return false;
+      }
     }
+  }
+  if (cfg.sim_runs < 1) {
+    error = "sim_runs must be >= 1";
+    return false;
   }
   for (const std::uint32_t r : cfg.late) {
     if (r >= cfg.world) {

@@ -7,6 +7,9 @@
 // sides read THE SAME table below (node_config_schema()), so a key
 // cannot exist in the parser without being documented, and the launcher
 // cannot silently write a key the node would reject.
+// tools/asyncit_sim.cpp (transport sim: the whole world in one process
+// over virtual time) and scripts/sim_sweep.py reuse the same table the
+// same way — the sim_* keys live here, not in a parallel schema.
 //
 // Config format: order-free "key value" lines, '#' starts a comment.
 // `world` must precede `node` lines. Two workloads share the file
@@ -27,6 +30,7 @@
 #include "asyncit/net/mp_runtime.hpp"
 #include "asyncit/obs/trace_recorder.hpp"
 #include "asyncit/problems/synthetic.hpp"
+#include "asyncit/simnet/config.hpp"
 #include "asyncit/train/train.hpp"
 #include "asyncit/transport/tcp.hpp"
 
@@ -56,12 +60,26 @@ struct NodeConfig {
   double tol = 1e-8;
   double max_seconds = 30.0;
   std::uint64_t max_updates = 100000000;
+  /// Budget/stop-check cadence in own updates (node mode evaluates the
+  /// oracle every 4x this, see peer.cpp). Lower it when updates are
+  /// cheap relative to overshooting the tolerance — e.g. sim sweeps.
+  std::uint64_t check_every = 16;
 
   // -- train workload: seeded logistic dataset + SGD discipline --
   problems::LogisticConfig dataset;  ///< samples/features/density/...
   train::SgdOptions sgd;             ///< discipline/lr/batch/epochs/...
 
   // -- fabric --
+  /// transport sim: the whole world runs in ONE process over the
+  /// simnet/ virtual-time engine (tools/asyncit_sim); node lines are
+  /// not required and max_seconds is a VIRTUAL budget. The sim_* keys
+  /// below populate `simcfg`.
+  bool sim = false;
+  simnet::SimConfig simcfg;
+  /// Determinism re-runs: asyncit_sim executes the world `sim_runs`
+  /// times and fails unless every run agrees on the event-log hash and
+  /// final residual.
+  std::size_t sim_runs = 1;
   bool chaos = false;
   net::DeliveryPolicy chaos_policy;
   /// Elastic TCP without the SWIM detector: sends to dead peers drop

@@ -15,6 +15,13 @@ namespace asyncit::net {
 MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
                   const MpOptions& options,
                   transport::Endpoint& endpoint) {
+  WallTimer timer;
+  return run_node(op, x0, options, endpoint, timer);
+}
+
+MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
+                  const MpOptions& options, transport::Endpoint& endpoint,
+                  const WallTimer& clock) {
   const la::Partition& partition = op.partition();
   const std::size_t m = partition.num_blocks();
   const std::size_t world = options.workers;
@@ -45,11 +52,10 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
     obs::MetricsRegistry::instance().reset();
   }
 
-  WallTimer timer;
   PeerContext ctx;
   ctx.op = &op;
   ctx.options = &options;
-  ctx.clock = &timer;
+  ctx.clock = &clock;
   ctx.owned = &owned;
   ctx.monitor = &monitor;
   ctx.last_displacement = &last_displacement;
@@ -73,7 +79,7 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
   peer.run();  // the calling thread IS the peer
 
   MpResult result;
-  result.wall_seconds = timer.seconds();
+  result.wall_seconds = clock.seconds();
   if (options.obs.trace_level != obs::TraceLevel::kOff) {
     obs::TraceRecorder::instance().disable();
     const obs::RecorderStats os = obs::TraceRecorder::instance().stats();

@@ -34,6 +34,7 @@
 #pragma once
 
 #include "asyncit/net/mp_runtime.hpp"
+#include "asyncit/support/timer.hpp"
 #include "asyncit/transport/transport.hpp"
 
 namespace asyncit::net {
@@ -44,5 +45,13 @@ namespace asyncit::net {
 /// iterate; message statistics cover this rank's endpoint only.
 MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
                   const MpOptions& options, transport::Endpoint& endpoint);
+
+/// Same, but the run reads time from `clock` instead of starting its own
+/// wall timer — the hook simnet::run_world uses to put every budget and
+/// timestamp on virtual time (clock is a simnet::SimClock there). The
+/// clock must read 0 at (or before) the call and only move forward.
+MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
+                  const MpOptions& options, transport::Endpoint& endpoint,
+                  const WallTimer& clock);
 
 }  // namespace asyncit::net

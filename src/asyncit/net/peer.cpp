@@ -46,9 +46,19 @@ Peer::Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
       endpoint_(&endpoint),
       round_(0),
       production_(ctx.op->partition().num_blocks(), 0),
-      complete_rounds_(ctx.options->workers, 0),
-      arrivals_(ctx.options->workers),
-      link_delays_(ctx.options->workers) {
+      // Round-completion bookkeeping only feeds the SSP/BSP gates
+      // (receive() skips it in async mode), and the per-source delay
+      // breakdown is opt-out: both are O(world) per peer, which at
+      // simulator scale (1000 in-process peers) is pure dead weight.
+      complete_rounds_(ctx.options->solve.mode != Mode::kAsync
+                           ? ctx.options->workers
+                           : 0,
+                       0),
+      arrivals_(ctx.options->solve.mode != Mode::kAsync
+                    ? ctx.options->workers
+                    : 0),
+      link_delays_(ctx.options->obs.link_delays ? ctx.options->workers
+                                                : 0) {
   ASYNCIT_CHECK(endpoint_->rank() == id_);
   if (ctx_.options->obs.audit) {
     const std::size_t m = ctx_.op->partition().num_blocks();
@@ -201,7 +211,7 @@ void Peer::receive() {
     // attributed to its source rank (the (src, dst=this) breakdown that
     // MpResult::link_delays / schema asyncit-node/2 export).
     const double link_delay = std::max(0.0, tnow - m.t_send);
-    link_delays_[m.src].add(link_delay);
+    if (!link_delays_.empty()) link_delays_[m.src].add(link_delay);
     obs::record(obs::EventType::kFrameRecv, static_cast<std::uint8_t>(m.kind),
                 m.src, m.tag, link_delay);
     if (ctx_.membership != nullptr)

@@ -79,6 +79,15 @@ std::uint64_t steady_now_ns() {
           .count());
 }
 
+std::atomic<TraceClockFn> g_clock{nullptr};
+
+/// The injectable raw source: steady_clock unless set_trace_clock()
+/// installed something (virtual time under simnet).
+std::uint64_t raw_now_ns() {
+  const TraceClockFn fn = g_clock.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn() : steady_now_ns();
+}
+
 std::uint64_t pack_meta(EventType type, std::uint8_t sub, std::uint16_t rank,
                         std::uint32_t a) {
   return (std::uint64_t(static_cast<std::uint8_t>(type)) << 56) |
@@ -222,7 +231,7 @@ void TraceRecorder::enable(const TraceConfig& config) {
   impl_->ring_capacity = config.ring_capacity;
   for (detail::ThreadRing* ring : impl_->rings) ring->reset();
   rank_ = config.rank;
-  t0_steady_ns_ = detail::steady_now_ns();
+  t0_steady_ns_ = detail::raw_now_ns();
   epoch_realtime_ns_ = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::system_clock::now().time_since_epoch())
@@ -237,7 +246,15 @@ void TraceRecorder::disable() {
 }
 
 std::uint64_t TraceRecorder::now_ns() const {
-  return detail::steady_now_ns() - t0_steady_ns_;
+  return detail::raw_now_ns() - t0_steady_ns_;
+}
+
+void set_trace_clock(TraceClockFn fn) {
+  detail::g_clock.store(fn, std::memory_order_relaxed);
+}
+
+TraceClockFn trace_clock() {
+  return detail::g_clock.load(std::memory_order_relaxed);
 }
 
 detail::ThreadRing* TraceRecorder::claim_ring() {

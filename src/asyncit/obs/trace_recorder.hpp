@@ -22,8 +22,11 @@
 //    holding its ring across run boundaries never dereferences freed
 //    memory.
 //
-// Clocks: events are stamped with steady (monotonic) nanoseconds since
-// enable(); enable() also latches CLOCK_REALTIME, which the exporter
+// Clocks: events are stamped with nanoseconds since enable() read from an
+// injectable raw source — steady (monotonic) by default, or whatever
+// set_trace_clock() installed (simnet::run_world installs virtual time,
+// so Perfetto timelines and the admissibility auditor see simulated
+// seconds). enable() also latches CLOCK_REALTIME, which the exporter
 // writes as `epoch_realtime_ns` so tools/trace_merge.py can align the
 // per-rank timelines of a multi-process run.
 #pragma once
@@ -56,6 +59,21 @@ struct TraceConfig {
   /// World rank stamped into every event (0 for in-process runs).
   std::uint16_t rank = 0;
 };
+
+/// Raw timestamp source for event stamping: absolute nanoseconds on any
+/// monotone clock (enable() latches the then-current reading as t0, so
+/// only differences matter). A plain function pointer — the hot path
+/// must stay a load + indirect call with no std::function allocation.
+using TraceClockFn = std::uint64_t (*)();
+
+/// Installs `fn` as the recorder's raw clock; nullptr restores the
+/// default steady clock. Takes effect immediately, but call it BEFORE
+/// enable() at a run boundary — t0 is latched from the then-active
+/// source, and timestamps across a mid-run swap would mix anchors.
+/// simnet::run_world wraps a run with install/restore so sim traces
+/// carry virtual time; the hang watchdog stays on real time regardless.
+void set_trace_clock(TraceClockFn fn);
+TraceClockFn trace_clock();
 
 struct RecorderStats {
   std::uint64_t recorded = 0;  ///< events pushed since enable()

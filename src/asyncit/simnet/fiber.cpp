@@ -1,0 +1,163 @@
+#include "asyncit/simnet/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "asyncit/support/check.hpp"
+
+// Sanitizer fiber annotations. The asan/tsan CI presets run simnet_test
+// and the sim smokes, so every context switch must be announced: asan
+// needs the fake-stack handoff (__sanitizer_*_switch_fiber) or it keeps
+// attributing frames to the previous stack; tsan needs the fiber API
+// (__tsan_*_fiber) or its shadow-stack check flags the switch as a
+// corrupted stack. Both headers ship with gcc >= 10 and clang.
+#if defined(__SANITIZE_ADDRESS__)
+#define ASYNCIT_FIBER_ASAN 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define ASYNCIT_FIBER_TSAN 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ASYNCIT_FIBER_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define ASYNCIT_FIBER_TSAN 1
+#endif
+#endif
+
+#ifdef ASYNCIT_FIBER_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+#ifdef ASYNCIT_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace asyncit::simnet {
+
+namespace {
+
+/// The fiber a first resume() is about to enter. makecontext can only
+/// pass int arguments portably, so the trampoline fetches its Fiber
+/// through this slot instead; thread_local because nothing stops two
+/// engines from running on two threads.
+thread_local Fiber* g_starting = nullptr;
+
+std::size_t stack_floor(std::size_t requested) {
+  // Sanitizer frames are several times larger (redzones, fake-stack
+  // bookkeeping); a 256 KiB production stack overflows under asan.
+#if defined(ASYNCIT_FIBER_ASAN)
+  const std::size_t floor = 1024 * 1024;
+#elif defined(ASYNCIT_FIBER_TSAN)
+  const std::size_t floor = 512 * 1024;
+#else
+  const std::size_t floor = 64 * 1024;
+#endif
+  return requested < floor ? floor : requested;
+}
+
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body)
+    : body_(std::move(body)) {
+  const std::size_t page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  stack_bytes_ = (stack_floor(stack_bytes) + page - 1) / page * page;
+  map_bytes_ = stack_bytes_ + page;  // + low guard page
+  map_ = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+              MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  ASYNCIT_CHECK(map_ != MAP_FAILED);
+  ASYNCIT_CHECK(mprotect(map_, page, PROT_NONE) == 0);
+  stack_lo_ = static_cast<std::uint8_t*>(map_) + page;
+#ifdef ASYNCIT_FIBER_TSAN
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber() {
+  // A live (started, not finished) fiber cannot be safely destroyed:
+  // its stack holds un-unwound frames (peer state, RAII locks). The
+  // engine only destroys fibers after run() drained them.
+  ASYNCIT_CHECK(!started_ || done_);
+#ifdef ASYNCIT_FIBER_TSAN
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+  if (map_ != nullptr) munmap(map_, map_bytes_);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_starting;
+  g_starting = nullptr;
+  self->entry();
+}
+
+void Fiber::entry() {
+#ifdef ASYNCIT_FIBER_ASAN
+  // First words executed on the new stack: complete the switch the
+  // scheduler announced, learning the scheduler's stack bounds so
+  // yield()/termination can announce the reverse switch.
+  __sanitizer_finish_switch_fiber(nullptr, &sched_stack_lo_,
+                                  &sched_stack_bytes_);
+#endif
+  body_();
+  done_ = true;
+#ifdef ASYNCIT_FIBER_ASAN
+  // nullptr fake-stack save: this stack is terminating, let asan free
+  // its fake frames instead of preserving them for a resume that never
+  // comes.
+  __sanitizer_start_switch_fiber(nullptr, sched_stack_lo_,
+                                 sched_stack_bytes_);
+#endif
+#ifdef ASYNCIT_FIBER_TSAN
+  __tsan_switch_to_fiber(tsan_scheduler_, 0);
+#endif
+  swapcontext(&ctx_, &scheduler_);
+  // A finished fiber is never resumed (engine checks done()).
+  ASYNCIT_CHECK(false);
+}
+
+void Fiber::resume() {
+  ASYNCIT_CHECK(!done_);
+  if (!started_) {
+    started_ = true;
+    ASYNCIT_CHECK(getcontext(&ctx_) == 0);
+    ctx_.uc_stack.ss_sp = stack_lo_;
+    ctx_.uc_stack.ss_size = stack_bytes_;
+    ctx_.uc_link = &scheduler_;  // backstop; entry() swaps out explicitly
+    makecontext(&ctx_, &Fiber::trampoline, 0);
+    g_starting = this;
+  }
+#ifdef ASYNCIT_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&asan_sched_fake_stack_, stack_lo_,
+                                 stack_bytes_);
+#endif
+#ifdef ASYNCIT_FIBER_TSAN
+  tsan_scheduler_ = __tsan_get_current_fiber();
+#endif
+#ifdef ASYNCIT_FIBER_TSAN
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+  swapcontext(&scheduler_, &ctx_);
+#ifdef ASYNCIT_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(asan_sched_fake_stack_, nullptr, nullptr);
+#endif
+}
+
+void Fiber::yield() {
+  ASYNCIT_CHECK(started_ && !done_);
+#ifdef ASYNCIT_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&asan_fake_stack_, sched_stack_lo_,
+                                 sched_stack_bytes_);
+#endif
+#ifdef ASYNCIT_FIBER_TSAN
+  __tsan_switch_to_fiber(tsan_scheduler_, 0);
+#endif
+  swapcontext(&ctx_, &scheduler_);
+#ifdef ASYNCIT_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(asan_fake_stack_, nullptr, nullptr);
+#endif
+}
+
+}  // namespace asyncit::simnet

@@ -1,0 +1,72 @@
+// Cooperative fibers for the virtual-time engine (DESIGN.md §10).
+//
+// One fiber hosts one simulated rank; the single-threaded SimEngine
+// switches between them with ucontext, so net::Peer / membership /
+// train code runs UNCHANGED — a rank blocks by yielding back to the
+// scheduler instead of blocking an OS thread. Thread-per-rank with a
+// baton was measured out: a futex handoff per event times ~10M events
+// would eat the entire 1000-rank wall budget in context switches, while
+// a ucontext swap is a register save/restore.
+//
+// Stacks are mmap'd with a PROT_NONE guard page at the low end and are
+// lazily committed, so 1000 fibers reserve address space, not RSS.
+//
+// Sanitizer contract: the asan and tsan CI legs run the simnet tests, so
+// every switch is annotated with the fiber APIs
+// (__sanitizer_start_switch_fiber / __tsan_switch_to_fiber families) —
+// without them asan misattributes fake stacks across switches and tsan
+// aborts on the "unexpected stack switch" heuristic. See fiber.cpp.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <ucontext.h>
+
+namespace asyncit::simnet {
+
+class Fiber {
+ public:
+  /// `body` runs on the fiber's own stack across resume() calls;
+  /// `stack_bytes` is rounded up to whole pages (sanitizer builds
+  /// enforce a larger floor for redzone-inflated frames).
+  Fiber(std::size_t stack_bytes, std::function<void()> body);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Scheduler side: runs the fiber until its next yield() or until the
+  /// body returns. Must not be called from inside a fiber, nor after
+  /// done().
+  void resume();
+
+  /// Fiber side: suspends back into the resume() that is running us.
+  void yield();
+
+  bool done() const { return done_; }
+
+ private:
+  static void trampoline();
+  void entry();
+
+  ucontext_t ctx_{};        ///< the fiber's saved context
+  ucontext_t scheduler_{};  ///< where resume() was called from
+  void* map_ = nullptr;     ///< mmap base (guard page lives here)
+  std::size_t map_bytes_ = 0;
+  void* stack_lo_ = nullptr;  ///< usable stack (above the guard page)
+  std::size_t stack_bytes_ = 0;
+  std::function<void()> body_;
+  bool started_ = false;
+  bool done_ = false;
+
+  // Sanitizer bookkeeping (unused members cost nothing when the build
+  // has no sanitizer).
+  void* asan_fake_stack_ = nullptr;      ///< fiber's saved fake stack
+  void* asan_sched_fake_stack_ = nullptr;  ///< scheduler's, across resume
+  const void* sched_stack_lo_ = nullptr;   ///< scheduler stack, learned
+  std::size_t sched_stack_bytes_ = 0;      ///< at first entry
+  void* tsan_fiber_ = nullptr;
+  void* tsan_scheduler_ = nullptr;
+};
+
+}  // namespace asyncit::simnet

@@ -13,11 +13,17 @@ namespace asyncit {
 class WallTimer {
  public:
   WallTimer() : start_(clock::now()) {}
+  virtual ~WallTimer() = default;
 
   void reset() { start_ = clock::now(); }
 
-  /// Elapsed seconds since construction / last reset.
-  double seconds() const {
+  /// Elapsed seconds since construction / last reset. Virtual so a run
+  /// clock can be substituted wholesale: simnet::SimClock overrides this
+  /// with virtual time, turning every wall-clock budget (solve
+  /// max_seconds, gate timeouts) into a deterministic virtual budget.
+  /// One indirect call per read is noise next to the clock_gettime
+  /// underneath.
+  virtual double seconds() const {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
 

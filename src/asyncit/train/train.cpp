@@ -145,6 +145,14 @@ TrainResult run_training(const Dataset& data, const la::Vector& x0,
 TrainResult run_training_node(const Dataset& data, const la::Vector& x0,
                               const TrainOptions& options,
                               transport::Endpoint& endpoint) {
+  WallTimer timer;
+  return run_training_node(data, x0, options, endpoint, timer);
+}
+
+TrainResult run_training_node(const Dataset& data, const la::Vector& x0,
+                              const TrainOptions& options,
+                              transport::Endpoint& endpoint,
+                              const WallTimer& clock) {
   const std::size_t W = options.workers;
   const std::uint32_t rank = endpoint.rank();
   ASYNCIT_CHECK(W >= 1 && rank <= W);
@@ -153,17 +161,16 @@ TrainResult run_training_node(const Dataset& data, const la::Vector& x0,
 
   arm_obs(options);
 
-  WallTimer timer;
   PsgdContext ctx;
   ctx.data = &data;
   ctx.options = &options;
-  ctx.clock = &timer;
+  ctx.clock = &clock;
 
   TrainResult result;
   if (rank == 0) {
     PsgdServer server(ctx, x0, endpoint);
     drive(server, endpoint);
-    result.wall_seconds = timer.seconds();
+    result.wall_seconds = clock.seconds();
     result.x = server.model();
     result.converged = server.target_reached();
     result.rounds = server.rounds();
@@ -179,7 +186,7 @@ TrainResult run_training_node(const Dataset& data, const la::Vector& x0,
   } else {
     PsgdWorker worker(ctx, rank - 1, x0, endpoint);
     drive(worker, endpoint);
-    result.wall_seconds = timer.seconds();
+    result.wall_seconds = clock.seconds();
     result.x = worker.model();
     // A server stop frame means the run ended on the server's criterion
     // (target accuracy or its wall budget), not this rank's own budget.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "asyncit/net/mp_runtime.hpp"
+#include "asyncit/support/timer.hpp"
 #include "asyncit/train/dataset.hpp"
 
 namespace asyncit::transport {
@@ -131,5 +132,14 @@ TrainResult run_training(const Dataset& data, const la::Vector& x0,
 TrainResult run_training_node(const Dataset& data, const la::Vector& x0,
                               const TrainOptions& options,
                               transport::Endpoint& endpoint);
+
+/// Same, reading time from `clock` instead of starting a wall timer —
+/// the simnet::run_world hook that puts the SGD budgets (max_seconds,
+/// gate timeouts) on virtual time. The clock must read 0 at (or before)
+/// the call and only move forward.
+TrainResult run_training_node(const Dataset& data, const la::Vector& x0,
+                              const TrainOptions& options,
+                              transport::Endpoint& endpoint,
+                              const WallTimer& clock);
 
 }  // namespace asyncit::train

@@ -191,6 +191,10 @@ class MpRuntimeFixture : public ::testing::Test {
   la::Vector x_star_;
 };
 
+// Wall-clock canary: the virtual-time twin (simnet_test's
+// AllThreeModesConvergeInVirtualTime) carries the convergence coverage
+// with no wall budget at all; this original stays to exercise the real
+// threaded runtime under real time.
 TEST_F(MpRuntimeFixture, AllThreeModesConverge) {
   for (const Mode mode : {Mode::kAsync, Mode::kSsp, Mode::kBsp}) {
     MpOptions opt = base_options();

@@ -1,0 +1,544 @@
+// Tests for the simnet/ virtual-time subsystem: engine dispatch order and
+// byte-identical determinism, fiber time semantics (charge / advance /
+// wait_until / wake), the WAN topology model behind SimTransport
+// (latency, regions, asymmetry, fifo floors, partition windows, seeded
+// drops), cross-backend parity against inproc, the obs trace-clock
+// injection hook, and whole simulated worlds: the chaos convergence tests
+// re-run over virtual time with NO wall-clock budget (the real-socket
+// originals in transport_test/net_test stay as wall-time canaries), SWIM
+// membership over virtual time, virtual solve budgets, partition/heal
+// scenarios, and the PSGD train stack over run_train_world.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "asyncit/linalg/norms.hpp"
+#include "asyncit/net/mp_runtime.hpp"
+#include "asyncit/obs/trace_recorder.hpp"
+#include "asyncit/operators/jacobi.hpp"
+#include "asyncit/problems/linear_system.hpp"
+#include "asyncit/simnet/engine.hpp"
+#include "asyncit/simnet/transport.hpp"
+#include "asyncit/simnet/world.hpp"
+#include "asyncit/support/rng.hpp"
+#include "asyncit/train/dataset.hpp"
+#include "asyncit/train/train.hpp"
+#include "asyncit/transport/inproc.hpp"
+
+namespace asyncit::simnet {
+namespace {
+
+// ----------------------------------------------------------------- engine
+
+TEST(SimEngine, DispatchOrdersByVirtualTimeNotSpawnOrder) {
+  SimEngine eng;
+  std::vector<std::pair<std::uint32_t, double>> order;
+  // Spawned 0,1,2 but sleeping 3s, 1s, 2s: resume order must be 1,2,0.
+  eng.spawn(0, [&] { eng.advance(3.0); order.emplace_back(0, eng.now()); });
+  eng.spawn(1, [&] { eng.advance(1.0); order.emplace_back(1, eng.now()); });
+  eng.spawn(2, [&] { eng.advance(2.0); order.emplace_back(2, eng.now()); });
+  eng.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], (std::pair<std::uint32_t, double>{1, 1.0}));
+  EXPECT_EQ(order[1], (std::pair<std::uint32_t, double>{2, 2.0}));
+  EXPECT_EQ(order[2], (std::pair<std::uint32_t, double>{0, 3.0}));
+  EXPECT_EQ(eng.events_dispatched(), 6u);  // 3 spawns + 3 resumes
+}
+
+TEST(SimEngine, EqualTimesTieBreakInPushOrder) {
+  SimEngine eng;
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t r = 0; r < 4; ++r)
+    eng.spawn(r, [&, r] {
+      order.push_back(r);        // spawn slice, t = 0
+      eng.advance(1.0);          // all resume at exactly t = 1
+      order.push_back(r + 10);
+    });
+  eng.run();
+  const std::vector<std::uint32_t> expect = {0, 1, 2, 3, 10, 11, 12, 13};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(SimEngine, ChargeAccruesCostWithoutYielding) {
+  SimEngine eng;
+  double t_mid = -1.0, t_end = -1.0;
+  eng.spawn(0, [&] {
+    eng.charge(0.25);
+    t_mid = eng.now();  // accrued, no yield
+    eng.advance(0.25);  // resumes at accrued + dt
+    t_end = eng.now();
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(t_mid, 0.25);
+  EXPECT_DOUBLE_EQ(t_end, 0.5);
+}
+
+TEST(SimEngine, WakeCutsAWaitShortAndRecordsTheWaker) {
+  SimEngine::Options opts;
+  opts.record_log = true;
+  SimEngine eng(opts);
+  double woke_at = -1.0;
+  eng.spawn(0, [&] {
+    eng.wait_until(10.0);
+    woke_at = eng.now();
+  });
+  eng.spawn(1, [&] {
+    eng.advance(2.0);
+    eng.wake(0, eng.now() + 0.5, /*aux=*/1);
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(woke_at, 2.5);  // wake time, not the 10s deadline
+  bool saw_wake = false;
+  for (const EventRecord& ev : eng.log())
+    if (ev.kind == static_cast<std::uint16_t>(EventKind::kWake)) {
+      saw_wake = true;
+      EXPECT_EQ(ev.rank, 0u);
+      EXPECT_EQ(ev.aux, 1u);
+      EXPECT_DOUBLE_EQ(ev.t, 2.5);
+    }
+  EXPECT_TRUE(saw_wake);
+}
+
+TEST(SimEngine, WaitWithNoWakeResumesAtTheDeadline) {
+  SimEngine eng;
+  double woke_at = -1.0;
+  eng.spawn(0, [&] {
+    eng.wait_until(4.0);
+    woke_at = eng.now();
+  });
+  eng.spawn(1, [&] { eng.advance(1.0); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(woke_at, 4.0);
+}
+
+std::pair<std::vector<EventRecord>, std::uint64_t> run_engine_script() {
+  SimEngine::Options opts;
+  opts.record_log = true;
+  SimEngine eng(opts);
+  eng.spawn(0, [&] {
+    for (int i = 0; i < 5; ++i) eng.advance(0.25);
+  });
+  eng.spawn(1, [&] {
+    for (int i = 0; i < 3; ++i) eng.advance(0.4);
+    eng.wake(2, eng.now() + 0.1, 7);
+  });
+  eng.spawn(2, [&] { eng.wait_until(100.0); });
+  eng.run();
+  return {eng.log(), eng.log_hash()};
+}
+
+TEST(SimEngine, TwoRunsProduceByteIdenticalEventLogs) {
+  const auto a = run_engine_script();
+  const auto b = run_engine_script();
+  EXPECT_EQ(a.second, b.second);
+  ASSERT_EQ(a.first.size(), b.first.size());
+  ASSERT_FALSE(a.first.empty());
+  EXPECT_EQ(std::memcmp(a.first.data(), b.first.data(),
+                        a.first.size() * sizeof(EventRecord)),
+            0);
+}
+
+// -------------------------------------------------- transport (passive)
+
+transport::MessageHeader value_header(std::uint64_t tag) {
+  transport::MessageHeader h;
+  h.block = 0;
+  h.tag = tag;
+  h.kind = net::MsgKind::kValue;
+  return h;
+}
+
+TEST(SimTransport, PassiveDeliveryMaturesAfterTheLinkLatency) {
+  SimConfig cfg;
+  cfg.topology.latency = 1e-3;
+  cfg.topology.jitter = 0.0;
+  SimTransport fabric(2, cfg, 5, /*engine=*/nullptr);
+  const double payload[3] = {1.0, 2.0, 3.0};
+  const auto receipt =
+      fabric.endpoint(0).send(1, value_header(1), payload, 0.0, false);
+  ASSERT_TRUE(receipt.sent);
+  EXPECT_DOUBLE_EQ(receipt.deliver_at, 1e-3);
+
+  std::vector<net::Message> got;
+  EXPECT_EQ(fabric.endpoint(1).receive(0.5e-3, got), 0u);  // not matured
+  ASSERT_EQ(fabric.endpoint(1).receive(2e-3, got), 1u);
+  EXPECT_EQ(got[0].src, 0u);
+  EXPECT_EQ(got[0].tag, 1u);
+  ASSERT_EQ(got[0].value.size(), 3u);
+  EXPECT_DOUBLE_EQ(got[0].value[2], 3.0);
+  EXPECT_EQ(fabric.endpoint(1).delivered(), 1u);
+  EXPECT_GT(fabric.endpoint(1).delays().count(), 0u);
+  fabric.endpoint(1).recycle(got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(SimTransport, BaseLatencyEncodesRegionsAndAsymmetry) {
+  SimConfig cfg;
+  cfg.topology.latency = 1e-3;
+  cfg.topology.regions = 2;
+  cfg.topology.cross_region = 4.0;
+  {
+    SimTransport fabric(4, cfg, 9, nullptr);
+    // rank % regions: 0,2 share a region; 0 -> 1 crosses.
+    EXPECT_DOUBLE_EQ(fabric.base_latency(0, 2), 1e-3);
+    EXPECT_DOUBLE_EQ(fabric.base_latency(0, 1), 4e-3);
+  }
+  cfg.topology.asymmetry = 0.5;
+  {
+    SimTransport fabric(4, cfg, 9, nullptr);
+    const double fwd = fabric.base_latency(0, 1);
+    const double rev = fabric.base_latency(1, 0);
+    EXPECT_NE(fwd, rev);  // routes are direction-specific
+    for (const double b : {fwd, rev}) {
+      EXPECT_GE(b, 4e-3 * 0.5);
+      EXPECT_LE(b, 4e-3 * 1.5);
+    }
+    // and deterministic functions of the seed
+    SimTransport again(4, cfg, 9, nullptr);
+    EXPECT_DOUBLE_EQ(again.base_latency(0, 1), fwd);
+    EXPECT_DOUBLE_EQ(again.base_latency(1, 0), rev);
+  }
+}
+
+TEST(SimTransport, FifoFloorKeepsPerLinkOrderUnderHeavyJitter) {
+  SimConfig cfg;
+  cfg.topology.latency = 1e-3;
+  cfg.topology.jitter = 0.9;
+  cfg.topology.fifo = true;
+  SimTransport fifo(2, cfg, 21, nullptr);
+  cfg.topology.fifo = false;
+  SimTransport loose(2, cfg, 21, nullptr);
+  const double payload[1] = {1.0};
+  for (std::uint64_t tag = 0; tag < 50; ++tag) {
+    fifo.endpoint(0).send(1, value_header(tag), payload, 0.0, false);
+    loose.endpoint(0).send(1, value_header(tag), payload, 0.0, false);
+  }
+  std::vector<net::Message> got;
+  ASSERT_EQ(fifo.endpoint(1).receive(10.0, got), 50u);
+  for (std::uint64_t tag = 0; tag < 50; ++tag)
+    EXPECT_EQ(got[tag].tag, tag);  // in-order despite the jitter
+  fifo.endpoint(1).recycle(got);
+
+  ASSERT_EQ(loose.endpoint(1).receive(10.0, got), 50u);
+  bool inverted = false;
+  for (std::size_t i = 1; i < got.size(); ++i)
+    inverted = inverted || got[i].tag < got[i - 1].tag;
+  EXPECT_TRUE(inverted);  // same draws without the floor DO reorder
+  loose.endpoint(1).recycle(got);
+}
+
+TEST(SimTransport, PartitionWindowSeversTheCutAndHeals) {
+  SimConfig cfg;
+  cfg.topology.latency = 1e-3;
+  cfg.topology.jitter = 0.0;
+  cfg.topology.partitions.push_back({0.0, 1.0, 2});  // {0,1} | {2,3}
+  SimTransport fabric(4, cfg, 3, nullptr);
+  const double payload[1] = {1.0};
+  // Inside the window: cross-cut frames vanish (even with allow_drop
+  // false — a severed link loses control frames too), same-side flow.
+  EXPECT_FALSE(
+      fabric.endpoint(0).send(2, value_header(1), payload, 0.5, false).sent);
+  EXPECT_TRUE(
+      fabric.endpoint(0).send(1, value_header(2), payload, 0.5, false).sent);
+  EXPECT_EQ(fabric.partition_dropped(), 1u);
+  EXPECT_EQ(fabric.endpoint(0).dropped(), 1u);
+  // The window end is the heal.
+  EXPECT_TRUE(
+      fabric.endpoint(0).send(2, value_header(3), payload, 1.5, false).sent);
+  std::vector<net::Message> got;
+  EXPECT_EQ(fabric.endpoint(2).receive(5.0, got), 1u);
+  fabric.endpoint(2).recycle(got);
+}
+
+TEST(SimTransport, SeededDropsReplayExactly) {
+  SimConfig cfg;
+  cfg.topology.latency = 1e-3;
+  cfg.topology.drop_prob = 0.3;
+  SimTransport a(2, cfg, 77, nullptr);
+  SimTransport b(2, cfg, 77, nullptr);
+  const double payload[1] = {1.0};
+  for (std::uint64_t tag = 0; tag < 200; ++tag) {
+    const double now = 1e-3 * static_cast<double>(tag);
+    const bool sa =
+        a.endpoint(0).send(1, value_header(tag), payload, now, true).sent;
+    const bool sb =
+        b.endpoint(0).send(1, value_header(tag), payload, now, true).sent;
+    EXPECT_EQ(sa, sb) << "tag " << tag;
+  }
+  EXPECT_GT(a.endpoint(0).dropped(), 0u);
+  EXPECT_GT(a.endpoint(0).sent() - a.endpoint(0).dropped(), 0u);
+  EXPECT_EQ(a.endpoint(0).dropped(), b.endpoint(0).dropped());
+
+  std::vector<net::Message> ga, gb;
+  ASSERT_EQ(a.endpoint(1).receive(10.0, ga),
+            b.endpoint(1).receive(10.0, gb));
+  for (std::size_t i = 0; i < ga.size(); ++i)
+    EXPECT_EQ(ga[i].tag, gb[i].tag);  // identical delivery sequence
+  a.endpoint(1).recycle(ga);
+  b.endpoint(1).recycle(gb);
+}
+
+// ------------------------------------------------- cross-backend parity
+
+TEST(BackendParity, ScriptedSendsDrainInTheSameOrderAsInproc) {
+  // Zero-latency topologies on both backends, one scripted driver
+  // thread: the delivery ORDER must be the send order on both sides —
+  // the determinism bar the engine's (t, seq) tie-break inherits.
+  net::DeliveryPolicy instant;  // min=max=0, no drops
+  instant.min_latency = 0.0;
+  instant.max_latency = 0.0;
+  transport::InprocTransport inproc(3, instant, 13);
+  SimConfig cfg;
+  cfg.topology.latency = 0.0;
+  cfg.topology.jitter = 0.0;
+  SimTransport sim(3, cfg, 13, nullptr);
+
+  const double payload[2] = {4.0, 5.0};
+  std::uint64_t tag = 0;
+  for (int round = 0; round < 8; ++round)
+    for (std::uint32_t src : {1u, 2u, 1u}) {
+      inproc.endpoint(src).send(0, value_header(tag), payload, 0.0, false);
+      sim.endpoint(src).send(0, value_header(tag), payload, 0.0, false);
+      ++tag;
+    }
+
+  std::vector<net::Message> got_inproc, got_sim;
+  ASSERT_EQ(inproc.endpoint(0).receive(1.0, got_inproc), tag);
+  ASSERT_EQ(sim.endpoint(0).receive(1.0, got_sim), tag);
+  for (std::size_t i = 0; i < got_sim.size(); ++i) {
+    EXPECT_EQ(got_sim[i].src, got_inproc[i].src) << "position " << i;
+    EXPECT_EQ(got_sim[i].tag, got_inproc[i].tag) << "position " << i;
+  }
+  inproc.endpoint(0).recycle(got_inproc);
+  sim.endpoint(0).recycle(got_sim);
+}
+
+// ------------------------------------------------------ trace clock hook
+
+std::uint64_t g_fake_ns = 0;
+std::uint64_t fake_clock() { return g_fake_ns; }
+
+TEST(TraceClock, InjectedSourceDrivesRecorderTimestamps) {
+  obs::set_trace_clock(&fake_clock);
+  g_fake_ns = 5'000'000'000ull;
+  obs::TraceConfig tc;
+  tc.level = obs::TraceLevel::kMetrics;
+  tc.ring_capacity = 64;
+  obs::TraceRecorder::instance().enable(tc);
+  // t0 latched from the injected source at enable(): elapsed reads 0.
+  EXPECT_EQ(obs::TraceRecorder::instance().now_ns(), 0u);
+  g_fake_ns += 1234;
+  EXPECT_EQ(obs::TraceRecorder::instance().now_ns(), 1234u);
+  obs::TraceRecorder::instance().disable();
+  obs::set_trace_clock(nullptr);
+  EXPECT_EQ(obs::trace_clock(), nullptr);
+}
+
+// ------------------------------------------------------ simulated worlds
+
+class SimWorldFixture : public ::testing::Test {
+ protected:
+  SimWorldFixture() : rng_(61) {
+    sys_ = problems::make_diagonally_dominant_system(128, 4, 2.0, rng_);
+    partition_ = la::Partition::balanced(sys_.dim(), 16);
+    jacobi_ =
+        std::make_unique<op::JacobiOperator>(sys_.a, sys_.b, partition_);
+    x_star_ = op::picard_solve(*jacobi_, la::zeros(sys_.dim()), 50000,
+                               1e-14);
+  }
+
+  WorldOptions base_world(std::size_t world) const {
+    WorldOptions o;
+    o.mp.workers = world;
+    o.mp.seed = 17;
+    o.mp.solve.tol = 1e-9;
+    o.mp.solve.x_star = x_star_;
+    // VIRTUAL budget — generous because it costs nothing real.
+    o.mp.solve.max_seconds = 300.0;
+    o.mp.solve.max_updates = 100000000;
+    o.sim.topology.latency = 2e-4;
+    o.sim.topology.jitter = 0.5;
+    o.sim.compute.phase = 1e-4;
+    o.sim.compute.jitter = 0.3;
+    return o;
+  }
+
+  Rng rng_;
+  problems::LinearSystem sys_;
+  la::Partition partition_;
+  std::unique_ptr<op::JacobiOperator> jacobi_;
+  la::Vector x_star_;
+};
+
+TEST_F(SimWorldFixture, AllThreeModesConvergeInVirtualTime) {
+  // The net_test AllThreeModesConverge scenario with the wall clock
+  // removed: there is NO wall budget to overrun here — time is virtual,
+  // so a loaded CI host can slow the test but never flake it. The
+  // real-socket original stays as the wall-time canary.
+  for (const net::Mode mode :
+       {net::Mode::kAsync, net::Mode::kSsp, net::Mode::kBsp}) {
+    WorldOptions o = base_world(4);
+    o.mp.solve.mode = mode;
+    o.mp.solve.staleness = 2;
+    const WorldResult r = run_world(*jacobi_, la::zeros(sys_.dim()), o);
+    EXPECT_TRUE(r.all_converged)
+        << "mode " << static_cast<int>(mode) << " residual "
+        << r.final_residual;
+    EXPECT_LT(r.final_residual, 1e-8);
+    EXPECT_GT(r.virtual_seconds, 0.0);
+    EXPECT_GT(r.events, 0u);
+    EXPECT_GT(r.total_updates, 0u);
+    EXPECT_GT(r.messages_delivered, 0u);
+  }
+}
+
+TEST_F(SimWorldFixture, ChaosOverSimRunsTheDelayModelInVirtualTime) {
+  // ChaosOverTcpRunsTheDelayModelOnRealSockets, minus the sockets and
+  // minus the wall clock: the same decorator injects the same seeded
+  // delay model, the delay floor survives, and the run is fully traced
+  // and audited — with event timestamps in virtual nanoseconds.
+  WorldOptions o = base_world(4);
+  o.mp.solve.tol = 1e-8;
+  o.chaos = true;
+  o.chaos_policy.min_latency = 2e-4;
+  o.chaos_policy.max_latency = 2e-3;
+  o.mp.obs.trace_level = obs::TraceLevel::kFull;
+  o.mp.obs.audit = true;
+  const obs::TraceClockFn before = obs::trace_clock();
+  const WorldResult r = run_world(*jacobi_, la::zeros(sys_.dim()), o);
+  EXPECT_TRUE(r.all_converged) << "residual " << r.final_residual;
+  EXPECT_GT(r.obs_events_recorded, 0u);
+  EXPECT_EQ(obs::trace_clock(), before);  // WorldObs restored the clock
+  for (const net::MpResult& rank : r.ranks) {
+    ASSERT_GT(rank.delays.count(), 0u);
+    // Every measured delay includes the injected hold: the model's
+    // floor survives the virtual path exactly as it did the socket one.
+    EXPECT_GE(rank.delays.min(), o.chaos_policy.min_latency);
+    ASSERT_EQ(rank.admissibility.size(), 1u);
+  }
+}
+
+TEST_F(SimWorldFixture, SixtyFourRanksReplayByteIdentically) {
+  // One (config, seed) pair names exactly one execution: event logs are
+  // byte-equal and the iterates bit-equal across runs — at a world size
+  // no thread-backed backend could ever schedule reproducibly.
+  la::Partition fine = la::Partition::balanced(sys_.dim(), 128);
+  op::JacobiOperator jacobi(sys_.a, sys_.b, fine);
+  WorldOptions o = base_world(64);
+  o.sim.record_log = true;
+  const WorldResult a = run_world(jacobi, la::zeros(sys_.dim()), o);
+  const WorldResult b = run_world(jacobi, la::zeros(sys_.dim()), o);
+  EXPECT_TRUE(a.all_converged) << "residual " << a.final_residual;
+  EXPECT_EQ(a.log_hash, b.log_hash);
+  EXPECT_EQ(a.events, b.events);
+  ASSERT_EQ(a.event_log.size(), b.event_log.size());
+  ASSERT_FALSE(a.event_log.empty());
+  EXPECT_FALSE(a.log_truncated);
+  EXPECT_EQ(std::memcmp(a.event_log.data(), b.event_log.data(),
+                        a.event_log.size() * sizeof(EventRecord)),
+            0);
+  EXPECT_EQ(a.final_residual, b.final_residual);  // bitwise, not approx
+  for (std::size_t r = 0; r < a.ranks.size(); ++r)
+    EXPECT_EQ(la::dist_inf(a.ranks[r].x, b.ranks[r].x), 0.0);
+}
+
+TEST_F(SimWorldFixture, PartitionWindowDelaysButDoesNotPreventConvergence) {
+  WorldOptions o = base_world(4);
+  // Sever {0,1} from {2,3} for the first 50 virtual ms — long enough
+  // that the halves exhaust local progress — then heal.
+  o.sim.topology.partitions.push_back({0.0, 0.05, 2});
+  const WorldResult healed = run_world(*jacobi_, la::zeros(sys_.dim()), o);
+  EXPECT_TRUE(healed.all_converged)
+      << "residual " << healed.final_residual;
+  EXPECT_GT(healed.partition_dropped, 0u);
+  // The cut has to cost virtual time against the unpartitioned run.
+  WorldOptions clean = base_world(4);
+  const WorldResult base = run_world(*jacobi_, la::zeros(sys_.dim()), clean);
+  EXPECT_GT(healed.virtual_seconds, base.virtual_seconds);
+  EXPECT_GT(healed.virtual_seconds, 0.05);  // converged after the heal
+}
+
+TEST_F(SimWorldFixture, VirtualBudgetStopsAnUnconvergableRun) {
+  WorldOptions o = base_world(4);
+  o.mp.solve.tol = 1e-30;  // below attainable precision: never converges
+  o.mp.solve.max_seconds = 0.01;
+  const WorldResult r = run_world(*jacobi_, la::zeros(sys_.dim()), o);
+  EXPECT_FALSE(r.all_converged);
+  // Every rank ran out its VIRTUAL budget; the engine still quiesced.
+  EXPECT_GE(r.virtual_seconds, 0.01);
+  EXPECT_LT(r.virtual_seconds, 1.0);
+  for (const net::MpResult& rank : r.ranks)
+    EXPECT_GE(rank.wall_seconds, 0.01);  // SimClock, not a real timer
+}
+
+TEST_F(SimWorldFixture, SwimMembershipProbesOverVirtualTime) {
+  WorldOptions o = base_world(4);
+  o.mp.membership.enabled = true;
+  o.mp.membership.probe_busy_members = true;
+  o.mp.membership.ping_period = 5e-4;
+  o.mp.membership.ping_timeout = 2e-3;
+  o.mp.membership.suspicion_timeout = 0.05;
+  const WorldResult r = run_world(*jacobi_, la::zeros(sys_.dim()), o);
+  EXPECT_TRUE(r.all_converged) << "residual " << r.final_residual;
+  std::uint64_t pings = 0, deaths = 0;
+  for (const net::MpResult& rank : r.ranks) {
+    EXPECT_EQ(rank.live_at_exit.size(), 4u);  // nobody falsely killed
+    pings += rank.membership.pings_sent;
+    deaths += rank.membership.deaths_observed;
+  }
+  EXPECT_GT(pings, 0u);  // the detector actually ran on virtual cadence
+  EXPECT_EQ(deaths, 0u);
+}
+
+TEST(SimTrainWorld, TapTrainingConvergesAndReplaysDeterministically) {
+  problems::LogisticConfig dcfg;
+  dcfg.samples = 240;
+  dcfg.features = 48;
+  dcfg.density = 0.3;
+  dcfg.separation = 3.0;
+  dcfg.label_noise = 0.0;
+  dcfg.ridge = 0.01;
+  const train::Dataset data = train::make_synthetic_dataset(dcfg, 7);
+
+  TrainWorldOptions o;
+  o.train.workers = 3;
+  o.train.seed = 7;
+  o.train.sgd.discipline = train::Discipline::kTap;
+  o.train.sgd.learning_rate = 0.5;
+  o.train.sgd.batch_size = 16;
+  o.train.sgd.max_epochs = 1000000;
+  o.train.sgd.max_seconds = 300.0;  // virtual
+  o.train.sgd.target_accuracy = 0.95;
+  o.train.sgd.eval_every = 4;
+  o.sim.topology.latency = 2e-4;
+  o.sim.compute.phase = 1e-4;
+  const la::Vector x0 = la::zeros(data.features());
+  const TrainWorldResult a = run_train_world(data, x0, o);
+  const TrainWorldResult b = run_train_world(data, x0, o);
+  ASSERT_EQ(a.ranks.size(), 4u);  // server + 3 workers
+  EXPECT_TRUE(a.ranks[0].converged);  // server reached the target
+  EXPECT_GE(a.ranks[0].final_accuracy, 0.95);
+  EXPECT_GT(a.virtual_seconds, 0.0);
+  EXPECT_EQ(a.log_hash, b.log_hash);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(la::dist_inf(a.ranks[0].x, b.ranks[0].x), 0.0);
+}
+
+TEST_F(SimWorldFixture, StragglersStretchVirtualTimeDeterministically) {
+  WorldOptions o = base_world(4);
+  const WorldResult uniform = run_world(*jacobi_, la::zeros(sys_.dim()), o);
+  o.sim.compute.straggler_every = 4;  // rank 3 computes 10x slower
+  const WorldResult skewed = run_world(*jacobi_, la::zeros(sys_.dim()), o);
+  EXPECT_TRUE(uniform.all_converged);
+  EXPECT_TRUE(skewed.all_converged)
+      << "residual " << skewed.final_residual;
+  // Totally asynchronous: the fast ranks keep iterating, the world
+  // still converges, and the straggler's cost shows up as virtual time.
+  EXPECT_GT(skewed.virtual_seconds, uniform.virtual_seconds);
+}
+
+}  // namespace
+}  // namespace asyncit::simnet

@@ -929,6 +929,9 @@ TEST_F(BackendParityFixture, InprocAndTcpLoopbackReachTheSameIterate) {
   EXPECT_LT(la::dist_inf(over_tcp.x, x_star_), 1e-7);
 }
 
+// Wall-clock canary: simnet_test's ChaosOverSimRunsTheDelayModelInVirtualTime
+// is the budget-free twin of this test; this original stays to keep the
+// delay model exercised over real sockets and real threads.
 TEST_F(BackendParityFixture, ChaosOverTcpRunsTheDelayModelOnRealSockets) {
   net::MpOptions opt = base_options();
   opt.solve.tol = 1e-8;

@@ -130,6 +130,7 @@ int run_solve_workload(const net::NodeConfig& cfg, std::uint32_t rank,
   opt.solve.x_star = x_star;
   opt.solve.max_seconds = cfg.max_seconds;
   opt.solve.max_updates = cfg.max_updates;
+  opt.solve.check_every = cfg.check_every;
   opt.seed = cfg.seed;
   opt.membership = cfg.membership;
   opt.obs.trace_level = cfg.trace;
