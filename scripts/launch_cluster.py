@@ -71,6 +71,20 @@ Usage:
                               [--churn] [--spares N] [--kill-rank R]
                               [--kill-after S] [--join-after S]
                               [--json-out PATH] [--trace-dir DIR]
+                              [--stream-interval S] [--stream-windows N]
+                              [--heatmap] [--heatmap-quantile Q]
+
+Streaming windows (--stream-interval S, with --trace-dir): each rank
+runs the obs/ background flusher, leaving rotating
+rank_<r>.window_<k>.trace.json chunks in DIR instead of one exit dump —
+a SIGKILLed churn casualty leaves its last windows behind, and
+trace_merge.py stitches windows and survivors alike into the merged
+timeline.
+
+Heat-map (--heatmap): after the run, tools/trace_heatmap.py renders the
+per-(src,dst) link-delay quantiles of the aggregate as a rank-by-rank
+grid — heatmap.txt and heatmap.svg in --trace-dir (or next to
+--json-out).
 
 The default binary path assumes the standard build tree
 (build/tools/asyncit_node or build/<preset>/tools/asyncit_node).
@@ -174,6 +188,9 @@ def config_lines(args, world, late_ranks, ports):
         lines += [("trace", "full"), ("trace_dir", args.trace_dir)]
         if args.workload == "solve":
             lines.append(("audit", 1))  # auditor hooks the solve runtime
+        if args.stream_interval > 0.0:
+            lines += [("stream_interval", args.stream_interval),
+                      ("stream_windows", args.stream_windows)]
     for rank in late_ranks:
         lines.append(("late", rank))
     for rank, port in enumerate(ports):
@@ -372,7 +389,24 @@ def main():
                     help="full tracing + online audit: per-rank trace and "
                          "metrics files land here, merged to "
                          "merged.trace.json via tools/trace_merge.py")
+    ap.add_argument("--stream-interval", type=float, default=0.0,
+                    help="with --trace-dir: arm the streaming flusher — "
+                         "rotating window files every S seconds instead "
+                         "of one exit dump")
+    ap.add_argument("--stream-windows", type=int, default=8,
+                    help="newest window files kept per rank (rotation)")
+    ap.add_argument("--heatmap", action="store_true",
+                    help="render the link-delay heat-map (heatmap.txt + "
+                         "heatmap.svg) from the aggregate via "
+                         "tools/trace_heatmap.py")
+    ap.add_argument("--heatmap-quantile",
+                    choices=["p50", "p95", "p99", "max"], default="p95")
     args = ap.parse_args()
+
+    if args.stream_interval > 0.0 and not args.trace_dir:
+        print("launch_cluster: --stream-interval requires --trace-dir",
+              file=sys.stderr)
+        return 2
 
     train = args.workload == "train"
     if args.churn and not train:
@@ -420,6 +454,18 @@ def main():
 
     if args.trace_dir:
         os.makedirs(args.trace_dir, exist_ok=True)
+        # Clear per-rank artifacts from any previous run: trace_merge
+        # refuses to stitch a directory that mixes one run's one-shot
+        # dumps with another run's streamed windows for the same rank,
+        # and a stale window from a prior run would silently corrupt the
+        # stitched timeline even when the filenames happen to line up.
+        stale = re.compile(
+            r"^(rank_\d+\.(window_\d+\.)?trace\.json"
+            r"|rank_\d+\.metrics\.jsonl?"
+            r"|merged\.trace\.json|start_markers\.log)$")
+        for name in os.listdir(args.trace_dir):
+            if stale.match(name):
+                os.remove(os.path.join(args.trace_dir, name))
 
     ports = pick_free_ports(world)
     lines = config_lines(args, world, late_ranks, ports)
@@ -578,6 +624,29 @@ def main():
         with open(args.json_out, "w", encoding="utf-8") as f:
             json.dump(agg, f, indent=2)
         print(f"launch_cluster: aggregate written to {args.json_out}")
+
+    if args.heatmap:
+        out_dir = args.trace_dir or (os.path.dirname(
+            os.path.abspath(args.json_out)) if args.json_out else ".")
+        agg_path = args.json_out
+        if not agg_path:
+            agg_path = os.path.join(out_dir, "cluster.json")
+            with open(agg_path, "w", encoding="utf-8") as f:
+                json.dump(agg, f, indent=2)
+        heatmap_tool = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), os.pardir,
+            "tools", "trace_heatmap.py")
+        hm = subprocess.run(
+            [sys.executable, heatmap_tool, "--cluster", agg_path,
+             "--quantile", args.heatmap_quantile,
+             "--out-text", os.path.join(out_dir, "heatmap.txt"),
+             "--out-svg", os.path.join(out_dir, "heatmap.svg")])
+        if hm.returncode != 0:
+            print("launch_cluster: heat-map rendering failed",
+                  file=sys.stderr)
+            return 1
+        print("launch_cluster: heat-map -> "
+              + os.path.join(out_dir, "heatmap.svg"))
 
     # Uniform-counter assertions (the same schema every rank reports).
     if agg["bad_frames"] != 0:

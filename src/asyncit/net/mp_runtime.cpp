@@ -187,6 +187,10 @@ MpResult run_message_passing(const op::BlockOperator& op,
     result.frames_rejected += p->frames_rejected();
     result.reassignments += p->reassignments();
     result.snapshot_blocks_sent += p->snapshot_blocks_sent();
+    result.gate_stalls += p->gate_stalls();
+    result.steering_decisions += p->steering_decisions();
+    result.staleness_at_exit =
+        std::max(result.staleness_at_exit, p->staleness_bound());
   }
   result.bad_frames = transport.bad_frames();
   for (std::size_t pi = 0; pi < peers.size(); ++pi) {

@@ -32,6 +32,7 @@
 #include "asyncit/membership/membership.hpp"
 #include "asyncit/net/channel.hpp"
 #include "asyncit/obs/auditor.hpp"
+#include "asyncit/obs/steering.hpp"
 #include "asyncit/obs/trace_recorder.hpp"
 #include "asyncit/operators/operator.hpp"
 #include "asyncit/trace/event_log.hpp"
@@ -56,6 +57,11 @@ struct SolveOptions {
   Mode mode = Mode::kAsync;
   /// SSP clock-gap cap in rounds (ignored by kAsync; kBsp behaves as 0).
   std::uint64_t staleness = 1;
+  /// Auditor-fed adaptive staleness (kSsp only; obs/steering.hpp): the
+  /// gate slack tracks the OnlineAuditor's measured delay bound instead
+  /// of the static `staleness` value (which becomes the initial bound).
+  /// Enabling this implies the auditor — the measured signal must exist.
+  obs::SteeringOptions adaptive;
 
   std::size_t inner_steps = 1;
   /// Flexible communication (Definition 3): send partial iterates
@@ -196,6 +202,16 @@ struct MpResult {
   /// Global recorder accounting for the run (ObsOptions::trace_level).
   std::uint64_t obs_events_recorded = 0;
   std::uint64_t obs_events_dropped = 0;
+
+  /// SSP/BSP gate entries that actually blocked (the peer polled at
+  /// least once before its round gate opened), summed over local ranks —
+  /// the stall metric the adaptive bound is steered to reduce.
+  std::uint64_t gate_stalls = 0;
+  /// Adaptive-staleness steering (SolveOptions::adaptive): decisions
+  /// taken (traced as kSteering) and the bound at exit. With steering
+  /// off, decisions is 0 and the exit bound is solve.staleness.
+  std::uint64_t steering_decisions = 0;
+  std::uint64_t staleness_at_exit = 0;
 
   trace::EventLog log;
 };

@@ -405,6 +405,48 @@ const KeyEntry kKeys[] = {
      [](NodeConfig& c, std::istringstream& ls, std::string& e) {
        return read_bool01(ls, c.audit, e);
      }},
+    {{"stream_interval", "float", "0",
+      "streaming trace-window flush cadence, seconds (0 disables; "
+      "requires trace full + trace_dir)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.stream_interval, e);
+     }},
+    {{"stream_windows", "int", "8",
+      "newest window files kept on disk per rank (0 = unbounded)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.stream_windows, e);
+     }},
+    {{"adaptive", "bool01", "0",
+      "auditor-fed adaptive staleness: steer the SSP bound from the "
+      "measured delay (solve mode ssp / train discipline ssp; "
+      "staleness becomes the initial bound)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_bool01(ls, c.adaptive.enabled, e);
+     }},
+    {{"adaptive_min", "int", "1", "adaptive staleness bound floor"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.adaptive.min_bound, e);
+     }},
+    {{"adaptive_max", "int", "8", "adaptive staleness bound ceiling"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.adaptive.max_bound, e);
+     }},
+    {{"adaptive_gain", "float", "1.0",
+      "measured-signal to bound scale factor"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.adaptive.gain, e);
+     }},
+    {{"adaptive_hold", "int", "3",
+      "consecutive lower candidates before the bound drops (hysteresis)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.adaptive.hold, e);
+     }},
+    {{"adaptive_every", "int", "32",
+      "steering decision cadence: own steps (solve) or applied deltas "
+      "(train)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.adaptive.decide_every, e);
+     }},
 };
 // clang-format on
 
@@ -454,11 +496,28 @@ bool validate(NodeConfig& cfg, std::string& error) {
       if (std::find(cfg.late.begin(), cfg.late.end(), r) == cfg.late.end())
         cfg.membership.initial_alive.push_back(r);
   }
+  if (cfg.adaptive.enabled) {
+    if (cfg.adaptive.min_bound < 1 ||
+        cfg.adaptive.max_bound < cfg.adaptive.min_bound) {
+      error = "adaptive bounds need 1 <= adaptive_min <= adaptive_max";
+      return false;
+    }
+    if (cfg.adaptive.hold < 1 || cfg.adaptive.decide_every < 1) {
+      error = "adaptive_hold and adaptive_every must be >= 1";
+      return false;
+    }
+  }
+  if (cfg.stream_interval > 0.0 &&
+      (cfg.trace != obs::TraceLevel::kFull || cfg.trace_dir.empty())) {
+    error = "stream_interval requires trace full and trace_dir";
+    return false;
+  }
   if (cfg.workload == Workload::kTrain) {
     // Shared keys fold into the SGD options here, so the two workloads
     // cannot disagree about what `staleness` or `max_seconds` mean.
     cfg.sgd.staleness = cfg.staleness;
     cfg.sgd.max_seconds = cfg.max_seconds;
+    cfg.sgd.adaptive = cfg.adaptive;
     if (cfg.dataset.ridge <= 0.0) {
       error = "train workload needs ridge > 0";
       return false;

@@ -93,6 +93,18 @@ struct NodeConfig {
   obs::TraceLevel trace = obs::TraceLevel::kOff;
   std::string trace_dir;
   bool audit = false;
+  /// Streaming trace windows (obs/streamer.hpp): > 0 arms a background
+  /// flusher writing rank_<r>.window_<k>.trace.json chunks into
+  /// trace_dir every `stream_interval` seconds, keeping the newest
+  /// `stream_windows` on disk — a killed rank leaves its recent past
+  /// behind. Requires trace full + trace_dir; replaces the single exit
+  /// trace.json (the windows ARE the record; trace_merge.py stitches).
+  double stream_interval = 0.0;
+  std::size_t stream_windows = 8;
+  /// Auditor-fed adaptive staleness (obs/steering.hpp): steers the SSP
+  /// bound of whichever workload runs (solve mode ssp / train
+  /// discipline ssp); `staleness` becomes the initial bound.
+  obs::SteeringOptions adaptive;
 };
 
 /// One documented key. `type` is a human/launcher hint (int, float,

@@ -98,6 +98,9 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
   result.frames_rejected = peer.frames_rejected();
   result.reassignments = peer.reassignments();
   result.snapshot_blocks_sent = peer.snapshot_blocks_sent();
+  result.gate_stalls = peer.gate_stalls();
+  result.steering_decisions = peer.steering_decisions();
+  result.staleness_at_exit = peer.staleness_bound();
   if (agent) {
     result.membership = agent->stats();
     result.live_at_exit = agent->table().live_ranks();

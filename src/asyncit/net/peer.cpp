@@ -60,13 +60,20 @@ Peer::Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
       link_delays_(ctx.options->obs.link_delays ? ctx.options->workers
                                                 : 0) {
   ASYNCIT_CHECK(endpoint_->rank() == id_);
-  if (ctx_.options->obs.audit) {
+  // Adaptive staleness steers on the auditor's measured delay bound, so
+  // enabling it implies the auditor even when audit reporting is off.
+  const bool steer = ctx_.options->solve.adaptive.enabled &&
+                     ctx_.options->solve.mode == Mode::kSsp;
+  if (ctx_.options->obs.audit || steer) {
     const std::size_t m = ctx_.op->partition().num_blocks();
     auditor_ = std::make_unique<obs::OnlineAuditor>(m);
     audit_last_changed_.assign(m, 0);
     audit_pending_.assign(m, 0);
     audit_updated_.reserve(m);
   }
+  if (steer)
+    steer_ = std::make_unique<obs::StalenessController>(
+        ctx_.options->solve.adaptive, ctx_.options->solve.staleness);
   if (ctx_.membership != nullptr) {
     // Elastic ranks only make sense in the totally asynchronous regime:
     // SSP/BSP round gates would wait forever for a rank that left.
@@ -469,6 +476,16 @@ void Peer::update_block(la::BlockId b, std::size_t reps,
       audit_last_changed_[i] = j;
     }
     auditor_->record_step(audit_updated_, l_min);
+    if (steer_ != nullptr &&
+        local_step_ % ctx_.options->solve.adaptive.decide_every == 0) {
+      // Measured signal in ROUNDS: the auditor's delay bound counts own
+      // steps (one per block phase), the gate slack counts sweeps over
+      // the owned set — divide by the sweep length to convert.
+      const double owned_n =
+          static_cast<double>(std::max<std::size_t>(1, (*ctx_.owned)[id_].size()));
+      steer_->decide(static_cast<double>(auditor_->d_bound()) / owned_n,
+                     obs::SteeringDomain::kNetSsp);
+    }
   }
   if (trace_budget_ > 0) {
     --trace_budget_;
@@ -479,6 +496,7 @@ void Peer::update_block(la::BlockId b, std::size_t reps,
 bool Peer::wait_for_rounds(std::uint64_t needed) {
   const std::uint32_t peers =
       static_cast<std::uint32_t>(ctx_.options->workers);
+  bool first_pass = true;
   while (!stopped()) {
     // Enforce the wall budget INSIDE the gate: a rank whose awaited
     // peer died without a stop frame would otherwise wait forever —
@@ -500,6 +518,12 @@ bool Peer::wait_for_rounds(std::uint64_t needed) {
       }
     }
     if (satisfied) return true;
+    if (first_pass) {
+      // The gate actually blocks this sweep (not satisfied from what was
+      // already drained) — the stall the adaptive bound exists to avoid.
+      first_pass = false;
+      ++gate_stalls_;
+    }
     // Sleep until the next pending delivery matures, new data arrives,
     // or the poll bound expires (keeps the stop flag responsive).
     const double t = now();
@@ -561,12 +585,15 @@ void Peer::run() {
   const MpOptions& opt = *ctx_.options;
   const bool elastic = ctx_.membership != nullptr;
   const std::size_t reps = rt::slowdown_repetitions(opt.worker_slowdown, id_);
-  const std::uint64_t slack =
-      opt.solve.mode == Mode::kBsp ? 0 : opt.solve.staleness;
   std::uint64_t own_updates = 0;
 
   while (!stopped()) {
     if (opt.solve.mode != Mode::kAsync && round_ > 0) {
+      // Re-read the slack every sweep: with adaptive staleness the
+      // controller moves it between sweeps (staleness_bound() is the
+      // static option when steering is off; kBsp is always 0).
+      const std::uint64_t slack =
+          opt.solve.mode == Mode::kBsp ? 0 : staleness_bound();
       const std::uint64_t needed = round_ > slack ? round_ - slack : 0;
       if (!wait_for_rounds(needed)) break;
     }

@@ -97,9 +97,14 @@ std::size_t write_chrome_trace(std::ostream& os, std::vector<Event> events,
     }
   }
 
-  os << "],\"otherData\":{\"schema\":\"asyncit-trace/1\",\"rank\":" << meta.rank
+  os << "],\"otherData\":{\"schema\":\"asyncit-trace/"
+     << (meta.windowed ? 2 : 1) << "\",\"rank\":" << meta.rank
      << ",\"epoch_realtime_ns\":" << meta.epoch_realtime_ns
-     << ",\"events_dropped\":" << meta.events_dropped << "}}";
+     << ",\"events_dropped\":" << meta.events_dropped;
+  if (meta.windowed)
+    os << ",\"window_seq\":" << meta.window_seq
+       << ",\"events_dropped_window\":" << meta.window_dropped;
+  os << "}}";
   os << '\n';
   return emitted;
 }

@@ -29,8 +29,19 @@ namespace asyncit::obs {
 struct ExportMeta {
   std::uint16_t rank = 0;
   std::uint64_t epoch_realtime_ns = 0;
+  /// Cumulative recorder drops at write time (asyncit-trace/1), or at
+  /// the end of this window (asyncit-trace/2).
   std::uint64_t events_dropped = 0;
   std::string label;  ///< process_name metadata (e.g. "asyncit_node r2")
+
+  /// Windowed streaming chunks (obs/streamer.hpp): when set, the
+  /// document carries schema `asyncit-trace/2` with the window sequence
+  /// number and the drops attributed to THIS window (the delta since the
+  /// previous flush; Σ window deltas == the cumulative counter, which
+  /// tools/trace_merge.py cross-checks when stitching).
+  bool windowed = false;
+  std::uint64_t window_seq = 0;
+  std::uint64_t window_dropped = 0;
 };
 
 /// Writes `events` (any order; sorted internally by t_ns) as one trace

@@ -1,0 +1,109 @@
+// Auditor-fed adaptive staleness steering (DESIGN.md §8).
+//
+// PR 6's OnlineAuditor measures the paper's delay bound (condition d:
+// b_min = max_j (j - l(j))) on live runs but the bound was only
+// *reported*. This controller closes the loop: the measured delay signal
+// steers the SSP staleness bound of the gated runtimes — net::Peer's
+// round gate and train::SspClock — so the bound tracks observed
+// asynchrony instead of a static guess (the delay-adaptive schemes
+// surveyed in PAPERS.md "Advances in Asynchronous Parallel and
+// Distributed Optimization").
+//
+// Control law, deliberately boring: candidate = clamp(ceil(gain *
+// signal), [min_bound, max_bound]). Raises apply IMMEDIATELY (a gate
+// stall is live pain: the measured delay already exceeds what the bound
+// tolerates); lowers apply only after `hold` consecutive lower
+// candidates (hysteresis — one quiet window must not whipsaw the gate).
+// Every decision — applied or held — is traced as a kSteering event, so
+// a Perfetto timeline shows the bound's trajectory against the traffic
+// that drove it.
+//
+// Determinism: decide() consumes only the caller-supplied signal, which
+// the runtimes derive from virtual-clock-driven schedules under simnet —
+// two identical worlds produce identical decision sequences (the replay
+// test in tests/simnet_test.cpp pins this).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "asyncit/obs/events.hpp"
+#include "asyncit/obs/trace_recorder.hpp"
+
+namespace asyncit::obs {
+
+/// Which runtime's bound a kSteering event describes (event sub =
+/// 2*domain + applied; see the taxonomy in events.hpp).
+enum class SteeringDomain : std::uint8_t {
+  kNetSsp = 0,    ///< net::Peer round-gate slack
+  kTrainSsp = 1,  ///< train::SspClock / worker admission bound
+};
+
+/// Adaptive-staleness knobs, nested in net::SolveOptions and
+/// train::SgdOptions. Off by default; the static `staleness` option is
+/// the initial bound when enabled.
+struct SteeringOptions {
+  bool enabled = false;
+  /// Clamp range of the steered bound (rounds for net::, steps for
+  /// train::). min_bound >= 1: bound 0 would degenerate SSP to BSP.
+  std::uint64_t min_bound = 1;
+  std::uint64_t max_bound = 8;
+  /// candidate = ceil(gain * measured signal).
+  double gain = 1.0;
+  /// Consecutive lower candidates required before the bound drops.
+  std::uint64_t hold = 3;
+  /// Decision cadence, in the owner's progress unit (net:: local block
+  /// updates; train:: applied deltas).
+  std::uint64_t decide_every = 32;
+};
+
+class StalenessController {
+ public:
+  StalenessController(const SteeringOptions& options, std::uint64_t initial)
+      : opt_(options),
+        bound_(std::clamp(initial, options.min_bound, options.max_bound)) {}
+
+  std::uint64_t bound() const { return bound_; }
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t changes() const { return changes_; }
+
+  /// One steering decision from `signal` (the measured delay, in the
+  /// bound's unit). Returns true when the bound changed. Always traced.
+  bool decide(double signal, SteeringDomain domain) {
+    ++decisions_;
+    const double scaled = std::ceil(std::max(0.0, opt_.gain * signal));
+    const std::uint64_t candidate =
+        std::clamp(static_cast<std::uint64_t>(scaled), opt_.min_bound,
+                   opt_.max_bound);
+    bool applied = false;
+    if (candidate > bound_) {
+      bound_ = candidate;
+      lower_streak_ = 0;
+      applied = true;
+    } else if (candidate < bound_) {
+      if (++lower_streak_ >= opt_.hold) {
+        bound_ = candidate;
+        lower_streak_ = 0;
+        applied = true;
+      }
+    } else {
+      lower_streak_ = 0;
+    }
+    if (applied) ++changes_;
+    record(EventType::kSteering,
+           static_cast<std::uint8_t>(
+               2 * static_cast<std::uint8_t>(domain) + (applied ? 1 : 0)),
+           static_cast<std::uint32_t>(bound_), candidate, signal);
+    return applied;
+  }
+
+ private:
+  SteeringOptions opt_;
+  std::uint64_t bound_;
+  std::uint64_t lower_streak_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace asyncit::obs

@@ -1,0 +1,114 @@
+#include "asyncit/obs/streamer.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "asyncit/obs/exporter.hpp"
+#include "asyncit/obs/metrics.hpp"
+#include "asyncit/obs/trace_recorder.hpp"
+
+namespace asyncit::obs {
+
+namespace {
+
+/// The process-wide active streamer. Plain atomic pointer: readers
+/// (Watchdog, the node exporter) run on other threads, but lifetime is
+/// scoped — the owner constructs the streamer before the run and
+/// destroys it after every consumer is done.
+std::atomic<TraceStreamer*> g_active{nullptr};
+
+}  // namespace
+
+TraceStreamer* TraceStreamer::active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+TraceStreamer::TraceStreamer(const StreamerConfig& config) : config_(config) {
+  g_active.store(this, std::memory_order_release);
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(run_mu_);
+    for (;;) {
+      cv_.wait_for(lock,
+                   std::chrono::duration<double>(config_.interval_seconds),
+                   [this] { return stopping_; });
+      if (stopping_) return;  // stop() flushes once more after the join
+      lock.unlock();
+      flush_now();
+      lock.lock();
+    }
+  });
+}
+
+TraceStreamer::~TraceStreamer() {
+  stop();
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+void TraceStreamer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (stopping_ && !thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  flush_now();  // the final window: everything since the last period
+}
+
+std::string TraceStreamer::window_path(std::uint64_t seq) const {
+  return config_.dir + "/rank_" + std::to_string(config_.rank) + ".window_" +
+         std::to_string(seq) + ".trace.json";
+}
+
+std::size_t TraceStreamer::flush_now() {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  TraceRecorder& recorder = TraceRecorder::instance();
+
+  events_.clear();
+  recorder.snapshot(&events_);
+  const std::uint64_t dropped_now = recorder.stats().dropped;
+  // enable() resets the drop counters mid-stream when a runtime arms the
+  // recorder after the streamer started; a cumulative reading below the
+  // last one means "new run", not negative drops.
+  if (dropped_now < last_dropped_) last_dropped_ = 0;
+  const std::uint64_t window_dropped = dropped_now - last_dropped_;
+  last_dropped_ = dropped_now;
+  dropped_seen_.fetch_add(window_dropped, std::memory_order_relaxed);
+
+  if (events_.empty() && window_dropped == 0) return 0;
+
+  const std::uint64_t seq = next_seq_++;
+  {
+    std::ofstream os(window_path(seq));
+    if (os) {
+      ExportMeta meta;
+      meta.rank = config_.rank;
+      meta.epoch_realtime_ns = recorder.epoch_realtime_ns();
+      meta.events_dropped = dropped_now;
+      meta.label = config_.label;
+      meta.windowed = true;
+      meta.window_seq = seq;
+      meta.window_dropped = window_dropped;
+      write_chrome_trace(os, events_, meta);
+    }
+  }
+  windows_written_.fetch_add(1, std::memory_order_relaxed);
+  events_streamed_.fetch_add(events_.size(), std::memory_order_relaxed);
+
+  // Rotation: bound the on-disk footprint to the newest max_windows
+  // chunks. Sequences are only spent on written windows, so the file
+  // max_windows behind this one is always the oldest survivor.
+  if (config_.max_windows > 0 && seq >= config_.max_windows)
+    std::remove(window_path(seq - config_.max_windows).c_str());
+
+  if (config_.metrics) {
+    std::ofstream os(config_.dir + "/rank_" + std::to_string(config_.rank) +
+                         ".metrics.jsonl",
+                     std::ios::app);
+    if (os) os << MetricsRegistry::instance().to_json() << '\n';
+  }
+  return events_.size();
+}
+
+}  // namespace asyncit::obs

@@ -1,0 +1,118 @@
+// Streaming trace windows: the flight recorder that survives a kill
+// (DESIGN.md §8).
+//
+// PR 6 exported traces once, at exit — a killed or hung rank left
+// nothing on disk. TraceStreamer runs a background flusher that
+// periodically drains every registered TraceRecorder ring into rotating
+// windowed Perfetto chunk files
+//
+//   <dir>/rank_<r>.window_<k>.trace.json   (schema asyncit-trace/2)
+//
+// and appends a rolling `asyncit-metrics/1` snapshot per flush to
+// <dir>/rank_<r>.metrics.jsonl. Rotation keeps at most `max_windows`
+// chunk files on disk (older windows are deleted), so a long run's
+// telemetry footprint is bounded and a SIGKILLed rank leaves its last N
+// windows behind — the churn_smoke artifact CI uploads.
+//
+// Drain discipline — the single-path rule: every consumer of the rings
+// goes through flush_now(). Each flush snapshots the recorder (read
+// cursors ADVANCE, so consecutive windows partition the event stream
+// exactly: concatenating all windows reproduces what a single exit
+// snapshot would have held, bit for bit) and attributes ring drops to
+// the window via a cumulative-counter delta — so two racing consumers
+// can never double-count events or drops. The Watchdog's overrun dump
+// routes through the active streamer for exactly this reason
+// (watchdog.cpp); tools/asyncit_node skips its one-shot exit export when
+// a streamer ran, finishing with a last flush instead.
+//
+// Windows with no events and no drops are skipped (no file, no sequence
+// bump): an idle rank does not churn empty files. tools/trace_merge.py
+// stitches the surviving windows of every rank into one timeline,
+// cross-checking window-drop accounting against the cumulative counter.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asyncit/obs/events.hpp"
+
+namespace asyncit::obs {
+
+struct StreamerConfig {
+  std::string dir;  ///< output directory (must already exist)
+  std::uint16_t rank = 0;
+  /// Flush period in wall seconds. Each period the flusher drains the
+  /// rings into one window (if anything happened).
+  double interval_seconds = 0.5;
+  /// Rotation bound: at most this many window files per rank on disk
+  /// (0 = keep everything).
+  std::size_t max_windows = 8;
+  std::string label;    ///< process_name in the chunk documents
+  bool metrics = true;  ///< append metrics snapshots per flush
+};
+
+/// Background windowed flusher over the global TraceRecorder. One
+/// instance per process; construction registers it as the process-wide
+/// active streamer (Watchdog and the node exporter consult active()).
+class TraceStreamer {
+ public:
+  explicit TraceStreamer(const StreamerConfig& config);
+  ~TraceStreamer();  ///< stop() + unregister
+
+  /// Final flush, then joins the flusher thread. Idempotent; the
+  /// destructor calls it. The instance stays registered as active()
+  /// until destruction so late consumers still route through it.
+  void stop();
+
+  /// Drains the recorder into the next window file now. Serialized
+  /// against the periodic flusher (and any other caller) by an internal
+  /// mutex — the single drain path. Returns the number of events
+  /// written into the window (0 when the window was empty and skipped).
+  std::size_t flush_now();
+
+  const StreamerConfig& config() const { return config_; }
+  std::uint64_t windows_written() const {
+    return windows_written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t events_streamed() const {
+    return events_streamed_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative recorder drops observed by the last flush (== the sum
+  /// of every window's drop delta — the accounting the regression test
+  /// in tests/obs_test.cpp pins against TraceRecorder::stats()).
+  std::uint64_t dropped_seen() const {
+    return dropped_seen_.load(std::memory_order_relaxed);
+  }
+
+  /// The process-wide active streamer, or nullptr. Registered in the
+  /// constructor, cleared in the destructor.
+  static TraceStreamer* active();
+
+  TraceStreamer(const TraceStreamer&) = delete;
+  TraceStreamer& operator=(const TraceStreamer&) = delete;
+
+ private:
+  std::string window_path(std::uint64_t seq) const;
+
+  StreamerConfig config_;
+  std::mutex flush_mu_;            ///< the single drain path
+  std::vector<Event> events_;      ///< flush scratch (reused)
+  std::uint64_t next_seq_ = 0;     ///< next window sequence number
+  std::uint64_t last_dropped_ = 0; ///< cumulative drops at last flush
+
+  std::atomic<std::uint64_t> windows_written_{0};
+  std::atomic<std::uint64_t> events_streamed_{0};
+  std::atomic<std::uint64_t> dropped_seen_{0};
+
+  std::mutex run_mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace asyncit::obs

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "asyncit/obs/metrics.hpp"
+#include "asyncit/obs/streamer.hpp"
 #include "asyncit/obs/trace_recorder.hpp"
 
 namespace asyncit::obs {
@@ -23,7 +24,20 @@ Watchdog::Watchdog(double deadline_seconds, std::string label,
     std::ostream& os = *os_;
     os << "\n==== obs::Watchdog [" << label_ << "] deadline ("
        << deadline_seconds << "s) overrun — flight recorder dump ====\n";
-    TraceRecorder::instance().dump(os, /*max_per_ring=*/48);
+    // Single drain path (see streamer.hpp): when a streamer is live, the
+    // overrun dump IS a streamed window — racing the rings directly here
+    // would split events across consumers and double-attribute drops.
+    // The legacy in-stream ring dump remains for streamer-less runs
+    // (the wall-budget test canaries).
+    if (TraceStreamer* streamer = TraceStreamer::active()) {
+      const std::size_t n = streamer->flush_now();
+      os << "streamed window flush: " << n << " events, "
+         << streamer->windows_written() << " windows in "
+         << streamer->config().dir << " (dropped so far "
+         << streamer->dropped_seen() << ")\n";
+    } else {
+      TraceRecorder::instance().dump(os, /*max_per_ring=*/48);
+    }
     os << "---- metrics ----\n"
        << MetricsRegistry::instance().to_json() << '\n'
        << "==== end watchdog dump [" << label_ << "] ====\n";

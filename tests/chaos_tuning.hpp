@@ -1,0 +1,69 @@
+// Host-load-aware tuning for the wall-clock chaos canaries.
+//
+// Two tests deliberately keep a real wall budget as canaries for the
+// real threaded/socket paths (net_test AllThreeModesConverge,
+// transport_test ChaosOverTcpRunsTheDelayModelOnRealSockets); their
+// virtual-time twins in simnet_test carry the convergence coverage with
+// no budget at all. The canaries' flake history (ROADMAP) is entirely
+// "loaded CI host + injected chaos latency > watchdog": the injected
+// per-frame hold is a wall-time tax the delay model charges on top of
+// whatever the host's scheduler already charges, so on a contended
+// machine the two stack past the 18 s watchdog.
+//
+// chaos_load_scale() reads the host's 1-minute load average against its
+// core count and returns a divisor for the injected latency window: an
+// idle host runs the canonical [min, max] hold (full fidelity), a
+// saturated one runs the same *shape* compressed in time. Both knobs
+// scale together so every invariant stated in terms of the policy —
+// `delays.min() >= policy.min_latency`, the max/min spread — holds
+// verbatim at any scale.
+//
+// ASYNCIT_CHAOS_LOAD_SCALE overrides the measurement (>= 1 forces that
+// divisor; anything else, e.g. "1", pins the canonical latencies) so a
+// flake is reproducible at the scale that produced it.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace asyncit::chaos_tuning {
+
+/// Divisor in [1, max_scale] for the injected-latency window, from the
+/// 1-minute load average per core. <= 50% utilization is "idle" (scale
+/// 1); beyond that the scale grows linearly with utilization, capped.
+inline double chaos_load_scale(double max_scale = 8.0) {
+  if (const char* env = std::getenv("ASYNCIT_CHAOS_LOAD_SCALE")) {
+    const double forced = std::atof(env);
+    return forced >= 1.0 ? std::min(forced, max_scale) : 1.0;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  double load1 = 0.0;
+  if (getloadavg(&load1, 1) != 1) return 1.0;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double cores = hw == 0 ? 1.0 : double(hw);
+  const double utilization = load1 / cores;
+  if (utilization <= 0.5) return 1.0;
+  return std::min(max_scale, 2.0 * utilization);
+#else
+  return 1.0;
+#endif
+}
+
+/// Compresses a delay-model latency window by the host-load scale,
+/// in place, keeping max/min ratio (the model's shape). Logs when it
+/// actually rescales so a CI log shows what the canary really ran.
+inline void scale_latency_window(const char* who, double& min_latency,
+                                 double& max_latency) {
+  const double scale = chaos_load_scale();
+  if (scale <= 1.0) return;
+  min_latency /= scale;
+  max_latency /= scale;
+  std::fprintf(stderr,
+               "chaos_tuning: %s: host load scale %.2f -> injected "
+               "latency [%g, %g] s\n",
+               who, scale, min_latency, max_latency);
+}
+
+}  // namespace asyncit::chaos_tuning

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -27,6 +28,7 @@
 #include "asyncit/obs/auditor.hpp"
 #include "asyncit/obs/exporter.hpp"
 #include "asyncit/obs/metrics.hpp"
+#include "asyncit/obs/streamer.hpp"
 #include "asyncit/obs/trace_recorder.hpp"
 #include "asyncit/obs/watchdog.hpp"
 #include "asyncit/operators/jacobi.hpp"
@@ -49,6 +51,20 @@ void enable_full() {
 
 bool python3_available() {
   return std::system("python3 -c 'pass' >/dev/null 2>&1") == 0;
+}
+
+// Deterministic raw clock for byte-comparable exports: every reading
+// advances 1 us, so two identical record sequences stamp identical
+// timestamps regardless of host scheduling (same idiom as the simnet
+// virtual-time clock injection).
+std::uint64_t g_fake_ns = 0;
+std::uint64_t fake_clock() { return g_fake_ns += 1000; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
 }
 
 TEST(TraceRecorder, RingWrapAndDropAccounting) {
@@ -293,6 +309,148 @@ TEST(Exporter, TraceMergeAlignsTwoRanks) {
   obs::TraceRecorder::instance().disable();
 }
 
+TEST(TraceStreamer, WindowRotationBoundsDiskAndAccountsWrapDrops) {
+  enable_full();
+  const std::string dir = ::testing::TempDir() + "stream_rot";
+  std::filesystem::create_directories(dir);
+  obs::StreamerConfig sc;
+  sc.dir = dir;
+  sc.rank = 0;
+  sc.interval_seconds = 3600.0;  // periodic flusher parked; manual flushes
+  sc.max_windows = 3;
+  sc.label = "obs_test";
+  {
+    obs::TraceStreamer streamer(sc);
+    EXPECT_EQ(obs::TraceStreamer::active(), &streamer);
+    // An idle flush is skipped entirely: no file, no sequence spent.
+    EXPECT_EQ(streamer.flush_now(), 0u);
+    EXPECT_EQ(streamer.windows_written(), 0u);
+
+    for (std::uint64_t k = 0; k < 5; ++k) {
+      for (std::uint64_t i = 0; i < 10; ++i)
+        obs::record(obs::EventType::kMarker, 3, static_cast<std::uint32_t>(k),
+                    k * 10 + i, 0.0);
+      EXPECT_EQ(streamer.flush_now(), 10u);
+    }
+    EXPECT_EQ(streamer.windows_written(), 5u);
+    EXPECT_EQ(streamer.events_streamed(), 50u);
+    // Rotation keeps exactly the newest max_windows chunks on disk.
+    for (std::uint64_t k = 0; k < 5; ++k) {
+      const std::string path =
+          dir + "/rank_0.window_" + std::to_string(k) + ".trace.json";
+      EXPECT_EQ(std::filesystem::exists(path), k >= 2) << path;
+    }
+    const std::string newest = slurp(dir + "/rank_0.window_4.trace.json");
+    EXPECT_NE(newest.find("\"asyncit-trace/2\""), std::string::npos);
+    EXPECT_NE(newest.find("\"window_seq\":4"), std::string::npos);
+    EXPECT_NE(newest.find("\"events_dropped_window\":0"), std::string::npos);
+
+    // Wrap a fresh-thread ring without flushing: the overwritten events
+    // must surface as the NEXT window's drop delta, and the streamer's
+    // cumulative dropped_seen() stays pinned to the recorder counter.
+    constexpr std::uint64_t kPushes = 1000;
+    std::thread writer([] {
+      for (std::uint64_t i = 0; i < kPushes; ++i)
+        obs::record(obs::EventType::kMarker, 4, 0, i, 0.0);
+    });
+    writer.join();
+    const std::uint64_t dropped =
+        obs::TraceRecorder::instance().stats().dropped;
+    EXPECT_EQ(dropped, kPushes - kCap);
+    EXPECT_EQ(streamer.flush_now(), kCap - 1);  // the readable window
+    EXPECT_EQ(streamer.dropped_seen(), dropped);
+    const std::string wrap = slurp(dir + "/rank_0.window_5.trace.json");
+    EXPECT_NE(wrap.find("\"events_dropped_window\":" +
+                        std::to_string(dropped)),
+              std::string::npos);
+    EXPECT_NE(wrap.find("\"events_dropped\":" + std::to_string(dropped)),
+              std::string::npos);
+  }
+  EXPECT_EQ(obs::TraceStreamer::active(), nullptr);
+  obs::TraceRecorder::instance().disable();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceStreamer, WindowsStitchBitConsistentWithSingleExitDump) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not on PATH";
+  // The partition contract from streamer.hpp, end to end through
+  // trace_merge.py: the same deterministic event sequence recorded once
+  // through three streamed windows and once into a single exit dump
+  // must merge to byte-identical timelines.
+  const std::string dir_w = ::testing::TempDir() + "stream_windows";
+  const std::string dir_s = ::testing::TempDir() + "stream_single";
+  std::filesystem::create_directories(dir_w);
+  std::filesystem::create_directories(dir_s);
+  const auto record_batch = [](std::uint64_t k) {
+    for (std::uint64_t i = 0; i < 7; ++i) {
+      obs::record(obs::EventType::kBlockUpdate, 0,
+                  static_cast<std::uint32_t>(i), k * 7 + i, 0.001);
+      obs::record(obs::EventType::kSteering, 1,
+                  static_cast<std::uint32_t>(k), k * 7 + i, double(i));
+    }
+  };
+
+  g_fake_ns = 0;
+  obs::set_trace_clock(&fake_clock);
+  enable_full();
+  {
+    obs::StreamerConfig sc;
+    sc.dir = dir_w;
+    sc.rank = 0;
+    sc.interval_seconds = 3600.0;
+    sc.max_windows = 0;  // keep every window
+    sc.label = "obs_test";
+    sc.metrics = false;
+    obs::TraceStreamer streamer(sc);
+    for (std::uint64_t k = 0; k < 3; ++k) {
+      record_batch(k);
+      EXPECT_EQ(streamer.flush_now(), 14u);
+    }
+    EXPECT_EQ(streamer.windows_written(), 3u);
+  }
+  obs::TraceRecorder::instance().disable();
+
+  g_fake_ns = 0;  // identical clock readings for the second pass
+  enable_full();
+  for (std::uint64_t k = 0; k < 3; ++k) record_batch(k);
+  std::vector<obs::Event> events;
+  obs::TraceRecorder::instance().snapshot(&events);
+  ASSERT_EQ(events.size(), 42u);
+  obs::ExportMeta meta;
+  meta.rank = 0;
+  meta.epoch_realtime_ns = obs::TraceRecorder::instance().epoch_realtime_ns();
+  meta.label = "obs_test";
+  {
+    std::ofstream f(dir_s + "/rank_0.trace.json");
+    obs::write_chrome_trace(f, events, meta);
+  }
+  obs::TraceRecorder::instance().disable();
+  obs::set_trace_clock(nullptr);
+
+  const auto merge = [](const std::string& dir) {
+    const std::string cmd = std::string("python3 ") + ASYNCIT_SOURCE_DIR +
+                            "/tools/trace_merge.py --dir " + dir + " --out " +
+                            dir + "/merged.json >/dev/null";
+    return std::system(cmd.c_str());
+  };
+  ASSERT_EQ(merge(dir_w), 0) << "window-stitching merge failed";
+  ASSERT_EQ(merge(dir_s), 0) << "single-dump merge failed";
+
+  // Compare the event timelines; otherData legitimately differs (window
+  // accounting, per-pass realtime epochs).
+  const auto events_part = [](const std::string& path) {
+    const std::string doc = slurp(path);
+    return doc.substr(0, doc.find("\"otherData\""));
+  };
+  const std::string stitched = events_part(dir_w + "/merged.json");
+  const std::string single = events_part(dir_s + "/merged.json");
+  ASSERT_GT(stitched.size(), 100u);
+  EXPECT_EQ(stitched, single)
+      << "stitched windows are not the single exit dump";
+  std::filesystem::remove_all(dir_w);
+  std::filesystem::remove_all(dir_s);
+}
+
 TEST(OnlineAuditor, MatchesOfflineAuditorsOnTheSameSchedule) {
   // The parity contract: below the series cap the online auditor is the
   // offline model/ auditors, bit for bit, on any schedule. Random
@@ -374,6 +532,57 @@ TEST(Watchdog, FiresAfterDeadlineAndDumpsState) {
   EXPECT_NE(out.find("TraceRecorder dump"), std::string::npos);
   EXPECT_NE(out.find("asyncit-metrics/1"), std::string::npos);
   obs::TraceRecorder::instance().disable();
+}
+
+TEST(Watchdog, OverrunDumpRoutesThroughActiveStreamerWithoutDoubleDrain) {
+  // The regression the single-path rule exists for: a watchdog firing
+  // while a streamer is live must flush a window through the streamer,
+  // not read the rings behind its back — otherwise the same events (and
+  // drop deltas) show up in both the dump and the next window.
+  enable_full();
+  const std::string dir = ::testing::TempDir() + "stream_dog";
+  std::filesystem::create_directories(dir);
+  obs::StreamerConfig sc;
+  sc.dir = dir;
+  sc.rank = 0;
+  sc.interval_seconds = 3600.0;
+  sc.max_windows = 0;
+  sc.label = "obs_test";
+  sc.metrics = false;
+  {
+    obs::TraceStreamer streamer(sc);
+    obs::record(obs::EventType::kMarker, 9, 0, 1, 0.0);
+    obs::record(obs::EventType::kMarker, 9, 0, 2, 0.0);
+    std::ostringstream sink;
+    {
+      obs::Watchdog dog(0.05, "obs_test streamer overrun", &sink);
+      while (!dog.fired())
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const std::string out = sink.str();
+    EXPECT_NE(out.find("streamed window flush"), std::string::npos);
+    EXPECT_EQ(out.find("TraceRecorder dump"), std::string::npos)
+        << "watchdog bypassed the single drain path";
+    EXPECT_NE(out.find("asyncit-metrics/1"), std::string::npos);
+    // The overrun flush is window 0: our two markers plus the watchdog's
+    // own arm marker.
+    EXPECT_EQ(streamer.windows_written(), 1u);
+    EXPECT_EQ(streamer.events_streamed(), 3u);
+
+    // Final flush picks up ONLY what happened since (the disarm marker):
+    // every recorded event is streamed exactly once, drops stay zero and
+    // the cumulative accounting closes.
+    streamer.stop();
+    EXPECT_EQ(streamer.windows_written(), 2u);
+    EXPECT_EQ(streamer.events_streamed(), 4u);
+    const obs::RecorderStats stats = obs::TraceRecorder::instance().stats();
+    EXPECT_EQ(stats.recorded, 4u);
+    EXPECT_EQ(stats.dropped, 0u);
+    EXPECT_EQ(streamer.dropped_seen(), stats.dropped);
+    EXPECT_EQ(streamer.events_streamed(), stats.recorded - stats.dropped);
+  }
+  obs::TraceRecorder::instance().disable();
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Watchdog, DisarmedInTimeStaysSilent) {

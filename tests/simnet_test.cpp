@@ -10,6 +10,7 @@
 // scenarios, and the PSGD train stack over run_train_world.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <utility>
@@ -525,6 +526,80 @@ TEST(SimTrainWorld, TapTrainingConvergesAndReplaysDeterministically) {
   EXPECT_EQ(a.log_hash, b.log_hash);
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(la::dist_inf(a.ranks[0].x, b.ranks[0].x), 0.0);
+}
+
+TEST_F(SimWorldFixture, AdaptiveSspSteersDeterministically) {
+  // Auditor-fed staleness steering over virtual time: one (config, seed)
+  // pair names one execution, so two runs must agree on every steering
+  // decision — the same byte-identical bar as the plain replay test.
+  WorldOptions o = base_world(4);
+  o.mp.solve.mode = net::Mode::kSsp;
+  o.mp.solve.staleness = 1;
+  o.mp.solve.adaptive.enabled = true;
+  o.mp.solve.adaptive.min_bound = 1;
+  o.mp.solve.adaptive.max_bound = 8;
+  o.mp.solve.adaptive.decide_every = 8;
+  o.sim.compute.straggler_every = 4;  // rank 3 computes 10x slower
+  o.sim.record_log = true;
+  const WorldResult a = run_world(*jacobi_, la::zeros(sys_.dim()), o);
+  const WorldResult b = run_world(*jacobi_, la::zeros(sys_.dim()), o);
+  EXPECT_TRUE(a.all_converged) << "residual " << a.final_residual;
+  EXPECT_EQ(a.log_hash, b.log_hash);
+  EXPECT_EQ(a.events, b.events);
+  ASSERT_EQ(a.event_log.size(), b.event_log.size());
+  ASSERT_FALSE(a.event_log.empty());
+  EXPECT_EQ(std::memcmp(a.event_log.data(), b.event_log.data(),
+                        a.event_log.size() * sizeof(EventRecord)),
+            0);
+  std::uint64_t decisions = 0;
+  ASSERT_EQ(a.ranks.size(), b.ranks.size());
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    EXPECT_EQ(a.ranks[r].steering_decisions, b.ranks[r].steering_decisions);
+    EXPECT_EQ(a.ranks[r].staleness_at_exit, b.ranks[r].staleness_at_exit);
+    EXPECT_EQ(a.ranks[r].gate_stalls, b.ranks[r].gate_stalls);
+    EXPECT_EQ(la::dist_inf(a.ranks[r].x, b.ranks[r].x), 0.0);
+    decisions += a.ranks[r].steering_decisions;
+    // Steering implies the auditor even though obs.audit is off.
+    EXPECT_EQ(a.ranks[r].admissibility.size(), 1u);
+  }
+  EXPECT_GT(decisions, 0u);  // the controller actually ran
+}
+
+TEST_F(SimWorldFixture, AdaptiveSspStallsLessThanFixedBoundUnderStragglers) {
+  // The steering payoff the bound exists for: with an injected straggler
+  // a tight fixed bound makes the fast ranks stall at the round gate;
+  // the adaptive bound tracks the measured delay up and frees them.
+  // Deterministic comparison — both sides are pure functions of the
+  // options, so this is an exact regression, not a tendency.
+  WorldOptions fixed = base_world(4);
+  fixed.mp.solve.mode = net::Mode::kSsp;
+  fixed.mp.solve.staleness = 1;
+  fixed.sim.compute.straggler_every = 4;
+  const WorldResult f = run_world(*jacobi_, la::zeros(sys_.dim()), fixed);
+
+  WorldOptions adaptive = fixed;
+  adaptive.mp.solve.adaptive.enabled = true;
+  adaptive.mp.solve.adaptive.min_bound = 1;
+  // The measured delay saturates near the straggler's compute factor
+  // (the fast ranks keep absorbing its updates, so the observed lag is
+  // the real schedule lag, not the artificial gate lead); the gain puts
+  // the bound a margin above that so the gate opens ahead of demand.
+  adaptive.mp.solve.adaptive.max_bound = 64;
+  adaptive.mp.solve.adaptive.gain = 5.0;
+  adaptive.mp.solve.adaptive.decide_every = 1;
+  const WorldResult s = run_world(*jacobi_, la::zeros(sys_.dim()), adaptive);
+
+  EXPECT_TRUE(f.all_converged) << "residual " << f.final_residual;
+  EXPECT_TRUE(s.all_converged) << "residual " << s.final_residual;
+  std::uint64_t stalls_fixed = 0, stalls_adaptive = 0, bound_max = 0;
+  for (const net::MpResult& rank : f.ranks) stalls_fixed += rank.gate_stalls;
+  for (const net::MpResult& rank : s.ranks) {
+    stalls_adaptive += rank.gate_stalls;
+    bound_max = std::max(bound_max, rank.staleness_at_exit);
+  }
+  EXPECT_GT(stalls_fixed, 0u);  // the fixed bound really does gate
+  EXPECT_LT(stalls_adaptive, stalls_fixed);
+  EXPECT_GT(bound_max, 1u);  // the controller raised past the initial
 }
 
 TEST_F(SimWorldFixture, StragglersStretchVirtualTimeDeterministically) {

@@ -56,6 +56,7 @@
 #include "asyncit/net/node_config.hpp"
 #include "asyncit/obs/exporter.hpp"
 #include "asyncit/obs/metrics.hpp"
+#include "asyncit/obs/streamer.hpp"
 #include "asyncit/train/psgd.hpp"
 
 namespace {
@@ -79,13 +80,36 @@ void print_start_marker(std::uint32_t rank) {
   std::fflush(stdout);
 }
 
+/// Streaming trace windows (config stream_interval > 0): a background
+/// flusher owns the rings for the whole run, so a killed/hung rank
+/// leaves its newest windows on disk instead of nothing.
+std::unique_ptr<obs::TraceStreamer> make_streamer(const net::NodeConfig& cfg,
+                                                  std::uint32_t rank) {
+  if (cfg.stream_interval <= 0.0 || cfg.trace != obs::TraceLevel::kFull ||
+      cfg.trace_dir.empty())
+    return nullptr;
+  obs::StreamerConfig sc;
+  sc.dir = cfg.trace_dir;
+  sc.rank = static_cast<std::uint16_t>(rank);
+  sc.interval_seconds = cfg.stream_interval;
+  sc.max_windows = cfg.stream_windows;
+  sc.label = "asyncit_node";
+  return std::make_unique<obs::TraceStreamer>(sc);
+}
+
 /// Per-rank trace + metrics artifacts (trace_merge.py consumes the
 /// former; launch_cluster.py archives both).
 void export_obs_artifacts(const net::NodeConfig& cfg, std::uint32_t rank,
-                          std::uint64_t events_dropped) {
+                          std::uint64_t events_dropped,
+                          obs::TraceStreamer* streamer) {
   if (cfg.trace == obs::TraceLevel::kOff || cfg.trace_dir.empty()) return;
   const std::string base = cfg.trace_dir + "/rank_" + std::to_string(rank);
-  if (cfg.trace == obs::TraceLevel::kFull) {
+  if (streamer != nullptr) {
+    // The windows ARE the trace record: the final stop() flush drains
+    // whatever the last period left behind. Writing the one-shot
+    // trace.json too would duplicate every windowed event in a merge.
+    streamer->stop();
+  } else if (cfg.trace == obs::TraceLevel::kFull) {
     obs::ExportMeta meta;
     meta.rank = static_cast<std::uint16_t>(rank);
     meta.epoch_realtime_ns =
@@ -131,18 +155,21 @@ int run_solve_workload(const net::NodeConfig& cfg, std::uint32_t rank,
   opt.solve.max_seconds = cfg.max_seconds;
   opt.solve.max_updates = cfg.max_updates;
   opt.solve.check_every = cfg.check_every;
+  opt.solve.adaptive = cfg.adaptive;
   opt.seed = cfg.seed;
   opt.membership = cfg.membership;
   opt.obs.trace_level = cfg.trace;
   opt.obs.audit = cfg.audit;
 
+  const auto streamer = make_streamer(cfg, rank);
   const net::MpResult result =
       net::run_node(jacobi, la::zeros(cfg.dim), opt, fabric.endpoint(rank));
 
   // Let the final frames (stop announcement, last block values) reach
   // the wire before the sockets close under the other ranks.
   fabric.flush(2.0);
-  export_obs_artifacts(cfg, rank, result.obs_events_dropped);
+  export_obs_artifacts(cfg, rank, result.obs_events_dropped,
+                       streamer.get());
 
   // A rank that was stopped by another rank's announcement (gated modes
   // stop on the first kStop) may sit within in-flight staleness of the
@@ -244,7 +271,9 @@ int run_solve_workload(const net::NodeConfig& cfg, std::uint32_t rank,
       "\"reassignments\":%llu,\"snapshot_blocks_sent\":%llu,"
       "\"live_at_exit\":%s},\"delay_quantiles\":%s,\"links\":%s,"
       "\"admissibility\":%s,\"obs\":{\"recorded\":%llu,"
-      "\"dropped\":%llu},\"train\":null}\n",
+      "\"dropped\":%llu},\"gate_stalls\":%llu,"
+      "\"steering\":{\"decisions\":%llu,\"staleness_at_exit\":%llu},"
+      "\"train\":null}\n",
       rank, ok ? "true" : "false", result.converged ? "true" : "false",
       result.final_error, cfg.tol, result.wall_seconds,
       static_cast<unsigned long long>(result.total_updates),
@@ -274,7 +303,10 @@ int run_solve_workload(const net::NodeConfig& cfg, std::uint32_t rank,
       live.c_str(), quantiles_json(result.delays).c_str(), links.c_str(),
       audit_json.c_str(),
       static_cast<unsigned long long>(result.obs_events_recorded),
-      static_cast<unsigned long long>(result.obs_events_dropped));
+      static_cast<unsigned long long>(result.obs_events_dropped),
+      static_cast<unsigned long long>(result.gate_stalls),
+      static_cast<unsigned long long>(result.steering_decisions),
+      static_cast<unsigned long long>(result.staleness_at_exit));
   return ok ? 0 : 1;
 }
 
@@ -293,10 +325,12 @@ int run_train_workload(const net::NodeConfig& cfg, std::uint32_t rank,
   opt.sgd = cfg.sgd;
   opt.obs.trace_level = cfg.trace;
 
+  const auto streamer = make_streamer(cfg, rank);
   const train::TrainResult result = train::run_training_node(
       data, la::zeros(data.features()), opt, fabric.endpoint(rank));
   fabric.flush(2.0);
-  export_obs_artifacts(cfg, rank, result.obs_events_dropped);
+  export_obs_artifacts(cfg, rank, result.obs_events_dropped,
+                       streamer.get());
 
   // With a target, reaching it (server) / being stopped because the
   // server reached it (workers) is the acceptance criterion; without
@@ -332,6 +366,7 @@ int run_train_workload(const net::NodeConfig& cfg, std::uint32_t rank,
       "\"sent\":%llu,\"delivered\":%llu,\"dropped\":%llu,"
       "\"peers_stopped\":%llu,\"frames_rejected\":%llu,"
       "\"bad_frames\":%llu,\"obs\":{\"recorded\":%llu,\"dropped\":%llu},"
+      "\"steering\":{\"decisions\":%llu,\"staleness_at_exit\":%llu},"
       "\"train\":{\"epoch\":%llu,\"examples_per_sec\":%.9g,"
       "\"loss\":%.9g,\"accuracy\":%.9g,\"steps\":%llu,"
       "\"deltas_applied\":%llu,\"examples\":%llu}}\n",
@@ -346,6 +381,8 @@ int run_train_workload(const net::NodeConfig& cfg, std::uint32_t rank,
       static_cast<unsigned long long>(fabric.bad_frames()),
       static_cast<unsigned long long>(result.obs_events_recorded),
       static_cast<unsigned long long>(result.obs_events_dropped),
+      static_cast<unsigned long long>(result.steering_decisions),
+      static_cast<unsigned long long>(result.staleness_at_exit),
       static_cast<unsigned long long>(result.epochs),
       result.examples_per_sec, result.final_loss, result.final_accuracy,
       static_cast<unsigned long long>(steps),

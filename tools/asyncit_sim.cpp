@@ -109,6 +109,7 @@ int main(int argc, char** argv) {
   wo.mp.solve.max_seconds = cfg.max_seconds;  // VIRTUAL budget under sim
   wo.mp.solve.max_updates = cfg.max_updates;
   wo.mp.solve.check_every = cfg.check_every;
+  wo.mp.solve.adaptive = cfg.adaptive;
   wo.mp.seed = cfg.seed;
   wo.mp.membership = cfg.membership;
   wo.mp.obs.trace_level = cfg.trace;
