@@ -1,0 +1,248 @@
+// C15 — the wire-efficiency layer: per-link delta encoding, heartbeat
+// suppression, and the lossy codec (top-k window + scalar quantization)
+// against the uncompressed frames as the semantics oracle.
+//
+// What this pins:
+//   parity      delta encoding is pure wire compression: with the codec
+//               off, the delta-on BSP solve finishes on the BIT-IDENTICAL
+//               iterate the delta-off solve produces (max-norm distance
+//               exactly 0.0 — deterministic-checked);
+//   reduction   on a prox/lasso solve whose fixed point is mostly exact
+//               zeros, the delta layer's dirty-range shrinking + zero-
+//               count heartbeats cut bytes-on-wire by >= 2x vs full-width
+//               raw frames (bytes are counted by the peers themselves:
+//               bytes_sent_raw vs bytes_sent_wire);
+//   lossy       top-k + 16-bit quantization stays inside the residual
+//               tolerance band around the fixed point — compression
+//               error behaves like one more bounded delay, exactly the
+//               perturbation the paper's totally-asynchronous theory
+//               absorbs.
+//
+// The lasso-flavoured operator is prox-Jacobi: a Jacobi sweep followed by
+// coordinatewise soft-thresholding. The shrink is 1-Lipschitz per
+// component, so the composition inherits the Jacobi contraction factor
+// in the max norm (the paper's convergence regime) while producing EXACT
+// zeros — the sparsity the delta layer monetizes. The RHS support is
+// confined to the first blocks so most blocks go stationary early and
+// publish heartbeats for the rest of the solve.
+//
+// BENCH_wire_efficiency.json via the shared harness; deterministic fields
+// gated by bench/baselines/wire_efficiency.json in CI's perf-smoke job.
+#include <cstdio>
+#include <string>
+
+#include "asyncit/asyncit.hpp"
+#include "asyncit/simnet/world.hpp"
+#include "harness/bench_harness.hpp"
+
+using namespace asyncit;
+
+namespace {
+
+// Jacobi sweep + soft-threshold: shrink is componentwise 1-Lipschitz, so
+// ||prox(G(x)) - prox(G(y))||_inf <= alpha ||x - y||_inf with the inner
+// operator's alpha — still a Definition-1 contraction, now with a sparse
+// fixed point.
+class ProxJacobiOperator final : public op::BlockOperator {
+ public:
+  ProxJacobiOperator(const op::JacobiOperator& inner, double tau)
+      : inner_(inner), tau_(tau) {}
+
+  const la::Partition& partition() const override {
+    return inner_.partition();
+  }
+
+  void apply_block(la::BlockId b, std::span<const double> x,
+                   std::span<double> out, op::Workspace& ws) const override {
+    inner_.apply_block(b, x, out, ws);
+    for (double& v : out) v = soft(v, tau_);
+  }
+
+  std::string name() const override { return "prox_jacobi_lasso"; }
+
+ private:
+  static double soft(double v, double t) {
+    return v > t ? v - t : (v < -t ? v + t : 0.0);
+  }
+
+  const op::JacobiOperator& inner_;
+  double tau_;
+};
+
+double reduction(const net::MpResult& r) {
+  return r.bytes_sent_wire > 0
+             ? double(r.bytes_sent_raw) / double(r.bytes_sent_wire)
+             : 1.0;
+}
+
+std::size_t nnz(const la::Vector& x) {
+  std::size_t n = 0;
+  for (const double v : x) n += v != 0.0;
+  return n;
+}
+
+void record(bench::Report& report, const std::string& name,
+            const net::MpResult& r, double parity_vs_oracle) {
+  report.scenario(name)
+      .det("converged", r.converged)
+      .det("final_error", r.final_error)
+      .det("parity_vs_oracle", parity_vs_oracle)
+      .det("frames_codec_positive", r.wire_frames_codec > 0)
+      .metric("wall_seconds", r.wall_seconds)
+      .metric("bytes_raw", static_cast<double>(r.bytes_sent_raw))
+      .metric("bytes_wire", static_cast<double>(r.bytes_sent_wire))
+      .metric("reduction_factor", reduction(r))
+      .metric("frames_full", static_cast<double>(r.wire_frames_full))
+      .metric("frames_delta", static_cast<double>(r.wire_frames_delta))
+      .metric("frames_heartbeat",
+              static_cast<double>(r.wire_frames_heartbeat))
+      .metric("frames_codec", static_cast<double>(r.wire_frames_codec));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== C15: wire efficiency — delta frames, heartbeats, lossy "
+              "codec ==\n\n");
+
+  constexpr std::size_t kDim = 384;
+  constexpr std::size_t kBlocks = 16;
+  Rng rng(41);
+  auto sys = problems::make_diagonally_dominant_system(kDim, 4, 2.0, rng);
+  // Confine the RHS support to the first two blocks: off-support
+  // components of the shrink fixed point collapse to exact zeros, so most
+  // blocks go stationary early and publish zero-count heartbeats.
+  for (std::size_t i = 2 * (kDim / kBlocks); i < kDim; ++i) sys.b[i] = 0.0;
+  la::Partition partition = la::Partition::balanced(kDim, kBlocks);
+  op::JacobiOperator jac(sys.a, sys.b, partition);
+  const double tau = 0.02;
+  ProxJacobiOperator lasso(jac, tau);
+  const la::Vector x_star =
+      op::picard_solve(lasso, la::zeros(kDim), 50000, 1e-14);
+  std::printf("lasso fixed point: %zu / %zu nonzeros (tau %.3f)\n\n",
+              nnz(x_star), kDim, tau);
+
+  bench::Report report("wire_efficiency");
+
+  net::MpOptions opt;
+  opt.workers = 4;
+  opt.solve.mode = net::Mode::kBsp;
+  opt.solve.tol = 1e-8;
+  opt.solve.x_star = x_star;
+  opt.solve.max_seconds = 30.0;
+  opt.solve.max_updates = 100000000;
+  opt.seed = 7;
+
+  TextTable table({"scenario", "conv", "parity vs oracle", "bytes raw",
+                   "bytes wire", "reduction", "full", "delta", "hbeat",
+                   "codec"});
+  auto row = [&](const char* name, const net::MpResult& r, double parity) {
+    table.add_row({name, r.converged ? "yes" : "NO",
+                   parity >= 0.0 ? TextTable::num(parity, 10) : "-",
+                   std::to_string(r.bytes_sent_raw),
+                   std::to_string(r.bytes_sent_wire),
+                   TextTable::num(reduction(r), 3),
+                   std::to_string(r.wire_frames_full),
+                   std::to_string(r.wire_frames_delta),
+                   std::to_string(r.wire_frames_heartbeat),
+                   std::to_string(r.wire_frames_codec)});
+  };
+
+  // (a) delta off: the oracle. bytes_wire == bytes_raw by construction.
+  const net::MpResult oracle =
+      net::run_message_passing(lasso, la::zeros(kDim), opt);
+  row("bsp_delta_off", oracle, -1.0);
+  record(report, "bsp_delta_off", oracle, 0.0);
+
+  // (b) delta on, codec off: bit-identical finals (BSP rounds are
+  // deterministic and delta framing only elides bytes the receiver
+  // already holds), >= 2x fewer bytes on the wire.
+  net::MpResult delta_on;
+  {
+    net::MpOptions o = opt;
+    o.wire.delta = true;
+    o.wire.refresh_every = 64;
+    delta_on = net::run_message_passing(lasso, la::zeros(kDim), o);
+    const double parity = la::dist_inf(delta_on.x, oracle.x);
+    row("bsp_delta_lossless", delta_on, parity);
+    record(report, "bsp_delta_lossless", delta_on, parity);
+  }
+
+  // (c) totally-async delta: no barriers, same wire layer. Finals land in
+  // the tolerance band of the same fixed point (async schedules are not
+  // bit-reproducible; the band is the contract).
+  {
+    net::MpOptions o = opt;
+    o.solve.mode = net::Mode::kAsync;
+    o.wire.delta = true;
+    o.wire.refresh_every = 64;
+    const net::MpResult r = net::run_message_passing(lasso, la::zeros(kDim), o);
+    row("async_delta_lossless", r, la::dist_inf(r.x, x_star));
+    record(report, "async_delta_lossless", r, la::dist_inf(r.x, x_star));
+  }
+
+  // (d) the HARD parity gate, over simnet: with order-preserving links
+  // (fifo, no jitter) and infinite bandwidth (serialization cost is
+  // byte-independent), the delta world runs the IDENTICAL deterministic
+  // schedule as the raw world — frame counts are invariant (heartbeats
+  // replace unchanged publishes one for one) and exact deltas
+  // reconstruct the identical doubles. Finals agree bit for bit, and the
+  // byte counts themselves are deterministic — this is the scenario the
+  // baseline gates at parity == 0.0 exactly.
+  {
+    simnet::WorldOptions w;
+    w.mp = opt;
+    w.mp.solve.mode = net::Mode::kAsync;
+    w.sim.topology.latency = 2e-4;
+    w.sim.topology.jitter = 0.0;
+    w.sim.topology.fifo = true;
+    w.sim.compute.phase = 1e-4;
+    const simnet::WorldResult raw =
+        simnet::run_world(lasso, la::zeros(kDim), w);
+    w.mp.wire.delta = true;
+    w.mp.wire.refresh_every = 64;
+    const simnet::WorldResult dw =
+        simnet::run_world(lasso, la::zeros(kDim), w);
+    double parity = 0.0;
+    net::MpResult sum;
+    sum.converged = raw.all_converged && dw.all_converged;
+    sum.final_error = dw.final_residual;
+    for (std::size_t r = 0; r < dw.ranks.size(); ++r) {
+      parity = std::max(parity,
+                        la::dist_inf(raw.ranks[r].x, dw.ranks[r].x));
+      sum.bytes_sent_raw += dw.ranks[r].bytes_sent_raw;
+      sum.bytes_sent_wire += dw.ranks[r].bytes_sent_wire;
+      sum.wire_frames_full += dw.ranks[r].wire_frames_full;
+      sum.wire_frames_delta += dw.ranks[r].wire_frames_delta;
+      sum.wire_frames_heartbeat += dw.ranks[r].wire_frames_heartbeat;
+      sum.wire_frames_codec += dw.ranks[r].wire_frames_codec;
+    }
+    row("simnet_delta_parity", sum, parity);
+    record(report, "simnet_delta_parity", sum, parity);
+  }
+
+  // (e) lossy: top-k window + 16-bit quantization against a loosened
+  // tolerance. The compression error is a bounded per-message
+  // perturbation — the solve must still land inside the residual band.
+  {
+    net::MpOptions o = opt;
+    o.solve.mode = net::Mode::kAsync;
+    o.solve.tol = 1e-5;
+    o.wire.delta = true;
+    o.wire.topk = 8;
+    o.wire.quant_bits = 16;
+    o.wire.refresh_every = 8;
+    const net::MpResult r = net::run_message_passing(lasso, la::zeros(kDim), o);
+    row("async_lossy_topk_quant16", r, la::dist_inf(r.x, x_star));
+    record(report, "async_lossy_topk_quant16", r, la::dist_inf(r.x, x_star));
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  trace::maybe_write_csv(table, "c15_wire_efficiency");
+
+  report.write();
+  std::printf("shape check: delta-on BSP finals are bit-identical to the "
+              "oracle with >= 2x fewer bytes on the wire; the lossy codec "
+              "stays inside the residual band.\n");
+  return 0;
+}

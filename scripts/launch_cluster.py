@@ -161,6 +161,13 @@ def config_lines(args, world, late_ranks, ports):
                   ("nnz", args.nnz), ("dominance", args.dominance),
                   ("mode", args.mode), ("staleness", args.staleness),
                   ("tol", args.tol), ("max_seconds", args.max_seconds)]
+        if args.wire_delta:
+            lines.append(("wire_delta", 1))
+            if args.wire_topk:
+                lines.append(("wire_topk", args.wire_topk))
+            if args.wire_quant_bits:
+                lines.append(("wire_quant_bits", args.wire_quant_bits))
+            lines.append(("wire_refresh_every", args.wire_refresh_every))
     else:
         lines += [("samples", args.samples), ("features", args.features),
                   ("density", args.density),
@@ -265,6 +272,10 @@ def aggregate(results, counted_ranks, workload):
             "gossip_frames_sent", "suspicions", "deaths_observed",
             "joins_observed", "refutations", "control_rejected")},
         "reassignments": 0, "snapshot_blocks_sent": 0,
+        "snapshot_blocks_suppressed": 0,
+        "wire": {k: 0 for k in (
+            "bytes_raw", "bytes_wire", "frames_full", "frames_delta",
+            "frames_heartbeat", "frames_codec")},
         "delay_summary": {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
                           "max": 0.0},
         "admissibility": None,
@@ -284,6 +295,11 @@ def aggregate(results, counted_ranks, workload):
         total["reassignments"] += int(ms.get("reassignments", 0))
         total["snapshot_blocks_sent"] += int(ms.get("snapshot_blocks_sent",
                                                     0))
+        total["snapshot_blocks_suppressed"] += int(
+            ms.get("snapshot_blocks_suppressed", 0))
+        wr = r.get("wire") or {}
+        for key in total["wire"]:
+            total["wire"][key] += int(wr.get(key, 0))
         total["max_error"] = max(total["max_error"],
                                  float(r.get("error", 0.0)))
         dq = r.get("delay_quantiles") or {}
@@ -362,6 +378,18 @@ def main():
     ap.add_argument("--max-epochs", type=int, default=50)
     ap.add_argument("--target-accuracy", type=float, default=0.0)
     ap.add_argument("--eval-every", type=int, default=8)
+    ap.add_argument("--wire-delta", action="store_true",
+                    help="per-link delta encoding: ship only the changed "
+                         "range of each block (solve)")
+    ap.add_argument("--wire-topk", type=int, default=0,
+                    help="cap delta frames at the densest window of this "
+                         "many coordinates (lossy; requires --wire-delta)")
+    ap.add_argument("--wire-quant-bits", type=int, default=0,
+                    choices=[0, 8, 16],
+                    help="scalar-quantize payloads (0 = raw doubles; "
+                         "requires --wire-delta)")
+    ap.add_argument("--wire-refresh-every", type=int, default=16,
+                    help="full-frame resync period per (link, block)")
     ap.add_argument("--chaos", action="store_true",
                     help="inject the chaos delay model over TCP")
     ap.add_argument("--min-latency", type=float, default=0.0)

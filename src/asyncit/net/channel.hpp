@@ -55,6 +55,10 @@ struct Message {
   model::Step tag = 0;          ///< sender's production counter for `block`
   std::uint64_t round = 0;      ///< sender's phase/round index when sent
   bool partial = false;         ///< mid-phase partial update (Definition 3)
+  /// Partial-range frame that finishes the sender's round anyway (the
+  /// delta layer ships only changed coordinates, so the "whole block
+  /// arrived" signal gated modes need travels as this flag instead).
+  bool complete = false;
   MsgKind kind = MsgKind::kValue;
   /// Coordinate offset of the payload within the block: a partial-block
   /// frame carries value.size() <= block size coordinates starting here

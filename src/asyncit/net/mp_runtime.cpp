@@ -187,6 +187,13 @@ MpResult run_message_passing(const op::BlockOperator& op,
     result.frames_rejected += p->frames_rejected();
     result.reassignments += p->reassignments();
     result.snapshot_blocks_sent += p->snapshot_blocks_sent();
+    result.snapshot_blocks_suppressed += p->snapshot_blocks_suppressed();
+    result.bytes_sent_raw += p->bytes_sent_raw();
+    result.bytes_sent_wire += p->bytes_sent_wire();
+    result.wire_frames_full += p->wire_frames_full();
+    result.wire_frames_delta += p->wire_frames_delta();
+    result.wire_frames_heartbeat += p->wire_frames_heartbeat();
+    result.wire_frames_codec += p->wire_frames_codec();
     result.gate_stalls += p->gate_stalls();
     result.steering_decisions += p->steering_decisions();
     result.staleness_at_exit =

@@ -93,6 +93,35 @@ struct ChaosOptions {
   DeliveryPolicy delivery;
 };
 
+/// Wire-efficiency layer (transport/codec.hpp, DESIGN.md §6): per-link
+/// delta encoding of block publishes, with optional lossy compression on
+/// top. All off by default — the wire then carries byte-identical
+/// full-width frames.
+struct WireOptions {
+  /// Per-(link, block) delta encoding: each sender remembers the payload
+  /// it last put on every directed link and ships only the contiguous
+  /// range that changed (an offset/count partial frame flagged
+  /// `complete` so round accounting is unaffected). An unchanged block
+  /// still sends a zero-count heartbeat — frame COUNTS are invariant, so
+  /// chaos/simnet draw sequences replay identically with delta on or
+  /// off, and the tag stream stays intact.
+  bool delta = false;
+  /// Windowed top-k sparsification (requires delta): when the dirty
+  /// range is wider than this, send only the <= topk-wide window with
+  /// the largest |change| mass; the rest stays dirty and ships later.
+  /// 0 = off.
+  std::uint32_t topk = 0;
+  /// Scalar quantization (requires delta): payload doubles ride as
+  /// 2^bits-level integers between the frame's min/max. 0 = off
+  /// (exact); 8 or 16 otherwise. Lossy — gated by the residual-tolerance
+  /// parity suite against the uncompressed oracle.
+  std::uint32_t quant_bits = 0;
+  /// Every this-many sends on a (link, block) pair, a full-width frame
+  /// resyncs the receiver — bounds how long a dropped delta (or a
+  /// replaced connection) can keep a component stale.
+  std::uint32_t refresh_every = 16;
+};
+
 /// Observability (obs/, DESIGN.md §8) + the legacy Gantt EventLog.
 struct ObsOptions {
   bool record_trace = false;          ///< fill the EventLog (Gantt)
@@ -129,6 +158,7 @@ struct MpOptions {
 
   SolveOptions solve;
   ChaosOptions chaos;
+  WireOptions wire;
   ObsOptions obs;
 
   /// Elastic ranks (membership/): when enabled, every peer runs a SWIM
@@ -173,6 +203,19 @@ struct MpResult {
   /// of run_message_passing; tools/asyncit_node fills it for run_node).
   std::uint64_t bad_frames = 0;
 
+  // ---- wire-efficiency layer (WireOptions; raw == wire when off) ----
+  /// Bytes the peers' block publishes would have cost as full-width raw
+  /// frames, vs the bytes actually framed (delta ranges, heartbeats,
+  /// quantized payloads). raw / wire is the bandwidth-reduction factor
+  /// the c15 bench gates.
+  std::uint64_t bytes_sent_raw = 0;
+  std::uint64_t bytes_sent_wire = 0;
+  /// Frame-class breakdown of the delta layer's block publishes.
+  std::uint64_t wire_frames_full = 0;
+  std::uint64_t wire_frames_delta = 0;
+  std::uint64_t wire_frames_heartbeat = 0;
+  std::uint64_t wire_frames_codec = 0;
+
   // ---- elastic membership (all zero/empty when membership is off) ----
   /// Detector + dissemination counters, summed over local ranks.
   membership::Stats membership;
@@ -180,6 +223,9 @@ struct MpResult {
   std::uint64_t reassignments = 0;
   /// Blocks sent as welcome snapshots to joining ranks.
   std::uint64_t snapshot_blocks_sent = 0;
+  /// Owned blocks NOT snapshot because the established-cover plan
+  /// assigns them to another rank (deduped welcome duplicates).
+  std::uint64_t snapshot_blocks_suppressed = 0;
   /// This rank's live view at exit (run_node only; sorted, includes the
   /// own rank).
   std::vector<std::uint32_t> live_at_exit;

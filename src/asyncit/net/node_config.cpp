@@ -214,6 +214,34 @@ const KeyEntry kKeys[] = {
        return read_value(ls, c.sgd.eval_every, e);
      }},
 
+    // -- wire efficiency (solve) --
+    {{"wire_delta", "bool01", "0",
+      "per-link delta encoding: each sender tracks the last frame per "
+      "(destination, block) and ships only the changed range (solve)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_bool01(ls, c.wire_delta, e);
+     }},
+    {{"wire_topk", "int", "0",
+      "cap a delta frame at the densest window of this many coordinates "
+      "(lossy until the next refresh; 0 = ship the whole changed range; "
+      "requires wire_delta 1)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.wire_topk, e);
+     }},
+    {{"wire_quant_bits", "int", "0",
+      "scalar-quantize value payloads to 8 or 16 bits per coordinate "
+      "(0 = raw doubles; requires wire_delta 1)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.wire_quant_bits, e);
+     }},
+    {{"wire_refresh_every", "int", "16",
+      "full-frame resync period per (destination, block): every N-th "
+      "send ships the whole block, bounding delta drift (1 = always "
+      "full)"},
+     [](NodeConfig& c, std::istringstream& ls, std::string& e) {
+       return read_value(ls, c.wire_refresh_every, e);
+     }},
+
     // -- fabric --
     {{"transport", "enum:tcp|sim", "tcp",
       "tcp: one process per rank over sockets (asyncit_node); sim: the "
@@ -506,6 +534,19 @@ bool validate(NodeConfig& cfg, std::string& error) {
       error = "adaptive_hold and adaptive_every must be >= 1";
       return false;
     }
+  }
+  if (cfg.wire_quant_bits != 0 && cfg.wire_quant_bits != 8 &&
+      cfg.wire_quant_bits != 16) {
+    error = "wire_quant_bits must be 0, 8, or 16";
+    return false;
+  }
+  if (cfg.wire_refresh_every < 1) {
+    error = "wire_refresh_every must be >= 1";
+    return false;
+  }
+  if ((cfg.wire_topk != 0 || cfg.wire_quant_bits != 0) && !cfg.wire_delta) {
+    error = "wire_topk / wire_quant_bits require wire_delta 1";
+    return false;
   }
   if (cfg.stream_interval > 0.0 &&
       (cfg.trace != obs::TraceLevel::kFull || cfg.trace_dir.empty())) {

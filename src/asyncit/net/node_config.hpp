@@ -69,6 +69,12 @@ struct NodeConfig {
   problems::LogisticConfig dataset;  ///< samples/features/density/...
   train::SgdOptions sgd;             ///< discipline/lr/batch/epochs/...
 
+  // -- wire efficiency (solve workload; net::WireOptions) --
+  bool wire_delta = false;          ///< per-link delta encoding
+  std::uint32_t wire_topk = 0;      ///< delta window cap (coords; 0=off)
+  std::uint32_t wire_quant_bits = 0;  ///< 0 raw, 8/16 scalar quant
+  std::uint32_t wire_refresh_every = 16;  ///< full-frame resync period
+
   // -- fabric --
   /// transport sim: the whole world runs in ONE process over the
   /// simnet/ virtual-time engine (tools/asyncit_sim); node lines are

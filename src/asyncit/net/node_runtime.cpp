@@ -98,6 +98,13 @@ MpResult run_node(const op::BlockOperator& op, const la::Vector& x0,
   result.frames_rejected = peer.frames_rejected();
   result.reassignments = peer.reassignments();
   result.snapshot_blocks_sent = peer.snapshot_blocks_sent();
+  result.snapshot_blocks_suppressed = peer.snapshot_blocks_suppressed();
+  result.bytes_sent_raw = peer.bytes_sent_raw();
+  result.bytes_sent_wire = peer.bytes_sent_wire();
+  result.wire_frames_full = peer.wire_frames_full();
+  result.wire_frames_delta = peer.wire_frames_delta();
+  result.wire_frames_heartbeat = peer.wire_frames_heartbeat();
+  result.wire_frames_codec = peer.wire_frames_codec();
   result.gate_stalls = peer.gate_stalls();
   result.steering_decisions = peer.steering_decisions();
   result.staleness_at_exit = peer.staleness_bound();

@@ -4,9 +4,12 @@
 #include <thread>
 
 #include "asyncit/linalg/vector_ops.hpp"
+#include "asyncit/obs/metrics.hpp"
 #include "asyncit/obs/trace_recorder.hpp"
 #include "asyncit/runtime/pacing.hpp"
 #include "asyncit/support/check.hpp"
+#include "asyncit/transport/codec.hpp"
+#include "asyncit/transport/wire.hpp"
 
 namespace asyncit::net {
 
@@ -85,6 +88,39 @@ Peer::Peer(const PeerContext& ctx, std::uint32_t id, const la::Vector& x0,
   if (ctx_.options->obs.record_trace)
     trace_budget_ =
         ctx_.options->obs.max_trace_events / std::max<std::size_t>(1, ctx_.options->workers);
+  if (ctx_.options->wire.delta) {
+    // One baseline per (destination, block). The `last` vectors size
+    // themselves to the block width on first use, so an idle link costs
+    // a few words, not a block copy.
+    delta_.resize(ctx_.options->workers *
+                  ctx_.op->partition().num_blocks());
+    block_rx_epoch_.assign(ctx_.op->partition().num_blocks(), 0);
+  }
+}
+
+std::vector<la::BlockId> snapshot_plan(std::size_t num_blocks,
+                                       const std::vector<std::uint32_t>& live,
+                                       std::uint32_t self,
+                                       std::uint32_t joiner) {
+  // Established set = live view minus the joiner; the plan is the same
+  // contiguous assignment recompute_owned() uses, so in the settled case
+  // (no racing epoch) every rank's plan share IS its owned set and
+  // nothing is suppressed.
+  std::size_t established = 0;
+  std::size_t index = 0;
+  bool found = false;
+  for (const std::uint32_t r : live) {
+    if (r == joiner) continue;
+    if (r == self) {
+      index = established;
+      found = true;
+    }
+    ++established;
+  }
+  if (!found || established == 0) return {};
+  const std::size_t workers = std::min(established, num_blocks);
+  if (index >= workers) return {};  // surplus (idle) rank
+  return la::assign_blocks_contiguous(num_blocks, workers)[index];
 }
 
 void Peer::incorporate_tracked(const la::Partition& partition,
@@ -100,6 +136,11 @@ void Peer::incorporate_tracked(const la::Partition& partition,
   // Audit bridge: an accepted remote value changes the component as of
   // the CURRENT local step — it joins the next own step's S_j.
   if (!filtered && auditor_ != nullptr) audit_pending_[m.block] = 1;
+  // Delta layer: another rank wrote this block (ownership churn / a
+  // double-assignment window), so the baselines we hold for it toward
+  // EVERY destination no longer describe what we last sent of our own
+  // values — force a full-frame resync on the next publish.
+  if (!filtered && !block_rx_epoch_.empty()) ++block_rx_epoch_[m.block];
 }
 
 void Peer::trip_stop(obs::StopReason reason) {
@@ -226,8 +267,12 @@ void Peer::receive() {
     // Round-completion tracking (counts at drain time, independent of any
     // BSP holdback). Only SSP/BSP gates consult it — and with message
     // loss (kAsync) an incomplete round would leave its map entry behind
-    // forever — so skip the bookkeeping entirely in async mode.
-    if (!m.partial && ctx_.options->solve.mode != Mode::kAsync) {
+    // forever — so skip the bookkeeping entirely in async mode. A delta
+    // frame that ends the sender's phase is partial on the wire but
+    // carries the complete flag: it counts like the full-width frame it
+    // replaced.
+    if ((!m.partial || m.complete) &&
+        ctx_.options->solve.mode != Mode::kAsync) {
       const std::size_t need = (*ctx_.owned)[m.src].size();
       auto& per_round = arrivals_[m.src];
       ++per_round[m.round];
@@ -265,19 +310,122 @@ void Peer::send_block(la::BlockId b, bool partial) {
       partition.block_span(std::span<const double>(view_.x), b);
   const double t = now();
   const bool allow_drop = ctx_.options->solve.mode == Mode::kAsync;
-  transport::MessageHeader header;
-  header.block = b;
-  header.tag = tag;
-  header.round = round_;
-  header.partial = partial;
+  const WireOptions& wire = ctx_.options->wire;
+  const std::size_t num_blocks = partition.num_blocks();
   auto send_one = [&](std::uint32_t dst) {
+    transport::MessageHeader header;
+    header.block = b;
+    header.tag = tag;
+    header.round = round_;
+    header.partial = partial;
+    std::span<const double> payload = value;
+    DeltaSlot* slot = nullptr;
+    bool full = true;
+    bool heartbeat = false;
+    if (wire.delta) {
+      slot = &delta_[std::size_t(dst) * num_blocks + b];
+      // A full refresh re-anchors the link: first contact, ownership
+      // churn on the block since the slot was anchored (the receiver's
+      // copy may predate our adoption), or the periodic resync that
+      // bounds how long a lost delta can linger as drift.
+      full = !slot->valid || slot->rx_epoch != block_rx_epoch_[b] ||
+             slot->sends_since_refresh + 1 >= wire.refresh_every;
+      if (!full) {
+        std::size_t lo = 0, hi = value.size();
+        const la::Vector& last = slot->last;
+        while (lo < hi && value[lo] == last[lo]) ++lo;
+        while (hi > lo && value[hi - 1] == last[hi - 1]) --hi;
+        if (lo == hi) {
+          // Nothing changed since the last frame on this link: send a
+          // zero-width heartbeat so the tag/round stream (and the chaos
+          // draw sequence — one draw per frame) is unchanged.
+          heartbeat = true;
+          header.offset = 0;
+          payload = {};
+        } else {
+          std::size_t off = lo, len = hi - lo;
+          if (wire.topk != 0 && len > wire.topk) {
+            const transport::codec::Window w = transport::codec::best_window(
+                value.subspan(lo, len),
+                std::span<const double>(last).subspan(lo, len), wire.topk);
+            off = lo + w.offset;
+            len = w.count;
+          }
+          header.offset = static_cast<std::uint32_t>(off);
+          payload = value.subspan(off, len);
+        }
+        header.partial = true;
+        // The frame replacing a full-width publish keeps its
+        // round-accounting weight; a frame that was partial anyway
+        // (flexible-mode early publish) stays weightless.
+        header.complete = !partial;
+      }
+    }
+    if (wire.quant_bits != 0 && !full && !payload.empty()) {
+      // Quantize delta ranges only: full-width refresh frames always
+      // carry exact doubles, so accumulated compression error is wiped
+      // at every resync and the steady-state noise floor is set by ONE
+      // inter-refresh window of delta steps (~ payload range * 2^-bits
+      // per frame), never by unbounded drift. Components that go exactly
+      // stationary stop paying it entirely (their frames degenerate to
+      // heartbeats); the stopping tolerance of a lossy run must still
+      // sit above the floor of the components that keep moving.
+      // Round-trip the payload onto the quantization lattice BEFORE the
+      // send: every backend (inproc hands over these doubles, TCP
+      // re-quantizes exactly since they sit on lattice points) delivers
+      // bit-identical values, and slot->last below tracks what the
+      // receiver actually holds.
+      codec_scratch_.assign(payload.begin(), payload.end());
+      const transport::codec::QuantParams qp =
+          transport::codec::choose_quant_params(codec_scratch_,
+                                                wire.quant_bits);
+      transport::codec::roundtrip(codec_scratch_, qp, wire.quant_bits);
+      header.quant_bits = static_cast<std::uint8_t>(wire.quant_bits);
+      header.quant_min = qp.min;
+      header.quant_scale = qp.scale;
+      payload = codec_scratch_;
+      ++wire_frames_codec_;
+    }
     const transport::SendReceipt receipt =
-        endpoint_->send(dst, header, value, t, allow_drop);
+        endpoint_->send(dst, header, payload, t, allow_drop);
+    const std::uint64_t raw = transport::frame_bytes(value.size());
+    const std::uint64_t sent =
+        transport::wire_frame_bytes(payload.size(), header.quant_bits);
+    bytes_sent_raw_ += raw;
+    bytes_sent_wire_ += sent;
+    if (link_bytes_raw_.size() <= dst) {
+      link_bytes_raw_.resize(ctx_.options->workers, 0);
+      link_bytes_wire_.resize(ctx_.options->workers, 0);
+    }
+    link_bytes_raw_[dst] += raw;
+    link_bytes_wire_[dst] += sent;
+    if (!wire.delta || full)
+      ++wire_frames_full_;
+    else if (heartbeat)
+      ++wire_frames_heartbeat_;
+    else
+      ++wire_frames_delta_;
+    if (receipt.sent && slot != nullptr) {
+      // The slot mirrors what the receiver now holds — update it only
+      // when the frame actually left (a dropped frame leaves the
+      // receiver, and therefore the slot, unchanged).
+      if (full) {
+        slot->last.assign(payload.begin(), payload.end());
+        slot->valid = true;
+        slot->sends_since_refresh = 0;
+        slot->rx_epoch = block_rx_epoch_[b];
+      } else {
+        ++slot->sends_since_refresh;
+        if (!heartbeat)
+          std::copy(payload.begin(), payload.end(),
+                    slot->last.begin() + header.offset);
+      }
+    }
     if (obs::tracing_full()) {
       if (receipt.sent)
         obs::record(obs::EventType::kFrameSend,
                     static_cast<std::uint8_t>(header.kind), dst, tag,
-                    double(value.size() * sizeof(double)));
+                    double(sent));
       else
         obs::record(obs::EventType::kFrameDrop,
                     static_cast<std::uint8_t>(header.kind), dst, tag, 0.0);
@@ -358,16 +506,29 @@ void Peer::recompute_owned() {
 }
 
 void Peer::send_snapshot_to(std::uint32_t dst) {
-  // Welcome a joiner with the blocks WE currently own, at their current
-  // tags: the union over the established ranks covers the whole iterate,
-  // so the joiner starts from the live solution instead of x0. (Plain
-  // kValue frames — the receiver needs no special path.)
+  // Welcome a joiner with a DISJOINT slice of the iterate: every
+  // established rank runs the same deterministic plan over the same
+  // sorted live view, so each block reaches the joiner exactly once
+  // instead of once per surviving owner of a stale assignment. Blocks we
+  // own but the plan routes through someone else are counted as
+  // suppressed duplicates. (Plain kValue frames — the receiver needs no
+  // special path.)
   const la::Partition& partition = ctx_.op->partition();
   const double t = now();
+  snapshot_plan_ =
+      snapshot_plan(partition.num_blocks(),
+                    ctx_.membership->table().live_ranks(), id_, dst);
   for (const la::BlockId b : owned_blocks()) {
+    if (std::find(snapshot_plan_.begin(), snapshot_plan_.end(), b) ==
+        snapshot_plan_.end())
+      ++snapshot_blocks_suppressed_;
+  }
+  for (const la::BlockId b : snapshot_plan_) {
     transport::MessageHeader header;
     header.block = b;
-    header.tag = production_[b];
+    // We may be forwarding a block we do not own: beat nothing, just
+    // ship the newest value we have SEEN at the tag we saw it under.
+    header.tag = std::max(production_[b], view_.tags[b]);
     header.round = round_;
     const auto value =
         partition.block_span(std::span<const double>(view_.x), b);

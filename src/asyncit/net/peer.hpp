@@ -71,6 +71,19 @@ struct LocalView {
 void incorporate(const la::Partition& partition, OverwritePolicy policy,
                  const Message& m, LocalView& view);
 
+/// The blocks `self` should include in a welcome snapshot for `joiner`:
+/// its share of the contiguous assignment over the ESTABLISHED live set
+/// (the live view with the joiner removed). Established ranks jointly
+/// cover the iterate exactly once under this plan — the dedupe that
+/// stops a joiner from receiving the same block from several ranks when
+/// a membership epoch races the welcome. Returns empty when `self` is
+/// not established or is a surplus (idle) rank. `live` must be sorted
+/// (the membership table's invariant).
+std::vector<la::BlockId> snapshot_plan(std::size_t num_blocks,
+                                       const std::vector<std::uint32_t>& live,
+                                       std::uint32_t self,
+                                       std::uint32_t joiner);
+
 /// Everything a peer shares with the orchestrator and the other peers.
 /// All pointers outlive the peer threads (owned by run_message_passing /
 /// run_node).
@@ -127,6 +140,32 @@ class Peer {
   std::uint64_t reassignments() const { return reassignments_; }
   /// Elastic mode: blocks sent as welcome snapshots to joining ranks.
   std::uint64_t snapshot_blocks_sent() const { return snapshot_blocks_sent_; }
+  /// Elastic mode: owned blocks NOT snapshot to a joiner because the
+  /// established-cover plan assigns them to another rank (the duplicates
+  /// the pre-dedupe welcome path would have sent).
+  std::uint64_t snapshot_blocks_suppressed() const {
+    return snapshot_blocks_suppressed_;
+  }
+  /// Bytes this peer's value frames WOULD have cost without the wire
+  /// layer (full-width raw frames) vs what actually went out. Counted
+  /// for block publishes on every backend; raw == wire with delta off.
+  std::uint64_t bytes_sent_raw() const { return bytes_sent_raw_; }
+  std::uint64_t bytes_sent_wire() const { return bytes_sent_wire_; }
+  /// Frame-class breakdown of the delta layer's sends.
+  std::uint64_t wire_frames_full() const { return wire_frames_full_; }
+  std::uint64_t wire_frames_delta() const { return wire_frames_delta_; }
+  std::uint64_t wire_frames_heartbeat() const {
+    return wire_frames_heartbeat_;
+  }
+  std::uint64_t wire_frames_codec() const { return wire_frames_codec_; }
+  /// TX byte breakdown per destination rank (index = dst; empty vectors
+  /// until the first block publish sizes them).
+  const std::vector<std::uint64_t>& link_bytes_raw() const {
+    return link_bytes_raw_;
+  }
+  const std::vector<std::uint64_t>& link_bytes_wire() const {
+    return link_bytes_wire_;
+  }
   const trace::EventLog& log() const { return log_; }
   /// Measured drain delay per source rank (always on; index = src).
   const std::vector<DelayHistogram>& link_delays() const {
@@ -229,6 +268,35 @@ class Peer {
   std::uint64_t owned_epoch_ = 0;     ///< table epoch of elastic_owned_
   std::uint64_t reassignments_ = 0;
   std::uint64_t snapshot_blocks_sent_ = 0;
+  std::uint64_t snapshot_blocks_suppressed_ = 0;
+  std::vector<la::BlockId> snapshot_plan_;   ///< welcome-plan scratch
+
+  // ---- wire-efficiency layer (MpOptions::wire; all empty when off) ----
+  /// Per-(destination, block) record of the payload the receiver last
+  /// got from us — the reference the next delta frame diffs against.
+  /// `last` holds post-codec values (what the receiver actually holds),
+  /// updated only when the send receipt says the frame went out.
+  struct DeltaSlot {
+    la::Vector last;
+    bool valid = false;
+    std::uint64_t sends_since_refresh = 0;
+    std::uint64_t rx_epoch = 0;  ///< block_rx_epoch_ when last refreshed
+  };
+  std::vector<DeltaSlot> delta_;   ///< [dst * num_blocks + block]
+  /// Raw-equivalent vs on-wire bytes per destination rank (index = dst).
+  std::vector<std::uint64_t> link_bytes_raw_;
+  std::vector<std::uint64_t> link_bytes_wire_;
+  /// Bumped whenever a remote value for the block is incorporated: our
+  /// delta baseline toward EVERY destination is stale the moment someone
+  /// else wrote the block (ownership churn), so the next send refreshes.
+  std::vector<std::uint64_t> block_rx_epoch_;
+  la::Vector codec_scratch_;       ///< quantization roundtrip buffer
+  std::uint64_t bytes_sent_raw_ = 0;
+  std::uint64_t bytes_sent_wire_ = 0;
+  std::uint64_t wire_frames_full_ = 0;
+  std::uint64_t wire_frames_delta_ = 0;
+  std::uint64_t wire_frames_heartbeat_ = 0;
+  std::uint64_t wire_frames_codec_ = 0;
 
   /// Round-completion tracking per source peer: complete_rounds_[src] is
   /// the count r of initial rounds (0..r-1) for which ALL of src's final

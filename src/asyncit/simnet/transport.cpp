@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "asyncit/support/check.hpp"
+#include "asyncit/transport/wire.hpp"
 
 namespace asyncit::simnet {
 
@@ -145,9 +146,15 @@ transport::SendReceipt SimEndpoint::send(
   double latency =
       std::max(owner_->base_latency(rank_, dst) * jitter_mult, 0.0);
   if (topo.bandwidth > 0.0) {
-    // Serialization delay: payload doubles plus a notional 64-byte
-    // header, matching the wire framing order of magnitude.
-    latency += (double(value.size()) * sizeof(double) + 64.0) /
+    // Serialization delay charged at the frame's TRUE wire size (the TCP
+    // framing: header + payload, quantized frames at their packed size)
+    // plus a notional 8-byte transport overhead — for raw full-width
+    // frames this is exactly the historical 8*count + 64 bytes, so
+    // existing sweeps replay unchanged, while delta/codec frames now pay
+    // what they would actually cost on a real link.
+    latency += (double(transport::wire_frame_bytes(value.size(),
+                                                   header.quant_bits)) +
+                8.0) /
                topo.bandwidth;
   }
   double deliver_at = t + latency;
@@ -162,6 +169,7 @@ transport::SendReceipt SimEndpoint::send(
   m.tag = header.tag;
   m.round = header.round;
   m.partial = header.partial;
+  m.complete = header.complete;
   m.kind = header.kind;
   m.offset = header.offset;
   m.injected_delay = header.injected_delay;  // chaos latency rides along

@@ -1,0 +1,62 @@
+#include "asyncit/transport/codec.hpp"
+
+#include <cmath>
+
+#include "asyncit/support/check.hpp"
+
+namespace asyncit::transport::codec {
+
+QuantParams choose_quant_params(std::span<const double> v, unsigned bits) {
+  ASYNCIT_CHECK(!v.empty());
+  ASYNCIT_CHECK(bits == 8 || bits == 16);
+  double lo = v[0], hi = v[0];
+  for (const double x : v) {
+    if (x < lo) lo = x;
+    if (x > hi) hi = x;
+  }
+  QuantParams p;
+  p.min = lo;
+  const double levels = static_cast<double>((1u << bits) - 1);
+  p.scale = hi > lo ? (hi - lo) / levels : 1.0;
+  return p;
+}
+
+std::uint32_t quantize(const QuantParams& p, unsigned bits, double v) {
+  const std::uint32_t max_q = (1u << bits) - 1;
+  const double q = std::round((v - p.min) / p.scale);
+  if (!(q > 0.0)) return 0;  // also catches NaN
+  if (q >= static_cast<double>(max_q)) return max_q;
+  return static_cast<std::uint32_t>(q);
+}
+
+void roundtrip(std::span<double> v, const QuantParams& p, unsigned bits) {
+  for (double& x : v) x = dequant(p.min, p.scale, quantize(p, bits, x));
+}
+
+Window best_window(std::span<const double> cur,
+                   std::span<const double> last, std::size_t max_len) {
+  ASYNCIT_CHECK(cur.size() == last.size());
+  ASYNCIT_CHECK(max_len >= 1);
+  const std::size_t n = cur.size();
+  Window w;
+  if (n <= max_len) {
+    w.count = n;
+    return w;
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < max_len; ++i)
+    sum += std::abs(cur[i] - last[i]);
+  double best = sum;
+  w.count = max_len;
+  for (std::size_t s = 1; s + max_len <= n; ++s) {
+    sum += std::abs(cur[s + max_len - 1] - last[s + max_len - 1]) -
+           std::abs(cur[s - 1] - last[s - 1]);
+    if (sum > best) {
+      best = sum;
+      w.offset = s;
+    }
+  }
+  return w;
+}
+
+}  // namespace asyncit::transport::codec

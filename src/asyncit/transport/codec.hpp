@@ -1,0 +1,81 @@
+// Lossy frame codec: windowed top-k sparsification + scalar quantization.
+//
+// The delta layer in net::Peer ships only the components that changed
+// since the last frame on a (link, block) pair. This module adds the two
+// classic bandwidth levers on top of that, both OFF by default:
+//
+//   top-k      when the dirty range is wider than wire_topk, send the
+//              contiguous window of at most wire_topk components that
+//              captures the most |change| mass. Components outside the
+//              window stay DIRTY on the sender — they are deferred to a
+//              later frame, never silently dropped — so the scheme is a
+//              communication reordering, not an information loss, and
+//              the wire format keeps its single (offset, count) range.
+//   quantize   map the window's doubles onto 2^bits uniform levels
+//              between the window min and max (bits in {8, 16}) and ship
+//              packed integers behind the codec frame flag.
+//
+// Determinism contract: dequant() below is the ONE arithmetic that turns
+// a level index back into a double. The sender roundtrips its values
+// through quantize+dequant BEFORE handing them to Endpoint::send, so the
+// doubles it records as "last sent" and the doubles every backend
+// delivers (inproc/chaos/simnet hand the roundtripped vector over
+// directly; TCP re-quantizes — exact, because the values are already on
+// lattice points — and the decoder dequantizes with the same min/scale
+// carried in the subheader) are bit-identical. That is what makes the
+// compressed world replayable and the parity gates meaningful.
+//
+// Everything here is allocation-free: spans in, spans/scalars out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace asyncit::transport::codec {
+
+/// Codec id carried in the subheader (the only one defined).
+inline constexpr std::uint8_t kCodecScalarQuant = 1;
+
+/// Packed payload bytes for `count` components at `bits` bits each.
+inline constexpr std::size_t quant_payload_bytes(std::size_t count,
+                                                 unsigned bits) {
+  return (count * bits + 7) / 8;
+}
+
+/// Level index -> double. Every decode path MUST use this (and not
+/// re-derive the lattice) so all backends agree to the last ulp.
+inline double dequant(double quant_min, double quant_scale,
+                      std::uint32_t q) {
+  return quant_min + quant_scale * static_cast<double>(q);
+}
+
+struct QuantParams {
+  double min = 0.0;
+  double scale = 1.0;
+};
+
+/// Lattice spanning [min(v), max(v)] with 2^bits levels. A constant
+/// window gets scale 1.0 so quantize() maps everything to level 0 and
+/// dequant() reproduces the constant exactly.
+QuantParams choose_quant_params(std::span<const double> v, unsigned bits);
+
+/// Nearest level index, clamped to [0, 2^bits - 1].
+std::uint32_t quantize(const QuantParams& p, unsigned bits, double v);
+
+/// In-place v[i] <- dequant(quantize(v[i])): the sender-side roundtrip
+/// that puts the payload on lattice points before it reaches the wire.
+void roundtrip(std::span<double> v, const QuantParams& p, unsigned bits);
+
+struct Window {
+  std::size_t offset = 0;  ///< relative to the spans passed in
+  std::size_t count = 0;
+};
+
+/// The contiguous window of length <= max_len that maximizes
+/// sum |cur[i] - last[i]| (sliding-window scan, ties to the leftmost).
+/// cur and last must be the same size; max_len >= 1.
+Window best_window(std::span<const double> cur,
+                   std::span<const double> last, std::size_t max_len);
+
+}  // namespace asyncit::transport::codec

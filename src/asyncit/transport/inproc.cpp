@@ -56,6 +56,7 @@ SendReceipt InprocEndpoint::send(std::uint32_t dst,
   m.tag = header.tag;
   m.round = header.round;
   m.partial = header.partial;
+  m.complete = header.complete;
   m.kind = header.kind;
   m.offset = header.offset;
   m.injected_delay = header.injected_delay;  // chaos latency rides along

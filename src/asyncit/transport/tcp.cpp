@@ -538,7 +538,9 @@ void TcpTransport::Impl::reader_loop(TcpEndpoint* ep,
       std::size_t consumed = 0;
       const DecodeStatus st = decode_frame(
           std::span<const std::uint8_t>(buf.data() + off, buf.size() - off),
-          consumed, m);
+          consumed, m,
+          options.max_frame_doubles != 0 ? options.max_frame_doubles
+                                         : kMaxPayloadDoubles);
       if (st == DecodeStatus::kOk) {
         off += consumed;
         if (obs::tracing_on()) {

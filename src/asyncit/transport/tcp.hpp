@@ -79,6 +79,13 @@ struct TcpOptions {
   /// empty means no rendezvous at all (a late joiner: dial lazily, wait
   /// for nobody).
   std::vector<std::uint32_t> expected_ranks;
+
+  /// Decode-time bound on a value frame's coordinate range: frames with
+  /// offset + count beyond this are rejected at the wire (counted in
+  /// bad_frames, connection closed) instead of reaching incorporate.
+  /// Default: the format's own sanity cap. Runtimes that know their
+  /// widest block should lower it.
+  std::uint32_t max_frame_doubles = 0;  ///< 0 = wire.hpp kMaxPayloadDoubles
 };
 
 class TcpTransport final : public Transport {

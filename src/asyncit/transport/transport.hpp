@@ -50,10 +50,22 @@ struct MessageHeader {
   std::uint64_t round = 0;
   std::uint32_t offset = 0;  ///< partial-block frames (see net::Message)
   bool partial = false;
+  /// Partial-range frame that nonetheless finishes the sender's round —
+  /// the delta layer emits exactly one complete frame per (block, round)
+  /// so gated modes (SSP/BSP) count rounds identically with delta on.
+  bool complete = false;
   net::MsgKind kind = net::MsgKind::kValue;
   /// Chaos-drawn latency riding the wire (see net::Message); backends
   /// forward it verbatim. 0 outside the chaos decorator.
   double injected_delay = 0.0;
+  /// Scalar-quantization lattice (codec frames only; 0 bits = raw
+  /// doubles). The payload the peer hands to send() is ALREADY
+  /// roundtripped onto these lattice points: inproc/chaos/simnet deliver
+  /// the doubles as-is, the TCP backend re-quantizes (exactly) into a
+  /// codec wire frame and the decoder dequantizes with the same params.
+  std::uint8_t quant_bits = 0;
+  double quant_min = 0.0;
+  double quant_scale = 0.0;
 };
 
 /// What happened to one send, for trace logging. `deliver_at` is the

@@ -348,6 +348,117 @@ TEST_F(MpRuntimeFixture, RecordsTraceEvents) {
             opt.obs.max_trace_events);
 }
 
+// -------------------------------------------------- snapshot-join dedupe
+
+TEST(SnapshotPlan, PartitionsBlocksDisjointlyAcrossEstablishedRanks) {
+  // Every established rank runs the plan for the SAME joiner: the shares
+  // must cover all blocks exactly once — the whole point of the dedupe
+  // is that a joiner hears each block from one rank, not every owner.
+  const std::vector<std::uint32_t> live{0, 1, 2, 5};
+  std::vector<int> seen(10, 0);
+  for (const std::uint32_t self : {0u, 1u, 2u}) {
+    for (const la::BlockId b : snapshot_plan(10, live, self, 5)) {
+      ASSERT_LT(b, 10u);
+      ++seen[b];
+    }
+  }
+  for (const int c : seen) EXPECT_EQ(c, 1);
+  // The joiner itself plans nothing (it has nothing to welcome itself
+  // with), and a rank outside the live view plans nothing either.
+  EXPECT_TRUE(snapshot_plan(10, live, 5, 5).empty());
+  EXPECT_TRUE(snapshot_plan(10, live, 7, 5).empty());
+  // More established ranks than blocks: the surplus ranks send nothing,
+  // the first `blocks` ranks send one block each.
+  const std::vector<std::uint32_t> crowd{0, 1, 2, 3, 4};
+  std::vector<int> seen2(3, 0);
+  std::size_t senders = 0;
+  for (const std::uint32_t self : {0u, 1u, 2u, 3u}) {
+    const auto plan = snapshot_plan(3, crowd, self, 4);
+    if (!plan.empty()) ++senders;
+    for (const la::BlockId b : plan) ++seen2[b];
+  }
+  EXPECT_EQ(senders, 3u);
+  for (const int c : seen2) EXPECT_EQ(c, 1);
+}
+
+// ------------------------------------------------------- wire efficiency
+
+TEST_F(MpRuntimeFixture, DeltaEncodingKeepsBspFinalsInTheOracleBand) {
+  // Exact deltas deliver the identical doubles a full frame would, so
+  // the barriered computation is unchanged — but thread-mode stopping is
+  // an asynchronous monitor poll, so the two runs may halt a poll apart.
+  // The band is therefore 2x the post-stop tolerance band, not bitwise
+  // equality (the bit-for-bit contract lives in simnet_test, where the
+  // schedule itself is deterministic).
+  MpOptions off = base_options();
+  off.solve.mode = Mode::kBsp;
+  off.solve.tol = 1e-9;
+  const auto base = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
+                                             off);
+  ASSERT_TRUE(base.converged) << "error " << base.final_error;
+
+  MpOptions on = off;
+  on.wire.delta = true;
+  on.wire.refresh_every = 8;
+  const auto delta = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
+                                              on);
+  ASSERT_TRUE(delta.converged) << "error " << delta.final_error;
+  EXPECT_LT(la::dist_inf(base.x, delta.x), 2e-8);
+
+  // Accounting invariants: every publish lands in exactly one frame
+  // class, and the wire never costs more than the raw encoding.
+  EXPECT_GT(delta.wire_frames_full, 0u);
+  EXPECT_GT(delta.wire_frames_full + delta.wire_frames_delta +
+                delta.wire_frames_heartbeat,
+            0u);
+  EXPECT_LE(delta.bytes_sent_wire, delta.bytes_sent_raw);
+  EXPECT_GT(delta.bytes_sent_raw, 0u);
+  // The delta-off run pays raw cost on the wire by definition.
+  EXPECT_EQ(base.bytes_sent_wire, base.bytes_sent_raw);
+}
+
+TEST_F(MpRuntimeFixture, DeltaEncodingConvergesInAsyncAndSspModes) {
+  for (const Mode mode : {Mode::kAsync, Mode::kSsp}) {
+    MpOptions opt = base_options();
+    opt.solve.mode = mode;
+    opt.solve.staleness = 2;
+    opt.wire.delta = true;
+    opt.wire.refresh_every = 8;
+    const auto r = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
+                                            opt);
+    EXPECT_TRUE(r.converged) << "mode " << static_cast<int>(mode)
+                             << " error " << r.final_error;
+    EXPECT_LT(la::dist_inf(r.x, x_star_), 1e-7);
+    EXPECT_LE(r.bytes_sent_wire, r.bytes_sent_raw);
+  }
+}
+
+TEST_F(MpRuntimeFixture, LossyCodecStaysWithinResidualTolerance) {
+  // Top-k + quantization are LOSSY between refreshes: the gate is a
+  // residual band around the uncompressed oracle, not bit equality. The
+  // quantization floor is range * 2^-bits per delivery, far below the
+  // 1e-3 tolerance used here; the periodic full refresh bounds top-k
+  // drift.
+  for (const Mode mode : {Mode::kAsync, Mode::kSsp, Mode::kBsp}) {
+    MpOptions opt = base_options();
+    opt.solve.mode = mode;
+    opt.solve.staleness = 2;
+    opt.solve.tol = 1e-3;
+    opt.wire.delta = true;
+    opt.wire.topk = 4;  // narrower than the 8-wide blocks
+    opt.wire.quant_bits = 16;
+    opt.wire.refresh_every = 4;
+    const auto r = net::run_message_passing(*jacobi_, la::zeros(sys_.dim()),
+                                            opt);
+    EXPECT_TRUE(r.converged) << "mode " << static_cast<int>(mode)
+                             << " error " << r.final_error;
+    EXPECT_LT(la::dist_inf(r.x, x_star_), 1e-2);
+    EXPECT_GT(r.wire_frames_codec, 0u);
+    // Quantized payloads are strictly smaller than raw doubles.
+    EXPECT_LT(r.bytes_sent_wire, r.bytes_sent_raw);
+  }
+}
+
 TEST(MpRuntimeValidation, RejectsBadConfigurations) {
   Rng rng(63);
   auto sys = problems::make_diagonally_dominant_system(8, 2, 2.0, rng);

@@ -462,6 +462,75 @@ TEST_F(SimWorldFixture, PartitionWindowDelaysButDoesNotPreventConvergence) {
   EXPECT_GT(healed.virtual_seconds, 0.05);  // converged after the heal
 }
 
+TEST_F(SimWorldFixture, CompressedWorldReplaysByteIdenticallyOverSimnet) {
+  // The full wire-efficiency stack — delta encoding, top-k windows,
+  // 16-bit quantization — under the virtual-time engine: one (config,
+  // seed) pair still names exactly one execution, and a finite bandwidth
+  // makes the serialization cost track TRUE bytes on the wire (a
+  // quantized frame occupies the link for fewer virtual seconds than the
+  // raw frame it replaced).
+  WorldOptions o = base_world(4);
+  o.mp.solve.tol = 1e-3;  // lossy codec: residual band, not bit equality
+  o.mp.wire.delta = true;
+  o.mp.wire.topk = 4;
+  o.mp.wire.quant_bits = 16;
+  o.mp.wire.refresh_every = 4;
+  o.sim.topology.bandwidth = 1e6;
+  o.sim.record_log = true;
+  const WorldResult a = run_world(*jacobi_, la::zeros(sys_.dim()), o);
+  const WorldResult b = run_world(*jacobi_, la::zeros(sys_.dim()), o);
+  EXPECT_TRUE(a.all_converged) << "residual " << a.final_residual;
+  EXPECT_LT(a.final_residual, 1e-2);
+  EXPECT_EQ(a.log_hash, b.log_hash);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.final_residual, b.final_residual);  // bitwise, not approx
+  for (std::size_t r = 0; r < a.ranks.size(); ++r)
+    EXPECT_EQ(la::dist_inf(a.ranks[r].x, b.ranks[r].x), 0.0);
+  std::uint64_t raw = 0, wired = 0, codec_frames = 0;
+  for (const net::MpResult& rank : a.ranks) {
+    raw += rank.bytes_sent_raw;
+    wired += rank.bytes_sent_wire;
+    codec_frames += rank.wire_frames_codec;
+  }
+  EXPECT_GT(codec_frames, 0u);
+  EXPECT_LT(wired, raw);  // the compressed world is actually smaller
+}
+
+TEST_F(SimWorldFixture, DeltaWorldMatchesTheRawWorldBitForBit) {
+  // The hard parity contract: with the link order-preserving (fifo, no
+  // jitter) and bandwidth infinite (the default: serialization cost is
+  // byte-independent), the delta-encoded world runs the IDENTICAL
+  // schedule as the raw world — frame counts are invariant (unchanged
+  // blocks still send heartbeats, so every per-frame draw lines up) and
+  // exact deltas reconstruct the identical doubles at the receiver. The
+  // finals must therefore agree bit for bit, not within a band.
+  WorldOptions off = base_world(4);
+  off.sim.topology.jitter = 0.0;
+  off.sim.topology.fifo = true;
+  const WorldResult raw = run_world(*jacobi_, la::zeros(sys_.dim()), off);
+  ASSERT_TRUE(raw.all_converged) << "residual " << raw.final_residual;
+
+  WorldOptions on = off;
+  on.mp.wire.delta = true;
+  on.mp.wire.refresh_every = 8;
+  const WorldResult delta = run_world(*jacobi_, la::zeros(sys_.dim()), on);
+  ASSERT_TRUE(delta.all_converged) << "residual " << delta.final_residual;
+
+  EXPECT_EQ(raw.events, delta.events);
+  EXPECT_EQ(raw.final_residual, delta.final_residual);  // bitwise
+  ASSERT_EQ(raw.ranks.size(), delta.ranks.size());
+  std::uint64_t hb = 0;
+  for (std::size_t r = 0; r < raw.ranks.size(); ++r) {
+    EXPECT_EQ(la::dist_inf(raw.ranks[r].x, delta.ranks[r].x), 0.0);
+    EXPECT_EQ(raw.ranks[r].messages_sent, delta.ranks[r].messages_sent);
+    EXPECT_LE(delta.ranks[r].bytes_sent_wire,
+              delta.ranks[r].bytes_sent_raw);
+    hb += delta.ranks[r].wire_frames_heartbeat +
+          delta.ranks[r].wire_frames_delta;
+  }
+  EXPECT_GT(hb, 0u);  // the delta layer actually engaged
+}
+
 TEST_F(SimWorldFixture, VirtualBudgetStopsAnUnconvergableRun) {
   WorldOptions o = base_world(4);
   o.mp.solve.tol = 1e-30;  // below attainable precision: never converges

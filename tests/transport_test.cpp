@@ -26,6 +26,7 @@
 #include "asyncit/support/rng.hpp"
 #include "asyncit/support/timer.hpp"
 #include "asyncit/transport/chaos.hpp"
+#include "asyncit/transport/codec.hpp"
 #include "asyncit/transport/inproc.hpp"
 #include "asyncit/transport/pool.hpp"
 #include "asyncit/transport/tcp.hpp"
@@ -61,6 +62,7 @@ void expect_equal(const net::Message& a, const net::Message& b) {
   EXPECT_EQ(a.tag, b.tag);
   EXPECT_EQ(a.round, b.round);
   EXPECT_EQ(a.partial, b.partial);
+  EXPECT_EQ(a.complete, b.complete);
   EXPECT_EQ(a.kind, b.kind);
   EXPECT_EQ(a.offset, b.offset);
   EXPECT_DOUBLE_EQ(a.injected_delay, b.injected_delay);
@@ -182,6 +184,129 @@ TEST(Wire, DecodesBackToBackFramesFromOneBuffer) {
   EXPECT_EQ(off, stream.size());
 }
 
+// ------------------------------------------------------------------ codec
+
+TEST(Codec, QuantRoundtripIsIdempotentAndOrdersPreserved) {
+  Rng rng(91);
+  for (const unsigned bits : {8u, 16u}) {
+    la::Vector v(37);
+    for (double& x : v) x = rng.normal() * 3.0;
+    const codec::QuantParams p = codec::choose_quant_params(v, bits);
+    la::Vector once(v);
+    codec::roundtrip(once, p, bits);
+    // Every lattice value sits inside the payload's own [min, max] and
+    // within one step of its source.
+    const double step = p.scale;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_LE(std::abs(once[i] - v[i]), step + 1e-12);
+    }
+    // Idempotence: a second trip through the SAME params moves nothing —
+    // this is what lets the TCP encoder re-quantize pre-roundtripped
+    // payloads without changing a single bit.
+    la::Vector twice(once);
+    codec::roundtrip(twice, p, bits);
+    EXPECT_EQ(once, twice);
+  }
+  // A constant payload has zero range: scale falls back to 1, everything
+  // quantizes to q=0 and dequantizes to exactly the constant.
+  la::Vector flat(9, 4.25);
+  const codec::QuantParams p = codec::choose_quant_params(flat, 8);
+  codec::roundtrip(flat, p, 8);
+  for (const double x : flat) EXPECT_DOUBLE_EQ(x, 4.25);
+}
+
+TEST(Codec, BestWindowCoversTheDensestChange) {
+  // Change mass concentrated at the tail: the window must slide there.
+  la::Vector last(16, 0.0), cur(16, 0.0);
+  cur[12] = 5.0;
+  cur[13] = 5.0;
+  const codec::Window w = codec::best_window(cur, last, 4);
+  EXPECT_EQ(w.count, 4u);
+  EXPECT_GE(w.offset + w.count, 14u);  // window contains both spikes
+  EXPECT_LE(w.offset, 12u);
+  // Shorter input than the cap: the whole span comes back.
+  const codec::Window all = codec::best_window(
+      std::span<const double>(cur).subspan(0, 3),
+      std::span<const double>(last).subspan(0, 3), 8);
+  EXPECT_EQ(all.offset, 0u);
+  EXPECT_EQ(all.count, 3u);
+}
+
+TEST(Wire, CodecFramesRoundTripToTheExactLattice) {
+  Rng rng(92);
+  std::vector<std::uint8_t> frame;
+  net::Message out;
+  for (const unsigned bits : {8u, 16u}) {
+    net::Message m = random_message(rng, 24);
+    m.kind = net::MsgKind::kValue;
+    // Sender-side contract: the payload is roundtripped onto the
+    // quantization lattice BEFORE encoding, so the wire trip is lossless
+    // relative to what the sender believes it shipped.
+    const codec::QuantParams p =
+        codec::choose_quant_params(m.value, bits);
+    codec::roundtrip(m.value, p, bits);
+    MessageHeader h;
+    h.block = m.block;
+    h.tag = m.tag;
+    h.round = m.round;
+    h.offset = m.offset;
+    h.partial = m.partial;
+    h.complete = m.complete;
+    h.kind = m.kind;
+    h.injected_delay = m.injected_delay;
+    h.quant_bits = static_cast<std::uint8_t>(bits);
+    h.quant_min = p.min;
+    h.quant_scale = p.scale;
+    encode_frame(m.src, h, m.value, m.t_send, frame);
+    EXPECT_EQ(frame.size(), wire_frame_bytes(m.value.size(), bits));
+    EXPECT_LT(frame.size(), frame_bytes(m.value.size()));  // it shrank
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(frame, consumed, out), DecodeStatus::kOk);
+    EXPECT_EQ(consumed, frame.size());
+    expect_equal(m, out);  // bit-exact: dequant is the one arithmetic
+  }
+}
+
+TEST(Wire, CompleteFlagSurvivesTheRoundTrip) {
+  Rng rng(93);
+  std::vector<std::uint8_t> frame;
+  net::Message out;
+  for (const bool complete : {false, true}) {
+    net::Message m = random_message(rng, 7);
+    m.partial = true;
+    m.complete = complete;
+    encode_frame(m, frame);
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(frame, consumed, out), DecodeStatus::kOk);
+    EXPECT_EQ(out.complete, complete);
+  }
+}
+
+TEST(Wire, RejectsFramesBeyondTheConfiguredBlockBound) {
+  Rng rng(94);
+  net::Message m = random_message(rng, 16);
+  m.offset = 8;
+  std::vector<std::uint8_t> frame;
+  encode_frame(m, frame);
+  net::Message out;
+  std::size_t consumed = 0;
+  // Inside the bound: fine. offset 8 + count 16 = 24.
+  EXPECT_EQ(decode_frame(frame, consumed, out, 24), DecodeStatus::kOk);
+  // One short of the range: the frame would write past the block.
+  consumed = 0;
+  EXPECT_EQ(decode_frame(frame, consumed, out, 23), DecodeStatus::kBadFrame);
+  EXPECT_EQ(consumed, 0u);
+  // Overflow guard: an offset near UINT32_MAX must not wrap the sum back
+  // under the bound (the check runs in 64-bit).
+  encode_frame(m, frame);
+  const std::uint32_t huge = 0xFFFFFFF0u;
+  for (int i = 0; i < 4; ++i)
+    frame[32 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(huge >> (8 * i));
+  EXPECT_EQ(decode_frame(frame, consumed, out), DecodeStatus::kBadFrame);
+  EXPECT_EQ(consumed, 0u);
+}
+
 // ------------------------------------------------------------- wire fuzz
 
 /// One seeded mutation of a valid frame. Classes cover the decoder's
@@ -258,7 +383,11 @@ TEST(WireFuzz, MutatedFramesNeverCrashNorOverreadAndClassifyDeterministically) {
           ASSERT_LE(consumed, fuzzed.size());
           ASSERT_GE(consumed, 4 + kWireHeaderBytes);
           ASSERT_LE(out.value.size(), std::size_t{kMaxPayloadDoubles});
-          ASSERT_EQ(consumed, frame_bytes(out.value.size()));
+          // A mutation can legitimately land on either payload layout
+          // (a flipped codec flag with a consistent subheader decodes).
+          ASSERT_TRUE(consumed == frame_bytes(out.value.size()) ||
+                      consumed == wire_frame_bytes(out.value.size(), 8) ||
+                      consumed == wire_frame_bytes(out.value.size(), 16));
           break;
         case DecodeStatus::kNeedMore:
         case DecodeStatus::kBadFrame:
@@ -345,7 +474,9 @@ TEST(WireFuzz, TrainingFrameCorpusSurvivesEveryMutationClass) {
         statuses[pass].push_back(static_cast<std::uint8_t>(st));
         if (st == DecodeStatus::kOk) {
           ASSERT_LE(consumed, fuzzed.size());
-          ASSERT_EQ(consumed, frame_bytes(out.value.size()));
+          ASSERT_TRUE(consumed == frame_bytes(out.value.size()) ||
+                      consumed == wire_frame_bytes(out.value.size(), 8) ||
+                      consumed == wire_frame_bytes(out.value.size(), 16));
         } else {
           ASSERT_EQ(consumed, 0u);
         }
@@ -354,6 +485,81 @@ TEST(WireFuzz, TrainingFrameCorpusSurvivesEveryMutationClass) {
   }
   EXPECT_EQ(statuses[0], statuses[1])
       << "training-frame fuzz classification not replayable";
+}
+
+TEST(WireFuzz, CodecFrameCorpusSurvivesEveryMutationClass) {
+  // The wire-efficiency layer's frame shapes as a fuzz corpus: a
+  // quantized full refresh, a quantized delta at a nonzero offset, and a
+  // zero-width heartbeat. Same guarantees as the raw corpus: no crash or
+  // overread under mutation, replayable classification, exact-size heap
+  // copies so asan sees every overread.
+  constexpr int kMutationsPerFrame = 4000;
+  std::vector<std::uint8_t> statuses[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    Rng rng(888);
+    struct Shape {
+      std::size_t payload;
+      std::uint32_t offset;
+      unsigned bits;
+      bool partial, complete;
+    };
+    const Shape shapes[] = {
+        {32, 0, 16, false, false},  // quantized full refresh
+        {11, 9, 8, true, true},     // quantized delta, phase-ending
+        {0, 0, 0, true, true},      // heartbeat (raw, zero-width)
+    };
+    std::vector<std::uint8_t> frame;
+    net::Message out;
+    for (const Shape& s : shapes) {
+      net::Message m = random_message(rng, s.payload);
+      m.kind = net::MsgKind::kValue;
+      m.offset = s.offset;
+      m.partial = s.partial;
+      m.complete = s.complete;
+      MessageHeader h;
+      h.block = m.block;
+      h.tag = m.tag;
+      h.round = m.round;
+      h.offset = m.offset;
+      h.partial = m.partial;
+      h.complete = m.complete;
+      h.kind = m.kind;
+      h.injected_delay = m.injected_delay;
+      if (s.bits != 0) {
+        const codec::QuantParams p =
+            codec::choose_quant_params(m.value, s.bits);
+        codec::roundtrip(m.value, p, s.bits);
+        h.quant_bits = static_cast<std::uint8_t>(s.bits);
+        h.quant_min = p.min;
+        h.quant_scale = p.scale;
+      }
+      encode_frame(m.src, h, m.value, m.t_send, frame);
+      {  // the unmutated frame must round-trip bit-exactly
+        std::size_t consumed = 0;
+        ASSERT_EQ(decode_frame(frame, consumed, out), DecodeStatus::kOk);
+        expect_equal(m, out);
+      }
+      for (int iter = 0; iter < kMutationsPerFrame; ++iter) {
+        const std::vector<std::uint8_t> fuzzed =
+            mutate_frame(rng, frame, static_cast<int>(rng.uniform_index(5)));
+        auto exact = std::make_unique<std::uint8_t[]>(fuzzed.size());
+        std::copy(fuzzed.begin(), fuzzed.end(), exact.get());
+        std::size_t consumed = 0;
+        const DecodeStatus st = decode_frame(
+            std::span<const std::uint8_t>(exact.get(), fuzzed.size()),
+            consumed, out);
+        statuses[pass].push_back(static_cast<std::uint8_t>(st));
+        if (st == DecodeStatus::kOk) {
+          ASSERT_LE(consumed, fuzzed.size());
+          ASSERT_LE(out.value.size(), std::size_t{kMaxPayloadDoubles});
+        } else {
+          ASSERT_EQ(consumed, 0u);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(statuses[0], statuses[1])
+      << "codec-frame fuzz classification not replayable";
 }
 
 TEST(WireFuzz, TcpReaderCountsEveryCorruptStreamInBadFrames) {
@@ -768,6 +974,57 @@ TEST(ChaosDecorator, NonFifoReleaseReordersAndFifoFloorRestoresOrder) {
     EXPECT_EQ(inverted, !fifo);
     e1.recycle(got);
   }
+}
+
+TEST(ChaosDecorator, FateDrawsArePayloadWidthInvariant) {
+  // The delta layer's determinism contract with the chaos model: fate
+  // draws are keyed by FRAME COUNT, not payload bytes. Two identical
+  // send sequences — one shipping full blocks, the other the shapes the
+  // delta encoder produces (shrunken ranges, zero-width heartbeats) —
+  // must consume the drop and latency streams identically, frame by
+  // frame. Without this, enabling wire_delta would silently reseed every
+  // chaos experiment.
+  net::DeliveryPolicy policy;
+  policy.min_latency = 1e-4;
+  policy.max_latency = 5e-3;
+  policy.drop_prob = 0.3;
+  constexpr std::uint64_t kSeed = 137;
+
+  net::DeliveryPolicy zero;
+  InprocTransport inner_a(2, zero, 1), inner_b(2, zero, 1);
+  ChaosTransport full(inner_a, policy, kSeed);
+  ChaosTransport delta(inner_b, policy, kSeed);
+
+  Rng rng(5);
+  const la::Vector wide(32, 1.0);
+  for (int i = 0; i < 400; ++i) {
+    MessageHeader hf;
+    hf.tag = static_cast<model::Step>(i + 1);
+    MessageHeader hd = hf;
+    // The delta side varies shape: full, narrow range, or heartbeat.
+    std::span<const double> payload(wide);
+    switch (rng.uniform_index(3)) {
+      case 0: break;
+      case 1:
+        hd.partial = true;
+        hd.complete = true;
+        hd.offset = static_cast<std::uint32_t>(rng.uniform_index(24));
+        payload = std::span<const double>(wide).subspan(hd.offset, 5);
+        break;
+      default:
+        hd.partial = true;
+        hd.complete = true;
+        payload = {};
+        break;
+    }
+    const double now = 1e-4 * i;
+    const SendReceipt rf = full.endpoint(0).send(1, hf, wide, now, true);
+    const SendReceipt rd = delta.endpoint(0).send(1, hd, payload, now, true);
+    EXPECT_EQ(rf.sent, rd.sent) << "frame " << i;
+    EXPECT_DOUBLE_EQ(rf.deliver_at, rd.deliver_at) << "frame " << i;
+  }
+  EXPECT_GT(full.endpoint(0).dropped(), 0u);
+  EXPECT_EQ(full.endpoint(0).dropped(), delta.endpoint(0).dropped());
 }
 
 TEST(ChaosDecorator, LossModelSparesControlFramesUnlessOptedIn) {

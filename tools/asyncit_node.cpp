@@ -158,6 +158,10 @@ int run_solve_workload(const net::NodeConfig& cfg, std::uint32_t rank,
   opt.solve.adaptive = cfg.adaptive;
   opt.seed = cfg.seed;
   opt.membership = cfg.membership;
+  opt.wire.delta = cfg.wire_delta;
+  opt.wire.topk = cfg.wire_topk;
+  opt.wire.quant_bits = cfg.wire_quant_bits;
+  opt.wire.refresh_every = cfg.wire_refresh_every;
   opt.obs.trace_level = cfg.trace;
   opt.obs.audit = cfg.audit;
 
@@ -269,7 +273,12 @@ int run_solve_workload(const net::NodeConfig& cfg, std::uint32_t rank,
       "\"deaths_observed\":%llu,\"joins_observed\":%llu,"
       "\"refutations\":%llu,\"control_rejected\":%llu,"
       "\"reassignments\":%llu,\"snapshot_blocks_sent\":%llu,"
-      "\"live_at_exit\":%s},\"delay_quantiles\":%s,\"links\":%s,"
+      "\"snapshot_blocks_suppressed\":%llu,"
+      "\"live_at_exit\":%s},"
+      "\"wire\":{\"delta\":%s,\"bytes_raw\":%llu,\"bytes_wire\":%llu,"
+      "\"frames_full\":%llu,\"frames_delta\":%llu,"
+      "\"frames_heartbeat\":%llu,\"frames_codec\":%llu},"
+      "\"delay_quantiles\":%s,\"links\":%s,"
       "\"admissibility\":%s,\"obs\":{\"recorded\":%llu,"
       "\"dropped\":%llu},\"gate_stalls\":%llu,"
       "\"steering\":{\"decisions\":%llu,\"staleness_at_exit\":%llu},"
@@ -300,7 +309,15 @@ int run_solve_workload(const net::NodeConfig& cfg, std::uint32_t rank,
       static_cast<unsigned long long>(ms.control_rejected),
       static_cast<unsigned long long>(result.reassignments),
       static_cast<unsigned long long>(result.snapshot_blocks_sent),
-      live.c_str(), quantiles_json(result.delays).c_str(), links.c_str(),
+      static_cast<unsigned long long>(result.snapshot_blocks_suppressed),
+      live.c_str(), cfg.wire_delta ? "true" : "false",
+      static_cast<unsigned long long>(result.bytes_sent_raw),
+      static_cast<unsigned long long>(result.bytes_sent_wire),
+      static_cast<unsigned long long>(result.wire_frames_full),
+      static_cast<unsigned long long>(result.wire_frames_delta),
+      static_cast<unsigned long long>(result.wire_frames_heartbeat),
+      static_cast<unsigned long long>(result.wire_frames_codec),
+      quantiles_json(result.delays).c_str(), links.c_str(),
       audit_json.c_str(),
       static_cast<unsigned long long>(result.obs_events_recorded),
       static_cast<unsigned long long>(result.obs_events_dropped),
@@ -437,6 +454,14 @@ int main(int argc, char** argv) {
   topts.nodes = cfg.nodes;
   topts.local_ranks = {rank};
   topts.connect_timeout_seconds = 30.0;
+  if (cfg.workload == net::Workload::kSolve) {
+    // Tighten the decode-time frame bound to what this run can actually
+    // produce: the widest partition block, or a gossip payload (3 doubles
+    // per membership update, at most one update per rank).
+    const std::size_t widest = (cfg.dim + cfg.blocks - 1) / cfg.blocks;
+    topts.max_frame_doubles = static_cast<std::uint32_t>(
+        std::max<std::size_t>(widest, 3 * cfg.world));
+  }
   const bool is_late =
       std::find(cfg.late.begin(), cfg.late.end(), rank) != cfg.late.end();
   if (cfg.elastic) {
